@@ -1,0 +1,28 @@
+# Convenience targets; dune is the real build system.
+
+.PHONY: all build test bench bench-quick examples clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+bench-quick:
+	dune exec bench/main.exe -- --quick
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/attack_resilience.exe
+	dune exec examples/timing_exploration.exe
+	dune exec examples/hybrid_locking.exe
+	dune exec examples/withholding.exe
+	dune exec examples/scan_bist.exe
+
+clean:
+	dune clean

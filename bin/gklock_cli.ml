@@ -1,0 +1,366 @@
+(* gklock — command-line front end.
+
+   Subcommands:
+     info     print netlist statistics
+     gen      materialize a built-in benchmark as a .bench file
+     encrypt  lock a design (gk / xor / mux / sarlock / antisat / tdk / hybrid)
+     attack   run the SAT attack against a locked .bench
+     sim      timing-simulate a design and report captures/violations
+     sta      static timing report
+     tables   regenerate the paper's tables
+     figs     regenerate the paper's figures *)
+
+open Cmdliner
+
+(* ----- shared arguments and helpers ----- *)
+
+let load_design path =
+  match Benchmarks.find_spec path with
+  | Some spec -> Benchmarks.load spec
+  | None ->
+    if path = "s27" then Benchmarks.s27 ()
+    else if path = "tiny" then Benchmarks.tiny ()
+    else if Filename.check_suffix path ".v" then Verilog.parse_file path
+    else Bench_format.parse_file path
+
+let design_arg =
+  let doc =
+    "Input design: a .bench or structural-Verilog (.v) file, a built-in \
+     benchmark name (s1238, s5378, s9234, s13207, s15850, s38417, s38584), \
+     or 's27' / 'tiny'."
+  in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"DESIGN" ~doc)
+
+let output_arg =
+  let doc = "Write the resulting netlist to $(docv) (.bench format)." in
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+
+let seed_arg =
+  let doc = "Random seed (experiments are deterministic per seed)." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc)
+
+let clock_arg =
+  let doc =
+    "Clock period in ps.  Default: critical path with a 1.3x margin."
+  in
+  Arg.(value & opt (some int) None & info [ "clock" ] ~docv:"PS" ~doc)
+
+let clock_of net = function
+  | Some ps -> ps
+  | None -> Sta.clock_for net ~margin:1.3
+
+let emit output net =
+  match output with
+  | None -> print_string (Bench_format.print net)
+  | Some path ->
+    if Filename.check_suffix path ".v" then Verilog.write_file net path
+    else Bench_format.write_file net path;
+    Printf.printf "wrote %s\n" path
+
+(* ----- info ----- *)
+
+let info_cmd =
+  let run design =
+    let net = load_design design in
+    let st = Stats.of_netlist net in
+    Format.printf "%s: %a@." (Netlist.name net) Stats.pp st;
+    Format.printf "critical path: %d ps; min clock: %d ps@."
+      (Sta.critical_path_ps net) (Sta.min_clock_ps net);
+    let groups = Topo.group_ffs_by_cone net in
+    Format.printf "FF cone groups: %d (largest %d)@." (List.length groups)
+      (match groups with g :: _ -> List.length g | [] -> 0)
+  in
+  Cmd.v (Cmd.info "info" ~doc:"Print netlist statistics")
+    Term.(const run $ design_arg)
+
+(* ----- gen ----- *)
+
+let gen_cmd =
+  let run design output =
+    let net = load_design design in
+    emit output net
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Materialize a built-in benchmark as .bench text")
+    Term.(const run $ design_arg $ output_arg)
+
+(* ----- encrypt ----- *)
+
+let scheme_arg =
+  let schemes =
+    [
+      ("gk", `Gk); ("xor", `Xor); ("mux", `Mux); ("sarlock", `Sarlock);
+      ("antisat", `Antisat); ("tdk", `Tdk); ("hybrid", `Hybrid);
+      ("fault", `Fault);
+    ]
+  in
+  let doc =
+    "Locking scheme: gk, xor, mux, sarlock, antisat, tdk, hybrid or fault \
+     (fault-impact-guided XOR insertion)."
+  in
+  Arg.(value & opt (enum schemes) `Gk & info [ "scheme" ] ~docv:"SCHEME" ~doc)
+
+let nkeys_arg =
+  let doc =
+    "Number of key-gates (GKs count two key-inputs each; hybrid splits \
+     between 8 GKs and N XORs)."
+  in
+  Arg.(value & opt int 8 & info [ "n" ] ~docv:"N" ~doc)
+
+let encrypt_cmd =
+  let run design scheme n seed clock output =
+    let net = load_design design in
+    let clock_ps = clock_of net clock in
+    let print_key correct = Printf.printf "key: %s\n" (Key.to_string correct) in
+    match scheme with
+    | `Gk ->
+      let d = Insertion.lock ~seed net ~clock_ps ~n_gks:n in
+      let c, a = Insertion.overhead d in
+      Printf.printf "gk: %d GKs @ clock %d ps; overhead cell %.2f%% area %.2f%%\n"
+        n clock_ps c a;
+      print_key d.Insertion.correct_key;
+      emit output d.Insertion.lnet
+    | `Hybrid ->
+      let h = Hybrid.lock ~seed net ~clock_ps ~n_gks:8 ~n_xors:n in
+      let c, a = Hybrid.overhead h in
+      Printf.printf "hybrid: 8 GKs + %d XORs; overhead cell %.2f%% area %.2f%%\n"
+        n c a;
+      print_key h.Hybrid.all_correct_key;
+      emit output h.Hybrid.design.Insertion.lnet
+    | `Tdk ->
+      let t = Tdk.lock ~seed net ~clock_ps ~n_sites:n in
+      print_key t.Tdk.locked.Locked.correct_key;
+      emit output t.Tdk.locked.Locked.net
+    | (`Xor | `Mux | `Sarlock | `Antisat | `Fault) as s ->
+      let comb, _ = Combinationalize.run net in
+      let lk =
+        match s with
+        | `Xor -> Xor_lock.lock ~seed comb ~n_keys:n
+        | `Mux -> Mux_lock.lock ~seed comb ~n_keys:n
+        | `Sarlock -> Sarlock.lock ~seed comb ~n_keys:n
+        | `Antisat -> Antisat.lock ~seed comb ~n:n
+        | `Fault -> Fault_lock.lock ~seed comb ~n_keys:n
+      in
+      Printf.printf "%s: %d key-inputs (combinational view)\n"
+        lk.Locked.scheme (List.length lk.Locked.key_inputs);
+      print_key lk.Locked.correct_key;
+      emit output lk.Locked.net
+  in
+  Cmd.v
+    (Cmd.info "encrypt" ~doc:"Lock a design with a chosen scheme")
+    Term.(const run $ design_arg $ scheme_arg $ nkeys_arg $ seed_arg
+          $ clock_arg $ output_arg)
+
+(* ----- attack ----- *)
+
+let keys_arg =
+  let doc = "Comma-separated key-input names of the locked design." in
+  Arg.(required & opt (some string) None & info [ "keys" ] ~docv:"K0,K1,.." ~doc)
+
+let oracle_arg =
+  let doc = "Oracle design (.bench or builtin): the functionally correct chip." in
+  Arg.(required & opt (some string) None & info [ "oracle" ] ~docv:"DESIGN" ~doc)
+
+let method_arg =
+  let methods =
+    [ ("sat", `Sat); ("appsat", `Appsat); ("sensitization", `Sens) ]
+  in
+  let doc = "Attack: sat (exact DIP loop), appsat, or sensitization." in
+  Arg.(value & opt (enum methods) `Sat & info [ "method" ] ~docv:"M" ~doc)
+
+let attack_cmd =
+  let run design keys oracle_path method_ =
+    let locked = load_design design in
+    let locked, _ =
+      if Netlist.ffs locked = [] then (locked, [])
+      else Combinationalize.run locked
+    in
+    let oracle_net = load_design oracle_path in
+    let oracle_net, _ =
+      if Netlist.ffs oracle_net = [] then (oracle_net, [])
+      else Combinationalize.run oracle_net
+    in
+    let key_inputs = String.split_on_char ',' keys in
+    let oracle = Sat_attack.oracle_of_netlist oracle_net in
+    match method_ with
+    | `Appsat ->
+      let o = Appsat.run ~locked ~key_inputs ~oracle () in
+      Printf.printf
+        "appsat: %s key after %d DIPs + %d random queries (error %.3f)\n"
+        (if o.Appsat.exact then "exact" else "approximate")
+        o.Appsat.dips o.Appsat.random_queries o.Appsat.error_rate;
+      Printf.printf "key: %s\n" (Key.to_string o.Appsat.key)
+    | `Sens ->
+      let o = Sensitization.run ~locked ~key_inputs ~oracle () in
+      Printf.printf "sensitization: %d bits recovered, %d unresolved\n"
+        (List.length o.Sensitization.recovered)
+        (List.length o.Sensitization.unresolved);
+      if o.Sensitization.recovered <> [] then
+        Printf.printf "bits: %s\n" (Key.to_string o.Sensitization.recovered)
+    | `Sat ->
+    let o = Sat_attack.run ~locked ~key_inputs ~oracle () in
+    (match o.Sat_attack.status with
+    | Sat_attack.Key_recovered k ->
+      Printf.printf "key recovered after %d DIPs: %s\n" o.Sat_attack.iterations
+        (Key.to_string k);
+      Printf.printf "oracle mismatches for the key: %d/64\n"
+        (Sat_attack.verify_key ~locked ~key_inputs ~oracle k)
+    | Sat_attack.Unsat_at_first_iteration k ->
+      Printf.printf
+        "unsatisfiable at the first DIP search — the attack learned nothing\n";
+      Printf.printf "an arbitrary consistent key (%s) mismatches the chip on %d/64 samples\n"
+        (Key.to_string k)
+        (Sat_attack.verify_key ~locked ~key_inputs ~oracle k)
+    | Sat_attack.Budget_exhausted ->
+      Printf.printf "DIP budget exhausted after %d iterations\n"
+        o.Sat_attack.iterations);
+    Printf.printf "CDCL conflicts: %d\n" o.Sat_attack.conflicts
+  in
+  Cmd.v
+    (Cmd.info "attack"
+       ~doc:"Run the SAT attack [11] against a locked design")
+    Term.(const run $ design_arg $ keys_arg $ oracle_arg $ method_arg)
+
+(* ----- sim ----- *)
+
+let cycles_arg =
+  let doc = "Number of clock cycles to simulate." in
+  Arg.(value & opt int 16 & info [ "cycles" ] ~docv:"N" ~doc)
+
+let vcd_arg =
+  let doc = "Also dump the named signals' waveforms (all nets when the list \
+             is empty) to $(docv) in VCD format." in
+  Arg.(value & opt (some string) None & info [ "vcd" ] ~docv:"FILE" ~doc)
+
+let sim_cmd =
+  let run design cycles clock seed vcd =
+    let net = load_design design in
+    let clock_ps = clock_of net clock in
+    let drive = Stimuli.edge_aligned ~seed net ~clock_ps ~cycles in
+    let r = Timing_sim.run ~drive net { Timing_sim.clock_ps; cycles } in
+    Printf.printf "%s: %d cycles @ %d ps\n" (Netlist.name net) cycles clock_ps;
+    List.iter
+      (fun (po, samples) ->
+        Printf.printf "%-12s %s\n" po
+          (String.init (Array.length samples) (fun i ->
+               Logic.to_char samples.(i))))
+      r.Timing_sim.po_samples;
+    Printf.printf "violations: %d\n" (List.length r.Timing_sim.violations);
+    List.iteri
+      (fun i v ->
+        if i < 10 then
+          Printf.printf "  %s cycle %d %s @ %d ps\n" v.Timing_sim.v_ff_name
+            v.Timing_sim.v_cycle
+            (match v.Timing_sim.v_kind with
+            | Timing_sim.Setup_violation -> "setup"
+            | Timing_sim.Hold_violation -> "hold")
+            v.Timing_sim.v_time)
+      r.Timing_sim.violations;
+    match vcd with
+    | None -> ()
+    | Some path ->
+      Vcd.write_file net r ~signals:[] path;
+      Printf.printf "wrote %s\n" path
+  in
+  Cmd.v
+    (Cmd.info "sim" ~doc:"Timing-accurate simulation with glitch propagation")
+    Term.(const run $ design_arg $ cycles_arg $ clock_arg $ seed_arg $ vcd_arg)
+
+(* ----- sta ----- *)
+
+let sta_cmd =
+  let run design clock =
+    let net = load_design design in
+    let clock_ps = clock_of net clock in
+    let sta = Sta.analyze net ~clock_ps in
+    Printf.printf "%s @ %d ps (critical %d ps)\n" (Netlist.name net) clock_ps
+      (Sta.critical_path_ps net);
+    let worst =
+      List.sort
+        (fun a b -> compare (Sta.setup_slack sta a) (Sta.setup_slack sta b))
+        (Netlist.ffs net)
+    in
+    List.iteri
+      (fun i ff ->
+        if i < 15 then
+          let arr = Sta.ff_d_arrival sta ff in
+          Printf.printf "%-12s arrival [%d, %d] ps  setup slack %d  hold slack %d\n"
+            (Netlist.node net ff).Netlist.name arr.Sta.amin arr.Sta.amax
+            (Sta.setup_slack sta ff) (Sta.hold_slack sta ff))
+      worst;
+    let sites = Insertion.available_sites net ~clock_ps ~l_glitch_ps:1000 in
+    Printf.printf "GK sites (1 ns glitch): %d / %d FFs\n" (List.length sites)
+      (List.length (Netlist.ffs net))
+  in
+  Cmd.v (Cmd.info "sta" ~doc:"Static timing report and GK site feasibility")
+    Term.(const run $ design_arg $ clock_arg)
+
+(* ----- flow ----- *)
+
+let flow_cmd =
+  let run design n seed =
+    let net = load_design design in
+    let margin = if Stats.(of_netlist net).Stats.cells < 100 then 4.5 else 1.2 in
+    let design', report = Design_flow.run ~seed ~clock_margin:margin net ~n_gks:n in
+    Format.printf "%a@." Design_flow.pp_report report;
+    Format.printf "key: %s@." (Key.to_string design'.Insertion.correct_key)
+  in
+  Cmd.v
+    (Cmd.info "flow"
+       ~doc:"Run the full Sec. IV-B design flow (synthesize, place, insert, audit)")
+    Term.(const run $ design_arg $ nkeys_arg $ seed_arg)
+
+(* ----- tables / figs ----- *)
+
+let table_arg =
+  let doc = "Which table: 1, 2, sat, comparison, ablation, corruption, all." in
+  Arg.(value & opt string "all" & info [ "table" ] ~docv:"WHICH" ~doc)
+
+let tables_cmd =
+  let run which =
+    let t1 () = print_string (Report.table1 (Experiments.table1 ())) in
+    let t2 () = print_string (Report.table2 (Experiments.table2 ())) in
+    let sat () = print_string (Report.sat_attack (Experiments.sat_attack_table ())) in
+    let cmp () = print_string (Report.comparison (Experiments.attack_comparison ())) in
+    let abl () =
+      print_string (Report.ablation_glitch (Experiments.ablation_glitch_length ()));
+      print_string (Report.ablation_profile (Experiments.ablation_delay_profile ()))
+    in
+    let cor () = print_string (Report.corruptibility (Experiments.corruptibility ())) in
+    match which with
+    | "1" -> t1 ()
+    | "2" -> t2 ()
+    | "sat" -> sat ()
+    | "comparison" -> cmp ()
+    | "ablation" -> abl ()
+    | "corruption" -> cor ()
+    | "all" -> t1 (); t2 (); sat (); cmp (); abl (); cor ()
+    | other -> Printf.eprintf "unknown table %S\n" other; exit 1
+  in
+  Cmd.v
+    (Cmd.info "tables" ~doc:"Regenerate the paper's tables (and ablations)")
+    Term.(const run $ table_arg)
+
+let figs_cmd =
+  let run () =
+    print_string (Experiments.fig4 ());
+    print_newline ();
+    print_string (Experiments.fig6 ());
+    print_newline ();
+    print_string (Experiments.fig7 ());
+    print_newline ();
+    print_string (Experiments.fig9 ())
+  in
+  Cmd.v (Cmd.info "figs" ~doc:"Regenerate the paper's figures")
+    Term.(const run $ const ())
+
+let () =
+  let doc = "Glitch key-gate logic locking — paper reproduction toolkit" in
+  let info = Cmd.info "gklock" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            info_cmd; gen_cmd; encrypt_cmd; attack_cmd; sim_cmd; sta_cmd;
+            flow_cmd; tables_cmd; figs_cmd;
+          ]))

@@ -1,0 +1,53 @@
+(* Timing exploration: regenerate the paper's mechanism figures and walk
+   one real flip-flop's GK timing budget.
+
+   Run with: dune exec examples/timing_exploration.exe *)
+
+let () =
+  print_string (Experiments.fig4 ());
+  print_newline ();
+  print_string (Experiments.fig6 ());
+  print_newline ();
+  print_string (Experiments.fig7 ());
+  print_newline ();
+  print_string (Experiments.fig9 ());
+  print_newline ();
+
+  (* Now the same analysis on a real endpoint of s5378. *)
+  let spec = Option.get (Benchmarks.find_spec "s5378") in
+  let net = Benchmarks.load spec in
+  let clock_ps = Sta.clock_for net ~margin:spec.Benchmarks.clk_margin in
+  let sta = Sta.analyze net ~clock_ps in
+  let d_mux = (Cell_lib.bind Cell.Mux 3).Cell.delay_ps in
+  let l_glitch = 1000 in
+  Format.printf "s5378 @ %d ps clock — per-endpoint GK budget (first 8 FFs):@." clock_ps;
+  Format.printf "%-8s %9s %6s %6s %11s %22s@." "FF" "arrival" "LB" "UB"
+    "Eq.(3) ok" "Eq.(5) trigger window";
+  List.iteri
+    (fun i ff ->
+      if i < 8 then begin
+        let site = Gk_timing.site_of_sta sta ff in
+        let ok = Gk_timing.feasible_on_level site ~l_glitch ~d_mux in
+        let window =
+          match Gk_timing.trigger_window_on_level site ~l_glitch ~d_mux with
+          | Some (lo, hi) -> Printf.sprintf "(%d, %d) ps" lo hi
+          | None -> "empty"
+        in
+        Format.printf "%-8s %9d %6d %6d %11s %22s@."
+          (Netlist.node net ff).Netlist.name site.Gk_timing.t_arrival
+          site.Gk_timing.lb site.Gk_timing.ub
+          (if ok then "yes" else "no")
+          window
+      end)
+    (Netlist.ffs net);
+  let sites = Insertion.available_sites net ~clock_ps ~l_glitch_ps:l_glitch in
+  Format.printf "total feasible endpoints: %d / %d@." (List.length sites)
+    (List.length (Netlist.ffs net));
+
+  (* Sweep the glitch-length requirement: longer glitches need more slack. *)
+  Format.printf "@.glitch length vs feasible endpoints on s5378:@.";
+  List.iter
+    (fun l ->
+      Format.printf "  L_glitch = %4d ps -> %d sites@." l
+        (List.length (Insertion.available_sites net ~clock_ps ~l_glitch_ps:l)))
+    [ 300; 500; 1000; 1500; 2000; 2500; 3000 ]

@@ -1,0 +1,143 @@
+type outcome = {
+  key : Key.assignment;
+  error_rate : float;
+  dips : int;
+  random_queries : int;
+  exact : bool;
+}
+
+(* A self-contained DIP engine: one miter solver plus a parallel
+   "candidate" solver holding only the accumulated I/O constraints, from
+   which the current best key is extracted between iterations. *)
+let run ?(max_iterations = 512) ?(check_every = 4) ?(error_threshold = 0.01)
+    ?(queries_per_check = 50) ?(seed = 41) ~locked ~key_inputs ~oracle () =
+  if Netlist.ffs locked <> [] then
+    invalid_arg "Appsat.run: locked netlist must be combinational";
+  let rng = Random.State.make [| seed; 0x4150 |] in
+  let x_pis =
+    List.filter
+      (fun pi ->
+        not (List.mem (Netlist.node locked pi).Netlist.name key_inputs))
+      (Netlist.inputs locked)
+  in
+  let x_names =
+    List.map (fun pi -> (Netlist.node locked pi).Netlist.name) x_pis
+  in
+  (* miter solver *)
+  let solver = Solver.create () in
+  let x_vars = Hashtbl.create 32 in
+  List.iter (fun n -> Hashtbl.replace x_vars n (Solver.new_var solver)) x_names;
+  let k1 = Hashtbl.create 16 and k2 = Hashtbl.create 16 in
+  List.iter
+    (fun k ->
+      Hashtbl.replace k1 k (Solver.new_var solver);
+      Hashtbl.replace k2 k (Solver.new_var solver))
+    key_inputs;
+  let shared tbl ~with_x id =
+    let nd = Netlist.node locked id in
+    if nd.Netlist.kind <> Netlist.Input then None
+    else
+      match Hashtbl.find_opt tbl nd.Netlist.name with
+      | Some v -> Some v
+      | None -> if with_x then Hashtbl.find_opt x_vars nd.Netlist.name else None
+  in
+  let vars1 = Tseitin.encode solver locked ~shared:(shared k1 ~with_x:true) in
+  let vars2 = Tseitin.encode solver locked ~shared:(shared k2 ~with_x:true) in
+  let diffs =
+    List.map
+      (fun (_, d) ->
+        let o = Solver.new_var solver in
+        let ol = Lit.pos o and x = Lit.pos vars1.(d) and y = Lit.pos vars2.(d) in
+        ignore (Solver.add_clause solver [ Lit.negate ol; x; y ]);
+        ignore (Solver.add_clause solver [ Lit.negate ol; Lit.negate x; Lit.negate y ]);
+        ignore (Solver.add_clause solver [ ol; Lit.negate x; y ]);
+        ignore (Solver.add_clause solver [ ol; x; Lit.negate y ]);
+        ol)
+      (Netlist.outputs locked)
+  in
+  ignore (Solver.add_clause solver diffs);
+  (* candidate solver: constraints only *)
+  let cand = Solver.create () in
+  let kc = Hashtbl.create 16 in
+  List.iter (fun k -> Hashtbl.replace kc k (Solver.new_var cand)) key_inputs;
+  let add_io_constraint dip outs =
+    let pin s vars =
+      List.iter
+        (fun pi ->
+          let name = (Netlist.node locked pi).Netlist.name in
+          ignore (Solver.add_clause s [ Lit.make vars.(pi) (List.assoc name dip) ]))
+        x_pis;
+      List.iter
+        (fun (po, d) ->
+          ignore (Solver.add_clause s [ Lit.make vars.(d) (List.assoc po outs) ]))
+        (Netlist.outputs locked)
+    in
+    (* both key copies of the miter, and the candidate store *)
+    pin solver (Tseitin.encode solver locked ~shared:(shared k1 ~with_x:false));
+    pin solver (Tseitin.encode solver locked ~shared:(shared k2 ~with_x:false));
+    pin cand (Tseitin.encode cand locked ~shared:(shared kc ~with_x:false))
+  in
+  let extract_candidate () =
+    match Solver.solve cand with
+    | Solver.Sat ->
+      Some
+        (List.map
+           (fun k -> (k, Solver.value cand (Hashtbl.find kc k)))
+           key_inputs)
+    | Solver.Unsat -> None
+  in
+  let random_dip () = List.map (fun n -> (n, Random.State.bool rng)) x_names in
+  let locked_out key dip =
+    Sat_attack.oracle_of_netlist locked (dip @ key)
+  in
+  let queries = ref 0 in
+  (* estimate the error and feed failing queries back as constraints *)
+  let estimate key =
+    let errors = ref 0 in
+    for _ = 1 to queries_per_check do
+      incr queries;
+      let dip = random_dip () in
+      let expected = oracle dip in
+      let got = locked_out key dip in
+      let fails =
+        List.exists
+          (fun (po, v) ->
+            match List.assoc_opt po got with Some w -> v <> w | None -> false)
+          expected
+      in
+      if fails then begin
+        incr errors;
+        add_io_constraint dip expected
+      end
+    done;
+    float_of_int !errors /. float_of_int queries_per_check
+  in
+  let fallback = List.map (fun k -> (k, false)) key_inputs in
+  let rec loop dips =
+    if dips >= max_iterations then
+      let key = Option.value (extract_candidate ()) ~default:fallback in
+      { key; error_rate = estimate key; dips; random_queries = !queries; exact = false }
+    else
+      match Solver.solve solver with
+      | Solver.Unsat ->
+        let key = Option.value (extract_candidate ()) ~default:fallback in
+        { key; error_rate = 0.0; dips; random_queries = !queries; exact = true }
+      | Solver.Sat ->
+        let dip =
+          List.map (fun n -> (n, Solver.value solver (Hashtbl.find x_vars n))) x_names
+        in
+        let outs = oracle dip in
+        add_io_constraint dip outs;
+        let dips = dips + 1 in
+        if dips mod check_every = 0 then begin
+          match extract_candidate () with
+          | None -> loop dips
+          | Some key ->
+            let err = estimate key in
+            if err <= error_threshold then
+              { key; error_rate = err; dips; random_queries = !queries; exact = false }
+            else loop dips
+        end
+        else loop dips
+  in
+  loop 0

@@ -1,0 +1,39 @@
+(** AppSAT — approximate SAT attack (Shamsi et al. [10]).
+
+    The paper cites AppSAT as the attack that "exploited the dependence on
+    other encryption techniques" of SARLock/Anti-SAT-style compound
+    locking: instead of pruning every wrong key (exponential against
+    point functions), AppSAT runs the DIP loop but periodically extracts
+    the current candidate key and estimates its error rate on random
+    oracle queries, stopping as soon as the candidate is almost-correct.
+    Against SARLock + conventional locking this recovers the conventional
+    part in a handful of iterations, reducing the compound scheme to its
+    point-function rump.
+
+    Failing random queries are added to the constraint store (the AppSAT
+    refinement), so the candidate improves monotonically. *)
+
+type outcome = {
+  key : Key.assignment;          (** the approximate key *)
+  error_rate : float;            (** estimated on fresh random queries *)
+  dips : int;
+  random_queries : int;
+  exact : bool;                  (** the miter went UNSAT: key is exact *)
+}
+
+(** [run ?max_iterations ?check_every ?error_threshold ?queries_per_check
+    ~locked ~key_inputs ~oracle ()] — stops when the candidate key's
+    estimated error rate is at most [error_threshold] (default 0.01), or
+    on exact convergence.  Checks every [check_every] DIPs (default 4)
+    with [queries_per_check] random queries (default 50). *)
+val run :
+  ?max_iterations:int ->
+  ?check_every:int ->
+  ?error_threshold:float ->
+  ?queries_per_check:int ->
+  ?seed:int ->
+  locked:Netlist.t ->
+  key_inputs:string list ->
+  oracle:Sat_attack.oracle ->
+  unit ->
+  outcome

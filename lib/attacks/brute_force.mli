@@ -1,0 +1,18 @@
+(** Exhaustive oracle-guided key search, for validating the smarter
+    attacks on small keys (≤ 20 bits). *)
+
+type outcome = {
+  keys_tested : int;
+  found : Key.assignment option;  (** first key consistent on all samples *)
+}
+
+(** [run ?samples ~locked ~key_inputs ~oracle ()] tests every key vector
+    against the oracle on random input samples. *)
+val run :
+  ?samples:int ->
+  ?seed:int ->
+  locked:Netlist.t ->
+  key_inputs:string list ->
+  oracle:Sat_attack.oracle ->
+  unit ->
+  outcome

@@ -1,0 +1,187 @@
+type oracle = (string * bool) list -> (string * bool) list
+
+type status =
+  | Key_recovered of Key.assignment
+  | Unsat_at_first_iteration of Key.assignment
+  | Budget_exhausted
+
+type outcome = {
+  status : status;
+  iterations : int;
+  dips : (string * bool) list list;
+  conflicts : int;
+}
+
+let oracle_of_netlist net inputs =
+  let by_id id =
+    match List.assoc_opt (Netlist.node net id).Netlist.name inputs with
+    | Some b -> b
+    | None -> false
+  in
+  let values = Netlist.eval_comb net by_id in
+  List.map (fun (po, d) -> (po, values.(d))) (Netlist.outputs net)
+
+(* Split the locked netlist's inputs into X inputs and key inputs. *)
+let classify_inputs locked key_inputs =
+  let is_key = Hashtbl.create 16 in
+  List.iter (fun k -> Hashtbl.replace is_key k ()) key_inputs;
+  List.partition
+    (fun pi -> not (Hashtbl.mem is_key (Netlist.node locked pi).Netlist.name))
+    (Netlist.inputs locked)
+
+let run ?(max_iterations = 4096) ~locked ~key_inputs ~oracle () =
+  if Netlist.ffs locked <> [] then
+    invalid_arg "Sat_attack.run: locked netlist must be combinational";
+  List.iter
+    (fun k ->
+      match Netlist.find locked k with
+      | Some id when (Netlist.node locked id).Netlist.kind = Netlist.Input -> ()
+      | Some _ -> invalid_arg ("Sat_attack.run: " ^ k ^ " is not an input")
+      | None -> invalid_arg ("Sat_attack.run: no key input " ^ k))
+    key_inputs;
+  let x_pis, _key_pis = classify_inputs locked key_inputs in
+  let x_names = List.map (fun pi -> (Netlist.node locked pi).Netlist.name) x_pis in
+  let solver = Solver.create () in
+  (* Shared X variables and the two key vectors. *)
+  let x_vars = Hashtbl.create 32 in
+  List.iter (fun n -> Hashtbl.replace x_vars n (Solver.new_var solver)) x_names;
+  let k1_vars = Hashtbl.create 16 and k2_vars = Hashtbl.create 16 in
+  List.iter
+    (fun k ->
+      Hashtbl.replace k1_vars k (Solver.new_var solver);
+      Hashtbl.replace k2_vars k (Solver.new_var solver))
+    key_inputs;
+  let shared_map key_tbl ?fix_x () id =
+    let nd = Netlist.node locked id in
+    if nd.Netlist.kind <> Netlist.Input then None
+    else
+      match Hashtbl.find_opt key_tbl nd.Netlist.name with
+      | Some v -> Some v
+      | None -> (
+        match fix_x with
+        | None -> Hashtbl.find_opt x_vars nd.Netlist.name
+        | Some _ -> None (* fresh var, pinned below *))
+  in
+  let encode_copy key_tbl = Tseitin.encode solver locked ~shared:(shared_map key_tbl ()) in
+  let vars1 = encode_copy k1_vars in
+  let vars2 = encode_copy k2_vars in
+  (* Miter output: OR over per-output XORs. *)
+  let diffs =
+    List.map
+      (fun (_, d) ->
+        let o = Solver.new_var solver in
+        let ol = Lit.pos o
+        and x = Lit.pos vars1.(d)
+        and y = Lit.pos vars2.(d) in
+        ignore (Solver.add_clause solver [ Lit.negate ol; x; y ]);
+        ignore (Solver.add_clause solver [ Lit.negate ol; Lit.negate x; Lit.negate y ]);
+        ignore (Solver.add_clause solver [ ol; Lit.negate x; y ]);
+        ignore (Solver.add_clause solver [ ol; x; Lit.negate y ]);
+        ol)
+      (Netlist.outputs locked)
+  in
+  ignore (Solver.add_clause solver diffs);
+  (* Add one I/O constraint copy (circuit at DIP X with key K forced to output Y) for a key vector. *)
+  let add_constraint key_tbl dip outs =
+    let vars =
+      Tseitin.encode solver locked
+        ~shared:(shared_map key_tbl ~fix_x:() ())
+    in
+    List.iter
+      (fun pi ->
+        let name = (Netlist.node locked pi).Netlist.name in
+        let v = List.assoc name dip in
+        ignore (Solver.add_clause solver [ Lit.make vars.(pi) v ]))
+      x_pis;
+    List.iter
+      (fun (po, d) ->
+        let v = List.assoc po outs in
+        ignore (Solver.add_clause solver [ Lit.make vars.(d) v ]))
+      (Netlist.outputs locked)
+  in
+  let dips = ref [] in
+  let extract_key () =
+    (* The K1 vector of a model of all accumulated constraints.  Build a
+       fresh solver holding only the constraint copies. *)
+    let s2 = Solver.create () in
+    let k_vars = Hashtbl.create 16 in
+    List.iter (fun k -> Hashtbl.replace k_vars k (Solver.new_var s2)) key_inputs;
+    List.iter
+      (fun (dip, outs) ->
+        let shared id =
+          let nd = Netlist.node locked id in
+          if nd.Netlist.kind = Netlist.Input then
+            Hashtbl.find_opt k_vars nd.Netlist.name
+          else None
+        in
+        let vars = Tseitin.encode s2 locked ~shared in
+        List.iter
+          (fun pi ->
+            let name = (Netlist.node locked pi).Netlist.name in
+            ignore (Solver.add_clause s2 [ Lit.make vars.(pi) (List.assoc name dip) ]))
+          x_pis;
+        List.iter
+          (fun (po, d) ->
+            ignore (Solver.add_clause s2 [ Lit.make vars.(d) (List.assoc po outs) ]))
+          (Netlist.outputs locked))
+      (List.rev !dips);
+    match Solver.solve s2 with
+    | Solver.Sat ->
+      List.map (fun k -> (k, Solver.value s2 (Hashtbl.find k_vars k))) key_inputs
+    | Solver.Unsat ->
+      (* Impossible unless the oracle is inconsistent with the netlist. *)
+      List.map (fun k -> (k, false)) key_inputs
+  in
+  let rec loop iter =
+    if iter >= max_iterations then
+      {
+        status = Budget_exhausted;
+        iterations = iter;
+        dips = List.rev_map fst !dips;
+        conflicts = Solver.conflicts solver;
+      }
+    else
+      match Solver.solve solver with
+      | Solver.Unsat ->
+        let key = extract_key () in
+        let status =
+          if iter = 0 then Unsat_at_first_iteration key else Key_recovered key
+        in
+        {
+          status;
+          iterations = iter;
+          dips = List.rev_map fst !dips;
+          conflicts = Solver.conflicts solver;
+        }
+      | Solver.Sat ->
+        let dip =
+          List.map
+            (fun n -> (n, Solver.value solver (Hashtbl.find x_vars n)))
+            x_names
+        in
+        let outs = oracle dip in
+        dips := (dip, outs) :: !dips;
+        add_constraint k1_vars dip outs;
+        add_constraint k2_vars dip outs;
+        loop (iter + 1)
+  in
+  loop 0
+
+let verify_key ?(samples = 64) ?(seed = 7) ~locked ~key_inputs ~oracle key =
+  let rng = Random.State.make [| seed; 0x5646 |] in
+  let x_pis, _ = classify_inputs locked key_inputs in
+  let x_names = List.map (fun pi -> (Netlist.node locked pi).Netlist.name) x_pis in
+  let mismatches = ref 0 in
+  for _ = 1 to samples do
+    let dip = List.map (fun n -> (n, Random.State.bool rng)) x_names in
+    let expected = oracle dip in
+    let got = oracle_of_netlist locked (dip @ key) in
+    let differs =
+      List.exists
+        (fun (po, v) ->
+          match List.assoc_opt po got with Some w -> v <> w | None -> true)
+        expected
+    in
+    if differs then incr mismatches
+  done;
+  !mismatches

@@ -1,0 +1,64 @@
+(** The SAT attack of Subramanyan et al. [11].
+
+    Threat model: the attacker holds (1) the locked combinational netlist
+    (sequential designs are first cut at FF boundaries, see
+    {!Combinationalize}) and (2) an unlocked, functionally correct chip
+    usable as an input→output oracle.  The attack builds a miter of two
+    copies of the locked netlist sharing primary inputs but with
+    independent key vectors, constrained to disagree on some output.  Each
+    SAT solution yields a {i distinguishing input pattern} (DIP); querying
+    the oracle on the DIP and asserting the correct I/O relation on both
+    copies prunes wrong keys.  When the miter goes UNSAT, every remaining
+    key is functionally correct and one is extracted.
+
+    On a GK-locked netlist the gate's output is the same function of [x]
+    for {i both} key values, so no DIP exists: the very first solve
+    returns UNSAT (the paper's Sec. VI result), the attack learns nothing,
+    and the "recovered" key is an unconstrained guess that the timing-true
+    chip refutes. *)
+
+(** The oracle: primary-input assignment (by name) → primary-output values. *)
+type oracle = (string * bool) list -> (string * bool) list
+
+type status =
+  | Key_recovered of Key.assignment
+  | Unsat_at_first_iteration of Key.assignment
+      (** no DIP ever existed; the attached key is the arbitrary model the
+          final extraction produces — reported so its wrongness can be
+          demonstrated *)
+  | Budget_exhausted
+
+type outcome = {
+  status : status;
+  iterations : int;              (** DIPs consumed *)
+  dips : (string * bool) list list;  (** in discovery order *)
+  conflicts : int;               (** CDCL conflicts over the whole attack *)
+}
+
+(** [oracle_of_netlist net] wraps a combinational netlist as the oracle
+    (simulating the unlocked chip).  Unmentioned inputs read false. *)
+val oracle_of_netlist : Netlist.t -> oracle
+
+(** [run ?max_iterations ~locked ~key_inputs ~oracle ()] executes the
+    attack.  [locked] must be combinational; [key_inputs] are the names of
+    its key PIs; all other PIs are the X inputs presented to the oracle.
+    Default budget: 4096 DIPs. *)
+val run :
+  ?max_iterations:int ->
+  locked:Netlist.t ->
+  key_inputs:string list ->
+  oracle:oracle ->
+  unit ->
+  outcome
+
+(** [verify_key ?samples ~locked ~key_inputs ~oracle key] samples random
+    input vectors and checks the locked netlist under [key] against the
+    oracle; returns the number of mismatching vectors (0 = consistent). *)
+val verify_key :
+  ?samples:int ->
+  ?seed:int ->
+  locked:Netlist.t ->
+  key_inputs:string list ->
+  oracle:oracle ->
+  Key.assignment ->
+  int

@@ -1,0 +1,103 @@
+type behaviour = [ `Buffer | `Inverter | `Unknown ]
+
+type verdict = {
+  v_mux : int;
+  v_ppo : string;
+  v_behaviour : behaviour;
+  v_agree_buffer : int;
+  v_agree_inverter : int;
+  v_samples : int;
+}
+
+let run ?(samples = 64) ?(seed = 29) ?(unknown = []) ~stripped_comb ~oracle
+    () =
+  if Netlist.ffs stripped_comb <> [] then
+    invalid_arg "Scan_attack.run: combinationalize the stripped netlist first";
+  let located = Enhanced_removal.locate stripped_comb in
+  let rng = Random.State.make [| seed; 0x5343 |] in
+  let pis = Netlist.inputs stripped_comb in
+  (* which pseudo-output each GK drives *)
+  let ppo_of mux =
+    List.find_map
+      (fun (po, d) -> if d = mux then Some po else None)
+      (Netlist.outputs stripped_comb)
+  in
+  let is_unknown = Hashtbl.create 8 in
+  List.iter (fun n -> Hashtbl.replace is_unknown n ()) unknown;
+  let sample_inputs () =
+    List.map
+      (fun pi ->
+        let name = (Netlist.node stripped_comb pi).Netlist.name in
+        (* pins the attacker cannot drive on the chip are stuck at a
+           guess; everything else (PIs, scan-loaded state) is exercised *)
+        if Hashtbl.mem is_unknown name then (pi, name, false)
+        else (pi, name, Random.State.bool rng))
+      pis
+  in
+  List.filter_map
+    (fun gk ->
+      match ppo_of gk.Enhanced_removal.mux with
+      | None -> None
+      | Some ppo ->
+        let agree_buf = ref 0 and agree_inv = ref 0 in
+        for _ = 1 to samples do
+          let assignment = sample_inputs () in
+          let values =
+            Netlist.eval_comb stripped_comb (fun id ->
+                let _, _, v =
+                  List.find (fun (pi, _, _) -> pi = id) assignment
+                in
+                v)
+          in
+          let x = values.(gk.Enhanced_removal.x) in
+          let chip =
+            oracle (List.map (fun (_, name, v) -> (name, v)) assignment)
+          in
+          match List.assoc_opt ppo chip with
+          | Some captured ->
+            if captured = x then incr agree_buf;
+            if captured = not x then incr agree_inv
+          | None -> ()
+        done;
+        let v_behaviour =
+          if !agree_buf = samples then `Buffer
+          else if !agree_inv = samples then `Inverter
+          else `Unknown
+        in
+        Some
+          {
+            v_mux = gk.Enhanced_removal.mux;
+            v_ppo = ppo;
+            v_behaviour;
+            v_agree_buffer = !agree_buf;
+            v_agree_inverter = !agree_inv;
+            v_samples = samples;
+          })
+    located
+
+let decrypt ~stripped_comb verdicts =
+  if
+    verdicts = []
+    || List.exists (fun v -> v.v_behaviour = `Unknown) verdicts
+  then None
+  else begin
+    let net = Netlist.copy stripped_comb in
+    let located = Enhanced_removal.locate net in
+    List.iter
+      (fun v ->
+        match
+          List.find_opt (fun g -> g.Enhanced_removal.mux = v.v_mux) located
+        with
+        | None -> ()
+        | Some gk ->
+          let repl =
+            match v.v_behaviour with
+            | `Buffer -> Netlist.add_gate net Cell.Buf [| gk.Enhanced_removal.x |]
+            | `Inverter -> Netlist.add_gate net Cell.Not [| gk.Enhanced_removal.x |]
+            | `Unknown -> assert false
+          in
+          Netlist.replace_uses net ~old_id:v.v_mux ~new_id:repl)
+      verdicts;
+    let cleaned, _ = Synth.optimize net in
+    Some cleaned
+  end

@@ -1,0 +1,54 @@
+let estimate ?(samples = 2048) ?(seed = 11) ?(fixed = []) net =
+  if Netlist.ffs net <> [] then
+    invalid_arg "Signal_prob.estimate: netlist must be combinational";
+  let rng = Random.State.make [| seed; 0x5350 |] in
+  let n = Netlist.num_nodes net in
+  let ones = Array.make n 0 in
+  let fixed_of = Hashtbl.create 8 in
+  List.iter (fun (k, v) -> Hashtbl.replace fixed_of k v) fixed;
+  let pis = Netlist.inputs net in
+  for _ = 1 to samples do
+    let draw = Hashtbl.create 32 in
+    List.iter
+      (fun pi ->
+        let name = (Netlist.node net pi).Netlist.name in
+        let v =
+          match Hashtbl.find_opt fixed_of name with
+          | Some b -> b
+          | None -> Random.State.bool rng
+        in
+        Hashtbl.replace draw pi v)
+      pis;
+    let values = Netlist.eval_comb net (Hashtbl.find draw) in
+    Array.iteri (fun id v -> if v then ones.(id) <- ones.(id) + 1) values
+  done;
+  Array.map (fun c -> float_of_int c /. float_of_int samples) ones
+
+let exact ?(max_inputs = 24) net =
+  if Netlist.ffs net <> [] then
+    invalid_arg "Signal_prob.exact: netlist must be combinational";
+  let pis = Netlist.inputs net in
+  if List.length pis > max_inputs then
+    invalid_arg "Signal_prob.exact: too many primary inputs for exact analysis";
+  let man = Bdd.manager ~nvars:(List.length pis) in
+  let index = Hashtbl.create 16 in
+  List.iteri (fun i pi -> Hashtbl.replace index pi i) pis;
+  let bdds = Bdd.of_netlist man net ~var_of_input:(Hashtbl.find index) in
+  Array.map (Bdd.prob man) bdds
+
+let skewed ?(eps = 0.02) net probs =
+  let fanouts = Netlist.fanout_table net in
+  let candidates = ref [] in
+  Array.iteri
+    (fun id p ->
+      let nd = Netlist.node net id in
+      if
+        Netlist.is_comb nd
+        && fanouts.(id) <> []
+        && (p <= eps || p >= 1.0 -. eps)
+      then candidates := (id, p) :: !candidates)
+    probs;
+  List.sort
+    (fun (_, a) (_, b) ->
+      compare (min a (1.0 -. a)) (min b (1.0 -. b)))
+    !candidates

@@ -1,0 +1,29 @@
+(** Signal-probability estimation.
+
+    The removal attacks of Yasin et al. [15,16] locate SAT-resistant
+    security blocks by their statistical signature: SARLock's and
+    Anti-SAT's flip signals are 1 on an exponentially small fraction of
+    the input space.  This module estimates per-node one-probabilities by
+    seeded Monte-Carlo simulation of a combinational netlist. *)
+
+(** [estimate ?samples ?seed ?fixed net] returns P(node = 1) per node id,
+    drawing primary inputs uniformly (except those pinned by [fixed],
+    keyed by input name).  Default 2048 samples. *)
+val estimate :
+  ?samples:int ->
+  ?seed:int ->
+  ?fixed:(string * bool) list ->
+  Netlist.t ->
+  float array
+
+(** [exact net] computes exact one-probabilities with {!Bdd} — every
+    primary input uniform and independent.  Exponential in the worst case;
+    guarded to netlists with at most [max_inputs] (default 24) primary
+    inputs.  @raise Invalid_argument beyond the guard or on sequential
+    netlists. *)
+val exact : ?max_inputs:int -> Netlist.t -> float array
+
+(** [skewed ?eps net probs] lists (node id, probability) of combinational
+    nodes with P ≤ eps or P ≥ 1−eps (default eps 0.02), most skewed
+    first.  Constants and fanout-free nodes are excluded. *)
+val skewed : ?eps:float -> Netlist.t -> float array -> (int * float) list

@@ -1,0 +1,37 @@
+(** The complete Sec. IV-B design flow.
+
+    The paper's flow: synthesize the original Verilog (Design Compiler) →
+    place and route (IC Compiler) → timing analysis (PrimeTime) → select
+    feasible flip-flop locations → insert GKs/KEYGENs via design
+    constraints → re-synthesize → re-run P&R → re-analyze timing →
+    separate true from false violations → drop endpoints with true
+    violations and retry until clean.  This module runs that loop on our
+    substrate end-to-end and reports every stage. *)
+
+type report = {
+  clock_ps : int;
+  baseline_stats : Stats.t;
+  baseline_place : Placer.report;
+  attempts : int;                 (** selection/insertion iterations *)
+  dropped_ffs : string list;      (** endpoints dropped for true violations *)
+  locked_stats : Stats.t;
+  locked_place : Placer.report;
+  cell_overhead_pct : float;
+  area_overhead_pct : float;
+  false_violations : int;         (** deliberate, glitch-explained flags *)
+  timing_entries : Timing_report.entry list;
+}
+
+(** [run ?seed ?profile ?l_glitch_ps ?clock_margin net ~n_gks] executes the
+    flow and returns the locked design plus the stage report.
+    @raise Invalid_argument when sites run out even after retries. *)
+val run :
+  ?seed:int ->
+  ?profile:Delay_synth.profile ->
+  ?l_glitch_ps:int ->
+  ?clock_margin:float ->
+  Netlist.t ->
+  n_gks:int ->
+  Insertion.design * report
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,602 @@
+(* Seeds are fixed so every run regenerates identical tables. *)
+
+type table1_row = {
+  t1_bench : string;
+  t1_cells : int;
+  t1_ffs : int;
+  t1_avail : int;
+  t1_cov_pct : float;
+  t1_avail4 : int;
+  t1_clock_ps : int;
+  t1_paper_avail : int;
+  t1_paper_avail4 : int;
+}
+
+let table1_row spec =
+  let net = Benchmarks.load spec in
+  let st = Stats.of_netlist net in
+  let clock = Sta.clock_for net ~margin:spec.Benchmarks.clk_margin in
+  let sites = Insertion.available_sites net ~clock_ps:clock ~l_glitch_ps:1000 in
+  let avail = List.length sites in
+  let avail4 =
+    Ff_select.selected_count net
+      ~among:(List.map (fun s -> s.Insertion.si_ff) sites)
+  in
+  {
+    t1_bench = spec.Benchmarks.bname;
+    t1_cells = st.Stats.cells;
+    t1_ffs = st.Stats.ffs;
+    t1_avail = avail;
+    t1_cov_pct = 100.0 *. float_of_int avail /. float_of_int st.Stats.ffs;
+    t1_avail4 = avail4;
+    t1_clock_ps = clock;
+    t1_paper_avail = spec.Benchmarks.paper_avail_ff;
+    t1_paper_avail4 = spec.Benchmarks.paper_avail_ff4;
+  }
+
+let table1 () = List.map table1_row Benchmarks.specs
+
+type overhead_cell = { oh_cell_pct : float; oh_area_pct : float }
+
+type table2_row = {
+  t2_bench : string;
+  t2_gk4 : overhead_cell option;
+  t2_gk8 : overhead_cell option;
+  t2_gk16 : overhead_cell option;
+  t2_hybrid : overhead_cell option;
+}
+
+let table2_row ?(profile = `Standard) spec =
+  let net = Benchmarks.load spec in
+  let clock = Sta.clock_for net ~margin:spec.Benchmarks.clk_margin in
+  let seed = Hashtbl.hash spec.Benchmarks.bname land 0xffff in
+  let gk n =
+    try
+      let d = Insertion.lock ~seed:(seed + n) ~profile net ~clock_ps:clock ~n_gks:n in
+      let c, a = Insertion.overhead d in
+      Some { oh_cell_pct = c; oh_area_pct = a }
+    with Invalid_argument _ -> None
+  in
+  let hybrid =
+    try
+      let h = Hybrid.lock ~seed:(seed + 99) ~profile net ~clock_ps:clock ~n_gks:8 ~n_xors:16 in
+      let c, a = Hybrid.overhead h in
+      Some { oh_cell_pct = c; oh_area_pct = a }
+    with Invalid_argument _ -> None
+  in
+  {
+    t2_bench = spec.Benchmarks.bname;
+    t2_gk4 = gk 4;
+    t2_gk8 = gk 8;
+    t2_gk16 = gk 16;
+    t2_hybrid = hybrid;
+  }
+
+let table2 ?profile () = List.map (table2_row ?profile) Benchmarks.specs
+
+type attack_row = {
+  at_bench : string;
+  at_keys : int;
+  at_unsat_at_first : bool;
+  at_iterations : int;
+  at_key_mismatches : int;
+}
+
+let sat_attack_on_gk spec ~n_gks =
+  let net = Benchmarks.load spec in
+  let clock = Sta.clock_for net ~margin:spec.Benchmarks.clk_margin in
+  let d = Insertion.lock ~seed:42 net ~clock_ps:clock ~n_gks in
+  let stripped, gkkeys = Insertion.strip_keygens d in
+  let locked_comb, _ = Combinationalize.run stripped in
+  let oracle_comb, _ = Combinationalize.run net in
+  let oracle = Sat_attack.oracle_of_netlist oracle_comb in
+  let o = Sat_attack.run ~locked:locked_comb ~key_inputs:gkkeys ~oracle () in
+  let unsat1, key =
+    match o.Sat_attack.status with
+    | Sat_attack.Unsat_at_first_iteration k -> (true, Some k)
+    | Sat_attack.Key_recovered k -> (false, Some k)
+    | Sat_attack.Budget_exhausted -> (false, None)
+  in
+  let mism =
+    match key with
+    | Some k ->
+      Sat_attack.verify_key ~locked:locked_comb ~key_inputs:gkkeys ~oracle k
+    | None -> -1
+  in
+  {
+    at_bench = spec.Benchmarks.bname;
+    at_keys = List.length gkkeys;
+    at_unsat_at_first = unsat1;
+    at_iterations = o.Sat_attack.iterations;
+    at_key_mismatches = mism;
+  }
+
+let sat_attack_table ?(n_gks = 8) () =
+  List.filter_map
+    (fun spec ->
+      try Some (sat_attack_on_gk spec ~n_gks) with Invalid_argument _ -> None)
+    Benchmarks.specs
+
+type comparison_row = {
+  cp_scheme : string;
+  cp_keys : int;
+  cp_outcome : string;
+  cp_iterations : int;
+  cp_decrypted : bool;
+}
+
+(* Medium circuit used by the attack comparison: large enough to be
+   non-trivial, small enough for SARLock's exponential DIP count. *)
+let comparison_circuit seed =
+  Generator.generate
+    {
+      Generator.gen_name = "cmp";
+      seed;
+      n_pi = 16;
+      n_po = 12;
+      n_ff = 40;
+      n_gates = 300;
+      depth = 30;
+      ff_depth_bias = 0.3;
+    }
+
+let attack_comparison ?(seed = 5) () =
+  let net = comparison_circuit seed in
+  let comb, _ = Combinationalize.run net in
+  let oracle = Sat_attack.oracle_of_netlist comb in
+  let clock = Sta.clock_for net ~margin:1.6 in
+  let sat_on (lk : Locked.t) =
+    Sat_attack.run ~max_iterations:2048 ~locked:lk.Locked.net
+      ~key_inputs:lk.Locked.key_inputs ~oracle ()
+  in
+  let classify lk (o : Sat_attack.outcome) =
+    match o.Sat_attack.status with
+    | Sat_attack.Key_recovered k ->
+      let m =
+        Sat_attack.verify_key ~locked:lk.Locked.net
+          ~key_inputs:lk.Locked.key_inputs ~oracle k
+      in
+      if m = 0 then ("key recovered, functionally correct", true)
+      else ("key recovered but wrong on the chip", false)
+    | Sat_attack.Unsat_at_first_iteration _ ->
+      ("UNSAT at first DIP search: attack invalid", false)
+    | Sat_attack.Budget_exhausted -> ("DIP budget exhausted", false)
+  in
+  let xor_row =
+    let lk = Xor_lock.lock ~seed comb ~n_keys:16 in
+    let o = sat_on lk in
+    let outcome, ok = classify lk o in
+    {
+      cp_scheme = "XOR/XNOR [9]";
+      cp_keys = 16;
+      cp_outcome = outcome;
+      cp_iterations = o.Sat_attack.iterations;
+      cp_decrypted = ok;
+    }
+  in
+  let mux_row =
+    let lk = Mux_lock.lock ~seed comb ~n_keys:16 in
+    let o = sat_on lk in
+    let outcome, ok = classify lk o in
+    {
+      cp_scheme = "MUX";
+      cp_keys = 16;
+      cp_outcome = outcome;
+      cp_iterations = o.Sat_attack.iterations;
+      cp_decrypted = ok;
+    }
+  in
+  let sar_row =
+    let lk = Sarlock.lock ~seed comb ~n_keys:8 in
+    let o = sat_on lk in
+    let outcome =
+      Printf.sprintf "SAT needs %d DIPs (~2^8); removal strips it"
+        o.Sat_attack.iterations
+    in
+    let rm = Removal_attack.run lk.Locked.net ~oracle in
+    {
+      cp_scheme = "SARLock [14]";
+      cp_keys = 8;
+      cp_outcome = outcome;
+      cp_iterations = o.Sat_attack.iterations;
+      cp_decrypted = rm.Removal_attack.success;
+    }
+  in
+  let antisat_row =
+    let lk = Antisat.lock ~seed comb ~n:8 in
+    let rm = Removal_attack.run lk.Locked.net ~oracle in
+    {
+      cp_scheme = "Anti-SAT [13]";
+      cp_keys = 16;
+      cp_outcome =
+        (if rm.Removal_attack.success then
+           Printf.sprintf "removal locates the block in %d tries"
+             rm.Removal_attack.candidates_tried
+         else "removal failed");
+      cp_iterations = 0;
+      cp_decrypted = rm.Removal_attack.success;
+    }
+  in
+  let tdk_row =
+    let tdk = Tdk.lock ~seed net ~clock_ps:clock ~n_sites:8 in
+    let strippedt = Removal_attack.strip_tdbs tdk in
+    let tcomb, _ = Combinationalize.run strippedt.Locked.net in
+    let o =
+      Sat_attack.run ~locked:tcomb ~key_inputs:strippedt.Locked.key_inputs
+        ~oracle ()
+    in
+    let ok =
+      match o.Sat_attack.status with
+      | Sat_attack.Key_recovered k ->
+        Sat_attack.verify_key ~locked:tcomb
+          ~key_inputs:strippedt.Locked.key_inputs ~oracle k
+        = 0
+      | Sat_attack.Unsat_at_first_iteration _ | Sat_attack.Budget_exhausted ->
+        false
+    in
+    {
+      cp_scheme = "TDK [12]";
+      cp_keys = 16;
+      cp_outcome = "TDB removed + re-synthesized, then SAT succeeds";
+      cp_iterations = o.Sat_attack.iterations;
+      cp_decrypted = ok;
+    }
+  in
+  let gk_design =
+    Insertion.lock ~seed net ~clock_ps:(Sta.clock_for net ~margin:2.2) ~n_gks:8
+  in
+  let gk_stripped, gkkeys = Insertion.strip_keygens gk_design in
+  let gk_comb, _ = Combinationalize.run gk_stripped in
+  let gk_row =
+    let o = Sat_attack.run ~locked:gk_comb ~key_inputs:gkkeys ~oracle () in
+    let outcome, ok =
+      match o.Sat_attack.status with
+      | Sat_attack.Unsat_at_first_iteration k ->
+        let m =
+          Sat_attack.verify_key ~locked:gk_comb ~key_inputs:gkkeys ~oracle k
+        in
+        ( Printf.sprintf "UNSAT at first DIP; arbitrary key wrong on %d/64 samples" m,
+          false )
+      | Sat_attack.Key_recovered _ -> ("unexpected recovery", true)
+      | Sat_attack.Budget_exhausted -> ("budget exhausted", false)
+    in
+    {
+      cp_scheme = "GK (this paper)";
+      cp_keys = List.length gkkeys;
+      cp_outcome = outcome;
+      cp_iterations = o.Sat_attack.iterations;
+      cp_decrypted = ok;
+    }
+  in
+  let enhanced_row =
+    let rm, o = Enhanced_removal.attack gk_comb ~oracle in
+    let ok =
+      match o.Sat_attack.status with
+      | Sat_attack.Key_recovered k ->
+        Sat_attack.verify_key ~locked:rm.Enhanced_removal.net
+          ~key_inputs:rm.Enhanced_removal.new_key_inputs ~oracle k
+        = 0
+      | Sat_attack.Unsat_at_first_iteration _ | Sat_attack.Budget_exhausted ->
+        false
+    in
+    {
+      cp_scheme = "GK vs locate+remodel (V-D)";
+      cp_keys = List.length rm.Enhanced_removal.new_key_inputs;
+      cp_outcome = "GKs located and remodelled as XORs; SAT then succeeds";
+      cp_iterations = o.Sat_attack.iterations;
+      cp_decrypted = ok;
+    }
+  in
+  let withheld_row =
+    (* Hide every GK MUX (plus branch gates) inside a withheld LUT; the
+       structural locator then finds nothing. *)
+    let hidden = Netlist.copy gk_comb in
+    let located = Enhanced_removal.locate hidden in
+    List.iter
+      (fun gk ->
+        let interior =
+          List.filter
+            (fun id -> id <> gk.Enhanced_removal.mux)
+            (List.filter
+               (fun id ->
+                 (* keep only branch gates private to this GK *)
+                 match (Netlist.node hidden id).Netlist.kind with
+                 | Netlist.Gate (Cell.Xor | Cell.Xnor) -> true
+                 | Netlist.Gate Cell.Buf -> true
+                 | Netlist.Gate _ | Netlist.Lut _ | Netlist.Input
+                 | Netlist.Const _ | Netlist.Ff | Netlist.Dead -> false)
+               gk.Enhanced_removal.branch_nodes)
+        in
+        try
+          ignore
+            (Withhold.absorb hidden ~root:gk.Enhanced_removal.mux ~interior)
+        with Invalid_argument _ -> ())
+      located;
+    let relocated = Enhanced_removal.locate hidden in
+    let space =
+      Enhanced_removal.withheld_search_space_log2
+        ~n_gks:(List.length located) ~lut_inputs:2
+    in
+    {
+      cp_scheme = "GK + withholding (V-D)";
+      cp_keys = List.length gkkeys;
+      cp_outcome =
+        Printf.sprintf
+          "locator finds %d GKs (was %d); modelling needs 2^%.0f functions"
+          (List.length relocated) (List.length located) space;
+      cp_iterations = 0;
+      cp_decrypted = List.length relocated > 0;
+    }
+  in
+  [ xor_row; mux_row; sar_row; antisat_row; tdk_row; gk_row; enhanced_row;
+    withheld_row ]
+
+(* ----- Figures ----- *)
+
+let fig4 () =
+  let net = Netlist.create "fig4" in
+  let x = Netlist.add_input net "x" in
+  let key = Netlist.add_input net "key" in
+  let gk =
+    Gk.insert net ~profile:`Custom ~name:"gk" ~x ~key
+      ~variant:Gk.Invert_on_const ~d_path_a_ps:2000 ~d_path_b_ps:3000 ()
+  in
+  Netlist.add_output net "y" gk.Gk.out;
+  let drive pi =
+    if pi = x then Timing_sim.Const true
+    else
+      Timing_sim.Wave
+        (Waveform.make ~initial:Logic.F [ (3000, Logic.T); (11000, Logic.F) ])
+  in
+  let r = Timing_sim.run ~drive net { Timing_sim.clock_ps = 20000; cycles = 1 } in
+  let w name = Timing_sim.wave_of r net name in
+  "Fig. 4 — GK of Fig. 3(a), x = 1, DA = 2 ns, DB = 3 ns; key rises @3 ns, falls @11 ns\n"
+  ^ Waveform.render ~t0:0 ~t1:16000 ~step:250
+      [
+        ("x", w "x");
+        ("key", w "key");
+        ("Aout", w "gk_pa_gate");
+        ("Bout", w "gk_pb_gate");
+        ("y", w "gk_mux");
+      ]
+  ^ Printf.sprintf
+      "glitches at y: rise-triggered length %d ps (DB+mux), fall-triggered %d ps (DA+mux)\n"
+      (Gk.glitch_on_rise_ps gk) (Gk.glitch_on_fall_ps gk)
+
+let fig6 () =
+  let clock = 8000 and cycles = 3 in
+  let render k1v k2v label =
+    let net = Netlist.create "fig6" in
+    let k1 = Netlist.add_input net "k1" in
+    let k2 = Netlist.add_input net "k2" in
+    let kg =
+      Keygen.insert net ~profile:`Custom ~name:"kg" ~k1 ~k2 ~adb_da_ps:3000
+        ~adb_db_ps:6000 ()
+    in
+    Netlist.add_output net "key_out" kg.Keygen.key_out;
+    let drive pi =
+      if pi = k1 then Timing_sim.Const k1v else Timing_sim.Const k2v
+    in
+    let r = Timing_sim.run ~drive net { Timing_sim.clock_ps = clock; cycles } in
+    (label, Timing_sim.wave_of r net "kg_out")
+  in
+  "Fig. 6 — KEYGEN key_out for the four (k1,k2) assignments (DA = 3 ns, DB = 6 ns, T = 8 ns)\n"
+  ^ Waveform.render ~t0:0 ~t1:(cycles * clock) ~step:250
+      [
+        render false false "(0,0) const0 ";
+        render false true "(0,1) delayA ";
+        render true false "(1,0) delayB ";
+        render true true "(1,1) const1 ";
+      ]
+
+(* One GK feeding one FF, key driven directly with a chosen trigger. *)
+let fig7_scenario ~clock ~t_trigger =
+  let net = Netlist.create "fig7" in
+  let x = Netlist.add_input net "x" in
+  let key = Netlist.add_input net "key" in
+  let gk =
+    Gk.insert net ~profile:`Custom ~name:"gk" ~x ~key
+      ~variant:Gk.Invert_on_const ~d_path_a_ps:910 ~d_path_b_ps:910 ()
+  in
+  let ff = Netlist.add_ff net ~name:"ff" gk.Gk.out in
+  Netlist.add_output net "q" ff;
+  let drive pi =
+    if pi = x then Timing_sim.Const true
+    else
+      match t_trigger with
+      | None -> Timing_sim.Const false
+      | Some t ->
+        Timing_sim.Wave
+          (Waveform.toggle ~t0:t ~period:clock ~start:Logic.F
+             ~until:(4 * clock))
+  in
+  let r = Timing_sim.run ~drive net { Timing_sim.clock_ps = clock; cycles = 3 } in
+  (net, gk, r)
+
+let fig7 () =
+  let clock = 4000 in
+  let d_mux = (Cell_lib.bind Cell.Mux 3).Cell.delay_ps in
+  let l = 910 + d_mux in
+  let site =
+    {
+      Gk_timing.t_arrival = 0;
+      lb = Cell_lib.dff_hold_ps;
+      ub = clock - Cell_lib.dff_setup_ps;
+      t_j = clock;
+      t_setup = Cell_lib.dff_setup_ps;
+      t_hold = Cell_lib.dff_hold_ps;
+    }
+  in
+  let show label t_trigger =
+    let _, _, r = fig7_scenario ~clock ~t_trigger in
+    let scen =
+      match Gk_timing.classify site ~l_glitch:l ~d_mux ~t_trigger with
+      | Some Gk_timing.On_level -> "on-level"
+      | Some Gk_timing.Glitch_early -> "glitch-early"
+      | Some Gk_timing.Glitch_late -> "glitch-late"
+      | Some Gk_timing.Glitchless -> "glitchless"
+      | None -> "VIOLATION"
+    in
+    let q = List.assoc "q" r.Timing_sim.po_samples in
+    Printf.sprintf "%-32s classify=%-12s violations=%d q-samples=%s\n" label
+      scen
+      (List.length r.Timing_sim.violations)
+      (String.concat ""
+         (List.map (String.make 1)
+            (Array.to_list (Array.map Logic.to_char q))))
+  in
+  "Fig. 7 — legal transmission scenarios (x = 1, L_glitch = 1 ns, T = 4 ns, variant (a))\n"
+  ^ show "(a) data on the glitch level" (Some (clock - 800))
+  ^ show "(b) glitch before the window" (Some 1200)
+  ^ show "(c) glitch after the window (next cycle)" (Some (clock - 30))
+  ^ show "(d) glitchless (constant key)" None
+  ^ "scenario (a) captures x (the glitch acts as a buffer); (b)/(d) capture\n\
+     x' (the stable inverter); a transition inside the window would be a\n\
+     violation and is rejected by Eqs. (5)-(6).\n"
+
+let fig9 () =
+  let site =
+    {
+      Gk_timing.t_arrival = 1000;
+      lb = 1000;
+      ub = 7000;
+      t_j = 8000;
+      t_setup = 1000;
+      t_hold = 1000;
+    }
+  in
+  let l = 3000 and d_mux = 0 in
+  let on = Gk_timing.trigger_window_on_level site ~l_glitch:l ~d_mux in
+  let off = Gk_timing.trigger_window_off_level site ~l_glitch:l ~d_mux in
+  let pr = function
+    | Some (a, b) -> Printf.sprintf "(%d, %d) ps" a b
+    | None -> "empty"
+  in
+  Printf.sprintf
+    "Fig. 9 — trigger ranges for T_clk = 8 ns, setup = hold = 1 ns, L_glitch = 3 ns\n\
+     (T_arrival = 1 ns, D_react ~ 0 as in the paper's sketch)\n\
+     Eq. (5) on-level trigger window : %s\n\
+     Eq. (6) off-level trigger window: %s\n\
+     boundary glitches:\n\
+     (a) latest on-level : trigger just before UB=7000, glitch (7000,10000) covers the 7000-9000 window edge\n\
+     (b) earliest on-level: trigger at 6000, glitch (6000,9000) still satisfies hold at 9000\n\
+     (c) latest early     : trigger at 4000, glitch (4000,7000) ends at the setup boundary\n\
+     (d) earliest late    : trigger at 1000, glitch (1000,4000) clears the hold boundary\n"
+    (pr on) (pr off)
+
+(* ----- Ablations ----- *)
+
+type ablation_glitch_row = {
+  ag_l_glitch_ps : int;
+  ag_avail : (string * int) list;
+}
+
+let ablation_glitch_length ?(lengths = [ 500; 1000; 2000; 3000 ]) () =
+  List.map
+    (fun l ->
+      {
+        ag_l_glitch_ps = l;
+        ag_avail =
+          List.map
+            (fun spec ->
+              let net = Benchmarks.load spec in
+              let clock = Sta.clock_for net ~margin:spec.Benchmarks.clk_margin in
+              ( spec.Benchmarks.bname,
+                List.length
+                  (Insertion.available_sites net ~clock_ps:clock
+                     ~l_glitch_ps:l) ))
+            Benchmarks.specs;
+      })
+    lengths
+
+type ablation_profile_row = {
+  ap_profile : string;
+  ap_cell_oh_pct : float;
+  ap_area_oh_pct : float;
+  ap_delay_cells : int;
+}
+
+let count_delay_cells net =
+  let n = ref 0 in
+  for id = 0 to Netlist.num_nodes net - 1 do
+    match (Netlist.node net id).Netlist.cell with
+    | Some c ->
+      let name = c.Cell.cell_name in
+      if
+        String.length name >= 3
+        && (String.sub name 0 3 = "DLY" || String.sub name 0 3 = "BUF")
+        && (Netlist.node net id).Netlist.kind <> Netlist.Ff
+      then incr n
+    | None -> ()
+  done;
+  !n
+
+let ablation_delay_profile ?(bench = "s5378") () =
+  let spec = Option.get (Benchmarks.find_spec bench) in
+  let net = Benchmarks.load spec in
+  let clock = Sta.clock_for net ~margin:spec.Benchmarks.clk_margin in
+  let base_delay_cells = count_delay_cells net in
+  List.map
+    (fun (label, profile) ->
+      let d = Insertion.lock ~seed:7 ~profile net ~clock_ps:clock ~n_gks:8 in
+      let c, a = Insertion.overhead d in
+      {
+        ap_profile = label;
+        ap_cell_oh_pct = c;
+        ap_area_oh_pct = a;
+        ap_delay_cells = count_delay_cells d.Insertion.lnet - base_delay_cells;
+      })
+    [
+      ("X1 buffers only (naive mapping)", `Buffers_only);
+      ("DLY library cells (Table II)", `Standard);
+      ("customized delay cells (future work)", `Custom);
+    ]
+
+(* ----- Corruptibility ----- *)
+
+type corruption_row = {
+  co_key : string;
+  co_po_mismatch_pct : float;
+  co_violations : int;
+}
+
+let corruptibility ?(bench = "s5378") ?(n_gks = 8) () =
+  let spec = Option.get (Benchmarks.find_spec bench) in
+  let net = Benchmarks.load spec in
+  let clock = Sta.clock_for net ~margin:spec.Benchmarks.clk_margin in
+  let d = Insertion.lock ~seed:11 net ~clock_ps:clock ~n_gks in
+  let cycles = 24 in
+  let cfg = { Timing_sim.clock_ps = clock; cycles } in
+  let stim net2 = Stimuli.edge_aligned ~seed:23 net2 ~clock_ps:clock ~cycles in
+  let base =
+    Timing_sim.run ~drive:(stim net) ~captures_from:(fun _ -> 1) net cfg
+  in
+  let run key =
+    Timing_sim.run
+      ~drive:(Insertion.timing_drive ~other:(stim d.Insertion.lnet) d key)
+      ~captures_from:(Insertion.capture_policy d) d.Insertion.lnet cfg
+  in
+  let row label key =
+    let r = run key in
+    let mism, total = Stimuli.po_agreement ~skip:2 base r in
+    {
+      co_key = label;
+      co_po_mismatch_pct =
+        (if total = 0 then 0.0
+         else 100.0 *. float_of_int mism /. float_of_int total);
+      co_violations = List.length r.Timing_sim.violations;
+    }
+  in
+  let correct = d.Insertion.correct_key in
+  let all_const b = List.map (fun (n, _) -> (n, b)) correct in
+  let flipped =
+    (* Select the other delayed branch on every GK: mistimed glitches. *)
+    List.map (fun (n, b) -> (n, not b)) correct
+  in
+  [
+    row "correct key" correct;
+    row "all-zeros (constant 0: GK = stable inverter)" (all_const false);
+    row "all-ones (constant 1: GK = stable inverter)" (all_const true);
+    row "opposite branch (mistimed transitions)" flipped;
+    row "random wrong key" (Key.random_wrong ~seed:3 correct);
+  ]

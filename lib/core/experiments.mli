@@ -1,0 +1,116 @@
+(** Drivers for every table and figure of the paper (see DESIGN.md §4).
+
+    Each function computes one experiment and returns plain data; the
+    rendering into paper-style tables lives in {!Report}.  The
+    command-line tool and the benchmark harness both call these. *)
+
+(** {1 Table I — available flip-flops} *)
+
+type table1_row = {
+  t1_bench : string;
+  t1_cells : int;
+  t1_ffs : int;
+  t1_avail : int;
+  t1_cov_pct : float;
+  t1_avail4 : int;
+  t1_clock_ps : int;
+  t1_paper_avail : int;
+  t1_paper_avail4 : int;
+}
+
+val table1_row : Benchmarks.spec -> table1_row
+val table1 : unit -> table1_row list
+
+(** {1 Table II — overhead} *)
+
+type overhead_cell = { oh_cell_pct : float; oh_area_pct : float }
+
+type table2_row = {
+  t2_bench : string;
+  t2_gk4 : overhead_cell option;   (** [None] = "-" (not enough sites) *)
+  t2_gk8 : overhead_cell option;
+  t2_gk16 : overhead_cell option;
+  t2_hybrid : overhead_cell option; (** 8 GKs + 16 XORs *)
+}
+
+val table2_row : ?profile:Delay_synth.profile -> Benchmarks.spec -> table2_row
+val table2 : ?profile:Delay_synth.profile -> unit -> table2_row list
+
+(** {1 SAT-attack experiment (Sec. VI)} *)
+
+type attack_row = {
+  at_bench : string;
+  at_keys : int;                  (** key-inputs after KEYGEN stripping *)
+  at_unsat_at_first : bool;       (** the paper's observed outcome *)
+  at_iterations : int;
+  at_key_mismatches : int;        (** recovered key vs the real chip, /64 *)
+}
+
+(** [sat_attack_on_gk spec ~n_gks] locks, strips KEYGENs,
+    combinationalizes, attacks. *)
+val sat_attack_on_gk : Benchmarks.spec -> n_gks:int -> attack_row
+
+val sat_attack_table : ?n_gks:int -> unit -> attack_row list
+
+(** {1 Baseline-attack comparison (Secs. I & V)} *)
+
+type comparison_row = {
+  cp_scheme : string;
+  cp_keys : int;
+  cp_outcome : string;            (** human-readable verdict *)
+  cp_iterations : int;
+  cp_decrypted : bool;            (** attacker ends with a working netlist *)
+}
+
+(** XOR / MUX / SARLock / Anti-SAT / TDK / GK, each attacked with its
+    natural attack pipeline, on one benchmark-scale circuit. *)
+val attack_comparison : ?seed:int -> unit -> comparison_row list
+
+(** {1 Figures} *)
+
+(** Fig. 4: GK internal waveforms (x = 1, DA = 2 ns, DB = 3 ns, rise @3 ns,
+    fall @11 ns), as an ASCII timing diagram. *)
+val fig4 : unit -> string
+
+(** Fig. 6: KEYGEN output for the four (k1,k2) assignments
+    (DA = 3 ns, DB = 6 ns). *)
+val fig6 : unit -> string
+
+(** Fig. 7: the four legal transmission scenarios, with the capture
+    verdicts observed in simulation. *)
+val fig7 : unit -> string
+
+(** Fig. 9: trigger-range boundaries for the paper's example
+    (T_clk = 8 ns, setup = hold = 1 ns, L_glitch = 3 ns). *)
+val fig9 : unit -> string
+
+(** {1 Ablations (DESIGN.md A1/A2)} *)
+
+type ablation_glitch_row = {
+  ag_l_glitch_ps : int;
+  ag_avail : (string * int) list;  (** per benchmark *)
+}
+
+(** A1: available sites as the glitch-length requirement sweeps. *)
+val ablation_glitch_length : ?lengths:int list -> unit -> ablation_glitch_row list
+
+type ablation_profile_row = {
+  ap_profile : string;
+  ap_cell_oh_pct : float;
+  ap_area_oh_pct : float;
+  ap_delay_cells : int;           (** delay elements instantiated *)
+}
+
+(** A2: delay-composition regimes on one benchmark, 8 GKs. *)
+val ablation_delay_profile : ?bench:string -> unit -> ablation_profile_row list
+
+(** {1 Corruptibility} *)
+
+type corruption_row = {
+  co_key : string;                 (** key class *)
+  co_po_mismatch_pct : float;      (** corrupted PO samples *)
+  co_violations : int;
+}
+
+(** Timing-true corruption of wrong-key classes on one benchmark. *)
+val corruptibility : ?bench:string -> ?n_gks:int -> unit -> corruption_row list

@@ -1,0 +1,215 @@
+let pct = Printf.sprintf "%.2f"
+
+let table1 rows =
+  let t =
+    Ascii_table.create
+      ~title:"Table I — the number of available FFs for encryption"
+      ~columns:
+        [
+          ("Bench.", Ascii_table.Left);
+          ("Cell", Ascii_table.Right);
+          ("FF", Ascii_table.Right);
+          ("Ava. FF", Ascii_table.Right);
+          ("Cov. (%)", Ascii_table.Right);
+          ("Ava. FF [4]", Ascii_table.Right);
+          ("paper Ava./Cov%/[4]", Ascii_table.Right);
+        ]
+  in
+  let cov_sum = ref 0.0 in
+  List.iter
+    (fun (r : Experiments.table1_row) ->
+      cov_sum := !cov_sum +. r.Experiments.t1_cov_pct;
+      Ascii_table.add_row t
+        [
+          r.Experiments.t1_bench;
+          string_of_int r.Experiments.t1_cells;
+          string_of_int r.Experiments.t1_ffs;
+          string_of_int r.Experiments.t1_avail;
+          pct r.Experiments.t1_cov_pct;
+          string_of_int r.Experiments.t1_avail4;
+          Printf.sprintf "%d / %.2f / %d" r.Experiments.t1_paper_avail
+            (100.0
+            *. float_of_int r.Experiments.t1_paper_avail
+            /. float_of_int r.Experiments.t1_ffs)
+            r.Experiments.t1_paper_avail4;
+        ])
+    rows;
+  let n = float_of_int (List.length rows) in
+  Ascii_table.set_footer t
+    [ "Avg."; ""; ""; ""; pct (!cov_sum /. n); ""; "paper avg 64.07" ];
+  Ascii_table.render t
+
+let oh_cell = function
+  | None -> ("-", "-")
+  | Some c ->
+    (pct c.Experiments.oh_cell_pct, pct c.Experiments.oh_area_pct)
+
+let table2 rows =
+  let t =
+    Ascii_table.create
+      ~title:
+        "Table II — overhead after inserting different numbers of GKs\n\
+         (cell OH % / area OH %; paper averages: 9.48/10.68, 14.30/12.22,\n\
+         27.63/26.11, 15.9/13.65)"
+      ~columns:
+        [
+          ("Bench.", Ascii_table.Left);
+          ("4 GKs cell", Ascii_table.Right);
+          ("4 GKs area", Ascii_table.Right);
+          ("8 GKs cell", Ascii_table.Right);
+          ("8 GKs area", Ascii_table.Right);
+          ("16 GKs cell", Ascii_table.Right);
+          ("16 GKs area", Ascii_table.Right);
+          ("8GK+16XOR cell", Ascii_table.Right);
+          ("8GK+16XOR area", Ascii_table.Right);
+        ]
+  in
+  let sums = Array.make 8 0.0 and counts = Array.make 8 0 in
+  let track i = function
+    | None -> ()
+    | Some c ->
+      sums.(i) <- sums.(i) +. c.Experiments.oh_cell_pct;
+      sums.(i + 1) <- sums.(i + 1) +. c.Experiments.oh_area_pct;
+      counts.(i) <- counts.(i) + 1;
+      counts.(i + 1) <- counts.(i + 1) + 1
+  in
+  List.iter
+    (fun (r : Experiments.table2_row) ->
+      track 0 r.Experiments.t2_gk4;
+      track 2 r.Experiments.t2_gk8;
+      track 4 r.Experiments.t2_gk16;
+      track 6 r.Experiments.t2_hybrid;
+      let c4, a4 = oh_cell r.Experiments.t2_gk4 in
+      let c8, a8 = oh_cell r.Experiments.t2_gk8 in
+      let c16, a16 = oh_cell r.Experiments.t2_gk16 in
+      let ch, ah = oh_cell r.Experiments.t2_hybrid in
+      Ascii_table.add_row t
+        [ r.Experiments.t2_bench; c4; a4; c8; a8; c16; a16; ch; ah ])
+    rows;
+  let avg i =
+    if counts.(i) = 0 then "-" else pct (sums.(i) /. float_of_int counts.(i))
+  in
+  Ascii_table.set_footer t
+    [ "Avg."; avg 0; avg 1; avg 2; avg 3; avg 4; avg 5; avg 6; avg 7 ];
+  Ascii_table.render t
+
+let sat_attack rows =
+  let t =
+    Ascii_table.create
+      ~title:
+        "SAT attack on GK-encrypted designs (KEYGENs stripped, FF boundaries\n\
+         cut — the Sec. VI methodology)"
+      ~columns:
+        [
+          ("Bench.", Ascii_table.Left);
+          ("key-inputs", Ascii_table.Right);
+          ("DIP iterations", Ascii_table.Right);
+          ("first solve", Ascii_table.Left);
+          ("recovered-key errors (64 samples)", Ascii_table.Right);
+        ]
+  in
+  List.iter
+    (fun (r : Experiments.attack_row) ->
+      Ascii_table.add_row t
+        [
+          r.Experiments.at_bench;
+          string_of_int r.Experiments.at_keys;
+          string_of_int r.Experiments.at_iterations;
+          (if r.Experiments.at_unsat_at_first then "unsatisfiable" else "sat");
+          string_of_int r.Experiments.at_key_mismatches;
+        ])
+    rows;
+  Ascii_table.render t
+
+let comparison rows =
+  let t =
+    Ascii_table.create
+      ~title:"Attack comparison across locking schemes (one 340-cell design)"
+      ~columns:
+        [
+          ("Scheme", Ascii_table.Left);
+          ("keys", Ascii_table.Right);
+          ("DIPs", Ascii_table.Right);
+          ("decrypted", Ascii_table.Left);
+          ("outcome", Ascii_table.Left);
+        ]
+  in
+  List.iter
+    (fun (r : Experiments.comparison_row) ->
+      Ascii_table.add_row t
+        [
+          r.Experiments.cp_scheme;
+          string_of_int r.Experiments.cp_keys;
+          string_of_int r.Experiments.cp_iterations;
+          (if r.Experiments.cp_decrypted then "yes" else "NO");
+          r.Experiments.cp_outcome;
+        ])
+    rows;
+  Ascii_table.render t
+
+let ablation_glitch rows =
+  let benches =
+    match rows with
+    | [] -> []
+    | r :: _ -> List.map fst r.Experiments.ag_avail
+  in
+  let t =
+    Ascii_table.create
+      ~title:"Ablation A1 — available FFs vs required glitch length"
+      ~columns:
+        (("L_glitch (ps)", Ascii_table.Right)
+        :: List.map (fun b -> (b, Ascii_table.Right)) benches)
+  in
+  List.iter
+    (fun (r : Experiments.ablation_glitch_row) ->
+      Ascii_table.add_row t
+        (string_of_int r.Experiments.ag_l_glitch_ps
+        :: List.map (fun (_, n) -> string_of_int n) r.Experiments.ag_avail))
+    rows;
+  Ascii_table.render t
+
+let ablation_profile rows =
+  let t =
+    Ascii_table.create
+      ~title:"Ablation A2 — delay-element composition (s5378, 8 GKs)"
+      ~columns:
+        [
+          ("Composition", Ascii_table.Left);
+          ("cell OH (%)", Ascii_table.Right);
+          ("area OH (%)", Ascii_table.Right);
+          ("delay cells added", Ascii_table.Right);
+        ]
+  in
+  List.iter
+    (fun (r : Experiments.ablation_profile_row) ->
+      Ascii_table.add_row t
+        [
+          r.Experiments.ap_profile;
+          pct r.Experiments.ap_cell_oh_pct;
+          pct r.Experiments.ap_area_oh_pct;
+          string_of_int r.Experiments.ap_delay_cells;
+        ])
+    rows;
+  Ascii_table.render t
+
+let corruptibility rows =
+  let t =
+    Ascii_table.create
+      ~title:"Corruptibility — timing-true PO corruption per key class (s5378, 8 GKs)"
+      ~columns:
+        [
+          ("Key", Ascii_table.Left);
+          ("PO sample mismatch (%)", Ascii_table.Right);
+          ("setup/hold violations", Ascii_table.Right);
+        ]
+  in
+  List.iter
+    (fun (r : Experiments.corruption_row) ->
+      Ascii_table.add_row t
+        [
+          r.Experiments.co_key;
+          pct r.Experiments.co_po_mismatch_pct;
+          string_of_int r.Experiments.co_violations;
+        ])
+    rows;
+  Ascii_table.render t

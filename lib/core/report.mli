@@ -1,0 +1,9 @@
+(** Paper-style rendering of {!Experiments} results. *)
+
+val table1 : Experiments.table1_row list -> string
+val table2 : Experiments.table2_row list -> string
+val sat_attack : Experiments.attack_row list -> string
+val comparison : Experiments.comparison_row list -> string
+val ablation_glitch : Experiments.ablation_glitch_row list -> string
+val ablation_profile : Experiments.ablation_profile_row list -> string
+val corruptibility : Experiments.corruption_row list -> string

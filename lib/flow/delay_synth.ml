@@ -1,0 +1,53 @@
+type profile = [ `Standard | `Buffers_only | `Custom ]
+
+let tolerance_ps = function
+  | `Standard | `Buffers_only ->
+    (match Cell_lib.delay_cells `Buffers_only with
+    | smallest :: _ -> (smallest.Cell.delay_ps + 1) / 2
+    | [] -> assert false)
+  | `Custom -> 0
+
+let compose profile ~target_ps =
+  if target_ps <= 0 then ([], 0)
+  else
+    match profile with
+    | `Custom ->
+      let c = Cell_lib.custom_delay_cell target_ps in
+      ([ c ], target_ps)
+    | (`Standard | `Buffers_only) as p ->
+      let available =
+        Cell_lib.delay_cells p
+        |> List.filter (fun c -> c.Cell.fn = Cell.Buf)
+        |> List.sort (fun a b -> compare b.Cell.delay_ps a.Cell.delay_ps)
+      in
+      let smallest = List.nth available (List.length available - 1) in
+      (* Greedy largest-first while it does not overshoot, then round the
+         remainder to the nearest count of the smallest cell. *)
+      let rec greedy cells total remaining = function
+        | [] -> (cells, total, remaining)
+        | c :: rest ->
+          if c.Cell.delay_ps <= remaining && c.Cell.delay_ps > smallest.Cell.delay_ps
+          then greedy (c :: cells) (total + c.Cell.delay_ps) (remaining - c.Cell.delay_ps) (c :: rest)
+          else greedy cells total remaining rest
+      in
+      let cells, total, remaining = greedy [] 0 target_ps available in
+      let d = smallest.Cell.delay_ps in
+      let count = (remaining + (d / 2)) / d in
+      let cells = List.rev_append cells (List.init count (fun _ -> smallest)) in
+      (cells, total + (count * d))
+
+let chain net profile ~from_ ~target_ps ~prefix =
+  let cells, achieved = compose profile ~target_ps in
+  let last =
+    List.fold_left
+      (fun (driver, i) cell ->
+        let id =
+          Netlist.add_gate net
+            ~name:(Printf.sprintf "%s_d%d" prefix i)
+            ~cell cell.Cell.fn [| driver |]
+        in
+        (id, i + 1))
+      (from_, 0) cells
+    |> fst
+  in
+  (last, achieved)

@@ -1,0 +1,36 @@
+(** Constraint-driven delay-element composition.
+
+    The paper inserts its GK/KEYGEN delay elements by "setting design
+    constraints on the path" and letting Design Compiler "map delay
+    elements from the library": the tool builds a chain of buffers and
+    inverters whose total delay meets the constraint.  The paper observes
+    this is the dominant source of area overhead ("the number of these
+    delay elements is often larger than that of logic gates we used") and
+    predicts that "customized delay elements" would reduce it
+    substantially.  This module reproduces all three regimes:
+
+    - [`Standard]: greedy composition over the DLY buffer family plus X1
+      buffers — what a commercial library offers (the paper's Table II).
+    - [`Buffers_only]: X1 buffers/inverter-pairs only — the pessimal
+      composition, showing how bad naive mapping gets (ablation A2).
+    - [`Custom]: one bespoke cell of exactly the requested delay — the
+      paper's future-work scenario (ablation A2). *)
+
+type profile = [ `Standard | `Buffers_only | `Custom ]
+
+(** [compose profile ~target_ps] picks cells whose delays sum as close to
+    [target_ps] as the profile allows (never empty for a positive target;
+    polarity is preserved — only [Buf]-function cells are used).
+    Returns the cells and the achieved total delay. *)
+val compose : profile -> target_ps:int -> Cell.t list * int
+
+(** [chain net profile ~from_ ~target_ps ~prefix] instantiates the
+    composed cells as a buffer chain driven by node [from_], naming nodes
+    [prefix ^ "_d0"], ...  Returns the chain's last node (= [from_] when
+    the target is ≤ 0) and the achieved delay. *)
+val chain :
+  Netlist.t -> profile -> from_:int -> target_ps:int -> prefix:string -> int * int
+
+(** Worst-case absolute error of a profile, in ps (half the smallest
+    composable step). *)
+val tolerance_ps : profile -> int

@@ -1,0 +1,91 @@
+type report = {
+  grid_w : int;
+  grid_h : int;
+  hpwl_um : float;
+  avg_net_um : float;
+  rows_used : int;
+}
+
+(* Cell pitch of the synthetic 0.13um library, in um. *)
+let pitch = 2.4
+
+let place ?(seed = 1) net =
+  let rng = Random.State.make [| seed; 0x9c |] in
+  let placeable =
+    List.filter
+      (fun id ->
+        match (Netlist.node net id).Netlist.kind with
+        | Netlist.Gate _ | Netlist.Lut _ | Netlist.Ff -> true
+        | Netlist.Input | Netlist.Const _ | Netlist.Dead -> false)
+      (List.init (Netlist.num_nodes net) Fun.id)
+  in
+  let n = List.length placeable in
+  let grid_w = max 1 (int_of_float (ceil (sqrt (float_of_int (max n 1))))) in
+  let grid_h = max 1 ((n + grid_w - 1) / grid_w) in
+  let xs = Array.make (Netlist.num_nodes net) 0.0 in
+  let ys = Array.make (Netlist.num_nodes net) 0.0 in
+  (* Initial placement: order by logic level (levelized columns), with a
+     random row shuffle inside each column. *)
+  let levels = Topo.levels net in
+  let sorted =
+    List.stable_sort
+      (fun a b ->
+        compare (levels.(a), Random.State.bits rng) (levels.(b), Random.State.bits rng))
+      placeable
+  in
+  List.iteri
+    (fun i id ->
+      xs.(id) <- float_of_int (i / grid_h) *. pitch;
+      ys.(id) <- float_of_int (i mod grid_h) *. pitch)
+    sorted;
+  (* A few force-directed sweeps: move each cell toward the centroid of its
+     neighbours (fanins + fanouts), keeping columns roughly intact. *)
+  let fanouts = Netlist.fanout_table net in
+  for _sweep = 1 to 3 do
+    List.iter
+      (fun id ->
+        let nd = Netlist.node net id in
+        let sx = ref 0.0 and sy = ref 0.0 and k = ref 0 in
+        let consider other =
+          sx := !sx +. xs.(other);
+          sy := !sy +. ys.(other);
+          incr k
+        in
+        Array.iter consider nd.Netlist.fanins;
+        List.iter (fun (c, _) -> consider c) fanouts.(id);
+        if !k > 0 then begin
+          xs.(id) <- (xs.(id) +. (!sx /. float_of_int !k)) /. 2.0;
+          ys.(id) <- (ys.(id) +. (!sy /. float_of_int !k)) /. 2.0
+        end)
+      placeable
+  done;
+  (* HPWL per driven net: bounding box of driver + sinks. *)
+  let hpwl = ref 0.0 and nets = ref 0 in
+  List.iter
+    (fun id ->
+      match fanouts.(id) with
+      | [] -> ()
+      | sinks ->
+        let x0 = ref xs.(id) and x1 = ref xs.(id) in
+        let y0 = ref ys.(id) and y1 = ref ys.(id) in
+        List.iter
+          (fun (c, _) ->
+            x0 := min !x0 xs.(c);
+            x1 := max !x1 xs.(c);
+            y0 := min !y0 ys.(c);
+            y1 := max !y1 ys.(c))
+          sinks;
+        hpwl := !hpwl +. (!x1 -. !x0) +. (!y1 -. !y0);
+        incr nets)
+    placeable;
+  {
+    grid_w;
+    grid_h;
+    hpwl_um = !hpwl;
+    avg_net_um = (if !nets = 0 then 0.0 else !hpwl /. float_of_int !nets);
+    rows_used = grid_h;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf "grid=%dx%d hpwl=%.1fum avg-net=%.2fum" r.grid_w r.grid_h
+    r.hpwl_um r.avg_net_um

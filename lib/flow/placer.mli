@@ -1,0 +1,22 @@
+(** Toy placement — the IC Compiler stand-in.
+
+    The paper's flow runs P&R after every (re-)synthesis; what the rest of
+    the methodology consumes from it is a sanity signal that the encrypted
+    layout still closes (relative wirelength, congestion-free growth).
+    This placer assigns cells to a near-square grid by logic level with a
+    few force-directed refinement sweeps, and reports half-perimeter
+    wirelength — enough to compare a baseline against its locked variant,
+    which is all the experiments need. *)
+
+type report = {
+  grid_w : int;
+  grid_h : int;
+  hpwl_um : float;        (** total half-perimeter wirelength estimate *)
+  avg_net_um : float;
+  rows_used : int;
+}
+
+(** [place ?seed net] produces a deterministic placement report. *)
+val place : ?seed:int -> Netlist.t -> report
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,28 @@
+(** Scan-chain insertion (design-for-test).
+
+    Sec. VI of the paper warns that GKs "may have a weakness when there
+    are built-in self-test (BIST) structures such as scan-chain in the
+    circuit", because scan access lets a tester drive and observe the
+    paths between flip-flops directly.  This module builds the standard
+    mux-scan structure so that weakness — and the hybrid counter-measure —
+    can be demonstrated: every flip-flop's D input is replaced by
+    [MUX(scan_enable; D; previous stage)], the chain head reads a new
+    [scan_in] input and the tail drives a new [scan_out] output. *)
+
+type chain = {
+  scan_in : string;
+  scan_enable : string;
+  scan_out : string;
+  order : int list;  (** flip-flop ids, head first *)
+  scan_muxes : int list;
+}
+
+(** [insert net] returns a scan-equipped copy and the chain descriptor.
+    Flip-flop order follows declaration order.
+    @raise Invalid_argument if the netlist has no flip-flops. *)
+val insert : Netlist.t -> Netlist.t * chain
+
+(** [functional_view net chain] is the scan-equipped netlist with
+    [scan_enable] tied to 0 and the scan path removed — it must be
+    functionally identical to the pre-scan design (used by tests). *)
+val functional_view : Netlist.t -> chain -> Netlist.t

@@ -1,0 +1,26 @@
+(** Netlist cleanup optimizations — the re-synthesis step of the flow.
+
+    Plays Design Compiler's role at the points the paper needs it: after a
+    removal attack excises a security structure (constants get propagated,
+    dangling logic swept) and after TDK removal ("the netlist after this
+    removal can be re-synthesized to fix the timing violations, then SAT
+    attack can be applied further").
+
+    The [preserve] predicate protects intentional structures — GK/KEYGEN
+    delay chains are buffers that a naive optimizer would happily collapse,
+    which is exactly why the paper re-synthesizes {i with design
+    constraints}; [preserve] models those constraints. *)
+
+type report = {
+  const_folded : int;   (** gates replaced by constants *)
+  buffers_collapsed : int;
+  dead_removed : int;
+}
+
+(** [optimize ?preserve net] returns an optimized copy plus a report.
+    Passes: constant folding (dominating/neutral inputs), buffer
+    collapsing, dead-logic sweep.  Nodes for which [preserve id] holds are
+    never folded, collapsed or swept. *)
+val optimize : ?preserve:(int -> bool) -> Netlist.t -> Netlist.t * report
+
+val pp_report : Format.formatter -> report -> unit

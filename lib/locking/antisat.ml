@@ -1,0 +1,48 @@
+let lock ?(seed = 1) net ~n =
+  let rng = Random.State.make [| seed; 0x4153 |] in
+  let net = Netlist.copy net in
+  let pis = Netlist.inputs net in
+  if List.length pis < n then invalid_arg "Antisat.lock: not enough inputs";
+  if n < 2 then invalid_arg "Antisat.lock: need n >= 2";
+  let xs = Locked.pick_distinct rng n pis in
+  let shared = List.init n (fun _ -> Random.State.bool rng) in
+  let mk_keys tag =
+    List.init n (fun i ->
+        let name = Printf.sprintf "ak%s%d" tag i in
+        (name, Netlist.add_input net name))
+  in
+  let keys_a = mk_keys "A" and keys_b = mk_keys "B" in
+  let xor_stage tag keys =
+    List.mapi
+      (fun i (x, (_, k)) ->
+        Netlist.add_gate net
+          ~name:(Printf.sprintf "as_x%s%d" tag i)
+          Cell.Xor [| x; k |])
+      (List.combine xs keys)
+  in
+  let ins_a = xor_stage "A" keys_a and ins_b = xor_stage "B" keys_b in
+  let g1 = Netlist.add_gate net ~name:"as_g1" Cell.And (Array.of_list ins_a) in
+  let g2 = Netlist.add_gate net ~name:"as_g2" Cell.Nand (Array.of_list ins_b) in
+  let flip = Netlist.add_gate net ~name:"as_flip" Cell.And [| g1; g2 |] in
+  (match Netlist.outputs net with
+  | [] -> invalid_arg "Antisat.lock: netlist has no outputs"
+  | (po, driver) :: _ ->
+    let g = Netlist.add_gate net ~name:"as_out" Cell.Xor [| driver; flip |] in
+    Netlist.set_output_driver net po g);
+  let named keys = List.map fst keys in
+  let correct =
+    List.map2 (fun name b -> (name, b)) (named keys_a) shared
+    @ List.map2 (fun name b -> (name, b)) (named keys_b) shared
+  in
+  {
+    Locked.net;
+    scheme = "antisat";
+    key_inputs = named keys_a @ named keys_b;
+    correct_key = correct;
+  }
+
+let structure_names ~n =
+  [ "as_g1"; "as_g2"; "as_flip"; "as_out" ]
+  @ List.concat_map
+      (fun i -> [ Printf.sprintf "as_xA%d" i; Printf.sprintf "as_xB%d" i ])
+      (List.init n Fun.id)

@@ -1,0 +1,17 @@
+(** Anti-SAT (Xie & Srivastava [13]).
+
+    Two complementary blocks [g(X ⊕ K_A)] and [¬g(X ⊕ K_B)] (here [g] is a
+    wide AND) feed an AND whose output flips a primary output.  When
+    [K_A = K_B] the two terms are complementary so the flip never fires;
+    any other key makes the flip fire on some inputs, but on an
+    exponentially small fraction of them, starving the SAT attack of
+    informative DIPs — while creating the signal-probability skew the
+    removal attack exploits. *)
+
+(** [lock ?seed net ~n] attaches an Anti-SAT block over [n] primary inputs
+    and [2n] key bits named [akA0..], [akB0..].  The correct key sets
+    [K_A = K_B] (a random vector). *)
+val lock : ?seed:int -> Netlist.t -> n:int -> Locked.t
+
+(** Names of the block's gates, for removal-attack evaluation. *)
+val structure_names : n:int -> string list

@@ -1,0 +1,70 @@
+(* Topological evaluation with one node forced to the complement of its
+   fault-free value. *)
+let eval_with_flip net order values_ref flipped =
+  let values = Array.copy values_ref in
+  values.(flipped) <- not values.(flipped);
+  List.iter
+    (fun id ->
+      if id <> flipped then begin
+        let nd = Netlist.node net id in
+        let ins = Array.map (fun f -> values.(f)) nd.Netlist.fanins in
+        match nd.Netlist.kind with
+        | Netlist.Gate fn -> values.(id) <- Cell.eval fn ins
+        | Netlist.Lut truth ->
+          let idx = ref 0 in
+          Array.iteri (fun i b -> if b then idx := !idx lor (1 lsl i)) ins;
+          values.(id) <- truth.(!idx)
+        | Netlist.Input | Netlist.Const _ | Netlist.Ff | Netlist.Dead -> ()
+      end)
+    order;
+  values
+
+let fault_impact ?(samples = 64) ?(seed = 13) net =
+  let rng = Random.State.make [| seed; 0x464c |] in
+  let n = Netlist.num_nodes net in
+  let impact = Array.make n 0 in
+  let order = Netlist.comb_topo_order net in
+  let candidates = List.filter (fun id -> Netlist.is_comb (Netlist.node net id)) order in
+  let pos = Netlist.outputs net in
+  let sources =
+    List.filter
+      (fun id ->
+        match (Netlist.node net id).Netlist.kind with
+        | Netlist.Input | Netlist.Ff -> true
+        | Netlist.Const _ | Netlist.Gate _ | Netlist.Lut _ | Netlist.Dead ->
+          false)
+      (List.init n Fun.id)
+  in
+  for _ = 1 to samples do
+    let draw = Hashtbl.create 32 in
+    List.iter (fun s -> Hashtbl.replace draw s (Random.State.bool rng)) sources;
+    let base = Netlist.eval_comb net (Hashtbl.find draw) in
+    (* restrict the per-wire re-evaluation to the wire's fanout cone by
+       simply re-running the (small) circuits; netlists here are modest *)
+    List.iter
+      (fun w ->
+        let flipped = eval_with_flip net order base w in
+        List.iter
+          (fun (_, d) -> if base.(d) <> flipped.(d) then impact.(w) <- impact.(w) + 1)
+          pos)
+      candidates
+  done;
+  Array.map (fun c -> float_of_int c /. float_of_int samples) impact
+
+let rank_wires ?samples ?seed net =
+  let impact = fault_impact ?samples ?seed net in
+  List.filter
+    (fun id -> Netlist.is_comb (Netlist.node net id))
+    (List.init (Netlist.num_nodes net) Fun.id)
+  |> List.map (fun id -> (id, impact.(id)))
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let lock ?(seed = 1) ?samples net ~n_keys =
+  let ranked = rank_wires ?samples ~seed net in
+  if List.length ranked < n_keys then
+    invalid_arg "Fault_lock.lock: not enough candidate wires";
+  let wires =
+    List.filteri (fun i _ -> i < n_keys) ranked |> List.map fst
+  in
+  let lk = Xor_lock.lock_on ~seed ~name_prefix:"fk" net ~wires in
+  { lk with Locked.scheme = "fault-xor" }

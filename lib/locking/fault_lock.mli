@@ -1,0 +1,26 @@
+(** Fault-analysis-based key-gate insertion (Rajendran et al. [7]).
+
+    Random placement (plain {!Xor_lock}) often wastes key-gates on wires
+    whose corruption barely reaches the outputs.  The fault-analysis
+    technique instead ranks candidate wires by {i fault impact} — how many
+    output bits flip, over sampled input vectors, when the wire is forced
+    to the complement of its fault-free value (a stuck-at-style
+    measurement) — and spends the key-gates on the highest-impact wires,
+    maximising wrong-key corruption.
+
+    Used here as another conventional baseline, and by the hybrid
+    experiments as a smarter way to choose which wires the XOR half of
+    the key protects. *)
+
+(** [fault_impact ?samples ?seed net] scores every combinational node:
+    the average number of primary outputs corrupted per input vector when
+    the node is complemented. *)
+val fault_impact : ?samples:int -> ?seed:int -> Netlist.t -> float array
+
+(** [rank_wires ?samples ?seed net] lists combinational node ids, highest
+    impact first. *)
+val rank_wires : ?samples:int -> ?seed:int -> Netlist.t -> (int * float) list
+
+(** [lock ?seed ?samples net ~n_keys] inserts [n_keys] XOR/XNOR key-gates
+    on the highest-impact wires.  Key inputs are named [fk0], ... *)
+val lock : ?seed:int -> ?samples:int -> Netlist.t -> n_keys:int -> Locked.t

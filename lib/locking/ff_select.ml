@@ -1,0 +1,25 @@
+let groups net ~among =
+  let member = Hashtbl.create 64 in
+  List.iter (fun ff -> Hashtbl.replace member ff ()) among;
+  Topo.group_ffs_by_cone net
+  |> List.map (List.filter (Hashtbl.mem member))
+  |> List.filter (fun g -> g <> [])
+  |> List.sort (fun a b -> compare (List.length b) (List.length a))
+
+let selected_count net ~among =
+  match groups net ~among with [] -> 0 | g :: _ -> List.length g
+
+let pick net ~among ~n ~seed =
+  if n > List.length among then
+    invalid_arg "Ff_select.pick: not enough flip-flops";
+  let rng = Random.State.make [| seed; 0x4646 |] in
+  let rec take acc k = function
+    | _ when k = 0 -> List.rev acc
+    | [] -> List.rev acc
+    | g :: rest ->
+      let g = Locked.pick_distinct rng (List.length g) g in
+      let took = min k (List.length g) in
+      let chosen = List.filteri (fun i _ -> i < took) g in
+      take (List.rev_append chosen acc) (k - took) rest
+  in
+  take [] n (groups net ~among)

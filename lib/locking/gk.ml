@@ -1,0 +1,88 @@
+type variant = Invert_on_const | Buffer_on_const
+
+type instance = {
+  gk_name : string;
+  variant : variant;
+  x : int;
+  key : int;
+  out : int;
+  d_path_a_ps : int;
+  d_path_b_ps : int;
+  d_mux_ps : int;
+  nodes : int list;
+}
+
+let glitch_on_rise_ps i = i.d_path_b_ps + i.d_mux_ps
+let glitch_on_fall_ps i = i.d_path_a_ps + i.d_mux_ps
+
+let stable_function = function
+  | Invert_on_const -> `Inverter
+  | Buffer_on_const -> `Buffer
+
+let insert net ?(profile = `Standard) ~name ~x ~key ~variant ~d_path_a_ps
+    ~d_path_b_ps () =
+  let xor2 = Cell_lib.bind Cell.Xor 2 and xnor2 = Cell_lib.bind Cell.Xnor 2 in
+  let mux2 = Cell_lib.bind Cell.Mux 3 in
+  let added = ref [] in
+  let track id =
+    added := id :: !added;
+    id
+  in
+  let branch ~tag ~fn ~gate_delay ~target =
+    let chain_target = target - gate_delay in
+    if chain_target < 0 then
+      invalid_arg
+        (Printf.sprintf "Gk.insert: path target %dps below the gate delay"
+           target);
+    let chain_end, achieved =
+      Delay_synth.chain net profile ~from_:key ~target_ps:chain_target
+        ~prefix:(Printf.sprintf "%s_%s" name tag)
+    in
+    (* Track the chain nodes (they were appended contiguously). *)
+    let rec walk id =
+      if id <> key then begin
+        added := id :: !added;
+        walk (Netlist.node net id).Netlist.fanins.(0)
+      end
+    in
+    walk chain_end;
+    let g =
+      track
+        (Netlist.add_gate net
+           ~name:(Printf.sprintf "%s_%s_gate" name tag)
+           fn [| x; chain_end |])
+    in
+    (g, achieved + gate_delay)
+  in
+  (* Fig. 3(a): upper = XNOR on PathA, lower = XOR on PathB; the MUX's
+     "key = 0" input is the upper branch.  Fig. 3(b) swaps the gates. *)
+  let upper_fn, lower_fn =
+    match variant with
+    | Invert_on_const -> (Cell.Xnor, Cell.Xor)
+    | Buffer_on_const -> (Cell.Xor, Cell.Xnor)
+  in
+  let gate_delay fn = if fn = Cell.Xor then xor2.Cell.delay_ps else xnor2.Cell.delay_ps in
+  let upper, d_path_a_ps =
+    branch ~tag:"pa" ~fn:upper_fn ~gate_delay:(gate_delay upper_fn)
+      ~target:d_path_a_ps
+  in
+  let lower, d_path_b_ps =
+    branch ~tag:"pb" ~fn:lower_fn ~gate_delay:(gate_delay lower_fn)
+      ~target:d_path_b_ps
+  in
+  let out =
+    track
+      (Netlist.add_gate net ~name:(name ^ "_mux") Cell.Mux
+         [| key; upper; lower |])
+  in
+  {
+    gk_name = name;
+    variant;
+    x;
+    key;
+    out;
+    d_path_a_ps;
+    d_path_b_ps;
+    d_mux_ps = mux2.Cell.delay_ps;
+    nodes = List.rev !added;
+  }

@@ -1,0 +1,68 @@
+(** The Glitch Key-gate (Sec. II, Fig. 3).
+
+    A GK has a data input [x] and a key input; internally an XNOR and an
+    XOR each combine [x] with a delayed copy of the key (delay elements A
+    and B), and a MUX selected by the {i undelayed} key picks between them:
+
+    {v
+              +--[delay A]--+
+              |             v
+       key ---+          [XNOR]--a--+
+              |             ^       |--[MUX]--> y   (sel = key)
+       x -----+-------------+--+    |
+              |             ^  |    |
+              +--[delay B]--+  +-[XOR]--b--+
+    v}
+
+    With a constant key both branches reduce to the same function of [x]
+    (variant (a): inverter; variant (b): buffer) — the stable-logic view a
+    SAT solver sees.  On a key {i transition} the MUX switches immediately
+    (after its own delay) while the newly selected branch still holds its
+    pre-transition value for the branch delay, producing a glitch of
+    length [D_path + D_mux] (Eq. 2) whose level is the {i complementary}
+    behaviour.  Nothing here is simulation-special: the structure is plain
+    cells, and {!Timing_sim} makes the glitch emerge. *)
+
+type variant =
+  | Invert_on_const  (** Fig. 3(a): inverter stably, buffer on the glitch *)
+  | Buffer_on_const  (** Fig. 3(b): buffer stably, inverter on the glitch *)
+
+type instance = {
+  gk_name : string;
+  variant : variant;
+  x : int;             (** the encrypted signal *)
+  key : int;           (** the key net (KEYGEN output or a free input) *)
+  out : int;           (** the MUX output — splice this into the sink *)
+  d_path_a_ps : int;   (** achieved PathA delay (chain + XNOR/XOR) *)
+  d_path_b_ps : int;
+  d_mux_ps : int;
+  nodes : int list;    (** every node the insertion added *)
+}
+
+(** Glitch lengths for the two key-transition directions (Eq. 2): a rising
+    key reveals PathB's stale value, a falling key PathA's. *)
+val glitch_on_rise_ps : instance -> int
+
+val glitch_on_fall_ps : instance -> int
+
+(** [insert net ~name ~x ~key ~variant ~d_path_a_ps ~d_path_b_ps ?profile]
+    builds the GK structure.  The chain delays are composed with
+    {!Delay_synth} under [profile] (default [`Standard]); targets are the
+    {i total} path delays (gate included).  The caller still has to rewire
+    the consumer(s) of [x] to [out]. *)
+val insert :
+  Netlist.t ->
+  ?profile:Delay_synth.profile ->
+  name:string ->
+  x:int ->
+  key:int ->
+  variant:variant ->
+  d_path_a_ps:int ->
+  d_path_b_ps:int ->
+  unit ->
+  instance
+
+(** The stable-logic function of the GK: what a netlist-level attacker (or
+    any zero-delay tool) concludes the gate computes, for either constant
+    key. *)
+val stable_function : variant -> [ `Inverter | `Buffer ]

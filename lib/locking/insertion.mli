@@ -1,0 +1,106 @@
+(** GK insertion: site feasibility (Table I) and full encryption
+    (Table II).
+
+    A flip-flop qualifies as a GK site when, at the design's own clock
+    period (the paper keeps the original period, so the encryption has no
+    performance overhead), a glitch of the target length can be generated
+    and triggered legally: Eq. (3) holds at the endpoint, the on-level
+    trigger window of Eq. (5) is non-empty, and the trigger is late enough
+    for a KEYGEN to produce it (clk-to-Q plus two MUX levels).
+
+    Encryption follows the paper's Sec. VI setup: every inserted GK
+    transmits the data {i on the level} of a 1 ns glitch (the strictest
+    scenario), uses the Fig. 3(a) variant (stable behaviour: inverter), and
+    gets a private KEYGEN contributing two key-inputs.  One ADB branch is
+    timed inside the legal window (the correct key selects it); the other
+    lands its transition on the capture edge, so the three wrong keys
+    yield either a stable inversion (constants) or a setup/hold violation
+    (wrong branch). *)
+
+type site_info = {
+  si_ff : int;
+  si_ff_name : string;
+  si_site : Gk_timing.site;
+  si_window : int * int;  (** Eq. (5) window, already KEYGEN-reachable *)
+}
+
+(** [available_sites net ~clock_ps ~l_glitch_ps] — Table I's "Ava. FF". *)
+val available_sites :
+  Netlist.t -> clock_ps:int -> l_glitch_ps:int -> site_info list
+
+type placement = {
+  p_ff : int;
+  p_gk : Gk.instance;
+  p_keygen : Keygen.instance;
+  p_k1_name : string;
+  p_k2_name : string;
+  p_correct : bool * bool;      (** correct (k1, k2) *)
+  p_t_trigger : int;            (** correct-branch trigger time, ps *)
+  p_glitch : int * int;         (** intended glitch interval within a cycle *)
+}
+
+type design = {
+  lnet : Netlist.t;
+  source : string;              (** baseline netlist name *)
+  clock_ps : int;
+  placements : placement list;
+  key_inputs : string list;     (** all key-input names, GKs first *)
+  correct_key : Key.assignment;
+  baseline : Stats.t;
+  l_glitch_ps : int;
+}
+
+(** [lock ?seed ?profile ?l_glitch_ps ?prefer_ff4_groups net ~clock_ps
+    ~n_gks] encrypts [n_gks] flip-flops.  Sites come from
+    {!available_sites}; with [prefer_ff4_groups] (default true) they are
+    drawn from the largest same-PO-cone groups per [4].  Key inputs are
+    named [gk<i>_k1]/[gk<i>_k2].
+
+    Flip-flops in [exclude] are never selected (the flow's retry loop
+    drops endpoints whose violations turned out true).
+    @raise Invalid_argument when fewer than [n_gks] sites are available —
+    the "-" entries of Table II. *)
+val lock :
+  ?seed:int ->
+  ?profile:Delay_synth.profile ->
+  ?l_glitch_ps:int ->
+  ?prefer_ff4_groups:bool ->
+  ?exclude:int list ->
+  Netlist.t ->
+  clock_ps:int ->
+  n_gks:int ->
+  design
+
+(** [overhead design] is Table II's (cell %, area %) for this design. *)
+val overhead : design -> float * float
+
+(** [intended_glitches design] is the per-FF intended glitch interval —
+    feed to {!Timing_report.discriminate} to separate true from false
+    violations. *)
+val intended_glitches : design -> int -> (int * int) option
+
+(** [strip_keygens design] is the attacker's preprocessing from Sec. VI:
+    "We removed the KEYGEN of each GK and treated its key-input as the
+    key-input of the design."  Each GK's key net becomes a fresh primary
+    input [gkkey<i>]; KEYGEN logic is swept.  Returns the netlist (still
+    sequential) and the new key-input names in placement order. *)
+val strip_keygens : design -> Netlist.t * string list
+
+(** [capture_policy design] is the per-FF first-capture-edge map for
+    {!Timing_sim.run}: KEYGEN toggle flip-flops are free-running (capture
+    from edge 0), every data flip-flop holds through cycle 0 (synchronous
+    reset) so that its first capture, at edge 1, is already covered by a
+    glitch.  Compare against a baseline simulated with
+    [~captures_from:(fun _ -> 1)]. *)
+val capture_policy : design -> int -> int
+
+(** [timing_drive design key] produces the {!Timing_sim} drive function
+    realising a key assignment on the locked netlist's inputs: key bits
+    are constants and every other input gets [other] (default: constant
+    false). *)
+val timing_drive :
+  ?other:(int -> Timing_sim.drive) ->
+  design ->
+  Key.assignment ->
+  int ->
+  Timing_sim.drive

@@ -1,0 +1,86 @@
+type instance = {
+  kg_name : string;
+  k1 : int;
+  k2 : int;
+  key_out : int;
+  toggle_ff : int;
+  adb_da_ps : int;
+  adb_db_ps : int;
+  mux_levels_ps : int;
+  nodes : int list;
+}
+
+let mux_delay () = (Cell_lib.bind Cell.Mux 3).Cell.delay_ps
+
+let trigger_time_a_ps i = Cell_lib.dff_clk2q_ps + i.adb_da_ps + i.mux_levels_ps
+let trigger_time_b_ps i = Cell_lib.dff_clk2q_ps + i.adb_db_ps + i.mux_levels_ps
+
+let chain_target_for ~t_trigger_ps =
+  let fixed = Cell_lib.dff_clk2q_ps + (2 * mux_delay ()) in
+  if t_trigger_ps < fixed then None else Some (t_trigger_ps - fixed)
+
+type selection = Sel_const0 | Sel_delay_a | Sel_delay_b | Sel_const1
+
+let selection_of ~k1 ~k2 =
+  match (k1, k2) with
+  | false, false -> Sel_const0
+  | false, true -> Sel_delay_a
+  | true, false -> Sel_delay_b
+  | true, true -> Sel_const1
+
+let key_for = function
+  | Sel_const0 -> (false, false)
+  | Sel_delay_a -> (false, true)
+  | Sel_delay_b -> (true, false)
+  | Sel_const1 -> (true, true)
+
+let insert net ?(profile = `Standard) ~name ~k1 ~k2 ~adb_da_ps ~adb_db_ps () =
+  let added = ref [] in
+  let track id =
+    added := id :: !added;
+    id
+  in
+  (* Toggle flip-flop: D = NOT Q, one transition per cycle. *)
+  let placeholder = Netlist.add_const net false in
+  let ff = track (Netlist.add_ff net ~name:(name ^ "_tff") placeholder) in
+  let inv = track (Netlist.add_gate net ~name:(name ^ "_tinv") Cell.Not [| ff |]) in
+  Netlist.set_fanin net ~node_id:ff ~pin:0 ~driver:inv;
+  let chain tag target =
+    let last, achieved =
+      Delay_synth.chain net profile ~from_:ff ~target_ps:target
+        ~prefix:(Printf.sprintf "%s_%s" name tag)
+    in
+    let rec walk id =
+      if id <> ff then begin
+        added := id :: !added;
+        walk (Netlist.node net id).Netlist.fanins.(0)
+      end
+    in
+    walk last;
+    (last, achieved)
+  in
+  let a_end, adb_da_ps = chain "adba" adb_da_ps in
+  let b_end, adb_db_ps = chain "adbb" adb_db_ps in
+  let c0 = Netlist.add_const net false in
+  let c1 = Netlist.add_const net true in
+  (* (k1,k2): 00 -> const0, 01 -> A, 10 -> B, 11 -> const1. *)
+  let m0 =
+    track (Netlist.add_gate net ~name:(name ^ "_m0") Cell.Mux [| k2; c0; a_end |])
+  in
+  let m1 =
+    track (Netlist.add_gate net ~name:(name ^ "_m1") Cell.Mux [| k2; b_end; c1 |])
+  in
+  let key_out =
+    track (Netlist.add_gate net ~name:(name ^ "_out") Cell.Mux [| k1; m0; m1 |])
+  in
+  {
+    kg_name = name;
+    k1;
+    k2;
+    key_out;
+    toggle_ff = ff;
+    adb_da_ps;
+    adb_db_ps;
+    mux_levels_ps = 2 * mux_delay ();
+    nodes = List.rev !added;
+  }

@@ -1,0 +1,64 @@
+(** The key generator (Sec. II-B, Figs. 5–6).
+
+    "If the predetermined behavior of a GK needs a transitional signal to
+    trigger, a transitional signal generated and assigned to the key-input
+    of the GK in every clock cycle is necessary."  The KEYGEN is a D
+    flip-flop wired as a toggle (one transition per cycle, alternating
+    direction) feeding a simplified Adjustable Delay Buffer: a 4:1 MUX
+    (built from three 2:1 MUXes) whose selection bits [(k1, k2)] — the
+    GK's two key-inputs — choose among
+
+    - [(0,0)]: constant 0,
+    - [(0,1)]: the transition shifted by delay A,
+    - [(1,0)]: the transition shifted by delay B,
+    - [(1,1)]: constant 1,
+
+    matching Fig. 6 top to bottom.  A constant makes the downstream GK
+    glitchless (its stable behaviour); the two delayed branches trigger the
+    GK's glitch at different times — only one of which realises the
+    designer's intended scenario. *)
+
+type instance = {
+  kg_name : string;
+  k1 : int;            (** selection input node ids *)
+  k2 : int;
+  key_out : int;       (** connect to the GK's key pin *)
+  toggle_ff : int;
+  adb_da_ps : int;     (** achieved branch delays (chain only) *)
+  adb_db_ps : int;
+  mux_levels_ps : int; (** delay through the two MUX levels *)
+  nodes : int list;
+}
+
+(** Trigger time within a cycle for each branch: the toggle flips at
+    clk-to-Q, then traverses the branch chain and both MUX levels. *)
+val trigger_time_a_ps : instance -> int
+
+val trigger_time_b_ps : instance -> int
+
+(** [chain_target_for ~t_trigger_ps] converts a desired trigger time into
+    the branch-chain delay target ([None] if unreachable, i.e. earlier
+    than clk-to-Q plus the MUX levels). *)
+val chain_target_for : t_trigger_ps:int -> int option
+
+(** [insert net ~name ~k1 ~k2 ~adb_da_ps ~adb_db_ps ?profile] builds the
+    KEYGEN.  [adb_*_ps] are chain-delay targets (use {!chain_target_for}).
+    [k1]/[k2] are existing nodes (normally fresh primary inputs). *)
+val insert :
+  Netlist.t ->
+  ?profile:Delay_synth.profile ->
+  name:string ->
+  k1:int ->
+  k2:int ->
+  adb_da_ps:int ->
+  adb_db_ps:int ->
+  unit ->
+  instance
+
+(** What each [(k1, k2)] assignment puts on [key_out]. *)
+type selection = Sel_const0 | Sel_delay_a | Sel_delay_b | Sel_const1
+
+val selection_of : k1:bool -> k2:bool -> selection
+
+(** The key bits that select a given branch. *)
+val key_for : selection -> bool * bool

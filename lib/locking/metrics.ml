@@ -1,0 +1,63 @@
+type profile = {
+  mean_ber : float;
+  min_ber : float;
+  max_ber : float;
+  keys_sampled : int;
+}
+
+let eval_outputs net inputs =
+  let values =
+    Netlist.eval_comb net (fun id ->
+        match List.assoc_opt (Netlist.node net id).Netlist.name inputs with
+        | Some b -> b
+        | None -> false)
+  in
+  List.map (fun (po, d) -> (po, values.(d))) (Netlist.outputs net)
+
+let bit_error_rate ?(samples = 256) ?(seed = 17) ~reference locked key =
+  let rng = Random.State.make [| seed; 0x4245 |] in
+  let x_names =
+    List.filter_map
+      (fun pi ->
+        let name = (Netlist.node locked.Locked.net pi).Netlist.name in
+        if List.mem name locked.Locked.key_inputs then None else Some name)
+      (Netlist.inputs locked.Locked.net)
+  in
+  let errors = ref 0 and total = ref 0 in
+  for _ = 1 to samples do
+    let vector = List.map (fun n -> (n, Random.State.bool rng)) x_names in
+    let want = eval_outputs reference vector in
+    let got = eval_outputs locked.Locked.net (vector @ key) in
+    List.iter
+      (fun (po, v) ->
+        match List.assoc_opt po got with
+        | Some w ->
+          incr total;
+          if v <> w then incr errors
+        | None -> ())
+      want
+  done;
+  if !total = 0 then 0.0 else float_of_int !errors /. float_of_int !total
+
+let wrong_key_profile ?(samples = 256) ?(wrong_keys = 16) ?(seed = 17)
+    ~reference locked =
+  let bers =
+    List.init wrong_keys (fun i ->
+        let wrong =
+          Key.random_wrong ~seed:(seed + i) locked.Locked.correct_key
+        in
+        bit_error_rate ~samples ~seed:(seed + (31 * i)) ~reference locked wrong)
+  in
+  match bers with
+  | [] -> invalid_arg "Metrics.wrong_key_profile: need at least one key"
+  | first :: _ ->
+    {
+      mean_ber = List.fold_left ( +. ) 0.0 bers /. float_of_int wrong_keys;
+      min_ber = List.fold_left min first bers;
+      max_ber = List.fold_left max first bers;
+      keys_sampled = wrong_keys;
+    }
+
+let pp_profile ppf p =
+  Format.fprintf ppf "BER mean %.4f (min %.4f, max %.4f) over %d wrong keys"
+    p.mean_ber p.min_ber p.max_ber p.keys_sampled

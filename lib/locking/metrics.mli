@@ -1,0 +1,44 @@
+(** Corruptibility metrics for locked designs.
+
+    Sec. I of the paper criticises SARLock/Anti-SAT for causing "little
+    differences between the POs of encrypted circuit assigned with
+    incorrect key-vector and the POs of original circuit" — low
+    corruptibility is what makes approximate attacks (AppSAT) viable and
+    what the GK is designed to restore.  This module measures it:
+
+    - {!bit_error_rate}: over sampled input vectors, the fraction of
+      output bits that differ between the locked design under a given key
+      and the reference function.
+    - {!wrong_key_profile}: BER statistics over sampled wrong keys — the
+      standard corruptibility figure of merit. *)
+
+type profile = {
+  mean_ber : float;
+  min_ber : float;
+  max_ber : float;
+  keys_sampled : int;
+}
+
+(** [bit_error_rate ?samples ?seed ~reference locked key] compares the
+    locked combinational netlist under [key] against [reference] (same
+    PO names) on random input vectors.  Returns the per-output-bit error
+    fraction in [0, 1]. *)
+val bit_error_rate :
+  ?samples:int ->
+  ?seed:int ->
+  reference:Netlist.t ->
+  Locked.t ->
+  Key.assignment ->
+  float
+
+(** [wrong_key_profile ?samples ?wrong_keys ?seed ~reference locked] —
+    BER over [wrong_keys] (default 16) random wrong keys. *)
+val wrong_key_profile :
+  ?samples:int ->
+  ?wrong_keys:int ->
+  ?seed:int ->
+  reference:Netlist.t ->
+  Locked.t ->
+  profile
+
+val pp_profile : Format.formatter -> profile -> unit

@@ -1,0 +1,60 @@
+(* Combinational forward-reachability from one node: any node in this set
+   would create a cycle if used as the decoy for [from_]. *)
+let reachable_from net from_ =
+  let seen = Array.make (Netlist.num_nodes net) false in
+  let fanouts = Netlist.fanout_table net in
+  let rec go id =
+    if not seen.(id) then begin
+      seen.(id) <- true;
+      List.iter
+        (fun (c, _) ->
+          match (Netlist.node net c).Netlist.kind with
+          | Netlist.Ff -> () (* a through-FF path is not combinational *)
+          | Netlist.Gate _ | Netlist.Lut _ -> go c
+          | Netlist.Input | Netlist.Const _ | Netlist.Dead -> ())
+        fanouts.(id)
+    end
+  in
+  go from_;
+  seen
+
+let lock ?(seed = 1) net ~n_keys =
+  let rng = Random.State.make [| seed; 0x4d58 |] in
+  let net = Netlist.copy net in
+  let comb =
+    List.filter
+      (fun id -> Netlist.is_comb (Netlist.node net id))
+      (Locked.gate_wires net)
+  in
+  let targets = Locked.pick_distinct rng n_keys comb in
+  let keyed =
+    List.mapi
+      (fun i target ->
+        let key_name = Printf.sprintf "mk%d" i in
+        let k = Netlist.add_input net key_name in
+        let blocked = reachable_from net target in
+        let decoys = List.filter (fun d -> not blocked.(d)) comb in
+        let decoy =
+          match decoys with
+          | [] -> target (* degenerate circuit; MUX becomes transparent *)
+          | ds -> List.nth ds (Random.State.int rng (List.length ds))
+        in
+        let bit = Random.State.bool rng in
+        (* MUX(sel; a; b) = sel ? b : a — put the true wire where the
+           correct bit routes it. *)
+        let a, b = if bit then (decoy, target) else (target, decoy) in
+        let _g =
+          Locked.splice_all_fanouts net ~target ~build:(fun () ->
+              Netlist.add_gate net
+                ~name:(Printf.sprintf "mk%d_gate" i)
+                Cell.Mux [| k; a; b |])
+        in
+        (key_name, bit))
+      targets
+  in
+  {
+    Locked.net;
+    scheme = "mux";
+    key_inputs = List.map fst keyed;
+    correct_key = keyed;
+  }

@@ -1,0 +1,11 @@
+(** MUX-based logic locking.
+
+    Each key-gate is a 2:1 multiplexer whose key bit selects between the
+    true signal and a decoy signal sampled elsewhere in the circuit.  Used
+    as a second conventional baseline, and as the structure the enhanced
+    removal attack (Sec. V-D) substitutes for located security blocks. *)
+
+(** [lock ?seed net ~n_keys] inserts [n_keys] MUX key-gates.  Key inputs
+    are named [mk0], [mk1], ...; decoys are drawn from wires outside the
+    target's own fanout cone (no combinational cycles). *)
+val lock : ?seed:int -> Netlist.t -> n_keys:int -> Locked.t

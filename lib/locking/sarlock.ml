@@ -1,0 +1,83 @@
+let and_tree net ~prefix ids =
+  match ids with
+  | [] -> invalid_arg "Sarlock.and_tree: empty"
+  | [ x ] -> x
+  | _ ->
+    let rec build i = function
+      | [ x ] -> x
+      | xs ->
+        let rec pair acc j = function
+          | a :: b :: rest ->
+            let g =
+              Netlist.add_gate net
+                ~name:(Printf.sprintf "%s_and%d_%d" prefix i j)
+                Cell.And [| a; b |]
+            in
+            pair (g :: acc) (j + 1) rest
+          | [ a ] -> pair (a :: acc) j []
+          | [] -> List.rev acc
+        in
+        build (i + 1) (pair [] 0 xs)
+    in
+    build 0 ids
+
+let lock ?(seed = 1) net ~n_keys =
+  let rng = Random.State.make [| seed; 0x5352 |] in
+  let net = Netlist.copy net in
+  let pis = Netlist.inputs net in
+  if List.length pis < n_keys then
+    invalid_arg "Sarlock.lock: not enough primary inputs";
+  if n_keys < 1 then invalid_arg "Sarlock.lock: need at least one key bit";
+  let xs = Locked.pick_distinct rng n_keys pis in
+  let correct = List.init n_keys (fun _ -> Random.State.bool rng) in
+  let keys =
+    List.init n_keys (fun i ->
+        (Printf.sprintf "sk%d" i, Netlist.add_input net (Printf.sprintf "sk%d" i)))
+  in
+  (* eq = AND_i (x_i XNOR k_i): 1 iff the input pattern equals the key. *)
+  let cmps =
+    List.mapi
+      (fun i (x, (_, k)) ->
+        Netlist.add_gate net
+          ~name:(Printf.sprintf "sar_cmp%d" i)
+          Cell.Xnor [| x; k |])
+      (List.combine xs keys)
+  in
+  let eq = and_tree net ~prefix:"sar_eq" cmps in
+  (* maskeq = AND_i (k_i XNOR correct_i): 1 iff the correct key is applied. *)
+  let masks =
+    List.mapi
+      (fun i ((_, k), c) ->
+        let cn = Netlist.add_const net c in
+        Netlist.add_gate net
+          ~name:(Printf.sprintf "sar_mask%d" i)
+          Cell.Xnor [| k; cn |])
+      (List.combine keys correct)
+  in
+  let maskeq = and_tree net ~prefix:"sar_maskeq" masks in
+  let not_correct =
+    Netlist.add_gate net ~name:"sar_notcorrect" Cell.Not [| maskeq |]
+  in
+  let flip =
+    Netlist.add_gate net ~name:"sar_flip" Cell.And [| eq; not_correct |]
+  in
+  (match Netlist.outputs net with
+  | [] -> invalid_arg "Sarlock.lock: netlist has no outputs"
+  | (po, driver) :: _ ->
+    let g = Netlist.add_gate net ~name:"sar_out" Cell.Xor [| driver; flip |] in
+    Netlist.set_output_driver net po g);
+  {
+    Locked.net;
+    scheme = "sarlock";
+    key_inputs = List.map fst keys;
+    correct_key = List.combine (List.map fst keys) correct;
+  }
+
+let structure_names ~n_keys =
+  let base = [ "sar_notcorrect"; "sar_flip"; "sar_out" ] in
+  let per_bit =
+    List.concat_map
+      (fun i -> [ Printf.sprintf "sar_cmp%d" i; Printf.sprintf "sar_mask%d" i ])
+      (List.init n_keys Fun.id)
+  in
+  base @ per_bit

@@ -1,0 +1,18 @@
+(** SARLock (Yasin et al. [14]).
+
+    A point-function comparator flips one primary output exactly when the
+    applied primary-input pattern equals the applied (wrong) key, and a
+    mask built from the correct key ensures the correct key never flips
+    anything.  Consequence: every DIP the SAT attack finds eliminates only
+    a single wrong key, so the attack needs ~2^n iterations — but the
+    comparator's flip signal is 1 for a 2^-n fraction of the space, the
+    probability skew the removal attack of [15,16] homes in on. *)
+
+(** [lock ?seed net ~n_keys] attaches a SARLock block over [n_keys]
+    primary inputs (requires at least that many PIs) and flips the first
+    primary output.  Key inputs are named [sk0], ... *)
+val lock : ?seed:int -> Netlist.t -> n_keys:int -> Locked.t
+
+(** Node names of the security structure (comparator / mask / flip gates),
+    for removal-attack evaluation. *)
+val structure_names : n_keys:int -> string list

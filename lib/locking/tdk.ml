@@ -1,0 +1,77 @@
+type site = {
+  ff : int;
+  func_key : string;
+  delay_key : string;
+  tdb_mux : int;
+  tdb_nodes : int list;
+  tdb_delay_ps : int;
+}
+
+type t = { locked : Locked.t; sites : site list; clock_ps : int }
+
+let lock ?(seed = 1) ?(profile = `Standard) net ~clock_ps ~n_sites =
+  let rng = Random.State.make [| seed; 0x544b |] in
+  let net = Netlist.copy net in
+  let sta = Sta.analyze net ~clock_ps in
+  let ranked =
+    Netlist.ffs net
+    |> List.map (fun ff -> (ff, Sta.setup_slack sta ff))
+    |> List.filter (fun (_, s) -> s > 400)
+    |> List.sort (fun (_, a) (_, b) -> compare b a)
+  in
+  if List.length ranked < n_sites then
+    invalid_arg "Tdk.lock: not enough slack-positive flip-flops";
+  let chosen = List.filteri (fun i _ -> i < n_sites) ranked in
+  let keyed_sites =
+    List.mapi
+      (fun i (ff, slack) ->
+        let func_key = Printf.sprintf "tdkf%d" i in
+        let delay_key = Printf.sprintf "tdkd%d" i in
+        let kf = Netlist.add_input net func_key in
+        let kd = Netlist.add_input net delay_key in
+        let d = (Netlist.node net ff).Netlist.fanins.(0) in
+        let fbit = Random.State.bool rng in
+        let fn = if fbit then Cell.Xnor else Cell.Xor in
+        let xg =
+          Netlist.add_gate net ~name:(Printf.sprintf "tdk%d_fgate" i) fn
+            [| d; kf |]
+        in
+        (* TDB: wrong k2 routes through a chain longer than the slack. *)
+        let tdb_target = slack + 400 in
+        let chain_end, tdb_delay_ps =
+          Delay_synth.chain net profile ~from_:xg ~target_ps:tdb_target
+            ~prefix:(Printf.sprintf "tdk%d_tdb" i)
+        in
+        let tdb_nodes =
+          let rec walk acc id =
+            if id = xg then acc
+            else walk (id :: acc) (Netlist.node net id).Netlist.fanins.(0)
+          in
+          walk [] chain_end
+        in
+        let dbit = Random.State.bool rng in
+        (* correct kd routes the direct path *)
+        let a, b = if dbit then (chain_end, xg) else (xg, chain_end) in
+        let tdb_mux =
+          Netlist.add_gate net
+            ~name:(Printf.sprintf "tdk%d_tdb_mux" i)
+            Cell.Mux [| kd; a; b |]
+        in
+        Netlist.set_fanin net ~node_id:ff ~pin:0 ~driver:tdb_mux;
+        let site = { ff; func_key; delay_key; tdb_mux; tdb_nodes; tdb_delay_ps } in
+        (site, [ (func_key, fbit); (delay_key, dbit) ]))
+      chosen
+  in
+  let sites = List.map fst keyed_sites in
+  let correct_key = List.concat_map snd keyed_sites in
+  {
+    locked =
+      {
+        Locked.net;
+        scheme = "tdk";
+        key_inputs = List.map fst correct_key;
+        correct_key;
+      };
+    sites;
+    clock_ps;
+  }

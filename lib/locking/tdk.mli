@@ -1,0 +1,38 @@
+(** The Tunable Delay Key-gate baseline (Xie et al. [12], the paper's
+    Fig. 2).
+
+    Each TDK couples a functional key-gate (XOR, key [k1]) with a Tunable
+    Delay Buffer on a flip-flop's D path, modelled as a MUX (key [k2])
+    choosing between the direct path and a delay chain sized past the
+    endpoint's slack.  The wrong [k2] therefore violates setup timing;
+    the correct one meets it.
+
+    The paper's criticism, which {!Removal_attack.strip_tdbs} reproduces:
+    the TDB is {i removable} — delete it, re-synthesize, and the leftover
+    is plain XOR locking that the SAT attack cracks. *)
+
+type site = {
+  ff : int;
+  func_key : string;          (** k1 name *)
+  delay_key : string;         (** k2 name *)
+  tdb_mux : int;              (** the tunable-delay MUX node *)
+  tdb_nodes : int list;       (** delay-chain nodes *)
+  tdb_delay_ps : int;
+}
+
+type t = {
+  locked : Locked.t;
+  sites : site list;
+  clock_ps : int;
+}
+
+(** [lock ?seed ?profile net ~clock_ps ~n_sites] inserts [n_sites] TDKs on
+    the flip-flops with the largest setup slack.  Key inputs are
+    [tdkf0]/[tdkd0], ...; correct delay keys select the direct path. *)
+val lock :
+  ?seed:int ->
+  ?profile:Delay_synth.profile ->
+  Netlist.t ->
+  clock_ps:int ->
+  n_sites:int ->
+  t

@@ -1,0 +1,30 @@
+(** Design withholding (Sec. V-D, Fig. 10).
+
+    Withholding [5,6] stores the truth table of a subcircuit in a LUT whose
+    contents are not part of the distributed netlist.  Combined with a GK —
+    e.g. absorbing the GK together with a reused AND gate from the
+    encrypted path — it hides the GK's structure, so the enhanced removal
+    attack can no longer pattern-match it and must consider every function
+    the LUT could hold. *)
+
+type absorbed = {
+  lut : int;                (** the new LUT node *)
+  lut_inputs : int list;    (** boundary nodes feeding the LUT *)
+  hidden_nodes : int list;  (** nodes replaced by the LUT *)
+}
+
+(** [absorb net ~root ~interior] replaces the cone rooted at [root] whose
+    internal nodes are exactly [interior ∪ {root}] by a single LUT over
+    the cone's boundary fanins (at most 6).  The stable-logic function is
+    tabulated — which is precisely the attacker-visible view; the glitch
+    behaviour is what withholding hides.
+
+    @raise Invalid_argument if an interior node also feeds logic outside
+    the cone, if the boundary exceeds 6 inputs, or if the cone is not
+    combinational. *)
+val absorb : Netlist.t -> root:int -> interior:int list -> absorbed
+
+(** Attacker search space for a withheld [k]-input LUT: [2^(2^k)] candidate
+    functions, as a float (Sec. V-D: "the possible combinations of the
+    encrypted subcircuit even increase drastically"). *)
+val candidate_functions : int -> float

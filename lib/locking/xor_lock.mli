@@ -1,0 +1,16 @@
+(** Classic XOR/XNOR logic locking (Roy et al. [9], the paper's Fig. 1).
+
+    Each key-gate is an XOR (passes when its key bit is 0) or an XNOR
+    (passes when its key bit is 1) spliced into a randomly chosen internal
+    wire; with the wrong bit the gate inverts.  The canonical SAT-attack
+    victim: {!Sat_attack} recovers the key in a handful of DIPs. *)
+
+(** [lock ?seed net ~n_keys] inserts [n_keys] key-gates on distinct wires.
+    Key inputs are named [xk0], [xk1], ...  The input netlist is not
+    modified. *)
+val lock : ?seed:int -> Netlist.t -> n_keys:int -> Locked.t
+
+(** [lock_on ?seed net ~wires] locks the given wires specifically (used by
+    the hybrid scheme to protect the GK-encrypted paths).  One key-gate per
+    wire. *)
+val lock_on : ?seed:int -> ?name_prefix:string -> Netlist.t -> wires:int list -> Locked.t

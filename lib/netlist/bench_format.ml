@@ -1,0 +1,248 @@
+exception Parse_error of int * string
+
+let fail line fmt = Printf.ksprintf (fun m -> raise (Parse_error (line, m))) fmt
+
+type def =
+  | Def_gate of string * string list  (* function name, argument names *)
+  | Def_lut of bool array * string list
+
+type parsed = {
+  mutable p_inputs : (string * int) list;  (* name, line *)
+  mutable p_outputs : (string * int) list;
+  defs : (string, int * def) Hashtbl.t;    (* target -> line, def *)
+  mutable order : string list;             (* targets in file order *)
+}
+
+let strip s = String.trim s
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '.' || c = '[' || c = ']' || c = '$' || c = '/'
+
+let check_ident line s =
+  if s = "" then fail line "empty identifier";
+  String.iter
+    (fun c -> if not (is_ident_char c) then fail line "bad character %C in identifier %S" c s)
+    s;
+  s
+
+(* "NAND(a, b)" -> ("NAND", ["a"; "b"]) *)
+let split_call line s =
+  match String.index_opt s '(' with
+  | None -> fail line "expected '(' in %S" s
+  | Some i ->
+    let head = strip (String.sub s 0 i) in
+    if not (String.length s > 0 && s.[String.length s - 1] = ')') then
+      fail line "expected ')' at end of %S" s;
+    let args_str = String.sub s (i + 1) (String.length s - i - 2) in
+    let args =
+      if strip args_str = "" then []
+      else List.map strip (String.split_on_char ',' args_str)
+    in
+    (head, args)
+
+let parse_lut_truth line head =
+  (* "LUT 0x8" style: hex truth table, LSB = all-zero input row *)
+  match String.split_on_char ' ' head |> List.filter (fun s -> s <> "") with
+  | [ _lut; hex ] ->
+    let hex =
+      if String.length hex > 2 && String.sub hex 0 2 = "0x" then
+        String.sub hex 2 (String.length hex - 2)
+      else hex
+    in
+    let bits = 4 * String.length hex in
+    let value =
+      try int_of_string ("0x" ^ hex)
+      with Failure _ -> fail line "bad LUT truth table %S" hex
+    in
+    Array.init bits (fun i -> value land (1 lsl i) <> 0)
+  | _ -> fail line "malformed LUT definition %S" head
+
+let parse_lines text =
+  let p =
+    { p_inputs = []; p_outputs = []; defs = Hashtbl.create 64; order = [] }
+  in
+  let handle lineno raw =
+    let line = strip raw in
+    let line =
+      match String.index_opt line '#' with
+      | Some i -> strip (String.sub line 0 i)
+      | None -> line
+    in
+    if line = "" then ()
+    else
+      let upper = String.uppercase_ascii line in
+      if String.length upper >= 6 && String.sub upper 0 6 = "INPUT(" then begin
+        let _, args = split_call lineno line in
+        match args with
+        | [ name ] -> p.p_inputs <- (check_ident lineno name, lineno) :: p.p_inputs
+        | _ -> fail lineno "INPUT takes one name"
+      end
+      else if String.length upper >= 7 && String.sub upper 0 7 = "OUTPUT(" then begin
+        let _, args = split_call lineno line in
+        match args with
+        | [ name ] -> p.p_outputs <- (check_ident lineno name, lineno) :: p.p_outputs
+        | _ -> fail lineno "OUTPUT takes one name"
+      end
+      else
+        match String.index_opt line '=' with
+        | None -> fail lineno "cannot parse line %S" line
+        | Some i ->
+          let target = check_ident lineno (strip (String.sub line 0 i)) in
+          let rhs = strip (String.sub line (i + 1) (String.length line - i - 1)) in
+          let head, args = split_call lineno rhs in
+          let def =
+            if String.length head >= 3 && String.uppercase_ascii (String.sub head 0 3) = "LUT"
+            then Def_lut (parse_lut_truth lineno head, args)
+            else Def_gate (String.uppercase_ascii head, args)
+          in
+          if Hashtbl.mem p.defs target then fail lineno "duplicate definition of %S" target;
+          Hashtbl.replace p.defs target (lineno, def);
+          p.order <- target :: p.order
+  in
+  List.iteri (fun i l -> handle (i + 1) l) (String.split_on_char '\n' text);
+  p.p_inputs <- List.rev p.p_inputs;
+  p.p_outputs <- List.rev p.p_outputs;
+  p.order <- List.rev p.order;
+  p
+
+let build ~name p =
+  let net = Netlist.create name in
+  let ids = Hashtbl.create 64 in
+  List.iter
+    (fun (n, line) ->
+      if Hashtbl.mem ids n then fail line "duplicate input %S" n;
+      Hashtbl.replace ids n (Netlist.add_input net n))
+    p.p_inputs;
+  (* Flip-flops first, with a placeholder D, so through-FF cycles resolve. *)
+  let ff_patches = ref [] in
+  List.iter
+    (fun target ->
+      match Hashtbl.find p.defs target with
+      | line, Def_gate ("DFF", [ d ]) ->
+        if Hashtbl.mem ids target then fail line "name %S already used" target;
+        let placeholder = Netlist.add_const net false in
+        let id = Netlist.add_ff net ~name:target placeholder in
+        Hashtbl.replace ids target id;
+        ff_patches := (id, d, line) :: !ff_patches
+      | line, Def_gate ("DFF", _) -> fail line "DFF takes one argument"
+      | _ -> ())
+    p.order;
+  let rec resolve ?(stack = []) line name =
+    match Hashtbl.find_opt ids name with
+    | Some id -> id
+    | None ->
+      if List.mem name stack then
+        fail line "combinational cycle through %S" name;
+      (match Hashtbl.find_opt p.defs name with
+      | None -> fail line "undefined signal %S" name
+      | Some (dline, def) ->
+        let stack = name :: stack in
+        let id =
+          match def with
+          | Def_gate ("DFF", _) -> assert false (* handled above *)
+          | Def_gate (("CONST0" | "GND"), []) -> Netlist.add_const net false
+          | Def_gate (("CONST1" | "VCC"), []) -> Netlist.add_const net true
+          | Def_gate (fn_name, args) ->
+            (match Cell.fn_of_name fn_name with
+            | None -> fail dline "unknown gate type %S" fn_name
+            | Some fn ->
+              let fanins =
+                Array.of_list (List.map (resolve ~stack dline) args)
+              in
+              (try Netlist.add_gate net ~name fn fanins
+               with Invalid_argument m -> fail dline "%s" m))
+          | Def_lut (truth, args) ->
+            let fanins = Array.of_list (List.map (resolve ~stack dline) args) in
+            (try Netlist.add_lut net ~name ~truth fanins
+             with Invalid_argument m -> fail dline "%s" m)
+        in
+        (* CONST nodes may be shared and keep their canonical name; alias
+           the target name when it is still free. *)
+        if Netlist.find net name = None then Netlist.rename net id name;
+        Hashtbl.replace ids name id;
+        id)
+  in
+  List.iter (fun target -> ignore (resolve 0 target)) p.order;
+  List.iter
+    (fun (ff_id, d_name, line) ->
+      Netlist.set_fanin net ~node_id:ff_id ~pin:0 ~driver:(resolve line d_name))
+    !ff_patches;
+  List.iter
+    (fun (po, line) ->
+      match Hashtbl.find_opt ids po with
+      | Some id -> Netlist.add_output net po id
+      | None -> fail line "output %S is never defined" po)
+    p.p_outputs;
+  Netlist.validate net;
+  net
+
+let parse ~name text = build ~name (parse_lines text)
+
+let parse_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  let base = Filename.remove_extension (Filename.basename path) in
+  parse ~name:base text
+
+let print net =
+  let buf = Buffer.create 4096 in
+  Printf.bprintf buf "# %s\n" (Netlist.name net);
+  List.iter
+    (fun id -> Printf.bprintf buf "INPUT(%s)\n" (Netlist.node net id).Netlist.name)
+    (Netlist.inputs net);
+  List.iter (fun (po, _) -> Printf.bprintf buf "OUTPUT(%s)\n" po) (Netlist.outputs net);
+  let node_name id = (Netlist.node net id).Netlist.name in
+  (* .bench outputs refer to defined signals; alias a PO whose name is not
+     a node name with a buffer. *)
+  let po_aliases =
+    List.filter (fun (po, d) -> node_name d <> po) (Netlist.outputs net)
+  in
+  List.iter
+    (fun (po, d) -> Printf.bprintf buf "%s = BUFF(%s)\n" po (node_name d))
+    po_aliases;
+  let emit_gate id =
+    let n = Netlist.node net id in
+    let args =
+      String.concat ", " (Array.to_list (Array.map node_name n.Netlist.fanins))
+    in
+    match n.Netlist.kind with
+    | Netlist.Gate fn ->
+      Printf.bprintf buf "%s = %s(%s)\n" n.Netlist.name (Cell.fn_name fn) args
+    | Netlist.Lut truth ->
+      let hex = Buffer.create 8 in
+      let nyb = (Array.length truth + 3) / 4 in
+      for i = nyb - 1 downto 0 do
+        let v = ref 0 in
+        for b = 0 to 3 do
+          let idx = (4 * i) + b in
+          if idx < Array.length truth && truth.(idx) then v := !v lor (1 lsl b)
+        done;
+        Buffer.add_string hex (Printf.sprintf "%x" !v)
+      done;
+      Printf.bprintf buf "%s = LUT 0x%s (%s)\n" n.Netlist.name (Buffer.contents hex) args
+    | Netlist.Input | Netlist.Const _ | Netlist.Ff | Netlist.Dead -> ()
+  in
+  (* Constants that are actually used *)
+  for id = 0 to Netlist.num_nodes net - 1 do
+    match (Netlist.node net id).Netlist.kind with
+    | Netlist.Const b ->
+      Printf.bprintf buf "%s = CONST%d()\n" (node_name id) (Bool.to_int b)
+    | _ -> ()
+  done;
+  List.iter
+    (fun ff ->
+      let n = Netlist.node net ff in
+      Printf.bprintf buf "%s = DFF(%s)\n" n.Netlist.name (node_name n.Netlist.fanins.(0)))
+    (Netlist.ffs net);
+  List.iter emit_gate (Netlist.comb_topo_order net);
+  Buffer.contents buf
+
+let write_file net path =
+  let oc = open_out path in
+  output_string oc (print net);
+  close_out oc

@@ -1,0 +1,34 @@
+(** Reader and writer for the ISCAS-89 [.bench] netlist format.
+
+    This is the interchange format of the IWLS2005/ISCAS benchmark suites
+    the paper evaluates on, and the format the command-line tools accept:
+
+    {v
+    # comment
+    INPUT(G0)
+    OUTPUT(G17)
+    G10 = NAND(G0, G1)
+    G11 = DFF(G10)
+    v}
+
+    Supported primitives: [AND OR NAND NOR XOR XNOR NOT BUF/BUFF MUX DFF
+    CONST0/GND CONST1/VCC].  Gate definitions may appear in any order,
+    including through-flip-flop cycles. *)
+
+exception Parse_error of int * string
+(** line number (1-based) and message *)
+
+(** [parse ~name text] builds a netlist from [.bench] source.
+    @raise Parse_error on malformed input. *)
+val parse : name:string -> string -> Netlist.t
+
+(** [parse_file path] reads and parses a file; the netlist is named after
+    the file's basename. *)
+val parse_file : string -> Netlist.t
+
+(** [print net] renders a netlist back to [.bench] source.  Withheld LUT
+    nodes are emitted as [LUT 0xhh (a, b, ...)] — a common extension. *)
+val print : Netlist.t -> string
+
+(** [write_file net path] writes {!print}'s output to [path]. *)
+val write_file : Netlist.t -> string -> unit

@@ -1,0 +1,97 @@
+type spec = {
+  bname : string;
+  cells : int;
+  ff_count : int;
+  paper_avail_ff : int;
+  paper_avail_ff4 : int;
+  config : Generator.config;
+  clk_margin : float;
+}
+
+let mk bname ~cells ~ffs ~avail ~avail4 ~pis ~pos ~depth ~bias ~margin ~seed =
+  {
+    bname;
+    cells;
+    ff_count = ffs;
+    paper_avail_ff = avail;
+    paper_avail_ff4 = avail4;
+    config =
+      {
+        Generator.gen_name = bname;
+        seed;
+        n_pi = pis;
+        n_po = pos;
+        n_ff = ffs;
+        n_gates = cells - ffs;
+        depth;
+        ff_depth_bias = bias;
+      };
+    clk_margin = margin;
+  }
+
+(* Cell/FF counts are the paper's Table I (post-synthesis); PI/PO counts
+   are the ISCAS'89 interface sizes; depth/bias/margin are tuned so the
+   feasible-FF coverage tracks the paper's column 5. *)
+let specs =
+  [
+    mk "s1238" ~cells:341 ~ffs:18 ~avail:16 ~avail4:4 ~pis:14 ~pos:14
+      ~depth:34 ~bias:0.30 ~margin:1.14 ~seed:1238;
+    mk "s5378" ~cells:775 ~ffs:163 ~avail:104 ~avail4:89 ~pis:35 ~pos:49
+      ~depth:42 ~bias:0.42 ~margin:1.15 ~seed:5378;
+    mk "s9234" ~cells:613 ~ffs:145 ~avail:74 ~avail4:59 ~pis:36 ~pos:39
+      ~depth:50 ~bias:0.58 ~margin:1.02 ~seed:9234;
+    mk "s13207" ~cells:901 ~ffs:330 ~avail:185 ~avail4:36 ~pis:62 ~pos:152
+      ~depth:48 ~bias:0.45 ~margin:1.065 ~seed:13207;
+    mk "s15850" ~cells:447 ~ffs:134 ~avail:58 ~avail4:51 ~pis:77 ~pos:150
+      ~depth:55 ~bias:0.55 ~margin:1.07 ~seed:15850;
+    mk "s38417" ~cells:5397 ~ffs:1564 ~avail:1037 ~avail4:920 ~pis:28
+      ~pos:106 ~depth:50 ~bias:0.40 ~margin:1.015 ~seed:38417;
+    mk "s38584" ~cells:5304 ~ffs:1168 ~avail:924 ~avail4:105 ~pis:38
+      ~pos:304 ~depth:40 ~bias:0.25 ~margin:1.07 ~seed:38584;
+  ]
+
+let find_spec name = List.find_opt (fun s -> s.bname = name) specs
+
+let load spec = Generator.generate spec.config
+
+let by_name name =
+  match find_spec name with
+  | Some s -> load s
+  | None -> raise Not_found
+
+let s27_source =
+  {|# s27 (ISCAS'89)
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NAND(G2, G12)
+|}
+
+let s27 () = Bench_format.parse ~name:"s27" s27_source
+
+let tiny () =
+  Generator.generate
+    {
+      Generator.gen_name = "tiny";
+      seed = 42;
+      n_pi = 6;
+      n_po = 4;
+      n_ff = 8;
+      n_gates = 32;
+      depth = 6;
+      ff_depth_bias = 0.2;
+    }

@@ -1,0 +1,38 @@
+(** The evaluation benchmarks.
+
+    The paper uses seven sequential circuits from the IWLS2005 release of
+    the ISCAS'89 suite, post-synthesis (Table I's cell and FF counts are
+    after Design Compiler optimization).  We cannot redistribute those
+    netlists, so each is reproduced by {!Generator} with the published cell
+    and FF counts and a hand-tuned depth profile (DESIGN.md §2); the tiny
+    public-domain s27 circuit is embedded verbatim for tests and examples. *)
+
+type spec = {
+  bname : string;          (** paper's benchmark name, e.g. ["s5378"] *)
+  cells : int;             (** Table I column 2 *)
+  ff_count : int;          (** Table I column 3 *)
+  paper_avail_ff : int;    (** Table I column 4, for EXPERIMENTS.md *)
+  paper_avail_ff4 : int;   (** Table I column 6 *)
+  config : Generator.config;
+  clk_margin : float;
+      (** clock period = critical path × margin; tuned so the feasible-FF
+          coverage lands near the paper's *)
+}
+
+(** The seven benchmarks of Tables I and II, in paper order. *)
+val specs : spec list
+
+val find_spec : string -> spec option
+
+(** [load spec] generates the benchmark netlist (deterministic). *)
+val load : spec -> Netlist.t
+
+(** [by_name n] is [load (find_spec n)].  @raise Not_found. *)
+val by_name : string -> Netlist.t
+
+(** The ISCAS'89 s27 circuit, embedded verbatim. *)
+val s27 : unit -> Netlist.t
+
+(** A ~40-cell generated circuit used by examples and tests when s27 is too
+    small (e.g. to host several GKs). *)
+val tiny : unit -> Netlist.t

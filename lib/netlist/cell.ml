@@ -1,0 +1,76 @@
+type gate_fn =
+  | Not
+  | Buf
+  | And
+  | Or
+  | Nand
+  | Nor
+  | Xor
+  | Xnor
+  | Mux
+
+let min_arity = function
+  | Not | Buf -> 1
+  | Mux -> 3
+  | And | Or | Nand | Nor | Xor | Xnor -> 2
+
+let arity_ok fn n =
+  match fn with
+  | Not | Buf -> n = 1
+  | Mux -> n = 3
+  | And | Or | Nand | Nor | Xor | Xnor -> n >= 2
+
+let eval fn ins =
+  let n = Array.length ins in
+  if not (arity_ok fn n) then
+    invalid_arg
+      (Printf.sprintf "Cell.eval: arity %d illegal for this function" n);
+  let forall () = Array.for_all Fun.id ins
+  and exists () = Array.exists Fun.id ins
+  and parity () = Array.fold_left (fun acc b -> acc <> b) false ins in
+  match fn with
+  | Not -> not ins.(0)
+  | Buf -> ins.(0)
+  | And -> forall ()
+  | Nand -> not (forall ())
+  | Or -> exists ()
+  | Nor -> not (exists ())
+  | Xor -> parity ()
+  | Xnor -> not (parity ())
+  | Mux -> if ins.(0) then ins.(2) else ins.(1)
+
+let fn_name = function
+  | Not -> "NOT"
+  | Buf -> "BUFF"
+  | And -> "AND"
+  | Or -> "OR"
+  | Nand -> "NAND"
+  | Nor -> "NOR"
+  | Xor -> "XOR"
+  | Xnor -> "XNOR"
+  | Mux -> "MUX"
+
+let fn_of_name s =
+  match String.uppercase_ascii s with
+  | "NOT" | "INV" -> Some Not
+  | "BUF" | "BUFF" -> Some Buf
+  | "AND" -> Some And
+  | "OR" -> Some Or
+  | "NAND" -> Some Nand
+  | "NOR" -> Some Nor
+  | "XOR" -> Some Xor
+  | "XNOR" -> Some Xnor
+  | "MUX" -> Some Mux
+  | _ -> None
+
+type t = {
+  cell_name : string;
+  fn : gate_fn;
+  arity : int;
+  area : float;
+  delay_ps : int;
+}
+
+let pp ppf c =
+  Format.fprintf ppf "%s(%s/%d, %.1fum2, %dps)" c.cell_name (fn_name c.fn)
+    c.arity c.area c.delay_ps

@@ -1,0 +1,53 @@
+(** Combinational gate functions and bound standard cells.
+
+    A {!gate_fn} is the Boolean function a netlist node computes; a {!t} is a
+    concrete standard cell from {!Cell_lib} bound to such a node, carrying
+    physical area and a pin-to-pin delay.  Keeping function and cell separate
+    mirrors the synthesis flow of the paper: locking transforms manipulate
+    functions, then {i technology mapping} ({!Cell_lib.bind}) chooses cells,
+    and only bound cells contribute to Table II's area numbers. *)
+
+(** Supported gate functions.
+
+    [And]/[Or]/[Nand]/[Nor] accept two or more inputs; [Xor]/[Xnor] are
+    parity / complemented parity over two or more inputs; [Not]/[Buf] are
+    unary.  [Mux] has exactly three inputs [[| sel; a; b |]] and computes
+    [if sel then b else a]. *)
+type gate_fn =
+  | Not
+  | Buf
+  | And
+  | Or
+  | Nand
+  | Nor
+  | Xor
+  | Xnor
+  | Mux
+
+(** Minimum number of inputs the function accepts. *)
+val min_arity : gate_fn -> int
+
+(** Whether [n] inputs is a legal arity for the function. *)
+val arity_ok : gate_fn -> int -> bool
+
+(** Evaluate the function on Boolean inputs.
+    @raise Invalid_argument on an illegal arity. *)
+val eval : gate_fn -> bool array -> bool
+
+(** Short upper-case name as used by the ISCAS [.bench] format
+    (e.g. ["NAND"], ["BUFF"]). *)
+val fn_name : gate_fn -> string
+
+(** Inverse of {!fn_name} (case-insensitive); [None] for unknown names. *)
+val fn_of_name : string -> gate_fn option
+
+(** A concrete standard cell. *)
+type t = {
+  cell_name : string;  (** library name, e.g. ["NAND2X1"] *)
+  fn : gate_fn;
+  arity : int;
+  area : float;        (** µm² *)
+  delay_ps : int;      (** worst pin-to-pin propagation delay *)
+}
+
+val pp : Format.formatter -> t -> unit

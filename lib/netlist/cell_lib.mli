@@ -1,0 +1,52 @@
+(** A synthetic 0.13 µm-class standard-cell library.
+
+    The paper maps designs onto the TSMC 0.13 µm CL013G 1.2 V SAGE-X library,
+    which we cannot redistribute.  This module provides a stand-in with the
+    same {i structure}: a family of combinational cells with areas and delays
+    in realistic ratios for that node, a D flip-flop with setup/hold/clk-to-Q
+    parameters, and a family of delay buffers ("DLY" cells) from which
+    {!Gklock_flow.Delay_synth} composes the delay elements of GKs and
+    KEYGENs.  Absolute numbers differ from TSMC's; every experiment in the
+    paper depends only on ratios (overhead percentages) or on slack
+    structure, both of which are preserved.  See DESIGN.md §2. *)
+
+(** All combinational cells, smallest-drive first within a function. *)
+val cells : Cell.t list
+
+(** [bind fn arity] picks the library cell implementing [fn] with [arity]
+    inputs.  For arities above the widest stocked cell the result is a
+    synthesized estimate (area and delay extrapolated), mirroring how a
+    technology mapper would decompose wide gates.
+    @raise Invalid_argument if [arity] is illegal for [fn]. *)
+val bind : Cell.gate_fn -> int -> Cell.t
+
+(** [find name] looks a cell up by library name. *)
+val find : string -> Cell.t option
+
+(** The D flip-flop cell: area and clock-to-Q delay are in [Cell.t];
+    [dff_setup_ps]/[dff_hold_ps] complete its timing model. *)
+val dff : Cell.t
+
+val dff_setup_ps : int
+val dff_hold_ps : int
+val dff_clk2q_ps : int
+
+(** Area charged for a withheld LUT of [k] inputs (Sec. V-D): an SRAM-based
+    table grows as 2^k. *)
+val lut_area : int -> float
+
+(** Delay charged for a withheld LUT of [k] inputs. *)
+val lut_delay_ps : int -> int
+
+(** Cells usable as pure delay elements ([Buf]/[Not] function), largest
+    delay first.  [`Standard] is the default mix the paper's flow would find
+    in a commercial library (X1 buffer/inverter plus DLY cells);
+    [`Buffers_only] restricts to plain X1 buffers/inverters (the pessimal
+    composition); [`Custom] models the paper's future-work "customized delay
+    elements" as single cells of arbitrary delay. *)
+val delay_cells : [ `Standard | `Buffers_only ] -> Cell.t list
+
+(** A one-off customized delay cell of exactly [ps] picoseconds, with area
+    interpolated from the DLY family.  Models the paper's future-work
+    scenario. *)
+val custom_delay_cell : int -> Cell.t

@@ -1,0 +1,36 @@
+(** Seeded synthetic sequential-circuit generator.
+
+    The paper evaluates on post-synthesis IWLS2005/ISCAS'89 netlists mapped
+    to a proprietary TSMC library; we cannot ship those.  Table I counts
+    feasible GK sites given per-FF slack, and Table II measures added
+    cells/area relative to a baseline — both are functions of circuit
+    {i statistics} (cell count, FF count, logic-depth distribution), not of
+    the exact Boolean functions.  This generator synthesizes circuits that
+    match those statistics deterministically from a seed (see DESIGN.md §2).
+
+    Construction: gates are assigned to logic stages [1..depth] (triangular
+    distribution, denser near shallow stages as in mapped designs), each
+    picking fanins from strictly shallower stages so the result is acyclic
+    by construction; flip-flop D pins and primary outputs then sample gates
+    across the full stage range, giving the spread of arrival times that
+    Table I's coverage percentages depend on. *)
+
+type config = {
+  gen_name : string;
+  seed : int;
+  n_pi : int;
+  n_po : int;
+  n_ff : int;
+  n_gates : int;
+  depth : int;
+      (** target combinational depth (stages of gates between sources and
+          sinks) *)
+  ff_depth_bias : float;
+      (** in [0,1]: 0 samples FF D pins uniformly over stages, 1 biases them
+          toward deep stages.  Controls what fraction of FFs has slack for a
+          1 ns glitch, i.e. Table I's coverage. *)
+}
+
+(** [generate cfg] builds the circuit.  The same [cfg] always yields the
+    identical netlist.  The result is validated. *)
+val generate : config -> Netlist.t

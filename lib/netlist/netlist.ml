@@ -1,0 +1,358 @@
+
+
+type kind =
+  | Input
+  | Const of bool
+  | Gate of Cell.gate_fn
+  | Lut of bool array
+  | Ff
+  | Dead
+
+type node = {
+  id : int;
+  mutable name : string;
+  mutable kind : kind;
+  mutable fanins : int array;
+  mutable cell : Cell.t option;
+}
+
+type po = { po_name : string; mutable driver : int }
+
+type t = {
+  net_name : string;
+  nodes : node Vec.t;
+  pos : po Vec.t;
+  by_name : (string, int) Hashtbl.t;
+  mutable const0 : int;
+  mutable const1 : int;
+}
+
+let create net_name =
+  {
+    net_name;
+    nodes = Vec.create ();
+    pos = Vec.create ();
+    by_name = Hashtbl.create 64;
+    const0 = -1;
+    const1 = -1;
+  }
+
+let name t = t.net_name
+
+let num_nodes t = Vec.length t.nodes
+
+let node t id =
+  if id < 0 || id >= num_nodes t then
+    invalid_arg (Printf.sprintf "Netlist.node: bad id %d" id);
+  Vec.get t.nodes id
+
+let fresh_name id = Printf.sprintf "n%d" id
+
+let register_name t name id =
+  if Hashtbl.mem t.by_name name then
+    invalid_arg (Printf.sprintf "Netlist: duplicate node name %S" name);
+  Hashtbl.replace t.by_name name id
+
+let add_node t ?name kind fanins cell =
+  let id = num_nodes t in
+  let name =
+    match name with
+    | Some n -> n
+    | None ->
+      (* Auto names may collide with preserved names after renames or
+         compaction; probe until free. *)
+      let rec probe k =
+        let candidate =
+          if k = 0 then fresh_name id else Printf.sprintf "n%d_%d" id k
+        in
+        if Hashtbl.mem t.by_name candidate then probe (k + 1) else candidate
+      in
+      probe 0
+  in
+  register_name t name id;
+  let n = { id; name; kind; fanins; cell } in
+  Vec.push t.nodes n;
+  id
+
+let check_fanins t fanins =
+  Array.iter
+    (fun f ->
+      if f < 0 || f >= num_nodes t then
+        invalid_arg (Printf.sprintf "Netlist: unknown fanin id %d" f))
+    fanins
+
+let add_input t n = add_node t ~name:n Input [||] None
+
+let add_const t b =
+  let cached = if b then t.const1 else t.const0 in
+  if cached >= 0 then cached
+  else begin
+    let id = add_node t (Const b) [||] None in
+    if b then t.const1 <- id else t.const0 <- id;
+    id
+  end
+
+let add_gate t ?name ?cell fn fanins =
+  check_fanins t fanins;
+  let arity = Array.length fanins in
+  if not (Cell.arity_ok fn arity) then
+    invalid_arg
+      (Printf.sprintf "Netlist.add_gate: arity %d illegal for %s" arity
+         (Cell.fn_name fn));
+  let cell = match cell with Some c -> c | None -> Cell_lib.bind fn arity in
+  add_node t ?name (Gate fn) fanins (Some cell)
+
+let add_lut t ?name ~truth fanins =
+  check_fanins t fanins;
+  let arity = Array.length fanins in
+  if Array.length truth <> 1 lsl arity then
+    invalid_arg "Netlist.add_lut: truth table size mismatch";
+  add_node t ?name (Lut truth) fanins None
+
+let add_ff t ?name d =
+  check_fanins t [| d |];
+  add_node t ?name Ff [| d |] (Some Cell_lib.dff)
+
+let add_output t n driver =
+  check_fanins t [| driver |];
+  if Vec.exists (fun po -> po.po_name = n) t.pos then
+    invalid_arg (Printf.sprintf "Netlist: duplicate output %S" n);
+  Vec.push t.pos { po_name = n; driver }
+
+let find t n = Hashtbl.find_opt t.by_name n
+
+let outputs t = Vec.fold (fun acc po -> (po.po_name, po.driver) :: acc) [] t.pos |> List.rev
+
+let set_output_driver t po_name driver =
+  check_fanins t [| driver |];
+  let found = ref false in
+  Vec.iter
+    (fun po -> if po.po_name = po_name then begin po.driver <- driver; found := true end)
+    t.pos;
+  if not !found then
+    invalid_arg (Printf.sprintf "Netlist: no output named %S" po_name)
+
+let remove_output t po_name =
+  if not (Vec.exists (fun po -> po.po_name = po_name) t.pos) then
+    invalid_arg (Printf.sprintf "Netlist: no output named %S" po_name);
+  let remaining = Vec.fold (fun acc po -> if po.po_name = po_name then acc else po :: acc) [] t.pos in
+  Vec.clear t.pos;
+  List.iter (Vec.push t.pos) (List.rev remaining)
+
+let collect t pred =
+  Vec.fold (fun acc n -> if pred n then n.id :: acc else acc) [] t.nodes
+  |> List.rev
+
+let inputs t = collect t (fun n -> n.kind = Input)
+
+let ffs t = collect t (fun n -> n.kind = Ff)
+
+let is_comb n = match n.kind with Gate _ | Lut _ -> true | Input | Const _ | Ff | Dead -> false
+
+let set_fanin t ~node_id ~pin ~driver =
+  check_fanins t [| driver |];
+  let n = node t node_id in
+  if pin < 0 || pin >= Array.length n.fanins then
+    invalid_arg "Netlist.set_fanin: bad pin";
+  n.fanins.(pin) <- driver
+
+let widen_gate t ~node_id ~extra_driver =
+  check_fanins t [| extra_driver |];
+  let n = node t node_id in
+  match n.kind with
+  | Gate ((And | Or | Nand | Nor | Xor | Xnor) as fn) ->
+    n.fanins <- Array.append n.fanins [| extra_driver |];
+    n.cell <- Some (Cell_lib.bind fn (Array.length n.fanins))
+  | Gate (Not | Buf | Mux) | Input | Const _ | Lut _ | Ff | Dead ->
+    invalid_arg "Netlist.widen_gate: not a variadic gate"
+
+let rename t id n =
+  let nd = node t id in
+  if nd.name = n then ()
+  else begin
+    register_name t n id;
+    Hashtbl.remove t.by_name nd.name;
+    nd.name <- n
+  end
+
+let kill t id =
+  let n = node t id in
+  Hashtbl.remove t.by_name n.name;
+  n.kind <- Dead;
+  n.fanins <- [||];
+  n.cell <- None;
+  if t.const0 = id then t.const0 <- -1;
+  if t.const1 = id then t.const1 <- -1
+
+let replace_uses t ~old_id ~new_id =
+  check_fanins t [| old_id; new_id |];
+  Vec.iter
+    (fun n ->
+      Array.iteri (fun pin f -> if f = old_id then n.fanins.(pin) <- new_id) n.fanins)
+    t.nodes;
+  Vec.iter (fun po -> if po.driver = old_id then po.driver <- new_id) t.pos
+
+let copy t =
+  let t' = create t.net_name in
+  Vec.iter
+    (fun n ->
+      let kind =
+        match n.kind with
+        | Lut truth -> Lut (Array.copy truth)
+        | (Input | Const _ | Gate _ | Ff | Dead) as k -> k
+      in
+      let id =
+        add_node t' ~name:n.name kind (Array.copy n.fanins) n.cell
+      in
+      assert (id = n.id);
+      (match n.kind with
+      | Const false -> t'.const0 <- id
+      | Const true -> t'.const1 <- id
+      | Input | Gate _ | Lut _ | Ff | Dead -> ())
+      )
+    t.nodes;
+  (* Dead nodes keep a registered name in the copy; drop it to mirror the
+     original's table. *)
+  Vec.iter
+    (fun n -> if n.kind = Dead then Hashtbl.remove t'.by_name n.name)
+    t'.nodes;
+  Vec.iter (fun po -> Vec.push t'.pos { po_name = po.po_name; driver = po.driver }) t.pos;
+  t'
+
+let compact t =
+  let remap = Array.make (num_nodes t) (-1) in
+  let t' = create t.net_name in
+  Vec.iter
+    (fun n ->
+      match n.kind with
+      | Dead -> ()
+      | Input -> remap.(n.id) <- add_input t' n.name
+      | Const b ->
+        let id = add_const t' b in
+        (try rename t' id n.name with Invalid_argument _ -> ());
+        remap.(n.id) <- id
+      | Gate _ | Lut _ | Ff ->
+        (* Fanins may point forward (splice insertions), so allocate a
+           placeholder now and patch fanins in a second pass. *)
+        remap.(n.id) <-
+          add_node t' ~name:n.name
+            (match n.kind with Lut tt -> Lut (Array.copy tt) | k -> k)
+            (Array.copy n.fanins) n.cell)
+    t.nodes;
+  Vec.iter
+    (fun n ->
+      if n.kind <> Dead then begin
+        let n' = node t' remap.(n.id) in
+        Array.iteri
+          (fun pin f ->
+            if remap.(f) < 0 then
+              failwith
+                (Printf.sprintf "Netlist.compact: live node %s uses dead node %d"
+                   n.name f);
+            n'.fanins.(pin) <- remap.(f))
+          n.fanins
+      end)
+    t.nodes;
+  Vec.iter
+    (fun po ->
+      if remap.(po.driver) < 0 then
+        failwith
+          (Printf.sprintf "Netlist.compact: output %s driven by dead node"
+             po.po_name);
+      Vec.push t'.pos { po_name = po.po_name; driver = remap.(po.driver) })
+    t.pos;
+  (t', remap)
+
+let fanout_table t =
+  let table = Array.make (num_nodes t) [] in
+  Vec.iter
+    (fun n ->
+      Array.iteri (fun pin f -> table.(f) <- (n.id, pin) :: table.(f)) n.fanins)
+    t.nodes;
+  table
+
+(* Topological order of combinational nodes: sources (inputs, constants,
+   flip-flop Q pins) are not listed; every Gate/Lut appears after all of its
+   combinational fanins.  Flip-flop D pins are sinks, so sequential loops
+   are legal; purely combinational cycles are an error. *)
+let comb_topo_order t =
+  let n = num_nodes t in
+  let state = Array.make n 0 in
+  (* 0 = unvisited, 1 = on stack, 2 = done *)
+  let order = ref [] in
+  let rec visit id =
+    let nd = node t id in
+    if not (is_comb nd) then ()
+    else
+      match state.(id) with
+      | 2 -> ()
+      | 1 ->
+        failwith
+          (Printf.sprintf "Netlist: combinational cycle through node %s" nd.name)
+      | _ ->
+        state.(id) <- 1;
+        Array.iter visit nd.fanins;
+        state.(id) <- 2;
+        order := id :: !order
+  in
+  for id = 0 to n - 1 do
+    visit id
+  done;
+  List.rev !order
+
+let validate t =
+  Vec.iter
+    (fun n ->
+      let bad msg = failwith (Printf.sprintf "Netlist %s: node %s: %s" t.net_name n.name msg) in
+      Array.iter
+        (fun f ->
+          if f < 0 || f >= num_nodes t then bad "fanin out of range"
+          else if (node t f).kind = Dead then bad "fanin is dead")
+        n.fanins;
+      match n.kind with
+      | Input | Const _ ->
+        if Array.length n.fanins <> 0 then bad "source with fanins"
+      | Gate fn ->
+        if not (Cell.arity_ok fn (Array.length n.fanins)) then bad "bad arity"
+      | Lut truth ->
+        if Array.length truth <> 1 lsl Array.length n.fanins then
+          bad "LUT truth-table size mismatch"
+      | Ff -> if Array.length n.fanins <> 1 then bad "flip-flop needs exactly D"
+      | Dead -> ())
+    t.nodes;
+  ignore (comb_topo_order t)
+
+let eval_comb t assignment =
+  let values = Array.make (num_nodes t) false in
+  Vec.iter
+    (fun n ->
+      match n.kind with
+      | Input | Ff -> values.(n.id) <- assignment n.id
+      | Const b -> values.(n.id) <- b
+      | Gate _ | Lut _ | Dead -> ())
+    t.nodes;
+  List.iter
+    (fun id ->
+      let n = node t id in
+      let ins = Array.map (fun f -> values.(f)) n.fanins in
+      match n.kind with
+      | Gate fn -> values.(id) <- Cell.eval fn ins
+      | Lut truth ->
+        let idx = ref 0 in
+        Array.iteri (fun i b -> if b then idx := !idx lor (1 lsl i)) ins;
+        values.(id) <- truth.(!idx)
+      | Input | Const _ | Ff | Dead -> assert false)
+    (comb_topo_order t);
+  values
+
+let pp_kind ppf = function
+  | Input -> Format.pp_print_string ppf "input"
+  | Const b -> Format.fprintf ppf "const%d" (Bool.to_int b)
+  | Gate fn -> Format.pp_print_string ppf (Cell.fn_name fn)
+  | Lut tt -> Format.fprintf ppf "lut%d" (Array.length tt)
+  | Ff -> Format.pp_print_string ppf "dff"
+  | Dead -> Format.pp_print_string ppf "dead"
+
+let pp_node ppf n =
+  Format.fprintf ppf "%d:%s=%a(%s)" n.id n.name pp_kind n.kind
+    (String.concat "," (Array.to_list (Array.map string_of_int n.fanins)))

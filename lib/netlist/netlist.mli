@@ -1,0 +1,147 @@
+(** Gate-level sequential netlists.
+
+    A netlist is a mutable graph of nodes identified by dense integer ids.
+    Node kinds are primary inputs, constants, combinational gates, withheld
+    LUTs (Sec. V-D of the paper), and D flip-flops.  A flip-flop node's
+    single fanin is its D pin and the node's own value is its Q output; all
+    flip-flops share one implicit clock.  Primary outputs are named pointers
+    to driver nodes.
+
+    The locking transforms of {!Gklock_locking} work by splicing nodes into
+    fanin arrays ({!set_fanin}) and by redirecting outputs; they never need
+    to delete nodes.  Optimization passes that do remove logic
+    ({!Gklock_flow.Synth}) mark nodes [Dead] and then {!compact}. *)
+
+type kind =
+  | Input
+  | Const of bool
+  | Gate of Cell.gate_fn
+  | Lut of bool array
+      (** withheld lookup table; [Lut tt] with [n] fanins has
+          [Array.length tt = 1 lsl n], indexed with fanin 0 as the least
+          significant bit *)
+  | Ff  (** D flip-flop: fanins = [[| d |]], value is Q *)
+  | Dead  (** removed by an optimization pass; never referenced *)
+
+type node = private {
+  id : int;
+  mutable name : string;
+  mutable kind : kind;
+  mutable fanins : int array;
+  mutable cell : Cell.t option;
+}
+
+type t
+
+(** {1 Construction} *)
+
+(** [create name] is an empty netlist called [name]. *)
+val create : string -> t
+
+val name : t -> string
+
+(** [add_input t n] adds primary input [n].
+    @raise Invalid_argument if the name is taken. *)
+val add_input : t -> string -> int
+
+(** [add_const t b] adds (or reuses) the constant-[b] node. *)
+val add_const : t -> bool -> int
+
+(** [add_gate t ?name ?cell fn fanins] adds a combinational gate.  When
+    [cell] is omitted the default library cell for [fn] and the arity is
+    bound.  @raise Invalid_argument on an illegal arity or unknown fanin. *)
+val add_gate : t -> ?name:string -> ?cell:Cell.t -> Cell.gate_fn -> int array -> int
+
+(** [add_lut t ?name ~truth fanins] adds a withheld LUT node. *)
+val add_lut : t -> ?name:string -> truth:bool array -> int array -> int
+
+(** [add_ff t ?name d] adds a D flip-flop fed by node [d]. *)
+val add_ff : t -> ?name:string -> int -> int
+
+(** [add_output t n driver] declares primary output [n] driven by [driver]. *)
+val add_output : t -> string -> int -> unit
+
+(** {1 Access} *)
+
+val node : t -> int -> node
+
+(** Number of node slots, including dead ones; valid ids are
+    [0 .. num_nodes - 1]. *)
+val num_nodes : t -> int
+
+(** [find t n] is the id of the node named [n]. *)
+val find : t -> string -> int option
+
+val outputs : t -> (string * int) list
+
+(** [set_output_driver t po_name driver] redirects a primary output. *)
+val set_output_driver : t -> string -> int -> unit
+
+(** [remove_output t po_name] deletes a primary-output declaration (the
+    driver node itself is untouched).  @raise Invalid_argument if no such
+    output exists. *)
+val remove_output : t -> string -> unit
+
+val inputs : t -> int list
+(** Primary-input ids in declaration order. *)
+
+val ffs : t -> int list
+(** Flip-flop ids in declaration order. *)
+
+val is_comb : node -> bool
+(** True for [Gate] and [Lut] nodes. *)
+
+(** {1 Mutation} *)
+
+(** [set_fanin t ~node_id ~pin ~driver] rewires one fanin pin. *)
+val set_fanin : t -> node_id:int -> pin:int -> driver:int -> unit
+
+(** [widen_gate t ~node_id ~extra_driver] appends one fanin to a variadic
+    gate ([And]/[Or]/[Nand]/[Nor]/[Xor]/[Xnor]) and rebinds its cell for
+    the new arity.  @raise Invalid_argument on fixed-arity kinds. *)
+val widen_gate : t -> node_id:int -> extra_driver:int -> unit
+
+(** [rename t id n] renames a node.  @raise Invalid_argument if taken. *)
+val rename : t -> int -> string -> unit
+
+(** [kill t id] marks a node [Dead].  The caller must have removed every
+    reference first ({!fanout_table} helps). *)
+val kill : t -> int -> unit
+
+(** [replace_uses t ~old_id ~new_id] redirects every fanin pin and output
+    that referenced [old_id] to [new_id]. *)
+val replace_uses : t -> old_id:int -> new_id:int -> unit
+
+(** {1 Whole-netlist operations} *)
+
+(** Deep copy (ids preserved). *)
+val copy : t -> t
+
+(** [compact t] is a fresh netlist without [Dead] slots.  Returns the new
+    netlist and the old-id → new-id mapping ([-1] for dead nodes). *)
+val compact : t -> t * int array
+
+(** [fanout_table t] maps each id to the list of (consumer id, pin)
+    pairs; primary outputs are not included. *)
+val fanout_table : t -> (int * int) list array
+
+(** [validate t] checks arities, fanin references, LUT sizes, and
+    combinational acyclicity.  @raise Failure with a diagnostic if broken. *)
+val validate : t -> unit
+
+(** [comb_topo_order t] lists every combinational node ([Gate]/[Lut]) such
+    that each appears after all of its combinational fanins.  Sources
+    (inputs, constants, flip-flop Q outputs) are omitted.  Sequential loops
+    through flip-flops are legal; a purely combinational cycle raises
+    [Failure]. *)
+val comb_topo_order : t -> int list
+
+(** [eval_comb t assignment] evaluates every node given Boolean values for
+    inputs, constants and flip-flop outputs: [assignment id] must be
+    provided for [Input] and [Ff] nodes, and is the node's value.  The
+    result array is indexed by id (dead nodes map to [false]).  Used as the
+    zero-delay functional semantics and as the SAT-attack oracle. *)
+val eval_comb : t -> (int -> bool) -> bool array
+
+val pp_kind : Format.formatter -> kind -> unit
+val pp_node : Format.formatter -> node -> unit

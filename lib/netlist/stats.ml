@@ -1,0 +1,56 @@
+type t = {
+  cells : int;
+  gates : int;
+  ffs : int;
+  pis : int;
+  pos : int;
+  area : float;
+  depth : int;
+}
+
+let of_netlist net =
+  let gates = ref 0 and ffs = ref 0 and pis = ref 0 in
+  let area = ref 0.0 in
+  for id = 0 to Netlist.num_nodes net - 1 do
+    let n = Netlist.node net id in
+    match n.Netlist.kind with
+    | Netlist.Input -> incr pis
+    | Netlist.Const _ | Netlist.Dead -> ()
+    | Netlist.Gate _ ->
+      incr gates;
+      (match n.Netlist.cell with
+      | Some c -> area := !area +. c.Cell.area
+      | None -> ())
+    | Netlist.Lut truth ->
+      incr gates;
+      let k =
+        (* log2 of the table size *)
+        let rec go k = if 1 lsl k >= Array.length truth then k else go (k + 1) in
+        go 0
+      in
+      area := !area +. Cell_lib.lut_area k
+    | Netlist.Ff ->
+      incr ffs;
+      area := !area +. Cell_lib.dff.Cell.area
+  done;
+  {
+    cells = !gates + !ffs;
+    gates = !gates;
+    ffs = !ffs;
+    pis = !pis;
+    pos = List.length (Netlist.outputs net);
+    area = !area;
+    depth = Topo.depth net;
+  }
+
+let overhead ~baseline ~locked =
+  let pct now base =
+    if base = 0.0 then 0.0 else (now -. base) /. base *. 100.0
+  in
+  ( pct (float_of_int locked.cells) (float_of_int baseline.cells),
+    pct locked.area baseline.area )
+
+let pp ppf s =
+  Format.fprintf ppf
+    "cells=%d (gates=%d ffs=%d) pis=%d pos=%d area=%.1fum2 depth=%d" s.cells
+    s.gates s.ffs s.pis s.pos s.area s.depth

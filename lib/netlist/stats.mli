@@ -1,0 +1,24 @@
+(** Cell-count and area accounting — the quantities of Tables I and II.
+
+    "Cell" follows the paper's convention: every mapped standard cell, i.e.
+    combinational gates plus flip-flops, excluding primary inputs, outputs
+    and constants.  Withheld LUTs count as one cell with the SRAM-table area
+    of {!Cell_lib.lut_area}. *)
+
+type t = {
+  cells : int;          (** mapped cells: gates + LUTs + flip-flops *)
+  gates : int;          (** combinational gates and LUTs only *)
+  ffs : int;            (** flip-flops *)
+  pis : int;
+  pos : int;
+  area : float;         (** total cell area, µm² *)
+  depth : int;          (** combinational logic depth *)
+}
+
+val of_netlist : Netlist.t -> t
+
+(** [overhead ~baseline ~locked] is the pair (cell overhead %, area
+    overhead %) as reported in Table II. *)
+val overhead : baseline:t -> locked:t -> float * float
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,90 @@
+let levels t =
+  let n = Netlist.num_nodes t in
+  let lv = Array.make n 0 in
+  for id = 0 to n - 1 do
+    if (Netlist.node t id).kind = Netlist.Dead then lv.(id) <- -1
+  done;
+  List.iter
+    (fun id ->
+      let nd = Netlist.node t id in
+      let deepest =
+        Array.fold_left
+          (fun acc f ->
+            let fd = Netlist.node t f in
+            if Netlist.is_comb fd then max acc lv.(f) else max acc 0)
+          0 nd.fanins
+      in
+      lv.(id) <- deepest + 1)
+    (Netlist.comb_topo_order t);
+  lv
+
+let depth t =
+  let lv = levels t in
+  let at id = if id >= 0 then max 0 lv.(id) else 0 in
+  let from_pos =
+    List.fold_left (fun acc (_, d) -> max acc (at d)) 0 (Netlist.outputs t)
+  in
+  List.fold_left
+    (fun acc ff -> max acc (at (Netlist.node t ff).fanins.(0)))
+    from_pos (Netlist.ffs t)
+
+(* Generic forward reachability: which primary outputs does each node reach?
+   [cross_ff] decides whether a flip-flop propagates its D reachability to
+   its Q output. *)
+let reach_outputs t ~cross_ff start =
+  let n = Netlist.num_nodes t in
+  let fanouts = Netlist.fanout_table t in
+  let seen = Array.make n false in
+  let queue = Queue.create () in
+  Queue.push start queue;
+  seen.(start) <- true;
+  while not (Queue.is_empty queue) do
+    let id = Queue.pop queue in
+    List.iter
+      (fun (consumer, _pin) ->
+        let c = Netlist.node t consumer in
+        let propagate =
+          match c.Netlist.kind with
+          | Netlist.Ff -> cross_ff
+          | Netlist.Gate _ | Netlist.Lut _ -> true
+          | Netlist.Input | Netlist.Const _ | Netlist.Dead -> false
+        in
+        if propagate && not seen.(consumer) then begin
+          seen.(consumer) <- true;
+          Queue.push consumer queue
+        end)
+      fanouts.(id)
+  done;
+  List.filter_map
+    (fun (po_name, driver) -> if seen.(driver) then Some po_name else None)
+    (Netlist.outputs t)
+
+let output_cone t id = reach_outputs t ~cross_ff:true id
+
+let comb_output_cone t id = reach_outputs t ~cross_ff:false id
+
+let fanin_cone t id =
+  let seen = Hashtbl.create 64 in
+  let rec visit id =
+    if not (Hashtbl.mem seen id) then begin
+      Hashtbl.replace seen id ();
+      let nd = Netlist.node t id in
+      if Netlist.is_comb nd then Array.iter visit nd.fanins
+    end
+  in
+  visit id;
+  Hashtbl.fold (fun id () acc -> id :: acc) seen []
+  |> List.sort compare
+
+let group_ffs_by_cone t =
+  let buckets = Hashtbl.create 16 in
+  List.iter
+    (fun ff ->
+      let signature =
+        String.concat "\x00" (List.sort compare (comb_output_cone t ff))
+      in
+      let existing = Option.value (Hashtbl.find_opt buckets signature) ~default:[] in
+      Hashtbl.replace buckets signature (ff :: existing))
+    (Netlist.ffs t);
+  Hashtbl.fold (fun _ ffs acc -> List.rev ffs :: acc) buckets []
+  |> List.sort (fun a b -> compare (List.length b) (List.length a))

@@ -1,0 +1,63 @@
+let frames src ~k ~share ~init =
+  if k < 1 then invalid_arg "Unroll.frames: need at least one frame";
+  let out = Netlist.create (Netlist.name src ^ Printf.sprintf "_x%d" k) in
+  let shared_ids = Hashtbl.create 8 in
+  (* state value feeding each FF's Q in the current frame *)
+  let state : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  (match init with
+  | `Zero ->
+    List.iter
+      (fun ff -> Hashtbl.replace state ff (Netlist.add_const out false))
+      (Netlist.ffs src)
+  | `Free ->
+    List.iter
+      (fun ff ->
+        let name = "s0_" ^ (Netlist.node src ff).Netlist.name in
+        Hashtbl.replace state ff (Netlist.add_input out name))
+      (Netlist.ffs src));
+  for frame = 0 to k - 1 do
+    let tag = Printf.sprintf "f%d_" frame in
+    let map = Hashtbl.create 64 in
+    let rec import id =
+      match Hashtbl.find_opt map id with
+      | Some id' -> id'
+      | None ->
+        let nd = Netlist.node src id in
+        let id' =
+          match nd.Netlist.kind with
+          | Netlist.Input ->
+            if share nd.Netlist.name then begin
+              match Hashtbl.find_opt shared_ids nd.Netlist.name with
+              | Some v -> v
+              | None ->
+                let v = Netlist.add_input out nd.Netlist.name in
+                Hashtbl.replace shared_ids nd.Netlist.name v;
+                v
+            end
+            else Netlist.add_input out (tag ^ nd.Netlist.name)
+          | Netlist.Const b -> Netlist.add_const out b
+          | Netlist.Ff -> Hashtbl.find state id
+          | Netlist.Gate fn ->
+            Netlist.add_gate out ?cell:nd.Netlist.cell fn
+              (Array.map import nd.Netlist.fanins)
+          | Netlist.Lut truth ->
+            Netlist.add_lut out ~truth:(Array.copy truth)
+              (Array.map import nd.Netlist.fanins)
+          | Netlist.Dead -> invalid_arg "Unroll.frames: dead node referenced"
+        in
+        Hashtbl.replace map id id';
+        id'
+    in
+    List.iter
+      (fun (po, d) -> Netlist.add_output out (tag ^ po) (import d))
+      (Netlist.outputs src);
+    (* next state: D functions of this frame *)
+    let next =
+      List.map
+        (fun ff -> (ff, import (Netlist.node src ff).Netlist.fanins.(0)))
+        (Netlist.ffs src)
+    in
+    List.iter (fun (ff, v) -> Hashtbl.replace state ff v) next
+  done;
+  Netlist.validate out;
+  out

@@ -1,0 +1,25 @@
+(** Time-frame expansion of sequential netlists.
+
+    Unrolls a sequential circuit into [k] combinational frames: frame [i]'s
+    flip-flop values are frame [i-1]'s D functions (frame 0 starts from
+    the all-zero reset state or from free state inputs).  Inputs selected
+    by [share] appear once and feed every frame — how key inputs stay
+    common across time.
+
+    This is the standard alternative to the scan-based threat model: an
+    attacker without scan access can still SAT-attack the unrolled
+    circuit against input/output {i sequences} of the working chip
+    ({!Gklock_attacks.Seq_attack}).  It also generalizes the two-frame
+    TCF construction of {!Gklock_attacks.Tcf}. *)
+
+(** [frames net ~k ~share ~init] builds the unrolled combinational
+    netlist.  Per-frame inputs and outputs are prefixed [f<i>_]; shared
+    inputs keep their names; with [init = `Free] the initial state appears
+    as inputs [s0_<ff>].
+    @raise Invalid_argument if [k < 1]. *)
+val frames :
+  Netlist.t ->
+  k:int ->
+  share:(string -> bool) ->
+  init:[ `Zero | `Free ] ->
+  Netlist.t

@@ -1,0 +1,30 @@
+(** Structural-Verilog interchange.
+
+    The paper's flow starts from "the original design described in
+    Verilog"; this module reads and writes the structural subset every
+    gate-level tool speaks: one module, [input]/[output]/[wire]
+    declarations, cell instances of the {!Cell_lib} library with named
+    pin connections, Verilog gate primitives, and [assign] aliases.
+
+    Pin conventions (what the writer emits and the reader accepts):
+    combinational cells drive [Y] and read [A], [B], [C], ... in fanin
+    order; the MUX reads its select on [S], its select-0 input on [A]
+    and select-1 on [B]; the flip-flop is [DFFX1 (.Q(q), .D(d), .CK(clk))]
+    with the single implicit clock net [clk].  Withheld LUTs are expanded
+    into sum-of-products gates on output (their contents are not meant to
+    survive an interchange anyway). *)
+
+exception Parse_error of int * string
+
+(** [print net] renders one Verilog module named after the netlist. *)
+val print : Netlist.t -> string
+
+(** [parse ~name text] reads one structural module.  Gate primitives
+    ([and], [nand], [or], [nor], [xor], [xnor], [not], [buf]) and library
+    cell instances are both accepted; [assign x = y], [assign x = ~y],
+    [assign x = 1'b0/1'b1] create buffers/inverters/constants.
+    @raise Parse_error with a line number on malformed input. *)
+val parse : name:string -> string -> Netlist.t
+
+val write_file : Netlist.t -> string -> unit
+val parse_file : string -> Netlist.t

@@ -1,0 +1,205 @@
+(* Nodes are integers: 0 = false, 1 = true, and k >= 2 indexes the
+   (var, lo, hi) triple arrays.  Complement edges are not used; the
+   structure stays textbook-simple.  Reduction invariants: hi <> lo for
+   every stored node, and the unique table guarantees sharing. *)
+
+type t = int
+
+type man = {
+  n : int;
+  mutable var_ : int array;   (* per node *)
+  mutable lo : int array;
+  mutable hi : int array;
+  mutable next : int;         (* next free node index *)
+  unique : (int * int * int, int) Hashtbl.t;
+  ite_cache : (int * int * int, int) Hashtbl.t;
+  count_cache : (int, float) Hashtbl.t;
+}
+
+let manager ~nvars =
+  if nvars < 0 then invalid_arg "Bdd.manager: negative nvars";
+  let cap = 1024 in
+  let m =
+    {
+      n = nvars;
+      var_ = Array.make cap 0;
+      lo = Array.make cap 0;
+      hi = Array.make cap 0;
+      next = 2;
+      unique = Hashtbl.create 1024;
+      ite_cache = Hashtbl.create 1024;
+      count_cache = Hashtbl.create 256;
+    }
+  in
+  (* terminals get a pseudo-variable beyond every real one so the
+     variable-order comparisons below stay uniform *)
+  m.var_.(0) <- nvars;
+  m.var_.(1) <- nvars;
+  m
+
+let nvars m = m.n
+
+let bfalse _ = 0
+let btrue _ = 1
+
+let grow m =
+  let cap = Array.length m.var_ in
+  if m.next >= cap then begin
+    let cap' = 2 * cap in
+    let extend a =
+      let a' = Array.make cap' 0 in
+      Array.blit a 0 a' 0 cap;
+      a'
+    in
+    m.var_ <- extend m.var_;
+    m.lo <- extend m.lo;
+    m.hi <- extend m.hi
+  end
+
+let mk m v lo hi =
+  if lo = hi then lo
+  else
+    let key = (v, lo, hi) in
+    match Hashtbl.find_opt m.unique key with
+    | Some id -> id
+    | None ->
+      grow m;
+      let id = m.next in
+      m.next <- id + 1;
+      m.var_.(id) <- v;
+      m.lo.(id) <- lo;
+      m.hi.(id) <- hi;
+      Hashtbl.replace m.unique key id;
+      id
+
+let var m i =
+  if i < 0 || i >= m.n then invalid_arg "Bdd.var: out of range";
+  mk m i 0 1
+
+let rec ite m f g h =
+  (* terminal cases *)
+  if f = 1 then g
+  else if f = 0 then h
+  else if g = h then g
+  else if g = 1 && h = 0 then f
+  else begin
+    let key = (f, g, h) in
+    match Hashtbl.find_opt m.ite_cache key with
+    | Some r -> r
+    | None ->
+      let top = min m.var_.(f) (min m.var_.(g) m.var_.(h)) in
+      let branch x b =
+        if m.var_.(x) = top then if b then m.hi.(x) else m.lo.(x) else x
+      in
+      let t = ite m (branch f true) (branch g true) (branch h true) in
+      let e = ite m (branch f false) (branch g false) (branch h false) in
+      let r = mk m top e t in
+      Hashtbl.replace m.ite_cache key r;
+      r
+  end
+
+let bnot m f = ite m f 0 1
+let band m f g = ite m f g 0
+let bor m f g = ite m f 1 g
+let bxor m f g = ite m f (bnot m g) g
+let bxnor m f g = ite m f g (bnot m g)
+let bnand m f g = bnot m (band m f g)
+let bnor m f g = bnot m (bor m f g)
+
+let equal (a : t) (b : t) = a = b
+
+let rec eval m f assignment =
+  if f = 0 then false
+  else if f = 1 then true
+  else if assignment m.var_.(f) then eval m m.hi.(f) assignment
+  else eval m m.lo.(f) assignment
+
+let sat_count m f =
+  Hashtbl.reset m.count_cache;
+  (* count over the variables strictly below [v_from] is rescaled at the
+     call sites; here: count assignments of variables var(f)..n-1, then
+     scale by 2^var(f) at the top *)
+  let rec go f =
+    if f = 0 then 0.0
+    else if f = 1 then 1.0
+    else
+      match Hashtbl.find_opt m.count_cache f with
+      | Some c -> c
+      | None ->
+        let v = m.var_.(f) in
+        let side g =
+          (* weight for variables skipped between v+1 and var(g) *)
+          go g *. (2.0 ** float_of_int (m.var_.(g) - v - 1))
+        in
+        let c = side m.lo.(f) +. side m.hi.(f) in
+        Hashtbl.replace m.count_cache f c;
+        c
+  in
+  go f *. (2.0 ** float_of_int m.var_.(f))
+
+let prob m f =
+  if m.n = 0 then if f = 1 then 1.0 else 0.0
+  else sat_count m f /. (2.0 ** float_of_int m.n)
+
+let any_sat m f =
+  if f = 0 then None
+  else begin
+    let rec walk f acc =
+      if f = 1 then List.rev acc
+      else if m.hi.(f) <> 0 then walk m.hi.(f) ((m.var_.(f), true) :: acc)
+      else walk m.lo.(f) ((m.var_.(f), false) :: acc)
+    in
+    Some (walk f [])
+  end
+
+let node_count m = m.next - 2
+
+let of_netlist m net ~var_of_input =
+  if Netlist.ffs net <> [] then
+    invalid_arg "Bdd.of_netlist: netlist has flip-flops";
+  let bdds = Array.make (Netlist.num_nodes net) 0 in
+  for id = 0 to Netlist.num_nodes net - 1 do
+    let nd = Netlist.node net id in
+    match nd.Netlist.kind with
+    | Netlist.Input -> bdds.(id) <- var m (var_of_input id)
+    | Netlist.Const b -> bdds.(id) <- (if b then 1 else 0)
+    | Netlist.Gate _ | Netlist.Lut _ | Netlist.Ff | Netlist.Dead -> ()
+  done;
+  List.iter
+    (fun id ->
+      let nd = Netlist.node net id in
+      let ins = Array.map (fun f -> bdds.(f)) nd.Netlist.fanins in
+      let fold op seed = Array.fold_left (op m) seed ins in
+      bdds.(id) <-
+        (match nd.Netlist.kind with
+        | Netlist.Gate Cell.Not -> bnot m ins.(0)
+        | Netlist.Gate Cell.Buf -> ins.(0)
+        | Netlist.Gate Cell.And -> fold band 1
+        | Netlist.Gate Cell.Nand -> bnot m (fold band 1)
+        | Netlist.Gate Cell.Or -> fold bor 0
+        | Netlist.Gate Cell.Nor -> bnot m (fold bor 0)
+        | Netlist.Gate Cell.Xor -> fold bxor 0
+        | Netlist.Gate Cell.Xnor -> bnot m (fold bxor 0)
+        | Netlist.Gate Cell.Mux -> ite m ins.(0) ins.(2) ins.(1)
+        | Netlist.Lut truth ->
+          (* Shannon expansion over the rows *)
+          let r = ref 0 in
+          Array.iteri
+            (fun row out ->
+              if out then begin
+                let minterm = ref 1 in
+                Array.iteri
+                  (fun i f ->
+                    let lit =
+                      if row land (1 lsl i) <> 0 then f else bnot m f
+                    in
+                    minterm := band m !minterm lit)
+                  ins;
+                r := bor m !r !minterm
+              end)
+            truth;
+          !r
+        | Netlist.Input | Netlist.Const _ | Netlist.Ff | Netlist.Dead ->
+          assert false))
+    (Netlist.comb_topo_order net);
+  bdds

@@ -1,0 +1,62 @@
+(** Reduced ordered binary decision diagrams.
+
+    A compact exact representation of Boolean functions, used where
+    Monte-Carlo estimation ({!Signal_prob}) is not enough: exact signal
+    probabilities for the removal attack's skew analysis on small cones,
+    exact corruptibility counts, and cross-checks of the Tseitin encoding
+    in the test-suite.  Classic implementation: hash-consed nodes with a
+    unique table and a memoized [ite]. *)
+
+type man
+(** a manager fixes the variable order [0 .. nvars-1] *)
+
+type t
+(** a function handle, valid within its manager *)
+
+(** [manager ~nvars] creates a manager for [nvars] input variables. *)
+val manager : nvars:int -> man
+
+val nvars : man -> int
+
+val bfalse : man -> t
+val btrue : man -> t
+
+(** [var m i] is the projection of variable [i]. *)
+val var : man -> int -> t
+
+val bnot : man -> t -> t
+val band : man -> t -> t -> t
+val bor : man -> t -> t -> t
+val bxor : man -> t -> t -> t
+val bxnor : man -> t -> t -> t
+val bnand : man -> t -> t -> t
+val bnor : man -> t -> t -> t
+
+(** [ite m f g h] is if-then-else: [f·g + f'·h]. *)
+val ite : man -> t -> t -> t -> t
+
+val equal : t -> t -> bool
+
+(** [eval m f assignment] evaluates [f] under [assignment i] per variable. *)
+val eval : man -> t -> (int -> bool) -> bool
+
+(** [sat_count m f] is the number of satisfying assignments over all
+    [nvars] variables, as a float (exact for < 2^53). *)
+val sat_count : man -> t -> float
+
+(** [prob m f] is [sat_count / 2^nvars] — the exact one-probability under
+    uniform inputs. *)
+val prob : man -> t -> float
+
+(** [any_sat m f] is a satisfying partial assignment (variable, value)
+    list, or [None] for the constant-false function. *)
+val any_sat : man -> t -> (int * bool) list option
+
+(** Number of live unique nodes (diagnostics). *)
+val node_count : man -> int
+
+(** [of_netlist m net ~var_of_input] builds one BDD per node of a
+    combinational netlist.  [var_of_input id] gives the BDD variable of
+    each [Input] node.  Returns a per-node-id array ([bfalse] for dead
+    nodes).  @raise Invalid_argument if the netlist has flip-flops. *)
+val of_netlist : man -> Netlist.t -> var_of_input:(int -> int) -> t array

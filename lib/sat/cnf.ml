@@ -1,0 +1,44 @@
+type t = { mutable nvars : int; cls : Lit.t array Vec.t }
+
+let create () = { nvars = 0; cls = Vec.create () }
+
+let new_var f =
+  let v = f.nvars in
+  f.nvars <- v + 1;
+  v
+
+let ensure_vars f n = if n > f.nvars then f.nvars <- n
+
+let add_clause f lits =
+  List.iter
+    (fun l ->
+      if Lit.var l >= f.nvars then
+        invalid_arg "Cnf.add_clause: literal over unknown variable")
+    lits;
+  Vec.push f.cls (Array.of_list lits)
+
+let num_vars f = f.nvars
+let num_clauses f = Vec.length f.cls
+
+let iter_clauses g f = Vec.iter g f.cls
+let clauses f = Vec.to_list f.cls
+
+let eval f assignment =
+  let clause_sat c =
+    Array.exists (fun l -> assignment (Lit.var l) = Lit.is_pos l) c
+  in
+  let ok = ref true in
+  iter_clauses (fun c -> if not (clause_sat c) then ok := false) f;
+  !ok
+
+let brute_force f =
+  if f.nvars > 20 then invalid_arg "Cnf.brute_force: too many variables";
+  let n = 1 lsl f.nvars in
+  let rec go i =
+    if i >= n then None
+    else
+      let assignment v = i land (1 lsl v) <> 0 in
+      if eval f assignment then Some (Array.init f.nvars assignment)
+      else go (i + 1)
+  in
+  go 0

@@ -1,0 +1,29 @@
+(** CNF formula container.
+
+    A passive clause database used for DIMACS interchange and for tests that
+    cross-check the CDCL solver against brute force; the solver itself
+    ({!Solver}) owns its clauses. *)
+
+type t
+
+val create : unit -> t
+
+(** [new_var f] allocates the next variable index. *)
+val new_var : t -> int
+
+(** [ensure_vars f n] grows the variable count to at least [n]. *)
+val ensure_vars : t -> int -> unit
+
+val add_clause : t -> Lit.t list -> unit
+
+val num_vars : t -> int
+val num_clauses : t -> int
+
+val iter_clauses : (Lit.t array -> unit) -> t -> unit
+val clauses : t -> Lit.t array list
+
+(** [eval f assignment] evaluates under [assignment v] per variable. *)
+val eval : t -> (int -> bool) -> bool
+
+(** Exhaustive satisfiability check, for testing (≤ 20 variables). *)
+val brute_force : t -> bool array option

@@ -1,0 +1,52 @@
+let to_string cnf =
+  let buf = Buffer.create 4096 in
+  Printf.bprintf buf "p cnf %d %d\n" (Cnf.num_vars cnf) (Cnf.num_clauses cnf);
+  Cnf.iter_clauses
+    (fun c ->
+      Array.iter (fun l -> Printf.bprintf buf "%d " (Lit.to_dimacs l)) c;
+      Buffer.add_string buf "0\n")
+    cnf;
+  Buffer.contents buf
+
+let of_string text =
+  let cnf = Cnf.create () in
+  let lines = String.split_on_char '\n' text in
+  let pending = ref [] in
+  let handle line =
+    let line = String.trim line in
+    if line = "" || line.[0] = 'c' then ()
+    else if line.[0] = 'p' then begin
+      match
+        String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+      with
+      | [ "p"; "cnf"; v; _c ] -> Cnf.ensure_vars cnf (int_of_string v)
+      | _ -> failwith ("Dimacs: bad problem line " ^ line)
+    end
+    else
+      String.split_on_char ' ' line
+      |> List.filter (fun s -> s <> "")
+      |> List.iter (fun tok ->
+             match int_of_string_opt tok with
+             | None -> failwith ("Dimacs: bad token " ^ tok)
+             | Some 0 ->
+               Cnf.add_clause cnf (List.rev !pending);
+               pending := []
+             | Some i ->
+               let l = Lit.of_dimacs i in
+               Cnf.ensure_vars cnf (Lit.var l + 1);
+               pending := l :: !pending)
+  in
+  List.iter handle lines;
+  if !pending <> [] then Cnf.add_clause cnf (List.rev !pending);
+  cnf
+
+let write_file cnf path =
+  let oc = open_out path in
+  output_string oc (to_string cnf);
+  close_out oc
+
+let read_file path =
+  let ic = open_in path in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  of_string text

@@ -1,0 +1,12 @@
+(** DIMACS CNF interchange. *)
+
+(** [to_string cnf] renders the standard [p cnf V C] format. *)
+val to_string : Cnf.t -> string
+
+(** [of_string text] parses DIMACS.  @raise Failure on malformed input. *)
+val of_string : string -> Cnf.t
+
+(** [write_file cnf path] / [read_file path]. *)
+val write_file : Cnf.t -> string -> unit
+
+val read_file : string -> Cnf.t

@@ -1,0 +1,29 @@
+(** SAT-based combinational equivalence checking.
+
+    Builds the classic miter: both netlists over shared primary-input
+    variables, pairwise XOR of same-named primary outputs, and a constraint
+    that at least one XOR is 1.  UNSAT means the circuits agree on every
+    input.  Used to validate locking transforms (locked circuit with the
+    correct stable key ≡ original) and by the removal attack to confirm a
+    successful excision. *)
+
+type verdict =
+  | Equivalent
+  | Different of (string * bool) list
+      (** witness assignment of the shared primary inputs *)
+
+(** [check ?fixed_a ?fixed_b a b] compares two combinational netlists.
+    Inputs present in both circuits (by name) are shared; [fixed_a] /
+    [fixed_b] pin named inputs of either circuit to constants (how a key
+    vector is applied).  Inputs of one circuit that are neither shared nor
+    fixed are free — a difference found over them still disproves
+    equivalence of the compared functions.
+
+    @raise Invalid_argument if the circuits' primary-output name sets
+    differ, or if a netlist has flip-flops. *)
+val check :
+  ?fixed_a:(string * bool) list ->
+  ?fixed_b:(string * bool) list ->
+  Netlist.t ->
+  Netlist.t ->
+  verdict

@@ -1,0 +1,20 @@
+type t = int
+
+let make v positive =
+  if v < 0 then invalid_arg "Lit.make: negative variable";
+  (2 * v) + if positive then 0 else 1
+
+let pos v = make v true
+let neg v = make v false
+
+let var l = l / 2
+let is_pos l = l land 1 = 0
+let negate l = l lxor 1
+
+let to_dimacs l = if is_pos l then var l + 1 else -(var l + 1)
+
+let of_dimacs i =
+  if i = 0 then invalid_arg "Lit.of_dimacs: zero";
+  if i > 0 then pos (i - 1) else neg (-i - 1)
+
+let pp ppf l = Format.fprintf ppf "%s%d" (if is_pos l then "" else "~") (var l)

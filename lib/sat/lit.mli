@@ -1,0 +1,27 @@
+(** Propositional literals.
+
+    MiniSat encoding: variable [v ≥ 0] yields literals [2v] (positive) and
+    [2v+1] (negated), so a literal's variable is [lit / 2] and its sign is
+    [lit land 1]. *)
+
+type t = int
+
+(** [make v positive] is the literal for variable [v]. *)
+val make : int -> bool -> t
+
+(** [pos v] / [neg v] are the two literals of variable [v]. *)
+val pos : int -> t
+
+val neg : int -> t
+
+val var : t -> int
+val is_pos : t -> bool
+val negate : t -> t
+
+(** DIMACS form: [±(var+1)]. *)
+val to_dimacs : t -> int
+
+(** Inverse of {!to_dimacs}.  @raise Invalid_argument on 0. *)
+val of_dimacs : int -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,525 @@
+type result = Sat | Unsat
+
+type clause = { mutable lits : Lit.t array }
+
+(* Variable order: binary max-heap on activity with position tracking. *)
+module Heap = struct
+  type t = {
+    mutable data : int array;  (* variable indices *)
+    mutable len : int;
+    mutable pos : int array;   (* var -> index in data, -1 if absent *)
+    activity : float array ref;
+  }
+
+  let create activity = { data = [||]; len = 0; pos = [||]; activity }
+
+  let ensure h nvars =
+    let old = Array.length h.pos in
+    if nvars > old then begin
+      let pos' = Array.make (max nvars (2 * max old 16)) (-1) in
+      Array.blit h.pos 0 pos' 0 old;
+      h.pos <- pos';
+      let data' = Array.make (Array.length h.pos) 0 in
+      Array.blit h.data 0 data' 0 h.len;
+      h.data <- data'
+    end
+
+  let better h a b = !(h.activity).(a) > !(h.activity).(b)
+
+  let swap h i j =
+    let a = h.data.(i) and b = h.data.(j) in
+    h.data.(i) <- b;
+    h.data.(j) <- a;
+    h.pos.(b) <- i;
+    h.pos.(a) <- j
+
+  let rec sift_up h i =
+    if i > 0 then begin
+      let p = (i - 1) / 2 in
+      if better h h.data.(i) h.data.(p) then begin
+        swap h i p;
+        sift_up h p
+      end
+    end
+
+  let rec sift_down h i =
+    let l = (2 * i) + 1 and r = (2 * i) + 2 in
+    let best = ref i in
+    if l < h.len && better h h.data.(l) h.data.(!best) then best := l;
+    if r < h.len && better h h.data.(r) h.data.(!best) then best := r;
+    if !best <> i then begin
+      swap h i !best;
+      sift_down h !best
+    end
+
+  let mem h v = v < Array.length h.pos && h.pos.(v) >= 0
+
+  let insert h v =
+    if not (mem h v) then begin
+      h.data.(h.len) <- v;
+      h.pos.(v) <- h.len;
+      h.len <- h.len + 1;
+      sift_up h (h.len - 1)
+    end
+
+  let decrease h v = if mem h v then sift_up h h.pos.(v)
+
+  let pop h =
+    if h.len = 0 then None
+    else begin
+      let top = h.data.(0) in
+      h.len <- h.len - 1;
+      h.pos.(top) <- -1;
+      if h.len > 0 then begin
+        h.data.(0) <- h.data.(h.len);
+        h.pos.(h.data.(0)) <- 0;
+        sift_down h 0
+      end;
+      Some top
+    end
+end
+
+type t = {
+  mutable nvars : int;
+  clauses : clause Vec.t;
+  mutable watches : int Vec.t array;  (* per literal: indices into clauses *)
+  mutable assigns : int array;        (* per var: -1 undef, 0 false, 1 true *)
+  mutable level : int array;
+  mutable reason : int array;         (* clause index or -1 *)
+  mutable polarity : bool array;      (* saved phases *)
+  activity : float array ref;
+  mutable var_inc : float;
+  order : Heap.t;
+  trail : Lit.t Vec.t;
+  trail_lim : int Vec.t;
+  mutable qhead : int;
+  mutable unsat : bool;
+  units : Lit.t Vec.t;                (* level-0 facts added via add_clause *)
+  mutable n_conflicts : int;
+  mutable n_propagations : int;
+  mutable model : bool array;
+  mutable have_model : bool;
+  mutable seen : bool array;          (* scratch for analyze *)
+}
+
+let create () =
+  let activity = ref [||] in
+  {
+    nvars = 0;
+    clauses = Vec.create ();
+    watches = [||];
+    assigns = [||];
+    level = [||];
+    reason = [||];
+    polarity = [||];
+    activity;
+    var_inc = 1.0;
+    order = Heap.create activity;
+    trail = Vec.create ();
+    trail_lim = Vec.create ();
+    qhead = 0;
+    unsat = false;
+    units = Vec.create ();
+    n_conflicts = 0;
+    n_propagations = 0;
+    model = [||];
+    have_model = false;
+    seen = [||];
+  }
+
+let grow_arrays s =
+  let cap = Array.length s.assigns in
+  if s.nvars > cap then begin
+    let cap' = max s.nvars (max 16 (2 * cap)) in
+    let grow_int a def =
+      let a' = Array.make cap' def in
+      Array.blit a 0 a' 0 cap;
+      a'
+    in
+    s.assigns <- grow_int s.assigns (-1);
+    s.level <- grow_int s.level 0;
+    s.reason <- grow_int s.reason (-1);
+    let pol' = Array.make cap' false in
+    Array.blit s.polarity 0 pol' 0 cap;
+    s.polarity <- pol';
+    let act' = Array.make cap' 0.0 in
+    Array.blit !(s.activity) 0 act' 0 cap;
+    s.activity := act';
+    let seen' = Array.make cap' false in
+    Array.blit s.seen 0 seen' 0 cap;
+    s.seen <- seen';
+    let w' = Array.init (2 * cap') (fun i ->
+        if i < 2 * cap then s.watches.(i) else Vec.create ())
+    in
+    s.watches <- w'
+  end
+
+let new_var s =
+  let v = s.nvars in
+  s.nvars <- v + 1;
+  grow_arrays s;
+  Heap.ensure s.order s.nvars;
+  Heap.insert s.order v;
+  v
+
+let num_vars s = s.nvars
+let num_clauses s = Vec.length s.clauses
+
+let lit_value s l =
+  let v = s.assigns.(Lit.var l) in
+  if v < 0 then -1 else v lxor (l land 1)
+
+let decision_level s = Vec.length s.trail_lim
+
+let enqueue s l reason =
+  (* Precondition: l is unassigned. *)
+  let v = Lit.var l in
+  s.assigns.(v) <- (if Lit.is_pos l then 1 else 0);
+  s.level.(v) <- decision_level s;
+  s.reason.(v) <- reason;
+  s.polarity.(v) <- Lit.is_pos l;
+  Vec.push s.trail l
+
+let var_bump s v =
+  let a = !(s.activity) in
+  a.(v) <- a.(v) +. s.var_inc;
+  if a.(v) > 1e100 then begin
+    for i = 0 to s.nvars - 1 do
+      a.(i) <- a.(i) *. 1e-100
+    done;
+    s.var_inc <- s.var_inc *. 1e-100
+  end;
+  Heap.decrease s.order v
+
+let var_decay s = s.var_inc <- s.var_inc /. 0.95
+
+(* Attach a clause (index ci) by watching its first two literals. *)
+let attach s ci =
+  let c = Vec.get s.clauses ci in
+  Vec.push s.watches.(Lit.negate c.lits.(0)) ci;
+  Vec.push s.watches.(Lit.negate c.lits.(1)) ci
+
+exception Conflict of int
+
+let propagate s =
+  try
+    while s.qhead < Vec.length s.trail do
+      let p = Vec.get s.trail s.qhead in
+      s.qhead <- s.qhead + 1;
+      s.n_propagations <- s.n_propagations + 1;
+      (* p became true; visit clauses watching ~p *)
+      let ws = s.watches.(p) in
+      let n = Vec.length ws in
+      let keep = ref [] in
+      let i = ref 0 in
+      (try
+         while !i < n do
+           let ci = Vec.get ws !i in
+           incr i;
+           let c = Vec.get s.clauses ci in
+           let lits = c.lits in
+           (* Ensure the false literal (~p ... i.e. the one equal to
+              negate p) is at position 1. *)
+           let false_lit = Lit.negate p in
+           if lits.(0) = false_lit then begin
+             lits.(0) <- lits.(1);
+             lits.(1) <- false_lit
+           end;
+           if lit_value s lits.(0) = 1 then keep := ci :: !keep
+           else begin
+             (* Look for a new watch. *)
+             let len = Array.length lits in
+             let found = ref false in
+             let k = ref 2 in
+             while (not !found) && !k < len do
+               if lit_value s lits.(!k) <> 0 then begin
+                 lits.(1) <- lits.(!k);
+                 lits.(!k) <- false_lit;
+                 Vec.push s.watches.(Lit.negate lits.(1)) ci;
+                 found := true
+               end;
+               incr k
+             done;
+             if not !found then begin
+               keep := ci :: !keep;
+               match lit_value s lits.(0) with
+               | 0 ->
+                 (* Conflict: restore remaining watches before raising. *)
+                 while !i < n do
+                   keep := Vec.get ws !i :: !keep;
+                   incr i
+                 done;
+                 raise (Conflict ci)
+               | -1 -> enqueue s lits.(0) ci
+               | _ -> ()
+             end
+           end
+         done
+       with Conflict _ as e ->
+         Vec.clear ws;
+         List.iter (Vec.push ws) (List.rev !keep);
+         raise e);
+      Vec.clear ws;
+      List.iter (Vec.push ws) (List.rev !keep)
+    done;
+    None
+  with Conflict ci -> Some ci
+
+let backtrack s lvl =
+  if decision_level s > lvl then begin
+    let bound = Vec.get s.trail_lim lvl in
+    for i = Vec.length s.trail - 1 downto bound do
+      let l = Vec.get s.trail i in
+      let v = Lit.var l in
+      s.assigns.(v) <- -1;
+      s.reason.(v) <- -1;
+      Heap.insert s.order v
+    done;
+    Vec.shrink s.trail bound;
+    Vec.shrink s.trail_lim lvl;
+    s.qhead <- Vec.length s.trail
+  end
+
+(* First-UIP conflict analysis.  Returns the learnt clause (asserting
+   literal first) and the backjump level. *)
+let analyze s confl =
+  let learnt = ref [] in
+  let counter = ref 0 in
+  let p = ref (-1) in
+  let ci = ref confl in
+  let trail_idx = ref (Vec.length s.trail - 1) in
+  let continue = ref true in
+  while !continue do
+    let c = Vec.get s.clauses !ci in
+    Array.iter
+      (fun q ->
+        if !p >= 0 && q = !p then ()
+        else begin
+          let v = Lit.var q in
+          if (not s.seen.(v)) && s.level.(v) > 0 then begin
+            s.seen.(v) <- true;
+            var_bump s v;
+            if s.level.(v) >= decision_level s then incr counter
+            else learnt := q :: !learnt
+          end
+        end)
+      c.lits;
+    (* Walk the trail back to the next marked literal. *)
+    let rec next_marked i =
+      let l = Vec.get s.trail i in
+      if s.seen.(Lit.var l) then (i, l) else next_marked (i - 1)
+    in
+    let i, l = next_marked !trail_idx in
+    trail_idx := i - 1;
+    s.seen.(Lit.var l) <- false;
+    decr counter;
+    if !counter = 0 then begin
+      p := Lit.negate l;
+      continue := false
+    end
+    else begin
+      p := l;
+      ci := s.reason.(Lit.var l)
+    end
+  done;
+  let lits = !p :: !learnt in
+  List.iter (fun l -> s.seen.(Lit.var l) <- false) !learnt;
+  (* Backjump to the second-highest decision level in the clause. *)
+  let rest = !learnt in
+  let bj =
+    List.fold_left (fun acc l -> max acc s.level.(Lit.var l)) 0 rest
+  in
+  (* Put a literal of the backjump level second, so watches are sound. *)
+  let arr = Array.of_list lits in
+  if Array.length arr > 1 then begin
+    let best = ref 1 in
+    for k = 2 to Array.length arr - 1 do
+      if s.level.(Lit.var arr.(k)) > s.level.(Lit.var arr.(!best)) then best := k
+    done;
+    let tmp = arr.(1) in
+    arr.(1) <- arr.(!best);
+    arr.(!best) <- tmp
+  end;
+  (arr, bj)
+
+let record_learnt s arr =
+  if Array.length arr = 1 then begin
+    Vec.push s.units arr.(0);
+    enqueue s arr.(0) (-1)
+  end
+  else begin
+    let ci = Vec.length s.clauses in
+    Vec.push s.clauses { lits = arr };
+    attach s ci;
+    enqueue s arr.(0) ci
+  end
+
+let add_clause s lits =
+  if s.unsat then false
+  else begin
+    (* Deduplicate; drop tautologies. *)
+    let lits = List.sort_uniq compare lits in
+    let tautology =
+      List.exists (fun l -> List.mem (Lit.negate l) lits) lits
+    in
+    if tautology then true
+    else begin
+      List.iter
+        (fun l ->
+          if Lit.var l >= s.nvars then
+            invalid_arg "Solver.add_clause: unknown variable")
+        lits;
+      backtrack s 0;
+      (* Remove literals already false at level 0; satisfied clause is a
+         no-op. *)
+      let satisfied =
+        List.exists (fun l -> lit_value s l = 1 && s.level.(Lit.var l) = 0) lits
+      in
+      if satisfied then true
+      else begin
+        let lits =
+          List.filter
+            (fun l -> not (lit_value s l = 0 && s.level.(Lit.var l) = 0))
+            lits
+        in
+        match lits with
+        | [] ->
+          s.unsat <- true;
+          false
+        | [ l ] ->
+          Vec.push s.units l;
+          if lit_value s l = 0 then begin
+            s.unsat <- true;
+            false
+          end
+          else begin
+            if lit_value s l = -1 then begin
+              enqueue s l (-1);
+              if propagate s <> None then begin
+                s.unsat <- true;
+                false
+              end
+              else true
+            end
+            else true
+          end
+        | lits ->
+          let ci = Vec.length s.clauses in
+          Vec.push s.clauses { lits = Array.of_list lits };
+          attach s ci;
+          true
+      end
+    end
+  end
+
+(* Luby restart sequence. *)
+let rec luby i =
+  (* Find the finite subsequence containing i. *)
+  let rec size k = if k >= i + 1 then k else size ((2 * k) + 1) in
+  let k = size 1 in
+  if k = i + 1 then (k + 1) / 2 else luby (i - (k / 2))
+
+let decide s =
+  let rec pick () =
+    match Heap.pop s.order with
+    | None -> None
+    | Some v -> if s.assigns.(v) < 0 then Some v else pick ()
+  in
+  match pick () with
+  | None -> None
+  | Some v ->
+    Vec.push s.trail_lim (Vec.length s.trail);
+    enqueue s (Lit.make v s.polarity.(v)) (-1);
+    Some v
+
+let save_model s =
+  s.model <- Array.init s.nvars (fun v -> s.assigns.(v) = 1);
+  s.have_model <- true
+
+let solve ?(assumptions = []) s =
+  s.have_model <- false;
+  if s.unsat then Unsat
+  else begin
+    backtrack s 0;
+    s.qhead <- 0;  (* re-propagate everything, including new clauses *)
+    (* Re-assert recorded facts: learnt units may have been retracted by
+       backtracking below the level they were asserted at. *)
+    let unit_conflict = ref false in
+    Vec.iter
+      (fun l ->
+        if not !unit_conflict then
+          match lit_value s l with
+          | 0 -> unit_conflict := true
+          | -1 -> enqueue s l (-1)
+          | _ -> ())
+      s.units;
+    if !unit_conflict then begin
+      s.unsat <- true;
+      Unsat
+    end
+    else if propagate s <> None then begin
+      s.unsat <- true;
+      Unsat
+    end
+    else begin
+      let assumptions = Array.of_list assumptions in
+      let restart_count = ref 0 in
+      let conflict_budget = ref (100 * luby !restart_count) in
+      let rec loop () =
+        match propagate s with
+        | Some confl ->
+          s.n_conflicts <- s.n_conflicts + 1;
+          decr conflict_budget;
+          if decision_level s <= Array.length assumptions then Unsat
+          else begin
+            let learnt, bj = analyze s confl in
+            let bj = max bj (min (decision_level s - 1) (Array.length assumptions)) in
+            backtrack s bj;
+            record_learnt s learnt;
+            var_decay s;
+            loop ()
+          end
+        | None ->
+          if !conflict_budget <= 0 && decision_level s > Array.length assumptions
+          then begin
+            incr restart_count;
+            conflict_budget := 100 * luby !restart_count;
+            backtrack s (Array.length assumptions);
+            loop ()
+          end
+          else if decision_level s < Array.length assumptions then begin
+            (* Apply the next assumption. *)
+            let a = assumptions.(decision_level s) in
+            match lit_value s a with
+            | 1 ->
+              (* Already true: open an empty decision level for it. *)
+              Vec.push s.trail_lim (Vec.length s.trail);
+              loop ()
+            | 0 -> Unsat
+            | _ ->
+              Vec.push s.trail_lim (Vec.length s.trail);
+              enqueue s a (-1);
+              loop ()
+          end
+          else begin
+            match decide s with
+            | None ->
+              save_model s;
+              Sat
+            | Some _ -> loop ()
+          end
+      in
+      let r = loop () in
+      backtrack s 0;
+      r
+    end
+  end
+
+let value s v =
+  if not s.have_model then invalid_arg "Solver.value: no model";
+  if v < 0 || v >= Array.length s.model then
+    invalid_arg "Solver.value: unknown variable";
+  s.model.(v)
+
+let conflicts s = s.n_conflicts
+let propagations s = s.n_propagations

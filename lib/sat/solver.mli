@@ -1,0 +1,39 @@
+(** A CDCL SAT solver.
+
+    Stand-in for the MiniSat-class solver inside the SAT-attack tool of
+    Subramanyan et al. [11]: two-watched-literal propagation, first-UIP
+    conflict learning, VSIDS branching with phase saving, and Luby
+    restarts.  Clauses may be added between [solve] calls (the attack adds
+    two circuit copies per DIP iteration), and [solve] accepts assumptions
+    for one-off queries. *)
+
+type t
+
+type result = Sat | Unsat
+
+val create : unit -> t
+
+(** [new_var s] allocates a fresh variable. *)
+val new_var : t -> int
+
+val num_vars : t -> int
+val num_clauses : t -> int
+
+(** [add_clause s lits] adds a clause.  Returns [false] when the clause
+    makes the formula trivially unsatisfiable (empty, or conflicting unit
+    at level 0) — the solver is then permanently UNSAT. *)
+val add_clause : t -> Lit.t list -> bool
+
+(** [solve ?assumptions s] decides satisfiability of all clauses added so
+    far, under the given assumption literals. *)
+val solve : ?assumptions:Lit.t list -> t -> result
+
+(** [value s v] is variable [v]'s value in the model of the last [Sat]
+    answer.  @raise Invalid_argument if the last call was not [Sat]. *)
+val value : t -> int -> bool
+
+(** Number of conflicts encountered so far (for reporting). *)
+val conflicts : t -> int
+
+(** Number of unit propagations performed so far. *)
+val propagations : t -> int

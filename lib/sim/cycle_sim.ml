@@ -1,0 +1,39 @@
+type t = {
+  net : Netlist.t;
+  ff_ids : int list;
+  mutable ff_state : (int * bool) list;
+}
+
+let create ?(init = fun _ -> false) net =
+  let ff_ids = Netlist.ffs net in
+  { net; ff_ids; ff_state = List.map (fun ff -> (ff, init ff)) ff_ids }
+
+let netlist t = t.net
+
+let state t = t.ff_state
+
+let step t ~inputs =
+  let values =
+    Netlist.eval_comb t.net (fun id ->
+        match List.assoc_opt id t.ff_state with
+        | Some v -> v
+        | None -> inputs id)
+  in
+  t.ff_state <-
+    List.map
+      (fun ff -> (ff, values.((Netlist.node t.net ff).Netlist.fanins.(0))))
+      t.ff_ids;
+  values
+
+let outputs_of net values =
+  List.map (fun (po, driver) -> (po, values.(driver))) (Netlist.outputs net)
+
+let run ?init net ~cycles ~stimulus =
+  let sim = create ?init net in
+  Array.init cycles (fun cycle ->
+      outputs_of net (step sim ~inputs:(stimulus cycle)))
+
+let comb_outputs net ~inputs =
+  if Netlist.ffs net <> [] then
+    invalid_arg "Cycle_sim.comb_outputs: netlist has flip-flops";
+  outputs_of net (Netlist.eval_comb net inputs)

@@ -1,0 +1,38 @@
+(** Zero-delay cycle-accurate functional simulation.
+
+    This is the stable-logic semantics a SAT attacker reasons in: each cycle
+    the combinational cloud settles instantaneously and flip-flops latch
+    their D values.  Glitches do not exist at this abstraction level — the
+    gap between this simulator and {!Timing_sim} is precisely the paper's
+    security argument. *)
+
+type t
+
+(** [create ?init net] starts a simulation; [init ff_id] seeds the flip-flop
+    states (default all-0). *)
+val create : ?init:(int -> bool) -> Netlist.t -> t
+
+val netlist : t -> Netlist.t
+
+(** Current flip-flop states, by node id. *)
+val state : t -> (int * bool) list
+
+(** [step t ~inputs] evaluates one cycle with [inputs pi_id] driving the
+    primary inputs, advances the flip-flops, and returns every node's
+    settled value (indexed by id). *)
+val step : t -> inputs:(int -> bool) -> bool array
+
+(** [run net ~cycles ~stimulus] simulates from the all-0 state;
+    [stimulus cycle pi_id] drives the inputs.  Returns the per-cycle
+    primary-output values. *)
+val run :
+  ?init:(int -> bool) ->
+  Netlist.t ->
+  cycles:int ->
+  stimulus:(int -> int -> bool) ->
+  (string * bool) list array
+
+(** [comb_outputs net ~inputs] evaluates a purely combinational netlist
+    (the SAT-attack oracle).  [inputs] is consulted for [Input] nodes only;
+    @raise Invalid_argument if the netlist still contains flip-flops. *)
+val comb_outputs : Netlist.t -> inputs:(int -> bool) -> (string * bool) list

@@ -1,0 +1,58 @@
+
+
+type 'a entry = { time : int; seq : int; payload : 'a }
+
+type 'a t = { heap : 'a entry Vec.t; mutable next_seq : int }
+
+let create () = { heap = Vec.create (); next_seq = 0 }
+
+let is_empty q = Vec.length q.heap = 0
+
+let size q = Vec.length q.heap
+
+let less a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let swap q i j =
+  let tmp = Vec.get q.heap i in
+  Vec.set q.heap i (Vec.get q.heap j);
+  Vec.set q.heap j tmp
+
+let rec sift_up q i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if less (Vec.get q.heap i) (Vec.get q.heap parent) then begin
+      swap q i parent;
+      sift_up q parent
+    end
+  end
+
+let rec sift_down q i =
+  let n = Vec.length q.heap in
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < n && less (Vec.get q.heap l) (Vec.get q.heap !smallest) then smallest := l;
+  if r < n && less (Vec.get q.heap r) (Vec.get q.heap !smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap q i !smallest;
+    sift_down q !smallest
+  end
+
+let add q ~time payload =
+  if time < 0 then invalid_arg "Event_queue.add: negative time";
+  Vec.push q.heap { time; seq = q.next_seq; payload };
+  q.next_seq <- q.next_seq + 1;
+  sift_up q (Vec.length q.heap - 1)
+
+let pop_min q =
+  if is_empty q then None
+  else begin
+    let top = Vec.get q.heap 0 in
+    let last = Vec.pop q.heap in
+    if Vec.length q.heap > 0 then begin
+      Vec.set q.heap 0 last;
+      sift_down q 0
+    end;
+    Some (top.time, top.payload)
+  end
+
+let peek_time q = if is_empty q then None else Some (Vec.get q.heap 0).time

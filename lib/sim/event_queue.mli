@@ -1,0 +1,23 @@
+(** Time-ordered event queue for the timing simulator.
+
+    A binary min-heap on (time, insertion sequence): events at the same
+    timestamp pop in insertion order, which keeps the transport-delay
+    simulation deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+val size : 'a t -> int
+
+(** [add q ~time ev] schedules [ev].  @raise Invalid_argument on a negative
+    time. *)
+val add : 'a t -> time:int -> 'a -> unit
+
+(** [pop_min q] removes and returns the earliest event. *)
+val pop_min : 'a t -> (int * 'a) option
+
+(** [peek_time q] is the earliest timestamp without removing anything. *)
+val peek_time : 'a t -> int option

@@ -1,0 +1,79 @@
+type t = F | T | X
+
+let of_bool b = if b then T else F
+
+let to_bool = function F -> Some false | T -> Some true | X -> None
+
+let equal a b =
+  match (a, b) with F, F | T, T | X, X -> true | _, _ -> false
+
+let lnot = function F -> T | T -> F | X -> X
+
+let land_ a b =
+  match (a, b) with
+  | F, _ | _, F -> F
+  | T, T -> T
+  | X, _ | _, X -> X
+
+let lor_ a b =
+  match (a, b) with
+  | T, _ | _, T -> T
+  | F, F -> F
+  | X, _ | _, X -> X
+
+let lxor_ a b =
+  match (a, b) with
+  | X, _ | _, X -> X
+  | _, _ -> of_bool (a <> b)
+
+let mux sel a b =
+  match sel with
+  | F -> a
+  | T -> b
+  | X -> if equal a b then a else X
+
+let eval_fn fn ins =
+  let n = Array.length ins in
+  if not (Cell.arity_ok fn n) then
+    invalid_arg "Logic.eval_fn: illegal arity";
+  let fold op seed = Array.fold_left op seed ins in
+  match fn with
+  | Cell.Not -> lnot ins.(0)
+  | Cell.Buf -> ins.(0)
+  | Cell.And -> fold land_ T
+  | Cell.Nand -> lnot (fold land_ T)
+  | Cell.Or -> fold lor_ F
+  | Cell.Nor -> lnot (fold lor_ F)
+  | Cell.Xor -> fold lxor_ F
+  | Cell.Xnor -> lnot (fold lxor_ F)
+  | Cell.Mux -> mux ins.(0) ins.(1) ins.(2)
+
+let eval_lut truth ins =
+  let n = Array.length ins in
+  if Array.length truth <> 1 lsl n then
+    invalid_arg "Logic.eval_lut: truth-table size mismatch";
+  (* Enumerate rows compatible with the (possibly unknown) inputs. *)
+  let result = ref None in
+  let conflict = ref false in
+  for row = 0 to Array.length truth - 1 do
+    if not !conflict then begin
+      let compatible = ref true in
+      for i = 0 to n - 1 do
+        let bit = row land (1 lsl i) <> 0 in
+        match ins.(i) with
+        | X -> ()
+        | T -> if not bit then compatible := false
+        | F -> if bit then compatible := false
+      done;
+      if !compatible then
+        match !result with
+        | None -> result := Some truth.(row)
+        | Some v -> if v <> truth.(row) then conflict := true
+    end
+  done;
+  if !conflict then X
+  else match !result with Some v -> of_bool v | None -> X
+
+let to_char = function F -> '0' | T -> '1' | X -> 'x'
+
+let pp ppf v = Format.pp_print_char ppf (to_char v)

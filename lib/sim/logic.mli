@@ -1,0 +1,34 @@
+(** Three-valued logic: 0, 1 and unknown.
+
+    The timing simulator needs an explicit unknown to model what a flip-flop
+    latches when its setup/hold window is violated — exactly the situation a
+    mistimed GK key transition produces. *)
+
+type t = F | T | X
+
+val of_bool : bool -> t
+
+(** [to_bool v] is [Some b] for a determinate value. *)
+val to_bool : t -> bool option
+
+val equal : t -> t -> bool
+
+val lnot : t -> t
+val land_ : t -> t -> t
+val lor_ : t -> t -> t
+val lxor_ : t -> t -> t
+
+(** [mux sel a b] is [a] when [sel = F], [b] when [sel = T]; with an unknown
+    select it is the common value of [a] and [b] if they agree, else [X]. *)
+val mux : t -> t -> t -> t
+
+(** Evaluate a gate function over three-valued inputs, with the usual
+    dominance rules (e.g. a 0 input forces an AND low regardless of X). *)
+val eval_fn : Cell.gate_fn -> t array -> t
+
+(** Evaluate a LUT: a determinate input vector indexes the table; any
+    unknown input makes the output [X] unless every reachable row agrees. *)
+val eval_lut : bool array -> t array -> t
+
+val to_char : t -> char
+val pp : Format.formatter -> t -> unit

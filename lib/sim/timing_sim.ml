@@ -1,0 +1,209 @@
+
+
+type drive = Const of bool | Wave of Waveform.t
+
+type config = { clock_ps : int; cycles : int }
+
+type violation_kind = Setup_violation | Hold_violation
+
+type violation = {
+  v_ff : int;
+  v_ff_name : string;
+  v_cycle : int;
+  v_kind : violation_kind;
+  v_time : int;
+}
+
+type result = {
+  waves : Waveform.t array;
+  ff_ids : int array;
+  ff_samples : Logic.t array array;
+  violations : violation list;
+  po_samples : (string * Logic.t array) list;
+}
+
+type ev = Set of int * Logic.t | Latch of int * int
+
+let node_delay net id =
+  let n = Netlist.node net id in
+  match n.Netlist.kind with
+  | Netlist.Gate _ -> (
+    match n.Netlist.cell with
+    | Some c -> c.Cell.delay_ps
+    | None -> 0)
+  | Netlist.Lut truth ->
+    let rec log2 k = if 1 lsl k >= Array.length truth then k else log2 (k + 1) in
+    Cell_lib.lut_delay_ps (log2 0)
+  | Netlist.Input | Netlist.Const _ | Netlist.Ff | Netlist.Dead -> 0
+
+let run ?(init = fun _ -> false) ?(drive = fun _ -> Const false)
+    ?(captures_from = fun _ -> 0) net config =
+  if config.clock_ps <= 0 then invalid_arg "Timing_sim.run: clock must be positive";
+  if config.cycles <= 0 then invalid_arg "Timing_sim.run: need at least one cycle";
+  let setup = Cell_lib.dff_setup_ps
+  and hold = Cell_lib.dff_hold_ps
+  and clk2q = Cell_lib.dff_clk2q_ps in
+  assert (clk2q >= hold);
+  if config.clock_ps <= setup + hold + clk2q then
+    invalid_arg "Timing_sim.run: clock period shorter than FF timing arcs";
+  let n = Netlist.num_nodes net in
+  let values = Array.make n Logic.X in
+  let trans : (int * Logic.t) Vec.t array = Array.init n (fun _ -> Vec.create ()) in
+  let fanouts = Netlist.fanout_table net in
+  let delays = Array.init n (node_delay net) in
+  (* Initial settle at t = 0: three-valued topological evaluation. *)
+  let drive_of = Array.make n (Const false) in
+  List.iter (fun pi -> drive_of.(pi) <- drive pi) (Netlist.inputs net);
+  for id = 0 to n - 1 do
+    let nd = Netlist.node net id in
+    match nd.Netlist.kind with
+    | Netlist.Input ->
+      values.(id) <-
+        (match drive_of.(id) with
+        | Const b -> Logic.of_bool b
+        | Wave w -> Waveform.value_at w 0)
+    | Netlist.Const b -> values.(id) <- Logic.of_bool b
+    | Netlist.Ff -> values.(id) <- Logic.of_bool (init id)
+    | Netlist.Gate _ | Netlist.Lut _ | Netlist.Dead -> ()
+  done;
+  List.iter
+    (fun id ->
+      let nd = Netlist.node net id in
+      let ins = Array.map (fun f -> values.(f)) nd.Netlist.fanins in
+      values.(id) <-
+        (match nd.Netlist.kind with
+        | Netlist.Gate fn -> Logic.eval_fn fn ins
+        | Netlist.Lut truth -> Logic.eval_lut truth ins
+        | Netlist.Input | Netlist.Const _ | Netlist.Ff | Netlist.Dead ->
+          assert false))
+    (Netlist.comb_topo_order net);
+  let initials = Array.copy values in
+  let queue = Event_queue.create () in
+  (* Stimulus transitions. *)
+  List.iter
+    (fun pi ->
+      match drive_of.(pi) with
+      | Const _ -> ()
+      | Wave w ->
+        List.iter
+          (fun (t, v) -> Event_queue.add queue ~time:t (Set (pi, v)))
+          (Waveform.transitions w))
+    (Netlist.inputs net);
+  (* Latch events: active edges at k * clock for k = 0..cycles, Q updates
+     clk2q later.  Edge 0 launches the initial state (and in particular
+     starts any KEYGEN toggle inside cycle 0); its captures are not
+     recorded — recorded sample k corresponds to the edge at
+     (k+1) * clock. *)
+  let ff_ids = Array.of_list (Netlist.ffs net) in
+  for k = 0 to config.cycles do
+    Array.iter
+      (fun ff ->
+        Event_queue.add queue
+          ~time:((k * config.clock_ps) + clk2q)
+          (Latch (ff, k - 1)))
+      ff_ids
+  done;
+  let ff_index = Hashtbl.create 16 in
+  Array.iteri (fun i ff -> Hashtbl.replace ff_index ff i) ff_ids;
+  let ff_samples =
+    Array.map (fun _ -> Array.make config.cycles Logic.X) ff_ids
+  in
+  let violations = ref [] in
+  let value_of_at id t =
+    (* Last recorded transition of [id] at or before [t]. *)
+    let v = ref initials.(id) in
+    (try
+       Vec.iter
+         (fun (tt, vv) -> if tt <= t then v := vv else raise Exit)
+         trans.(id)
+     with Exit -> ());
+    !v
+  in
+  let set_value time id v =
+    if not (Logic.equal values.(id) v) then begin
+      values.(id) <- v;
+      Vec.push trans.(id) (time, v);
+      List.iter
+        (fun (consumer, _pin) ->
+          let c = Netlist.node net consumer in
+          match c.Netlist.kind with
+          | Netlist.Gate fn ->
+            let ins = Array.map (fun f -> values.(f)) c.Netlist.fanins in
+            Event_queue.add queue
+              ~time:(time + delays.(consumer))
+              (Set (consumer, Logic.eval_fn fn ins))
+          | Netlist.Lut truth ->
+            let ins = Array.map (fun f -> values.(f)) c.Netlist.fanins in
+            Event_queue.add queue
+              ~time:(time + delays.(consumer))
+              (Set (consumer, Logic.eval_lut truth ins))
+          | Netlist.Ff | Netlist.Input | Netlist.Const _ | Netlist.Dead -> ())
+        fanouts.(id)
+    end
+  in
+  let latch time ff cycle =
+    (* cycle = -1 is the launching edge at t = 0: not recorded.  A
+       flip-flop whose capture policy starts later holds its state through
+       the early edges (synchronous-reset semantics). *)
+    if cycle + 1 < captures_from ff then ()
+    else
+    let edge = time - clk2q in
+    let d = (Netlist.node net ff).Netlist.fanins.(0) in
+    let window = Vec.to_list trans.(d) in
+    let offending =
+      List.filter (fun (t, _) -> t >= edge - setup && t <= edge + hold) window
+    in
+    let sampled =
+      if offending = [] then value_of_at d edge
+      else begin
+        if cycle >= 0 then
+          List.iter
+            (fun (t, _) ->
+              let v_kind = if t < edge then Setup_violation else Hold_violation in
+              violations :=
+                {
+                  v_ff = ff;
+                  v_ff_name = (Netlist.node net ff).Netlist.name;
+                  v_cycle = cycle;
+                  v_kind;
+                  v_time = t;
+                }
+                :: !violations)
+            offending;
+        Logic.X
+      end
+    in
+    if cycle >= 0 then ff_samples.(Hashtbl.find ff_index ff).(cycle) <- sampled;
+    set_value time ff sampled
+  in
+  let horizon = ((config.cycles + 1) * config.clock_ps) + clk2q in
+  let rec pump () =
+    match Event_queue.pop_min queue with
+    | None -> ()
+    | Some (time, _) when time > horizon -> ()
+    | Some (time, Set (id, v)) ->
+      set_value time id v;
+      pump ()
+    | Some (time, Latch (ff, cycle)) ->
+      latch time ff cycle;
+      pump ()
+  in
+  pump ();
+  let waves =
+    Array.init n (fun id ->
+        Waveform.make ~initial:initials.(id) (Vec.to_list trans.(id)))
+  in
+  let po_samples =
+    List.map
+      (fun (po, driver) ->
+        ( po,
+          Array.init config.cycles (fun k ->
+              Waveform.value_at waves.(driver) ((k + 1) * config.clock_ps)) ))
+      (Netlist.outputs net)
+  in
+  { waves; ff_ids; ff_samples; violations = List.rev !violations; po_samples }
+
+let wave_of result net name =
+  match Netlist.find net name with
+  | Some id -> result.waves.(id)
+  | None -> raise Not_found

@@ -1,0 +1,77 @@
+(* Short identifier codes: printable ASCII 33..126, then two-character
+   codes — the standard scheme. *)
+let code i =
+  let base = 94 in
+  if i < base then String.make 1 (Char.chr (33 + i))
+  else
+    String.make 1 (Char.chr (33 + (i / base - 1)))
+    ^ String.make 1 (Char.chr (33 + (i mod base)))
+
+let char_of = function
+  | Logic.F -> '0'
+  | Logic.T -> '1'
+  | Logic.X -> 'x'
+
+let of_result net result ~signals =
+  let ids =
+    match signals with
+    | [] ->
+      List.filter_map
+        (fun id ->
+          let nd = Netlist.node net id in
+          match nd.Netlist.kind with
+          | Netlist.Dead -> None
+          | _ -> Some (nd.Netlist.name, id))
+        (List.init (Netlist.num_nodes net) Fun.id)
+    | names ->
+      List.map
+        (fun name ->
+          match Netlist.find net name with
+          | Some id -> (name, id)
+          | None -> invalid_arg ("Vcd.of_result: unknown signal " ^ name))
+        names
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "$date gklock $end\n";
+  Buffer.add_string buf "$version gklock timing simulator $end\n";
+  Buffer.add_string buf "$timescale 1ps $end\n";
+  Printf.bprintf buf "$scope module %s $end\n" (Netlist.name net);
+  List.iteri
+    (fun i (name, _) ->
+      Printf.bprintf buf "$var wire 1 %s %s $end\n" (code i) name)
+    ids;
+  Buffer.add_string buf "$upscope $end\n$enddefinitions $end\n";
+  (* initial values *)
+  Buffer.add_string buf "#0\n";
+  List.iteri
+    (fun i (_, id) ->
+      Printf.bprintf buf "%c%s\n"
+        (char_of (Waveform.initial result.Timing_sim.waves.(id)))
+        (code i))
+    ids;
+  (* merge all transitions in time order *)
+  let events =
+    List.concat
+      (List.mapi
+         (fun i (_, id) ->
+           List.map
+             (fun (t, v) -> (t, i, v))
+             (Waveform.transitions result.Timing_sim.waves.(id)))
+         ids)
+    |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+  in
+  let current_time = ref (-1) in
+  List.iter
+    (fun (t, i, v) ->
+      if t <> !current_time then begin
+        Printf.bprintf buf "#%d\n" t;
+        current_time := t
+      end;
+      Printf.bprintf buf "%c%s\n" (char_of v) (code i))
+    events;
+  Buffer.contents buf
+
+let write_file net result ~signals path =
+  let oc = open_out path in
+  output_string oc (of_result net result ~signals);
+  close_out oc

@@ -1,0 +1,14 @@
+(** Value-change-dump (VCD) export of timing-simulation results.
+
+    Lets the recorded waveforms — including the glitches — be inspected in
+    GTKWave or any other standard waveform viewer.  Timescale is 1 ps to
+    match the simulator's unit. *)
+
+(** [of_result net result ~signals] renders a VCD document for the named
+    nets (every named net when [signals] is empty).  Unknown names raise
+    [Invalid_argument]. *)
+val of_result : Netlist.t -> Timing_sim.result -> signals:string list -> string
+
+(** [write_file net result ~signals path]. *)
+val write_file :
+  Netlist.t -> Timing_sim.result -> signals:string list -> string -> unit

@@ -1,0 +1,135 @@
+type t = { init : Logic.t; trans : (int * Logic.t) list }
+
+let constant v = { init = v; trans = [] }
+
+let make ~initial transitions =
+  List.iter
+    (fun (t, _) -> if t < 0 then invalid_arg "Waveform.make: negative time")
+    transitions;
+  let sorted =
+    List.stable_sort (fun (a, _) (b, _) -> compare a b) transitions
+  in
+  (* For duplicate timestamps the last write wins. *)
+  let rec last_per_time = function
+    | (t1, _) :: ((t2, _) :: _ as rest) when t1 = t2 -> last_per_time rest
+    | x :: rest -> x :: last_per_time rest
+    | [] -> []
+  in
+  let deduped = last_per_time sorted in
+  let _, rev =
+    List.fold_left
+      (fun (cur, acc) (t, v) ->
+        if Logic.equal v cur then (cur, acc) else (v, (t, v) :: acc))
+      (initial, []) deduped
+  in
+  { init = initial; trans = List.rev rev }
+
+let initial w = w.init
+
+let transitions w = w.trans
+
+let value_at w t =
+  let rec go cur = function
+    | (tt, v) :: rest when tt <= t -> go v rest
+    | _ -> cur
+  in
+  go w.init w.trans
+
+let changes_in w ~from_ ~until =
+  List.filter (fun (t, _) -> t >= from_ && t <= until) w.trans
+
+let stable_in w ~from_ ~until = changes_in w ~from_ ~until = []
+
+type pulse = { start_ps : int; stop_ps : int; level : Logic.t }
+
+let pulses ?max_width w ~until =
+  let fits width =
+    match max_width with None -> true | Some m -> width <= m
+  in
+  (* A pulse is a value interval bounded by transitions on both sides. *)
+  let rec go acc = function
+    | (t1, v) :: (((t2, _) :: _) as rest) ->
+      let acc =
+        if t2 <= until && fits (t2 - t1) then
+          { start_ps = t1; stop_ps = t2; level = v } :: acc
+        else acc
+      in
+      go acc rest
+    | _ -> List.rev acc
+  in
+  go [] w.trans
+
+let toggle ~t0 ~period ~start ~until =
+  if period <= 0 then invalid_arg "Waveform.toggle: period must be positive";
+  let rec go t v acc =
+    if t > until then List.rev acc else go (t + period) (Logic.lnot v) ((t, Logic.lnot v) :: acc)
+  in
+  { init = start; trans = go t0 start [] }
+
+let delay w d =
+  if d < 0 then invalid_arg "Waveform.delay: negative delay";
+  { w with trans = List.map (fun (t, v) -> (t + d, v)) w.trans }
+
+let map2 f a b =
+  let times =
+    List.sort_uniq compare (List.map fst a.trans @ List.map fst b.trans)
+  in
+  let init = f a.init b.init in
+  make ~initial:init
+    (List.map (fun t -> (t, f (value_at a t) (value_at b t))) times)
+
+let render ~t0 ~t1 ~step rows =
+  if step <= 0 then invalid_arg "Waveform.render: step must be positive";
+  let width = ((t1 - t0) / step) + 1 in
+  let label_w =
+    List.fold_left (fun acc (l, _) -> max acc (String.length l)) 0 rows
+  in
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (label, w) ->
+      Buffer.add_string buf label;
+      Buffer.add_string buf (String.make (label_w - String.length label + 2) ' ');
+      for i = 0 to width - 1 do
+        let t = t0 + (i * step) in
+        let v = value_at w t in
+        let prev = if i = 0 then v else value_at w (t - step) in
+        let c =
+          match v with
+          | Logic.T -> if Logic.equal prev Logic.F then '/' else '~'
+          | Logic.F -> if Logic.equal prev Logic.T then '\\' else '_'
+          | Logic.X -> 'x'
+        in
+        Buffer.add_char buf c
+      done;
+      Buffer.add_char buf '\n')
+    rows;
+  (* Time ruler: a tick every 10 columns. *)
+  Buffer.add_string buf (String.make (label_w + 2) ' ');
+  let i = ref 0 in
+  while !i < width do
+    let t = t0 + (!i * step) in
+    let mark = Printf.sprintf "|%d" t in
+    if !i + String.length mark <= width then begin
+      Buffer.add_string buf mark;
+      i := !i + String.length mark
+    end
+    else incr i;
+    let pad = min (10 - String.length mark) (width - !i) in
+    if pad > 0 then begin
+      Buffer.add_string buf (String.make pad ' ');
+      i := !i + pad
+    end
+  done;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let equal a b =
+  Logic.equal a.init b.init
+  && List.length a.trans = List.length b.trans
+  && List.for_all2
+       (fun (t1, v1) (t2, v2) -> t1 = t2 && Logic.equal v1 v2)
+       a.trans b.trans
+
+let pp ppf w =
+  Format.fprintf ppf "%c" (Logic.to_char w.init);
+  List.iter (fun (t, v) -> Format.fprintf ppf " %d:%c" t (Logic.to_char v)) w.trans

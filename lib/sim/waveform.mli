@@ -1,0 +1,67 @@
+(** Signal waveforms: a value over time, as an initial value plus a sorted
+    list of transitions.
+
+    Waveforms are the currency of the glitch analysis: the timing simulator
+    records one per net, {!pulses} extracts the glitches a GK generates, and
+    {!render} draws the ASCII timing diagrams that regenerate the paper's
+    Figs. 4, 6, 7 and 9. *)
+
+type t
+
+(** [constant v] never changes. *)
+val constant : Logic.t -> t
+
+(** [make ~initial transitions] normalizes a transition list: sorts by time,
+    drops non-changes, keeps the last value for duplicate timestamps.
+    Negative times are illegal. *)
+val make : initial:Logic.t -> (int * Logic.t) list -> t
+
+val initial : t -> Logic.t
+
+(** Transitions, strictly increasing in time, each changing the value. *)
+val transitions : t -> (int * Logic.t) list
+
+(** [value_at w t] is the value at time [t] (transitions take effect at
+    their timestamp). *)
+val value_at : t -> int -> Logic.t
+
+(** [stable_in w ~from_ ~until] holds when no transition occurs in the
+    closed interval [[from_, until]] — the setup/hold stability test. *)
+val stable_in : t -> from_:int -> until:int -> bool
+
+(** [changes_in w ~from_ ~until] lists transitions inside [[from_, until]]. *)
+val changes_in : t -> from_:int -> until:int -> (int * Logic.t) list
+
+(** A maximal interval during which the signal held a value different from
+    the values around it. *)
+type pulse = { start_ps : int; stop_ps : int; level : Logic.t }
+
+(** [pulses ?max_width w ~until] lists the pulses of [w] up to [until]
+    whose width is at most [max_width] (default: no limit) — with a small
+    [max_width] these are the glitches. *)
+val pulses : ?max_width:int -> t -> until:int -> pulse list
+
+(** [toggle ~t0 ~period ~start] is the square-ish wave that starts at
+    [start] and flips at [t0], [t0+period], [t0+2*period], ... —
+    the shape a KEYGEN emits on its key output. *)
+val toggle : t0:int -> period:int -> start:Logic.t -> until:int -> t
+
+(** [delay w d] shifts every transition [d] ps later (a pure transport
+    delay element). *)
+val delay : t -> int -> t
+
+(** [map2 f a b] combines two waveforms pointwise with zero delay. *)
+val map2 : (Logic.t -> Logic.t -> Logic.t) -> t -> t -> t
+
+(** [render ~t0 ~t1 ~step rows] draws labelled waveforms as an ASCII
+    timing diagram, one row per (label, waveform), sampling every [step]
+    ps.  Looks like:
+
+    {v
+    key   ___/~~~~~~~~\____
+    y     ~~~\__/~~\_______
+    v} *)
+val render : t0:int -> t1:int -> step:int -> (string * t) list -> string
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

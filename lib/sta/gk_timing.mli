@@ -1,0 +1,80 @@
+(** The GK timing rules: Eqs. (2)–(6) and the Fig. 7 scenarios.
+
+    All quantities are picoseconds within one clock cycle, with the cycle's
+    launching edge at time 0 and the capturing edge of flip-flop [j] at
+    [t_j] (the clock period when there is no skew).  Conventions follow the
+    paper:
+
+    - [l_glitch = d_path + d_mux]                                 (Eq. 2)
+    - on-level insertion feasible iff
+      [lb ≤ t_arrival + d_ready + d_react ≤ ub]                   (Eq. 3)
+    - off-level insertion feasible iff
+      [lb ≤ t_arrival + max_d_path + d_mux ≤ ub]                  (Eq. 4)
+    - on-level trigger window                                      (Eq. 5):
+      [max(t_j + t_hold − l_glitch − d_react, t_arrival + d_ready)
+         < t_trigger < ub − d_react]
+    - off-level trigger window                                     (Eq. 6):
+      [lb − d_react < t_trigger < ub − l_glitch − d_react]
+
+    where [d_ready] is the delay of the path (A or B) whose glitch the
+    transition triggers, and [d_react = d_mux]. *)
+
+(** The timing context of one candidate flip-flop endpoint. *)
+type site = {
+  t_arrival : int;  (** latest arrival at the GK's x input *)
+  lb : int;         (** Eq. (1) lower bound *)
+  ub : int;         (** Eq. (1) upper bound *)
+  t_j : int;        (** capturing-edge time (clock period, no skew) *)
+  t_setup : int;
+  t_hold : int;
+}
+
+(** GK internal delays. *)
+type gk_delays = {
+  d_path_a : int;  (** delay element A plus its XNOR *)
+  d_path_b : int;  (** delay element B plus its XOR *)
+  d_mux : int;
+}
+
+(** Eq. (2). *)
+val l_glitch : d_path:int -> d_mux:int -> int
+
+(** Minimum glitch length able to carry data "on the level": it must cover
+    the capture window, [t_setup + t_hold]. *)
+val min_on_level_glitch : t_setup:int -> t_hold:int -> int
+
+(** Eq. (3): can a glitch of [l_glitch] deliver data on its level? *)
+val feasible_on_level : site -> l_glitch:int -> d_mux:int -> bool
+
+(** Eq. (4): can the GK be inserted for off-level transmission? *)
+val feasible_off_level : site -> gk_delays -> bool
+
+(** Eq. (5): the open interval of legal on-level trigger times
+    ([None] when empty). *)
+val trigger_window_on_level :
+  site -> l_glitch:int -> d_mux:int -> (int * int) option
+
+(** Eq. (6): the open interval of legal off-level trigger times. *)
+val trigger_window_off_level :
+  site -> l_glitch:int -> d_mux:int -> (int * int) option
+
+(** The four legal scenarios of Fig. 7. *)
+type scenario =
+  | On_level      (** data rides the glitch across the capture window (a) *)
+  | Glitch_early  (** complete glitch before the setup window (b/c) *)
+  | Glitch_late   (** complete glitch after the hold window (b/c) *)
+  | Glitchless    (** constant key, no glitch (d) *)
+
+(** [classify site ~l_glitch ~d_mux ~t_trigger] determines which scenario a
+    transition at [t_trigger] realises, or [None] if it violates timing.
+    [t_trigger = None] means a constant key. *)
+val classify :
+  site -> l_glitch:int -> d_mux:int -> t_trigger:int option -> scenario option
+
+(** [glitch_interval ~t_trigger ~l_glitch ~d_mux] is the (start, stop) of
+    the glitch a transition at [t_trigger] produces: it starts [d_react]
+    after the trigger and lasts [l_glitch]. *)
+val glitch_interval : t_trigger:int -> l_glitch:int -> d_mux:int -> int * int
+
+(** [site_of_sta sta ff] packages {!Sta} results for flip-flop [ff]. *)
+val site_of_sta : Sta.t -> int -> site

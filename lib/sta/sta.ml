@@ -1,0 +1,81 @@
+type arrival = { amin : int; amax : int }
+
+type t = { net : Netlist.t; clock : int; arr : arrival array }
+
+let node_delay net id =
+  let n = Netlist.node net id in
+  match n.Netlist.kind with
+  | Netlist.Gate _ -> (
+    match n.Netlist.cell with Some c -> c.Cell.delay_ps | None -> 0)
+  | Netlist.Lut truth ->
+    let rec log2 k = if 1 lsl k >= Array.length truth then k else log2 (k + 1) in
+    Cell_lib.lut_delay_ps (log2 0)
+  | Netlist.Input | Netlist.Const _ | Netlist.Ff | Netlist.Dead -> 0
+
+let compute_arrivals net =
+  let n = Netlist.num_nodes net in
+  let arr = Array.make n { amin = 0; amax = 0 } in
+  for id = 0 to n - 1 do
+    match (Netlist.node net id).Netlist.kind with
+    | Netlist.Ff ->
+      arr.(id) <- { amin = Cell_lib.dff_clk2q_ps; amax = Cell_lib.dff_clk2q_ps }
+    | Netlist.Input | Netlist.Const _ | Netlist.Gate _ | Netlist.Lut _
+    | Netlist.Dead -> ()
+  done;
+  List.iter
+    (fun id ->
+      let nd = Netlist.node net id in
+      let d = node_delay net id in
+      let lo, hi =
+        Array.fold_left
+          (fun (lo, hi) f -> (min lo arr.(f).amin, max hi arr.(f).amax))
+          (max_int, min_int) nd.Netlist.fanins
+      in
+      arr.(id) <- { amin = lo + d; amax = hi + d })
+    (Netlist.comb_topo_order net);
+  arr
+
+let analyze net ~clock_ps =
+  if clock_ps <= 0 then invalid_arg "Sta.analyze: clock must be positive";
+  { net; clock = clock_ps; arr = compute_arrivals net }
+
+let netlist t = t.net
+let clock_ps t = t.clock
+
+let arrival t id =
+  if id < 0 || id >= Array.length t.arr then invalid_arg "Sta.arrival: bad id";
+  t.arr.(id)
+
+let ff_d_arrival t ff =
+  let n = Netlist.node t.net ff in
+  if n.Netlist.kind <> Netlist.Ff then invalid_arg "Sta.ff_d_arrival: not a FF";
+  arrival t n.Netlist.fanins.(0)
+
+let lb_ub t _ff = (Cell_lib.dff_hold_ps, t.clock - Cell_lib.dff_setup_ps)
+
+let setup_slack t ff =
+  let _, ub = lb_ub t ff in
+  ub - (ff_d_arrival t ff).amax
+
+let hold_slack t ff =
+  let lb, _ = lb_ub t ff in
+  (ff_d_arrival t ff).amin - lb
+
+let critical_path_ps net =
+  let arr = compute_arrivals net in
+  let from_pos =
+    List.fold_left
+      (fun acc (_, d) -> max acc arr.(d).amax)
+      0 (Netlist.outputs net)
+  in
+  List.fold_left
+    (fun acc ff -> max acc arr.((Netlist.node net ff).Netlist.fanins.(0)).amax)
+    from_pos (Netlist.ffs net)
+
+let min_clock_ps net = critical_path_ps net + Cell_lib.dff_setup_ps
+
+let clock_for net ~margin =
+  if margin < 1.0 then invalid_arg "Sta.clock_for: margin below 1.0";
+  let raw = float_of_int (min_clock_ps net) *. margin in
+  let ps = int_of_float (ceil (raw /. 10.0)) * 10 in
+  ps

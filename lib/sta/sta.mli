@@ -1,0 +1,50 @@
+(** Static timing analysis.
+
+    Plays the role PrimeTime plays in the paper's flow (Sec. IV-B): computes
+    per-node earliest/latest arrival times and per-flip-flop path bounds.
+    Launch model: primary inputs change at the active edge (time 0 within
+    the cycle), flip-flop Q outputs at clk-to-Q; each gate adds its bound
+    cell's pin-to-pin delay.  The bounds [LB]/[UB] of the paper's Eq. (1)
+    come out as [LB = T_hold] and [UB = T_clk − T_setup] (no clock skew —
+    [T_i = T_j = 0], the configuration of the paper's experiments). *)
+
+type arrival = {
+  amin : int;  (** earliest possible transition at the node's output, ps *)
+  amax : int;  (** latest settling time at the node's output, ps *)
+}
+
+type t
+
+(** [analyze net ~clock_ps] runs the analysis. *)
+val analyze : Netlist.t -> clock_ps:int -> t
+
+val netlist : t -> Netlist.t
+val clock_ps : t -> int
+
+(** Arrival window at a node's output. *)
+val arrival : t -> int -> arrival
+
+(** Arrival window at a flip-flop's D pin (its fanin's output). *)
+val ff_d_arrival : t -> int -> arrival
+
+(** [lb_ub t ff] is Eq. (1)'s (LB, UB) for paths ending at [ff]. *)
+val lb_ub : t -> int -> int * int
+
+(** [setup_slack t ff] is [UB − amax(D)]: negative means a setup violation
+    at the paper's clock. *)
+val setup_slack : t -> int -> int
+
+(** [hold_slack t ff] is [amin(D) − LB]: negative means a hold violation. *)
+val hold_slack : t -> int -> int
+
+(** Latest arrival at any flip-flop D pin or primary output — the critical
+    path delay of the circuit (includes the launching clk-to-Q). *)
+val critical_path_ps : Netlist.t -> int
+
+(** Smallest legal clock period: critical path plus setup. *)
+val min_clock_ps : Netlist.t -> int
+
+(** [clock_for net ~margin] is [min_clock_ps] scaled by [margin] and
+    rounded up to 10 ps — how the experiments pick each benchmark's
+    period. *)
+val clock_for : Netlist.t -> margin:float -> int

@@ -1,0 +1,45 @@
+type verdict = Clean | False_violation | True_violation
+
+type entry = { ff : int; ff_name : string; slack_ps : int; verdict : verdict }
+
+let covers_window ~t_j ~setup ~hold (start, stop) =
+  start <= t_j - setup && stop >= t_j + hold
+
+let outside_window ~t_j ~setup ~hold (start, stop) =
+  stop < t_j - setup || start > t_j + hold
+
+let discriminate sta ~intended =
+  let t_j = Sta.clock_ps sta in
+  let setup = Cell_lib.dff_setup_ps and hold = Cell_lib.dff_hold_ps in
+  List.map
+    (fun ff ->
+      let slack_ps = Sta.setup_slack sta ff in
+      let verdict =
+        if slack_ps >= 0 then Clean
+        else
+          match intended ff with
+          | Some interval
+            when covers_window ~t_j ~setup ~hold interval
+                 || outside_window ~t_j ~setup ~hold interval ->
+            False_violation
+          | Some _ | None -> True_violation
+      in
+      {
+        ff;
+        ff_name = (Netlist.node (Sta.netlist sta) ff).Netlist.name;
+        slack_ps;
+        verdict;
+      })
+    (Netlist.ffs (Sta.netlist sta))
+
+let true_violations entries =
+  List.filter (fun e -> e.verdict = True_violation) entries
+
+let pp_entry ppf e =
+  let verdict =
+    match e.verdict with
+    | Clean -> "clean"
+    | False_violation -> "false-violation(glitch)"
+    | True_violation -> "TRUE-violation"
+  in
+  Format.fprintf ppf "%s: slack=%dps %s" e.ff_name e.slack_ps verdict

@@ -1,0 +1,34 @@
+(** True-vs-false timing-violation discrimination (Sec. IV-B).
+
+    After GK insertion the STA tool "will report that the FF at the output
+    of the GK is violated [...] In fact, this delay is intentionally
+    inserted for generating glitches."  The design flow therefore checks,
+    for each endpoint the STA flags, whether the flag is explained by an
+    intentional glitch whose start and end respect the capture window; only
+    unexplained flags are {i true} violations that send the flow back to
+    site selection. *)
+
+type verdict =
+  | Clean              (** no violation reported *)
+  | False_violation    (** reported, but explained by an intended glitch *)
+  | True_violation     (** reported and not explained — must be fixed *)
+
+type entry = {
+  ff : int;
+  ff_name : string;
+  slack_ps : int;       (** setup slack the STA reports *)
+  verdict : verdict;
+}
+
+(** [discriminate sta ~intended] examines every flip-flop.  [intended ff]
+    returns the planned glitch interval (start, stop) within the cycle for
+    endpoints that host a GK, and [None] elsewhere.  A negative-slack
+    endpoint with an intended glitch is a false violation when the glitch
+    covers the capture window ([t_j − setup], [t_j + hold]) or lies wholly
+    outside it. *)
+val discriminate : Sta.t -> intended:(int -> (int * int) option) -> entry list
+
+(** True violations only — what the paper's flow loops on. *)
+val true_violations : entry list -> entry list
+
+val pp_entry : Format.formatter -> entry -> unit

@@ -1,0 +1,85 @@
+type align = Left | Right | Center
+
+type t = {
+  title : string;
+  columns : (string * align) array;
+  rows : string list Vec.t;
+  mutable footer : string list option;
+}
+
+let create ~title ~columns =
+  { title; columns = Array.of_list columns; rows = Vec.create (); footer = None }
+
+let check t cells =
+  if List.length cells <> Array.length t.columns then
+    invalid_arg
+      (Printf.sprintf "Ascii_table: row has %d cells, table has %d columns"
+         (List.length cells) (Array.length t.columns))
+
+let add_row t cells =
+  check t cells;
+  Vec.push t.rows cells
+
+let set_footer t cells =
+  check t cells;
+  t.footer <- Some cells
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    match align with
+    | Left -> s ^ String.make (width - n) ' '
+    | Right -> String.make (width - n) ' ' ^ s
+    | Center ->
+      let l = (width - n) / 2 in
+      String.make l ' ' ^ s ^ String.make (width - n - l) ' '
+
+let render t =
+  let ncols = Array.length t.columns in
+  let widths = Array.map (fun (h, _) -> String.length h) t.columns in
+  let consider cells =
+    List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) cells
+  in
+  Vec.iter consider t.rows;
+  Option.iter consider t.footer;
+  let buf = Buffer.create 1024 in
+  let rule () =
+    Buffer.add_char buf '+';
+    Array.iter
+      (fun w ->
+        Buffer.add_string buf (String.make (w + 2) '-');
+        Buffer.add_char buf '+')
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  let row ?(align_override = None) cells =
+    Buffer.add_char buf '|';
+    List.iteri
+      (fun i c ->
+        let _, a = t.columns.(i) in
+        let a = Option.value align_override ~default:a in
+        Buffer.add_string buf (" " ^ pad a widths.(i) c ^ " ");
+        Buffer.add_char buf '|')
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  if t.title <> "" then begin
+    Buffer.add_string buf t.title;
+    Buffer.add_char buf '\n'
+  end;
+  rule ();
+  row ~align_override:(Some Center)
+    (Array.to_list (Array.map fst t.columns));
+  rule ();
+  Vec.iter (fun cells -> row cells) t.rows;
+  (match t.footer with
+  | None -> ()
+  | Some cells ->
+    rule ();
+    row cells);
+  rule ();
+  ignore ncols;
+  Buffer.contents buf
+
+let print t = print_string (render t)

@@ -1,0 +1,27 @@
+(** Plain-text table rendering in the style of the paper's tables.
+
+    Columns are sized to their widest entry; a header row is separated from
+    the body by a rule, and an optional footer row (used for the "Avg." rows
+    of Tables I and II) is separated by another rule. *)
+
+type align = Left | Right | Center
+
+type t
+
+(** [create ~title ~columns] starts a table.  Each column is a header label
+    with an alignment applied to body cells. *)
+val create : title:string -> columns:(string * align) list -> t
+
+(** [add_row t cells] appends a body row.  @raise Invalid_argument if the
+    number of cells differs from the number of columns. *)
+val add_row : t -> string list -> unit
+
+(** [set_footer t cells] installs the footer row (e.g. averages). *)
+val set_footer : t -> string list -> unit
+
+(** [render t] is the complete table as a string, trailing newline
+    included. *)
+val render : t -> string
+
+(** [print t] renders to stdout. *)
+val print : t -> unit

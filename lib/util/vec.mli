@@ -1,0 +1,60 @@
+(** Growable arrays.
+
+    A minimal dynamic-array container (OCaml 5.1's stdlib does not yet ship
+    [Dynarray]).  Used throughout the code base for netlist node tables,
+    clause databases, and event buffers. *)
+
+type 'a t
+
+(** [create ()] is an empty vector. *)
+val create : unit -> 'a t
+
+(** [make n x] is a vector of length [n] filled with [x]. *)
+val make : int -> 'a -> 'a t
+
+(** Number of elements currently stored. *)
+val length : 'a t -> int
+
+(** [get v i] is the [i]-th element.  @raise Invalid_argument when out of
+    bounds. *)
+val get : 'a t -> int -> 'a
+
+(** [set v i x] replaces the [i]-th element. *)
+val set : 'a t -> int -> 'a -> unit
+
+(** [push v x] appends [x] at the end, growing the backing store as needed. *)
+val push : 'a t -> 'a -> unit
+
+(** [pop v] removes and returns the last element.
+    @raise Invalid_argument on an empty vector. *)
+val pop : 'a t -> 'a
+
+(** [top v] is the last element without removing it. *)
+val top : 'a t -> 'a
+
+(** [clear v] removes every element (O(1), keeps the backing store). *)
+val clear : 'a t -> unit
+
+(** [shrink v n] truncates to the first [n] elements. *)
+val shrink : 'a t -> int -> unit
+
+(** [iter f v] applies [f] to every element in index order. *)
+val iter : ('a -> unit) -> 'a t -> unit
+
+(** [iteri f v] is [iter] with the index. *)
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+
+(** [fold f acc v] folds over elements in index order. *)
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+
+(** [exists p v] tests whether some element satisfies [p]. *)
+val exists : ('a -> bool) -> 'a t -> bool
+
+(** [to_list v] is the list of elements in index order. *)
+val to_list : 'a t -> 'a list
+
+(** [to_array v] is a fresh array of the elements in index order. *)
+val to_array : 'a t -> 'a array
+
+(** [of_list xs] is a vector with the elements of [xs]. *)
+val of_list : 'a list -> 'a t

@@ -1,0 +1,12 @@
+(* Substring search helper for the integration tests. *)
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  if n = 0 then true
+  else begin
+    let found = ref false in
+    for i = 0 to h - n do
+      if (not !found) && String.sub haystack i n = needle then found := true
+    done;
+    !found
+  end

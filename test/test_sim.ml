@@ -1,0 +1,380 @@
+(* Tests for three-valued logic, waveforms, the event queue and both
+   simulators — including the glitch semantics everything rests on. *)
+
+let tc = Alcotest.test_case
+
+let qcheck ?(count = 100) name arb law =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb law)
+
+let logic_arb =
+  QCheck.make
+    ~print:(fun v -> String.make 1 (Logic.to_char v))
+    QCheck.Gen.(oneofl [ Logic.F; Logic.T; Logic.X ])
+
+(* ----- Logic ----- *)
+
+let test_logic_tables () =
+  let open Logic in
+  Alcotest.(check char) "not x" 'x' (to_char (lnot X));
+  Alcotest.(check char) "0 and x" '0' (to_char (land_ F X));
+  Alcotest.(check char) "1 and x" 'x' (to_char (land_ T X));
+  Alcotest.(check char) "1 or x" '1' (to_char (lor_ T X));
+  Alcotest.(check char) "0 or x" 'x' (to_char (lor_ F X));
+  Alcotest.(check char) "x xor 1" 'x' (to_char (lxor_ X T));
+  Alcotest.(check char) "mux x same" '1' (to_char (mux X T T));
+  Alcotest.(check char) "mux x diff" 'x' (to_char (mux X T F))
+
+let de_morgan_law (a, b) =
+  Logic.equal (Logic.lnot (Logic.land_ a b)) (Logic.lor_ (Logic.lnot a) (Logic.lnot b))
+
+let logic_matches_bool_law (a, b) =
+  (* On determinate values three-valued ops agree with Cell.eval. *)
+  let module L = Logic in
+  let ba = Option.get (L.to_bool a) and bb = Option.get (L.to_bool b) in
+  List.for_all
+    (fun fn ->
+      L.equal
+        (L.eval_fn fn [| a; b |])
+        (L.of_bool (Cell.eval fn [| ba; bb |])))
+    [ Cell.And; Cell.Or; Cell.Nand; Cell.Nor; Cell.Xor; Cell.Xnor ]
+
+let test_logic_eval_lut () =
+  let xor_tt = [| false; true; true; false |] in
+  Alcotest.(check char) "lut 10" '1'
+    (Logic.to_char (Logic.eval_lut xor_tt [| Logic.T; Logic.F |]));
+  (* one input unknown, rows disagree -> X *)
+  Alcotest.(check char) "lut x" 'x'
+    (Logic.to_char (Logic.eval_lut xor_tt [| Logic.X; Logic.F |]));
+  (* rows agree despite unknown -> determinate *)
+  let const_tt = [| true; true; true; true |] in
+  Alcotest.(check char) "lut const" '1'
+    (Logic.to_char (Logic.eval_lut const_tt [| Logic.X; Logic.X |]))
+
+(* ----- Event_queue ----- *)
+
+let test_event_queue_order () =
+  let q = Event_queue.create () in
+  Event_queue.add q ~time:5 "e5";
+  Event_queue.add q ~time:1 "e1";
+  Event_queue.add q ~time:3 "e3a";
+  Event_queue.add q ~time:3 "e3b";
+  Alcotest.(check (option int)) "peek" (Some 1) (Event_queue.peek_time q);
+  let order = List.init 4 (fun _ -> snd (Option.get (Event_queue.pop_min q))) in
+  Alcotest.(check (list string)) "order + ties FIFO" [ "e1"; "e3a"; "e3b"; "e5" ] order;
+  Alcotest.(check bool) "empty" true (Event_queue.is_empty q)
+
+let event_queue_sorted_law times =
+  let q = Event_queue.create () in
+  List.iter (fun t -> Event_queue.add q ~time:t ()) times;
+  let rec drain acc =
+    match Event_queue.pop_min q with
+    | None -> List.rev acc
+    | Some (t, ()) -> drain (t :: acc)
+  in
+  drain [] = List.sort compare times
+
+(* ----- Waveform ----- *)
+
+let test_waveform_normalize () =
+  let w =
+    Waveform.make ~initial:Logic.F
+      [ (10, Logic.T); (5, Logic.F); (20, Logic.T); (30, Logic.F) ]
+  in
+  (* (5,F) is a non-change and (20,T) repeats the current value *)
+  Alcotest.(check int) "transition count" 2
+    (List.length (Waveform.transitions w));
+  Alcotest.(check char) "before" '0' (Logic.to_char (Waveform.value_at w 9));
+  Alcotest.(check char) "at" '1' (Logic.to_char (Waveform.value_at w 10));
+  Alcotest.(check char) "after fall" '0' (Logic.to_char (Waveform.value_at w 31))
+
+let waveform_value_consistent_law pairs =
+  (* value_at after a make sees the last change at or before t. *)
+  let trans = List.map (fun (t, b) -> (abs t mod 1000, Logic.of_bool b)) pairs in
+  let w = Waveform.make ~initial:Logic.F trans in
+  (* transitions are strictly increasing and all change the value *)
+  let rec strictly_changing prev = function
+    | [] -> true
+    | (t, v) :: rest ->
+      (match prev with
+      | Some (pt, pv) -> t > pt && not (Logic.equal v pv)
+      | None -> not (Logic.equal v Logic.F))
+      && strictly_changing (Some (t, v)) rest
+  in
+  strictly_changing None (Waveform.transitions w)
+
+let test_waveform_pulses () =
+  let w =
+    Waveform.make ~initial:Logic.F
+      [ (100, Logic.T); (150, Logic.F); (300, Logic.T); (900, Logic.F) ]
+  in
+  let all = Waveform.pulses w ~until:1000 in
+  Alcotest.(check int) "two bounded pulses" 3 (List.length all);
+  let narrow = Waveform.pulses ~max_width:100 w ~until:1000 in
+  Alcotest.(check int) "one glitch" 1 (List.length narrow);
+  let p = List.hd narrow in
+  Alcotest.(check int) "start" 100 p.Waveform.start_ps;
+  Alcotest.(check int) "stop" 150 p.Waveform.stop_ps
+
+let test_waveform_toggle_delay () =
+  let w = Waveform.toggle ~t0:100 ~period:200 ~start:Logic.F ~until:700 in
+  Alcotest.(check int) "toggle count" 4 (List.length (Waveform.transitions w));
+  Alcotest.(check char) "after first" '1' (Logic.to_char (Waveform.value_at w 150));
+  let d = Waveform.delay w 50 in
+  Alcotest.(check char) "delayed still old" '0' (Logic.to_char (Waveform.value_at d 120));
+  Alcotest.(check char) "delayed new" '1' (Logic.to_char (Waveform.value_at d 150))
+
+let test_waveform_map2 () =
+  let a = Waveform.make ~initial:Logic.F [ (10, Logic.T) ] in
+  let b = Waveform.make ~initial:Logic.T [ (20, Logic.F) ] in
+  let w = Waveform.map2 Logic.land_ a b in
+  Alcotest.(check char) "0&1" '0' (Logic.to_char (Waveform.value_at w 5));
+  Alcotest.(check char) "1&1" '1' (Logic.to_char (Waveform.value_at w 15));
+  Alcotest.(check char) "1&0" '0' (Logic.to_char (Waveform.value_at w 25))
+
+let test_waveform_stability () =
+  let w = Waveform.make ~initial:Logic.F [ (100, Logic.T) ] in
+  Alcotest.(check bool) "stable before" true (Waveform.stable_in w ~from_:0 ~until:99);
+  Alcotest.(check bool) "unstable across" false (Waveform.stable_in w ~from_:50 ~until:150);
+  Alcotest.(check int) "changes" 1
+    (List.length (Waveform.changes_in w ~from_:100 ~until:100))
+
+(* ----- Cycle_sim ----- *)
+
+let test_cycle_sim_counter () =
+  (* 1-bit toggle counter: ff <- NOT ff *)
+  let n = Netlist.create "t" in
+  let placeholder = Netlist.add_const n false in
+  let f = Netlist.add_ff n ~name:"f" placeholder in
+  let inv = Netlist.add_gate n Cell.Not [| f |] in
+  Netlist.set_fanin n ~node_id:f ~pin:0 ~driver:inv;
+  Netlist.add_output n "q" f;
+  let outs = Cycle_sim.run n ~cycles:4 ~stimulus:(fun _ _ -> false) in
+  let qs = Array.to_list (Array.map (fun o -> List.assoc "q" o) outs) in
+  (* value of Q during each cycle's evaluation: starts 0, then toggles *)
+  Alcotest.(check (list bool)) "toggle" [ false; true; false; true ] qs
+
+let test_cycle_sim_comb_guard () =
+  let net = Benchmarks.s27 () in
+  Alcotest.check_raises "needs comb"
+    (Invalid_argument "Cycle_sim.comb_outputs: netlist has flip-flops")
+    (fun () -> ignore (Cycle_sim.comb_outputs net ~inputs:(fun _ -> false)))
+
+(* ----- Timing_sim ----- *)
+
+(* A glitch-free pipeline settles to the same per-cycle values as the
+   zero-delay simulator (after the edge-0 launch alignment). *)
+let timing_matches_cycle_law seed =
+  let net =
+    Generator.generate
+      {
+        Generator.gen_name = "tm";
+        seed;
+        n_pi = 4;
+        n_po = 3;
+        n_ff = 4;
+        n_gates = 18;
+        depth = 4;
+        ff_depth_bias = 0.2;
+      }
+  in
+  let clock_ps = Sta.clock_for net ~margin:1.5 in
+  let cycles = 6 in
+  (* constant inputs: no input-induced hazards; FF captures must agree *)
+  let rng = Random.State.make [| seed; 99 |] in
+  let pi_vals =
+    List.map (fun pi -> (pi, Random.State.bool rng)) (Netlist.inputs net)
+  in
+  let r =
+    Timing_sim.run
+      ~drive:(fun pi -> Timing_sim.Const (List.assoc pi pi_vals))
+      net
+      { Timing_sim.clock_ps; cycles }
+  in
+  (* cycle sim: timing edge k captures what cycle-sim computes in its
+     step k+1 (edge 0 loaded step 0's capture) *)
+  let sim = Cycle_sim.create net in
+  let inputs id = List.assoc id pi_vals in
+  ignore (Cycle_sim.step sim ~inputs);
+  let ok = ref true in
+  for k = 0 to cycles - 1 do
+    ignore (Cycle_sim.step sim ~inputs);
+    let state = Cycle_sim.state sim in
+    Array.iteri
+      (fun i ff ->
+        let expected = Logic.of_bool (List.assoc ff state) in
+        if not (Logic.equal r.Timing_sim.ff_samples.(i).(k) expected) then
+          ok := false)
+      r.Timing_sim.ff_ids
+  done;
+  !ok && r.Timing_sim.violations = []
+
+let test_timing_glitch_propagation () =
+  (* a pulse travels through a buffer chain, shifted by the chain delay *)
+  let n = Netlist.create "t" in
+  let a = Netlist.add_input n "a" in
+  let b1 = Netlist.add_gate n Cell.Buf [| a |] in
+  let b2 = Netlist.add_gate n Cell.Buf [| b1 |] in
+  Netlist.add_output n "y" b2;
+  let pulse = Waveform.make ~initial:Logic.F [ (1000, Logic.T); (1100, Logic.F) ] in
+  let r =
+    Timing_sim.run
+      ~drive:(fun _ -> Timing_sim.Wave pulse)
+      n
+      { Timing_sim.clock_ps = 4000; cycles = 1 }
+  in
+  let y = Timing_sim.wave_of r n "n2" in
+  let d = 2 * (Cell_lib.bind Cell.Buf 1).Cell.delay_ps in
+  Alcotest.(check char) "pulse arrives" '1'
+    (Logic.to_char (Waveform.value_at y (1050 + d)));
+  Alcotest.(check char) "pulse ends" '0'
+    (Logic.to_char (Waveform.value_at y (1150 + d)))
+
+let test_timing_violation_detection () =
+  (* a D transition inside the capture window must be flagged and latch X *)
+  let n = Netlist.create "t" in
+  let a = Netlist.add_input n "a" in
+  let f = Netlist.add_ff n ~name:"f" a in
+  Netlist.add_output n "q" f;
+  let clock = 2000 in
+  (* transition exactly at the edge: hold violation *)
+  let w = Waveform.make ~initial:Logic.F [ (clock, Logic.T) ] in
+  let r =
+    Timing_sim.run
+      ~drive:(fun _ -> Timing_sim.Wave w)
+      n
+      { Timing_sim.clock_ps = clock; cycles = 2 }
+  in
+  Alcotest.(check int) "one violation" 1 (List.length r.Timing_sim.violations);
+  let v = List.hd r.Timing_sim.violations in
+  Alcotest.(check bool) "hold kind" true
+    (v.Timing_sim.v_kind = Timing_sim.Hold_violation);
+  Alcotest.(check char) "latched X" 'x'
+    (Logic.to_char r.Timing_sim.ff_samples.(0).(0));
+  (* a transition comfortably after the hold window is clean *)
+  let w2 = Waveform.make ~initial:Logic.F [ (clock + 500, Logic.T) ] in
+  let r2 =
+    Timing_sim.run
+      ~drive:(fun _ -> Timing_sim.Wave w2)
+      n
+      { Timing_sim.clock_ps = clock; cycles = 2 }
+  in
+  Alcotest.(check int) "clean" 0 (List.length r2.Timing_sim.violations);
+  Alcotest.(check char) "captures late value" '1'
+    (Logic.to_char r2.Timing_sim.ff_samples.(0).(1))
+
+let test_timing_setup_violation () =
+  let n = Netlist.create "t" in
+  let a = Netlist.add_input n "a" in
+  let f = Netlist.add_ff n ~name:"f" a in
+  Netlist.add_output n "q" f;
+  let clock = 2000 in
+  (* transition 30 ps before the edge: inside the 100 ps setup window *)
+  let w = Waveform.make ~initial:Logic.F [ (clock - 30, Logic.T) ] in
+  let r =
+    Timing_sim.run
+      ~drive:(fun _ -> Timing_sim.Wave w)
+      n
+      { Timing_sim.clock_ps = clock; cycles = 1 }
+  in
+  Alcotest.(check int) "one violation" 1 (List.length r.Timing_sim.violations);
+  Alcotest.(check bool) "setup kind" true
+    ((List.hd r.Timing_sim.violations).Timing_sim.v_kind = Timing_sim.Setup_violation)
+
+let test_timing_gk_fig4 () =
+  (* the exact Fig. 4 waveform: checked as data, not just rendered *)
+  let net = Netlist.create "fig4" in
+  let x = Netlist.add_input net "x" in
+  let key = Netlist.add_input net "key" in
+  let gk =
+    Gk.insert net ~profile:`Custom ~name:"gk" ~x ~key
+      ~variant:Gk.Invert_on_const ~d_path_a_ps:2000 ~d_path_b_ps:3000 ()
+  in
+  Netlist.add_output net "y" gk.Gk.out;
+  let drive pi =
+    if pi = x then Timing_sim.Const true
+    else
+      Timing_sim.Wave
+        (Waveform.make ~initial:Logic.F [ (3000, Logic.T); (11000, Logic.F) ])
+  in
+  let r = Timing_sim.run ~drive net { Timing_sim.clock_ps = 20000; cycles = 1 } in
+  let y = Timing_sim.wave_of r net "gk_mux" in
+  let d_mux = gk.Gk.d_mux_ps in
+  let expected =
+    [
+      (3000 + d_mux, Logic.T);
+      (3000 + 3000 + d_mux, Logic.F);
+      (11000 + d_mux, Logic.T);
+      (11000 + 2000 + d_mux, Logic.F);
+    ]
+  in
+  Alcotest.(check bool) "fig4 transitions" true
+    (Waveform.equal y (Waveform.make ~initial:Logic.F expected))
+
+let test_timing_po_sampling () =
+  let n = Netlist.create "t" in
+  let a = Netlist.add_input n "a" in
+  Netlist.add_output n "y" a;
+  let w = Waveform.make ~initial:Logic.F [ (1500, Logic.T) ] in
+  let r =
+    Timing_sim.run ~drive:(fun _ -> Timing_sim.Wave w) n
+      { Timing_sim.clock_ps = 1000; cycles = 3 }
+  in
+  let samples = List.assoc "y" r.Timing_sim.po_samples in
+  Alcotest.(check string) "po samples" "011"
+    (String.init 3 (fun i -> Logic.to_char samples.(i)))
+
+let test_timing_guards () =
+  let n = Netlist.create "t" in
+  ignore (Netlist.add_input n "a");
+  Alcotest.check_raises "bad clock"
+    (Invalid_argument "Timing_sim.run: clock period shorter than FF timing arcs")
+    (fun () -> ignore (Timing_sim.run n { Timing_sim.clock_ps = 200; cycles = 1 }))
+
+let suites =
+  [
+    ( "sim.logic",
+      [
+        tc "tables" `Quick test_logic_tables;
+        tc "lut" `Quick test_logic_eval_lut;
+        qcheck "de morgan (3-valued)" QCheck.(pair logic_arb logic_arb) de_morgan_law;
+        qcheck "agrees with bool eval"
+          QCheck.(
+            pair
+              (map Logic.of_bool bool)
+              (map Logic.of_bool bool))
+          logic_matches_bool_law;
+      ] );
+    ( "sim.event_queue",
+      [
+        tc "order" `Quick test_event_queue_order;
+        qcheck "drains sorted" QCheck.(list small_nat) event_queue_sorted_law;
+      ] );
+    ( "sim.waveform",
+      [
+        tc "normalize" `Quick test_waveform_normalize;
+        tc "pulses" `Quick test_waveform_pulses;
+        tc "toggle/delay" `Quick test_waveform_toggle_delay;
+        tc "map2" `Quick test_waveform_map2;
+        tc "stability" `Quick test_waveform_stability;
+        qcheck "make produces canonical waveforms"
+          QCheck.(list (pair int bool))
+          waveform_value_consistent_law;
+      ] );
+    ( "sim.cycle",
+      [
+        tc "toggle counter" `Quick test_cycle_sim_counter;
+        tc "comb guard" `Quick test_cycle_sim_comb_guard;
+      ] );
+    ( "sim.timing",
+      [
+        tc "glitch propagation" `Quick test_timing_glitch_propagation;
+        tc "hold violation" `Quick test_timing_violation_detection;
+        tc "setup violation" `Quick test_timing_setup_violation;
+        tc "fig4 GK waveform" `Quick test_timing_gk_fig4;
+        tc "po sampling" `Quick test_timing_po_sampling;
+        tc "guards" `Quick test_timing_guards;
+        qcheck ~count:25 "matches cycle sim on stable inputs"
+          (QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 500))
+          timing_matches_cycle_law;
+      ] );
+  ]

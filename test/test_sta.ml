@@ -1,0 +1,245 @@
+(* Tests for static timing analysis, the GK timing rules (Eqs. 1-6) and
+   true/false violation discrimination. *)
+
+let tc = Alcotest.test_case
+
+let qcheck ?(count = 100) name arb law =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb law)
+
+(* A hand-built pipeline with known delays:
+   pi -> NOT(40) -> AND2(75) -> ff1 ; ff1 -> XOR2(95) -> ff2, po *)
+let pipeline () =
+  let n = Netlist.create "pipe" in
+  let a = Netlist.add_input n "a" in
+  let g1 = Netlist.add_gate n ~name:"g1" Cell.Not [| a |] in
+  let g2 = Netlist.add_gate n ~name:"g2" Cell.And [| g1; a |] in
+  let f1 = Netlist.add_ff n ~name:"f1" g2 in
+  let g3 = Netlist.add_gate n ~name:"g3" Cell.Xor [| f1; a |] in
+  let f2 = Netlist.add_ff n ~name:"f2" g3 in
+  Netlist.add_output n "y" g3;
+  (n, a, g1, g2, f1, g3, f2)
+
+let test_sta_arrivals () =
+  let n, _, g1, g2, _, g3, _ = pipeline () in
+  let sta = Sta.analyze n ~clock_ps:2000 in
+  Alcotest.(check int) "g1 amax" 40 (Sta.arrival sta g1).Sta.amax;
+  Alcotest.(check int) "g2 amax" 115 (Sta.arrival sta g2).Sta.amax;
+  (* g2 amin: direct a input path = 75 *)
+  Alcotest.(check int) "g2 amin" 75 (Sta.arrival sta g2).Sta.amin;
+  (* g3: max(clk2q(150), 0) + 95 = 245; min = 95 *)
+  Alcotest.(check int) "g3 amax" 245 (Sta.arrival sta g3).Sta.amax;
+  Alcotest.(check int) "g3 amin" 95 (Sta.arrival sta g3).Sta.amin
+
+let test_sta_bounds_slack () =
+  let n, _, _, _, f1, _, f2 = pipeline () in
+  let clock = 2000 in
+  let sta = Sta.analyze n ~clock_ps:clock in
+  let lb, ub = Sta.lb_ub sta f1 in
+  Alcotest.(check int) "LB = hold" Cell_lib.dff_hold_ps lb;
+  Alcotest.(check int) "UB = clk - setup" (clock - Cell_lib.dff_setup_ps) ub;
+  Alcotest.(check int) "f1 setup slack" (ub - 115) (Sta.setup_slack sta f1);
+  Alcotest.(check int) "f2 setup slack" (ub - 245) (Sta.setup_slack sta f2);
+  Alcotest.(check int) "f2 hold slack" (95 - lb) (Sta.hold_slack sta f2)
+
+let test_sta_critical_and_clock () =
+  let n, _, _, _, _, _, _ = pipeline () in
+  Alcotest.(check int) "critical" 245 (Sta.critical_path_ps n);
+  Alcotest.(check int) "min clock" (245 + Cell_lib.dff_setup_ps) (Sta.min_clock_ps n);
+  let c = Sta.clock_for n ~margin:1.0 in
+  Alcotest.(check bool) "rounded to 10" true (c mod 10 = 0 && c >= 345);
+  Alcotest.check_raises "margin < 1"
+    (Invalid_argument "Sta.clock_for: margin below 1.0") (fun () ->
+      ignore (Sta.clock_for n ~margin:0.5))
+
+let sta_vs_paths_law seed =
+  (* amax at every FF D equals the longest path found by explicit DFS. *)
+  let net =
+    Generator.generate
+      {
+        Generator.gen_name = "sp";
+        seed;
+        n_pi = 4;
+        n_po = 2;
+        n_ff = 3;
+        n_gates = 15;
+        depth = 4;
+        ff_depth_bias = 0.3;
+      }
+  in
+  let sta = Sta.analyze net ~clock_ps:5000 in
+  let delay id =
+    let nd = Netlist.node net id in
+    match (nd.Netlist.kind, nd.Netlist.cell) with
+    | Netlist.Gate _, Some c -> c.Cell.delay_ps
+    | _ -> 0
+  in
+  let rec longest id =
+    let nd = Netlist.node net id in
+    match nd.Netlist.kind with
+    | Netlist.Input | Netlist.Const _ -> 0
+    | Netlist.Ff -> Cell_lib.dff_clk2q_ps
+    | Netlist.Gate _ | Netlist.Lut _ ->
+      delay id + Array.fold_left (fun acc f -> max acc (longest f)) 0 nd.Netlist.fanins
+    | Netlist.Dead -> 0
+  in
+  List.for_all
+    (fun ff ->
+      (Sta.ff_d_arrival sta ff).Sta.amax
+      = longest (Netlist.node net ff).Netlist.fanins.(0))
+    (Netlist.ffs net)
+
+(* ----- Gk_timing ----- *)
+
+let site ~t_arrival ~clock =
+  {
+    Gk_timing.t_arrival;
+    lb = Cell_lib.dff_hold_ps;
+    ub = clock - Cell_lib.dff_setup_ps;
+    t_j = clock;
+    t_setup = Cell_lib.dff_setup_ps;
+    t_hold = Cell_lib.dff_hold_ps;
+  }
+
+let test_gk_timing_eq2 () =
+  Alcotest.(check int) "l_glitch" 1000 (Gk_timing.l_glitch ~d_path:910 ~d_mux:90);
+  Alcotest.(check int) "min on-level" 150
+    (Gk_timing.min_on_level_glitch ~t_setup:100 ~t_hold:50)
+
+let test_gk_timing_eq3 () =
+  let s = site ~t_arrival:1000 ~clock:4000 in
+  (* t_arrival + (l - mux) + mux = 1000 + 1000 = 2000 <= 3900 *)
+  Alcotest.(check bool) "feasible" true
+    (Gk_timing.feasible_on_level s ~l_glitch:1000 ~d_mux:90);
+  let tight = site ~t_arrival:3200 ~clock:4000 in
+  (* 3200 + 1000 = 4200 > 3900 *)
+  Alcotest.(check bool) "infeasible" false
+    (Gk_timing.feasible_on_level tight ~l_glitch:1000 ~d_mux:90)
+
+let test_gk_timing_eq4 () =
+  let s = site ~t_arrival:1000 ~clock:4000 in
+  let d = { Gk_timing.d_path_a = 700; d_path_b = 900; d_mux = 90 } in
+  Alcotest.(check bool) "off-level feasible" true (Gk_timing.feasible_off_level s d);
+  let tight = site ~t_arrival:3300 ~clock:4000 in
+  Alcotest.(check bool) "off-level infeasible" false
+    (Gk_timing.feasible_off_level tight d)
+
+let test_gk_timing_eq5_eq6 () =
+  let s = site ~t_arrival:1000 ~clock:4000 in
+  (match Gk_timing.trigger_window_on_level s ~l_glitch:1000 ~d_mux:90 with
+  | Some (lo, hi) ->
+    (* lo = max(t_j + hold - L, arr + ready) = max(3050, 1910) *)
+    Alcotest.(check int) "eq5 lo" 3050 lo;
+    Alcotest.(check int) "eq5 hi" (3900 - 90) hi
+  | None -> Alcotest.fail "eq5 empty");
+  (match Gk_timing.trigger_window_off_level s ~l_glitch:1000 ~d_mux:90 with
+  | Some (lo, hi) ->
+    Alcotest.(check int) "eq6 lo" (50 - 90) lo;
+    Alcotest.(check int) "eq6 hi" (3900 - 1000) hi
+  | None -> Alcotest.fail "eq6 empty");
+  (* an over-long glitch leaves no on-level window *)
+  Alcotest.(check bool) "eq5 empty when l too long" true
+    (Gk_timing.trigger_window_on_level s ~l_glitch:3900 ~d_mux:90 = None)
+
+let test_gk_timing_classify () =
+  let s = site ~t_arrival:500 ~clock:4000 in
+  let l = 1000 and d_mux = 90 in
+  let c t = Gk_timing.classify s ~l_glitch:l ~d_mux ~t_trigger:t in
+  Alcotest.(check bool) "glitchless" true (c None = Some Gk_timing.Glitchless);
+  Alcotest.(check bool) "on-level" true (c (Some 3200) = Some Gk_timing.On_level);
+  Alcotest.(check bool) "early" true (c (Some 1600) = Some Gk_timing.Glitch_early);
+  Alcotest.(check bool) "late" true (c (Some 4000) = Some Gk_timing.Glitch_late);
+  (* glitch end transition inside the window: violation *)
+  Alcotest.(check bool) "violation" true (c (Some (4000 - 1000)) = None);
+  (* not ready: trigger before the data reached the branch *)
+  Alcotest.(check bool) "not ready" true (c (Some 1200) = None)
+
+let eq5_trigger_always_on_level_law (arrival, pick) =
+  (* Any trigger inside the Eq. 5 window classifies as on-level. *)
+  let clock = 5000 in
+  let s = site ~t_arrival:(500 + (arrival mod 2000)) ~clock in
+  let l = 1000 and d_mux = 90 in
+  match Gk_timing.trigger_window_on_level s ~l_glitch:l ~d_mux with
+  | None -> true
+  | Some (lo, hi) ->
+    let t = lo + 1 + (abs pick mod max 1 (hi - lo - 1)) in
+    Gk_timing.classify s ~l_glitch:l ~d_mux ~t_trigger:(Some t)
+    = Some Gk_timing.On_level
+
+let test_site_of_sta () =
+  let n, _, _, _, f1, _, _ = pipeline () in
+  let sta = Sta.analyze n ~clock_ps:3000 in
+  let s = Gk_timing.site_of_sta sta f1 in
+  Alcotest.(check int) "arrival" 115 s.Gk_timing.t_arrival;
+  Alcotest.(check int) "t_j" 3000 s.Gk_timing.t_j;
+  Alcotest.(check int) "ub" 2900 s.Gk_timing.ub
+
+(* ----- Timing_report ----- *)
+
+let test_timing_report () =
+  (* force a negative-slack endpoint by picking a clock shorter than the
+     path, then explain it (or not) with an intended glitch *)
+  let n, _, _, _, _f1, _, f2 = pipeline () in
+  let clock = 340 in
+  (* f2 arrival 245, ub = 240 -> violated *)
+  let sta = Sta.analyze n ~clock_ps:clock in
+  let glitch_covering = (clock - 150, clock + 80) in
+  let entries =
+    Timing_report.discriminate sta ~intended:(fun ff ->
+        if ff = f2 then Some glitch_covering else None)
+  in
+  let f2e = List.find (fun e -> e.Timing_report.ff = f2) entries in
+  Alcotest.(check bool) "false violation" true
+    (f2e.Timing_report.verdict = Timing_report.False_violation);
+  (* same endpoint without explanation: true violation *)
+  let entries2 = Timing_report.discriminate sta ~intended:(fun _ -> None) in
+  let f2e2 = List.find (fun e -> e.Timing_report.ff = f2) entries2 in
+  Alcotest.(check bool) "true violation" true
+    (f2e2.Timing_report.verdict = Timing_report.True_violation);
+  Alcotest.(check int) "true list" 1
+    (List.length (Timing_report.true_violations entries2)
+    - List.length (Timing_report.true_violations entries));
+  (* a glitch wholly outside the window also explains the flag *)
+  let early = (10, 60) in
+  let entries3 =
+    Timing_report.discriminate sta ~intended:(fun ff ->
+        if ff = f2 then Some early else None)
+  in
+  let f2e3 = List.find (fun e -> e.Timing_report.ff = f2) entries3 in
+  Alcotest.(check bool) "outside-window glitch is false violation" true
+    (f2e3.Timing_report.verdict = Timing_report.False_violation)
+
+let test_timing_report_clean () =
+  let n, _, _, _, _, _, _ = pipeline () in
+  let sta = Sta.analyze n ~clock_ps:3000 in
+  let entries = Timing_report.discriminate sta ~intended:(fun _ -> None) in
+  Alcotest.(check bool) "all clean" true
+    (List.for_all (fun e -> e.Timing_report.verdict = Timing_report.Clean) entries)
+
+let suites =
+  [
+    ( "sta.analysis",
+      [
+        tc "arrivals" `Quick test_sta_arrivals;
+        tc "bounds/slack" `Quick test_sta_bounds_slack;
+        tc "critical/clock" `Quick test_sta_critical_and_clock;
+        qcheck ~count:40 "amax = longest path"
+          (QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 500))
+          sta_vs_paths_law;
+      ] );
+    ( "sta.gk_timing",
+      [
+        tc "eq2" `Quick test_gk_timing_eq2;
+        tc "eq3" `Quick test_gk_timing_eq3;
+        tc "eq4" `Quick test_gk_timing_eq4;
+        tc "eq5/eq6 windows" `Quick test_gk_timing_eq5_eq6;
+        tc "classify" `Quick test_gk_timing_classify;
+        tc "site_of_sta" `Quick test_site_of_sta;
+        qcheck "eq5 triggers are on-level" QCheck.(pair int int)
+          eq5_trigger_always_on_level_law;
+      ] );
+    ( "sta.timing_report",
+      [
+        tc "discrimination" `Quick test_timing_report;
+        tc "clean design" `Quick test_timing_report_clean;
+      ] );
+  ]

@@ -1,0 +1,112 @@
+(* Unit and property tests for the gklock_util containers. *)
+
+let tc = Alcotest.test_case
+
+let qcheck ?(count = 200) name arb law =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb law)
+
+(* ----- Vec ----- *)
+
+let test_vec_basic () =
+  let v = Vec.create () in
+  Alcotest.(check int) "empty length" 0 (Vec.length v);
+  Vec.push v 10;
+  Vec.push v 20;
+  Vec.push v 30;
+  Alcotest.(check int) "length" 3 (Vec.length v);
+  Alcotest.(check int) "get 0" 10 (Vec.get v 0);
+  Alcotest.(check int) "get 2" 30 (Vec.get v 2);
+  Vec.set v 1 99;
+  Alcotest.(check int) "set" 99 (Vec.get v 1);
+  Alcotest.(check int) "top" 30 (Vec.top v);
+  Alcotest.(check int) "pop" 30 (Vec.pop v);
+  Alcotest.(check int) "length after pop" 2 (Vec.length v)
+
+let test_vec_bounds () =
+  let v = Vec.of_list [ 1; 2 ] in
+  Alcotest.check_raises "get oob" (Invalid_argument "Vec: index 5 out of bounds (len 2)")
+    (fun () -> ignore (Vec.get v 5));
+  Alcotest.check_raises "pop empty" (Invalid_argument "Vec.pop: empty")
+    (fun () ->
+      let e = Vec.create () in
+      ignore (Vec.pop e))
+
+let test_vec_shrink_clear () =
+  let v = Vec.of_list [ 1; 2; 3; 4; 5 ] in
+  Vec.shrink v 2;
+  Alcotest.(check (list int)) "shrunk" [ 1; 2 ] (Vec.to_list v);
+  Vec.clear v;
+  Alcotest.(check int) "cleared" 0 (Vec.length v)
+
+let test_vec_make () =
+  let v = Vec.make 4 'x' in
+  Alcotest.(check int) "make length" 4 (Vec.length v);
+  Alcotest.(check char) "make fill" 'x' (Vec.get v 3)
+
+let test_vec_iter_fold () =
+  let v = Vec.of_list [ 1; 2; 3 ] in
+  let sum = Vec.fold ( + ) 0 v in
+  Alcotest.(check int) "fold" 6 sum;
+  let acc = ref [] in
+  Vec.iteri (fun i x -> acc := (i, x) :: !acc) v;
+  Alcotest.(check (list (pair int int))) "iteri" [ (2, 3); (1, 2); (0, 1) ] !acc;
+  Alcotest.(check bool) "exists" true (Vec.exists (fun x -> x = 2) v);
+  Alcotest.(check bool) "exists not" false (Vec.exists (fun x -> x = 9) v)
+
+(* A vector behaves like the list of pushed elements. *)
+let vec_model_law (xs : int list) =
+  let v = Vec.create () in
+  List.iter (Vec.push v) xs;
+  Vec.to_list v = xs
+  && Vec.length v = List.length xs
+  && Array.to_list (Vec.to_array v) = xs
+
+let vec_push_pop_law (xs : int list) =
+  let v = Vec.of_list xs in
+  let popped = List.init (List.length xs) (fun _ -> Vec.pop v) in
+  popped = List.rev xs && Vec.length v = 0
+
+(* ----- Ascii_table ----- *)
+
+let test_table_render () =
+  let t =
+    Ascii_table.create ~title:"T"
+      ~columns:[ ("name", Ascii_table.Left); ("n", Ascii_table.Right) ]
+  in
+  Ascii_table.add_row t [ "a"; "1" ];
+  Ascii_table.add_row t [ "bb"; "22" ];
+  Ascii_table.set_footer t [ "avg"; "11" ];
+  let s = Ascii_table.render t in
+  Alcotest.(check bool) "has title" true (String.length s > 0 && s.[0] = 'T');
+  let count_sub sub =
+    let n = ref 0 in
+    let sl = String.length sub in
+    for i = 0 to String.length s - sl do
+      if String.sub s i sl = sub then incr n
+    done;
+    !n
+  in
+  Alcotest.(check int) "four rules" 4 (count_sub "+------+");
+  Alcotest.(check bool) "has footer" true (count_sub "avg" = 1)
+
+let test_table_arity () =
+  let t = Ascii_table.create ~title:"" ~columns:[ ("a", Ascii_table.Left) ] in
+  Alcotest.check_raises "bad row"
+    (Invalid_argument "Ascii_table: row has 2 cells, table has 1 columns")
+    (fun () -> Ascii_table.add_row t [ "x"; "y" ])
+
+let suites =
+  [
+    ( "util.vec",
+      [
+        tc "basic" `Quick test_vec_basic;
+        tc "bounds" `Quick test_vec_bounds;
+        tc "shrink/clear" `Quick test_vec_shrink_clear;
+        tc "make" `Quick test_vec_make;
+        tc "iter/fold" `Quick test_vec_iter_fold;
+        qcheck "vec models list" QCheck.(list int) vec_model_law;
+        qcheck "push/pop is a stack" QCheck.(list int) vec_push_pop_law;
+      ] );
+    ( "util.ascii_table",
+      [ tc "render" `Quick test_table_render; tc "arity" `Quick test_table_arity ] );
+  ]

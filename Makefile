@@ -1,6 +1,6 @@
 # Convenience targets; dune is the real build system.
 
-.PHONY: all build test bench bench-quick examples clean
+.PHONY: all build test bench bench-quick bench-eval check examples clean
 
 all: build
 
@@ -15,6 +15,15 @@ bench:
 
 bench-quick:
 	dune exec bench/main.exe -- --quick
+
+# Evaluation-engine micro-benchmarks; verifies engine/seed-path equivalence
+# on every benchmark and writes BENCH_eval.json.
+bench-eval:
+	dune exec bench/bench_eval.exe
+
+# Everything a PR must keep green: full build (libs, CLI, examples,
+# benches) plus the test suite.
+check: build test
 
 examples:
 	dune exec examples/quickstart.exe

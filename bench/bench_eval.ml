@@ -1,0 +1,199 @@
+(* Micro-benchmarks for the bit-parallel evaluation engine: scalar
+   vs. word-parallel evaluation and cached vs. uncached topological
+   ordering, on three seed benchmarks.  Prints a human-readable table and
+   writes machine-readable results to BENCH_eval.json (or the path given
+   as the first argument) so later PRs can track the perf trajectory:
+
+     dune exec bench/bench_eval.exe            # or: make bench-eval
+
+   The "legacy" rows re-measure the pre-engine eval_comb (a fresh DFS
+   topological sort and per-gate fanin array per call) as a fixed baseline
+   that survives further optimization of the library itself. *)
+
+(* ----- the seed evaluation path, reproduced verbatim ----- *)
+
+let legacy_topo net =
+  let n = Netlist.num_nodes net in
+  let state = Array.make n 0 in
+  let order = ref [] in
+  let rec visit id =
+    let nd = Netlist.node net id in
+    if not (Netlist.is_comb nd) then ()
+    else
+      match state.(id) with
+      | 2 -> ()
+      | 1 -> failwith "cycle"
+      | _ ->
+        state.(id) <- 1;
+        Array.iter visit nd.Netlist.fanins;
+        state.(id) <- 2;
+        order := id :: !order
+  in
+  for id = 0 to n - 1 do
+    visit id
+  done;
+  List.rev !order
+
+let legacy_eval net assignment =
+  let values = Array.make (Netlist.num_nodes net) false in
+  for id = 0 to Netlist.num_nodes net - 1 do
+    match (Netlist.node net id).Netlist.kind with
+    | Netlist.Input | Netlist.Ff -> values.(id) <- assignment id
+    | Netlist.Const b -> values.(id) <- b
+    | Netlist.Gate _ | Netlist.Lut _ | Netlist.Dead -> ()
+  done;
+  List.iter
+    (fun id ->
+      let n = Netlist.node net id in
+      let ins = Array.map (fun f -> values.(f)) n.Netlist.fanins in
+      match n.Netlist.kind with
+      | Netlist.Gate fn -> values.(id) <- Cell.eval fn ins
+      | Netlist.Lut truth ->
+        let idx = ref 0 in
+        Array.iteri (fun i b -> if b then idx := !idx lor (1 lsl i)) ins;
+        values.(id) <- truth.(!idx)
+      | Netlist.Input | Netlist.Const _ | Netlist.Ff | Netlist.Dead ->
+        assert false)
+    (legacy_topo net);
+  values
+
+(* ----- measurement ----- *)
+
+let time_reps ?(min_time = 0.3) f =
+  (* warm up once, then repeat until [min_time] elapsed *)
+  f ();
+  let reps = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  let elapsed = ref 0.0 in
+  while !elapsed < min_time do
+    f ();
+    incr reps;
+    elapsed := Unix.gettimeofday () -. t0
+  done;
+  (!reps, !elapsed)
+
+let throughput ~patterns_per_call f =
+  let reps, elapsed = time_reps f in
+  float_of_int (reps * patterns_per_call) /. elapsed
+
+let micros f =
+  let reps, elapsed = time_reps f in
+  1e6 *. elapsed /. float_of_int reps
+
+type row = {
+  r_name : string;
+  r_cells : int;
+  r_legacy_pps : float;
+  r_scalar_pps : float;
+  r_word_pps : float;
+  r_topo_uncached_us : float;
+  r_topo_cached_us : float;
+}
+
+let bench_spec spec =
+  let net = Benchmarks.load spec in
+  let n = Netlist.num_nodes net in
+  let rng = Random.State.make [| 0xB17; Hashtbl.hash spec.Benchmarks.bname |] in
+  let stim = Array.init n (fun _ -> Random.State.bool rng) in
+  let stim_words = Array.init n (fun _ -> Netlist.Engine.random_word rng) in
+  let eng = Netlist.Engine.get net in
+  let legacy_pps =
+    throughput ~patterns_per_call:1 (fun () ->
+        ignore (legacy_eval net (Array.get stim)))
+  in
+  let scalar_pps =
+    throughput ~patterns_per_call:1 (fun () ->
+        ignore (Netlist.eval_comb net (Array.get stim)))
+  in
+  let word_pps =
+    throughput ~patterns_per_call:Netlist.Engine.word_bits (fun () ->
+        ignore (Netlist.Engine.eval_words eng (Array.get stim_words)))
+  in
+  let topo_uncached_us = micros (fun () -> ignore (legacy_topo net)) in
+  let topo_cached_us = micros (fun () -> ignore (Netlist.comb_topo_order net)) in
+  {
+    r_name = spec.Benchmarks.bname;
+    r_cells = spec.Benchmarks.cells;
+    r_legacy_pps = legacy_pps;
+    r_scalar_pps = scalar_pps;
+    r_word_pps = word_pps;
+    r_topo_uncached_us = topo_uncached_us;
+    r_topo_cached_us = topo_cached_us;
+  }
+
+(* ----- equivalence: engine vs. the seed path, all seed benchmarks ----- *)
+
+let check_equivalence () =
+  List.iter
+    (fun spec ->
+      let net = Benchmarks.load spec in
+      let eng = Netlist.Engine.get net in
+      let n = Netlist.num_nodes net in
+      let rng = Random.State.make [| 0xE9; spec.Benchmarks.config.Generator.seed |] in
+      let vectors =
+        Array.init Netlist.Engine.word_bits (fun _ ->
+            Array.init n (fun _ -> Random.State.bool rng))
+      in
+      (* word per source id packing vector v into lane v *)
+      let words =
+        Array.init n (fun id ->
+            let w = ref 0 in
+            Array.iteri (fun v vec -> if vec.(id) then w := !w lor (1 lsl v)) vectors;
+            !w)
+      in
+      let word_values = Netlist.Engine.eval_words eng (Array.get words) in
+      Array.iteri
+        (fun v vec ->
+          let scalar = Netlist.eval_comb net (Array.get vec) in
+          let legacy = legacy_eval net (Array.get vec) in
+          for id = 0 to n - 1 do
+            if scalar.(id) <> legacy.(id) then
+              failwith
+                (Printf.sprintf "%s: scalar engine disagrees with seed eval at node %d"
+                   spec.Benchmarks.bname id);
+            if word_values.(id) land (1 lsl v) <> 0 <> scalar.(id) then
+              failwith
+                (Printf.sprintf "%s: lane %d disagrees with scalar eval at node %d"
+                   spec.Benchmarks.bname v id)
+          done)
+        vectors;
+      Printf.printf "equivalence %-8s OK (%d lanes x %d nodes)\n%!"
+        spec.Benchmarks.bname Netlist.Engine.word_bits n)
+    Benchmarks.specs
+
+(* ----- output ----- *)
+
+let json_of_row r =
+  Printf.sprintf
+    "    {\"name\": %S, \"cells\": %d, \"legacy_patterns_per_sec\": %.1f, \
+     \"scalar_patterns_per_sec\": %.1f, \"word_patterns_per_sec\": %.1f, \
+     \"word_speedup_vs_legacy\": %.2f, \"scalar_speedup_vs_legacy\": %.2f, \
+     \"topo_uncached_us\": %.2f, \"topo_cached_us\": %.2f}"
+    r.r_name r.r_cells r.r_legacy_pps r.r_scalar_pps r.r_word_pps
+    (r.r_word_pps /. r.r_legacy_pps)
+    (r.r_scalar_pps /. r.r_legacy_pps)
+    r.r_topo_uncached_us r.r_topo_cached_us
+
+let () =
+  let out_path = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_eval.json" in
+  check_equivalence ();
+  let rows =
+    List.map bench_spec
+      (List.filter_map Benchmarks.find_spec [ "s1238"; "s5378"; "s38417" ])
+  in
+  Printf.printf "\n%-8s %6s %14s %14s %14s %8s %11s %10s\n" "bench" "cells"
+    "legacy p/s" "scalar p/s" "word p/s" "speedup" "topo-raw us" "topo-c us";
+  List.iter
+    (fun r ->
+      Printf.printf "%-8s %6d %14.0f %14.0f %14.0f %7.1fx %11.2f %10.2f\n"
+        r.r_name r.r_cells r.r_legacy_pps r.r_scalar_pps r.r_word_pps
+        (r.r_word_pps /. r.r_legacy_pps)
+        r.r_topo_uncached_us r.r_topo_cached_us)
+    rows;
+  let oc = open_out out_path in
+  Printf.fprintf oc
+    "{\n  \"schema\": \"gklock/bench_eval/v1\",\n  \"word_bits\": %d,\n  \"benchmarks\": [\n%s\n  ]\n}\n"
+    Netlist.Engine.word_bits
+    (String.concat ",\n" (List.map json_of_row rows));
+  close_out oc;
+  Printf.printf "\nwrote %s\n" out_path

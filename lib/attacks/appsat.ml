@@ -87,9 +87,8 @@ let run ?(max_iterations = 512) ?(check_every = 4) ?(error_threshold = 0.01)
     | Solver.Unsat -> None
   in
   let random_dip () = List.map (fun n -> (n, Random.State.bool rng)) x_names in
-  let locked_out key dip =
-    Sat_attack.oracle_of_netlist locked (dip @ key)
-  in
+  let locked_oracle = Sat_attack.oracle_of_netlist locked in
+  let locked_out key dip = locked_oracle (dip @ key) in
   let queries = ref 0 in
   (* estimate the error and feed failing queries back as constraints *)
   let estimate key =

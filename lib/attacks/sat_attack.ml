@@ -12,14 +12,22 @@ type outcome = {
   conflicts : int;
 }
 
-let oracle_of_netlist net inputs =
-  let by_id id =
-    match List.assoc_opt (Netlist.node net id).Netlist.name inputs with
-    | Some b -> b
-    | None -> false
-  in
-  let values = Netlist.eval_comb net by_id in
-  List.map (fun (po, d) -> (po, values.(d))) (Netlist.outputs net)
+(* The closure is built once per oracle: source names and outputs are
+   resolved up front, and each query hashes its input list once instead of
+   doing a linear [List.assoc_opt] per source node. *)
+let oracle_of_netlist net =
+  let names = Array.init (Netlist.num_nodes net) (fun id -> (Netlist.node net id).Netlist.name) in
+  let outs = Netlist.outputs net in
+  fun inputs ->
+    let tbl = Hashtbl.create (2 * List.length inputs) in
+    List.iter (fun (k, v) -> Hashtbl.replace tbl k v) inputs;
+    let values =
+      Netlist.Engine.eval (Netlist.Engine.get net) (fun id ->
+          match Hashtbl.find_opt tbl names.(id) with
+          | Some b -> b
+          | None -> false)
+    in
+    List.map (fun (po, d) -> (po, values.(d))) outs
 
 (* Split the locked netlist's inputs into X inputs and key inputs. *)
 let classify_inputs locked key_inputs =
@@ -171,11 +179,12 @@ let verify_key ?(samples = 64) ?(seed = 7) ~locked ~key_inputs ~oracle key =
   let rng = Random.State.make [| seed; 0x5646 |] in
   let x_pis, _ = classify_inputs locked key_inputs in
   let x_names = List.map (fun pi -> (Netlist.node locked pi).Netlist.name) x_pis in
+  let locked_oracle = oracle_of_netlist locked in
   let mismatches = ref 0 in
   for _ = 1 to samples do
     let dip = List.map (fun n -> (n, Random.State.bool rng)) x_names in
     let expected = oracle dip in
-    let got = oracle_of_netlist locked (dip @ key) in
+    let got = locked_oracle (dip @ key) in
     let differs =
       List.exists
         (fun (po, v) ->

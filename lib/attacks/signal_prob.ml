@@ -6,21 +6,31 @@ let estimate ?(samples = 2048) ?(seed = 11) ?(fixed = []) net =
   let ones = Array.make n 0 in
   let fixed_of = Hashtbl.create 8 in
   List.iter (fun (k, v) -> Hashtbl.replace fixed_of k v) fixed;
-  let pis = Netlist.inputs net in
-  for _ = 1 to samples do
-    let draw = Hashtbl.create 32 in
-    List.iter
+  let eng = Netlist.Engine.get net in
+  let srcs = Netlist.Engine.sources eng in
+  let w = Netlist.Engine.word_bits in
+  (* One engine pass evaluates a word of independent samples; the trailing
+     partial word is masked off so exactly [samples] lanes are counted. *)
+  let words = Array.make n 0 in
+  let remaining = ref samples in
+  while !remaining > 0 do
+    let lanes = min w !remaining in
+    Array.iter
       (fun pi ->
-        let name = (Netlist.node net pi).Netlist.name in
-        let v =
-          match Hashtbl.find_opt fixed_of name with
-          | Some b -> b
-          | None -> Random.State.bool rng
+        let word =
+          match Hashtbl.find_opt fixed_of (Netlist.node net pi).Netlist.name with
+          | Some true -> -1
+          | Some false -> 0
+          | None -> Netlist.Engine.random_word rng
         in
-        Hashtbl.replace draw pi v)
-      pis;
-    let values = Netlist.eval_comb net (Hashtbl.find draw) in
-    Array.iteri (fun id v -> if v then ones.(id) <- ones.(id) + 1) values
+        words.(pi) <- word)
+      srcs;
+    let values = Netlist.Engine.eval_words eng (Array.get words) in
+    let mask = if lanes = w then -1 else (1 lsl lanes) - 1 in
+    Array.iteri
+      (fun id v -> ones.(id) <- ones.(id) + Netlist.Engine.popcount (v land mask))
+      values;
+    remaining := !remaining - lanes
   done;
   Array.map (fun c -> float_of_int c /. float_of_int samples) ones
 

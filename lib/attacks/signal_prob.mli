@@ -8,7 +8,8 @@
 
 (** [estimate ?samples ?seed ?fixed net] returns P(node = 1) per node id,
     drawing primary inputs uniformly (except those pinned by [fixed],
-    keyed by input name).  Default 2048 samples. *)
+    keyed by input name).  Default 2048 samples.  Runs on the bit-parallel
+    {!Netlist.Engine}, {!Netlist.Engine.word_bits} samples per pass. *)
 val estimate :
   ?samples:int ->
   ?seed:int ->

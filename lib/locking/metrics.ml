@@ -5,37 +5,57 @@ type profile = {
   keys_sampled : int;
 }
 
-let eval_outputs net inputs =
-  let values =
-    Netlist.eval_comb net (fun id ->
-        match List.assoc_opt (Netlist.node net id).Netlist.name inputs with
-        | Some b -> b
-        | None -> false)
-  in
-  List.map (fun (po, d) -> (po, values.(d))) (Netlist.outputs net)
-
 let bit_error_rate ?(samples = 256) ?(seed = 17) ~reference locked key =
   let rng = Random.State.make [| seed; 0x4245 |] in
+  let lnet = locked.Locked.net in
   let x_names =
     List.filter_map
       (fun pi ->
-        let name = (Netlist.node locked.Locked.net pi).Netlist.name in
+        let name = (Netlist.node lnet pi).Netlist.name in
         if List.mem name locked.Locked.key_inputs then None else Some name)
-      (Netlist.inputs locked.Locked.net)
+      (Netlist.inputs lnet)
+  in
+  (* Both netlists are driven by the same per-name stimulus words; outputs
+     present in both are compared lane-wise, word_bits samples per engine
+     pass. *)
+  let ref_eng = Netlist.Engine.get reference in
+  let lk_eng = Netlist.Engine.get lnet in
+  let w = Netlist.Engine.word_bits in
+  let stim = Hashtbl.create 64 in
+  let key_word = Hashtbl.create 16 in
+  List.iter (fun (k, v) -> Hashtbl.replace key_word k (if v then -1 else 0)) key;
+  let word_of net id =
+    let name = (Netlist.node net id).Netlist.name in
+    match Hashtbl.find_opt stim name with
+    | Some word -> word
+    | None -> Option.value (Hashtbl.find_opt key_word name) ~default:0
+  in
+  let po_pairs =
+    List.filter_map
+      (fun (po, want_d) ->
+        Option.map
+          (fun got_d -> (want_d, got_d))
+          (List.assoc_opt po (Netlist.outputs lnet)))
+      (Netlist.outputs reference)
   in
   let errors = ref 0 and total = ref 0 in
-  for _ = 1 to samples do
-    let vector = List.map (fun n -> (n, Random.State.bool rng)) x_names in
-    let want = eval_outputs reference vector in
-    let got = eval_outputs locked.Locked.net (vector @ key) in
+  let remaining = ref samples in
+  while !remaining > 0 do
+    let lanes = min w !remaining in
+    let mask = if lanes = w then -1 else (1 lsl lanes) - 1 in
     List.iter
-      (fun (po, v) ->
-        match List.assoc_opt po got with
-        | Some w ->
-          incr total;
-          if v <> w then incr errors
-        | None -> ())
-      want
+      (fun n -> Hashtbl.replace stim n (Netlist.Engine.random_word rng))
+      x_names;
+    let want = Netlist.Engine.eval_words ref_eng (word_of reference) in
+    let got = Netlist.Engine.eval_words lk_eng (word_of lnet) in
+    List.iter
+      (fun (want_d, got_d) ->
+        total := !total + lanes;
+        errors :=
+          !errors
+          + Netlist.Engine.popcount ((want.(want_d) lxor got.(got_d)) land mask))
+      po_pairs;
+    remaining := !remaining - lanes
   done;
   if !total = 0 then 0.0 else float_of_int !errors /. float_of_int !total
 

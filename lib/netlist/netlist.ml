@@ -18,6 +18,33 @@ type node = {
 
 type po = { po_name : string; mutable driver : int }
 
+(* A netlist compiled to a flat instruction stream: one instruction per
+   combinational node in topological order, fanins flattened into a single
+   array addressed by [offs].  Evaluation then needs no node records, no
+   per-call fanin allocation and no hashing — just int arrays. *)
+type engine = {
+  eng_gen : int;  (* generation of the netlist this was compiled from *)
+  eng_nodes : int;
+  ops : int array;  (* opcode per instruction, see [opcode_of_fn] *)
+  dst : int array;  (* destination node id per instruction *)
+  offs : int array;  (* length = #instructions + 1; slice of [fan] *)
+  fan : int array;  (* flattened fanin ids *)
+  tabs : bool array array;  (* LUT truth table per instruction, [||] else *)
+  srcs : int array;  (* Input and Ff node ids *)
+  one_ids : int array;  (* Const-true node ids *)
+}
+
+(* Graph analyses memoized behind the netlist's generation counter: any
+   mutation bumps the generation, which lazily wipes every field. *)
+type caches = {
+  mutable c_gen : int;
+  mutable c_topo_list : int list option;
+  mutable c_topo_arr : int array option;
+  mutable c_levels : int array option;
+  mutable c_fanout : (int * int) list array option;
+  mutable c_engine : engine option;
+}
+
 type t = {
   net_name : string;
   nodes : node Vec.t;
@@ -25,6 +52,8 @@ type t = {
   by_name : (string, int) Hashtbl.t;
   mutable const0 : int;
   mutable const1 : int;
+  mutable gen : int;
+  caches : caches;
 }
 
 let create net_name =
@@ -35,7 +64,33 @@ let create net_name =
     by_name = Hashtbl.create 64;
     const0 = -1;
     const1 = -1;
+    gen = 0;
+    caches =
+      {
+        c_gen = 0;
+        c_topo_list = None;
+        c_topo_arr = None;
+        c_levels = None;
+        c_fanout = None;
+        c_engine = None;
+      };
   }
+
+let generation t = t.gen
+
+let touch t = t.gen <- t.gen + 1
+
+let caches t =
+  let c = t.caches in
+  if c.c_gen <> t.gen then begin
+    c.c_gen <- t.gen;
+    c.c_topo_list <- None;
+    c.c_topo_arr <- None;
+    c.c_levels <- None;
+    c.c_fanout <- None;
+    c.c_engine <- None
+  end;
+  c
 
 let name t = t.net_name
 
@@ -72,6 +127,7 @@ let add_node t ?name kind fanins cell =
   register_name t name id;
   let n = { id; name; kind; fanins; cell } in
   Vec.push t.nodes n;
+  touch t;
   id
 
 let check_fanins t fanins =
@@ -117,7 +173,8 @@ let add_output t n driver =
   check_fanins t [| driver |];
   if Vec.exists (fun po -> po.po_name = n) t.pos then
     invalid_arg (Printf.sprintf "Netlist: duplicate output %S" n);
-  Vec.push t.pos { po_name = n; driver }
+  Vec.push t.pos { po_name = n; driver };
+  touch t
 
 let find t n = Hashtbl.find_opt t.by_name n
 
@@ -130,14 +187,16 @@ let set_output_driver t po_name driver =
     (fun po -> if po.po_name = po_name then begin po.driver <- driver; found := true end)
     t.pos;
   if not !found then
-    invalid_arg (Printf.sprintf "Netlist: no output named %S" po_name)
+    invalid_arg (Printf.sprintf "Netlist: no output named %S" po_name);
+  touch t
 
 let remove_output t po_name =
   if not (Vec.exists (fun po -> po.po_name = po_name) t.pos) then
     invalid_arg (Printf.sprintf "Netlist: no output named %S" po_name);
   let remaining = Vec.fold (fun acc po -> if po.po_name = po_name then acc else po :: acc) [] t.pos in
   Vec.clear t.pos;
-  List.iter (Vec.push t.pos) (List.rev remaining)
+  List.iter (Vec.push t.pos) (List.rev remaining);
+  touch t
 
 let collect t pred =
   Vec.fold (fun acc n -> if pred n then n.id :: acc else acc) [] t.nodes
@@ -154,7 +213,8 @@ let set_fanin t ~node_id ~pin ~driver =
   let n = node t node_id in
   if pin < 0 || pin >= Array.length n.fanins then
     invalid_arg "Netlist.set_fanin: bad pin";
-  n.fanins.(pin) <- driver
+  n.fanins.(pin) <- driver;
+  touch t
 
 let widen_gate t ~node_id ~extra_driver =
   check_fanins t [| extra_driver |];
@@ -162,7 +222,8 @@ let widen_gate t ~node_id ~extra_driver =
   match n.kind with
   | Gate ((And | Or | Nand | Nor | Xor | Xnor) as fn) ->
     n.fanins <- Array.append n.fanins [| extra_driver |];
-    n.cell <- Some (Cell_lib.bind fn (Array.length n.fanins))
+    n.cell <- Some (Cell_lib.bind fn (Array.length n.fanins));
+    touch t
   | Gate (Not | Buf | Mux) | Input | Const _ | Lut _ | Ff | Dead ->
     invalid_arg "Netlist.widen_gate: not a variadic gate"
 
@@ -172,7 +233,8 @@ let rename t id n =
   else begin
     register_name t n id;
     Hashtbl.remove t.by_name nd.name;
-    nd.name <- n
+    nd.name <- n;
+    touch t
   end
 
 let kill t id =
@@ -182,7 +244,8 @@ let kill t id =
   n.fanins <- [||];
   n.cell <- None;
   if t.const0 = id then t.const0 <- -1;
-  if t.const1 = id then t.const1 <- -1
+  if t.const1 = id then t.const1 <- -1;
+  touch t
 
 let replace_uses t ~old_id ~new_id =
   check_fanins t [| old_id; new_id |];
@@ -190,7 +253,8 @@ let replace_uses t ~old_id ~new_id =
     (fun n ->
       Array.iteri (fun pin f -> if f = old_id then n.fanins.(pin) <- new_id) n.fanins)
     t.nodes;
-  Vec.iter (fun po -> if po.driver = old_id then po.driver <- new_id) t.pos
+  Vec.iter (fun po -> if po.driver = old_id then po.driver <- new_id) t.pos;
+  touch t
 
 let copy t =
   let t' = create t.net_name in
@@ -264,18 +328,23 @@ let compact t =
   (t', remap)
 
 let fanout_table t =
-  let table = Array.make (num_nodes t) [] in
-  Vec.iter
-    (fun n ->
-      Array.iteri (fun pin f -> table.(f) <- (n.id, pin) :: table.(f)) n.fanins)
-    t.nodes;
-  table
+  let c = caches t in
+  match c.c_fanout with
+  | Some table -> table
+  | None ->
+    let table = Array.make (num_nodes t) [] in
+    Vec.iter
+      (fun n ->
+        Array.iteri (fun pin f -> table.(f) <- (n.id, pin) :: table.(f)) n.fanins)
+      t.nodes;
+    c.c_fanout <- Some table;
+    table
 
 (* Topological order of combinational nodes: sources (inputs, constants,
    flip-flop Q pins) are not listed; every Gate/Lut appears after all of its
    combinational fanins.  Flip-flop D pins are sinks, so sequential loops
    are legal; purely combinational cycles are an error. *)
-let comb_topo_order t =
+let compute_topo t =
   let n = num_nodes t in
   let state = Array.make n 0 in
   (* 0 = unvisited, 1 = on stack, 2 = done *)
@@ -300,6 +369,45 @@ let comb_topo_order t =
   done;
   List.rev !order
 
+let comb_topo_order t =
+  let c = caches t in
+  match c.c_topo_list with
+  | Some l -> l
+  | None ->
+    let l = compute_topo t in
+    c.c_topo_list <- Some l;
+    l
+
+let comb_topo_array t =
+  let c = caches t in
+  match c.c_topo_arr with
+  | Some a -> a
+  | None ->
+    let a = Array.of_list (comb_topo_order t) in
+    (* comb_topo_order went through [caches] too, same generation *)
+    c.c_topo_arr <- Some a;
+    a
+
+let levels t =
+  let c = caches t in
+  match c.c_levels with
+  | Some lv -> lv
+  | None ->
+    let lv = Array.make (num_nodes t) 0 in
+    Vec.iter (fun n -> if n.kind = Dead then lv.(n.id) <- -1) t.nodes;
+    List.iter
+      (fun id ->
+        let nd = node t id in
+        let deepest =
+          Array.fold_left
+            (fun acc f -> if is_comb (node t f) then max acc lv.(f) else acc)
+            0 nd.fanins
+        in
+        lv.(id) <- deepest + 1)
+      (comb_topo_order t);
+    c.c_levels <- Some lv;
+    lv
+
 let validate t =
   Vec.iter
     (fun n ->
@@ -322,28 +430,203 @@ let validate t =
     t.nodes;
   ignore (comb_topo_order t)
 
-let eval_comb t assignment =
-  let values = Array.make (num_nodes t) false in
-  Vec.iter
-    (fun n ->
-      match n.kind with
-      | Input | Ff -> values.(n.id) <- assignment n.id
-      | Const b -> values.(n.id) <- b
-      | Gate _ | Lut _ | Dead -> ())
-    t.nodes;
-  List.iter
-    (fun id ->
-      let n = node t id in
-      let ins = Array.map (fun f -> values.(f)) n.fanins in
-      match n.kind with
-      | Gate fn -> values.(id) <- Cell.eval fn ins
-      | Lut truth ->
-        let idx = ref 0 in
-        Array.iteri (fun i b -> if b then idx := !idx lor (1 lsl i)) ins;
-        values.(id) <- truth.(!idx)
-      | Input | Const _ | Ff | Dead -> assert false)
-    (comb_topo_order t);
-  values
+module Engine = struct
+  type nonrec engine = engine
+
+  let word_bits = Sys.int_size
+
+  let opcode_of_fn : Cell.gate_fn -> int = function
+    | Cell.Not -> 0
+    | Cell.Buf -> 1
+    | Cell.And -> 2
+    | Cell.Or -> 3
+    | Cell.Nand -> 4
+    | Cell.Nor -> 5
+    | Cell.Xor -> 6
+    | Cell.Xnor -> 7
+    | Cell.Mux -> 8
+
+  let op_lut = 9
+
+  let compile t =
+    let order = comb_topo_array t in
+    let n_instr = Array.length order in
+    let ops = Array.make n_instr 0 in
+    let tabs = Array.make n_instr [||] in
+    let offs = Array.make (n_instr + 1) 0 in
+    let total = ref 0 in
+    Array.iteri
+      (fun i id ->
+        offs.(i) <- !total;
+        let nd = node t id in
+        total := !total + Array.length nd.fanins;
+        match nd.kind with
+        | Gate fn -> ops.(i) <- opcode_of_fn fn
+        | Lut truth ->
+          ops.(i) <- op_lut;
+          tabs.(i) <- truth
+        | Input | Const _ | Ff | Dead -> assert false)
+      order;
+    offs.(n_instr) <- !total;
+    let fan = Array.make (max 1 !total) 0 in
+    Array.iteri
+      (fun i id ->
+        let nd = node t id in
+        Array.iteri (fun pin f -> fan.(offs.(i) + pin) <- f) nd.fanins)
+      order;
+    let srcs = ref [] and one_ids = ref [] in
+    Vec.iter
+      (fun n ->
+        match n.kind with
+        | Input | Ff -> srcs := n.id :: !srcs
+        | Const true -> one_ids := n.id :: !one_ids
+        | Const false | Gate _ | Lut _ | Dead -> ())
+      t.nodes;
+    {
+      eng_gen = t.gen;
+      eng_nodes = num_nodes t;
+      ops;
+      dst = Array.copy order;
+      offs;
+      fan;
+      tabs;
+      srcs = Array.of_list (List.rev !srcs);
+      one_ids = Array.of_list (List.rev !one_ids);
+    }
+
+  let get t =
+    let c = caches t in
+    match c.c_engine with
+    | Some e -> e
+    | None ->
+      let e = compile t in
+      c.c_engine <- Some e;
+      e
+
+  let generation e = e.eng_gen
+
+  let sources e = e.srcs
+
+  let eval e assignment =
+    let values = Array.make e.eng_nodes false in
+    Array.iter (fun id -> values.(id) <- assignment id) e.srcs;
+    Array.iter (fun id -> values.(id) <- true) e.one_ids;
+    let { ops; dst; offs; fan; tabs; _ } = e in
+    for i = 0 to Array.length dst - 1 do
+      let lo = offs.(i) and hi = offs.(i + 1) in
+      let v =
+        match ops.(i) with
+        | 0 -> not values.(fan.(lo))
+        | 1 -> values.(fan.(lo))
+        | 2 | 4 ->
+          let r = ref true in
+          for j = lo to hi - 1 do
+            r := !r && values.(fan.(j))
+          done;
+          if ops.(i) = 2 then !r else not !r
+        | 3 | 5 ->
+          let r = ref false in
+          for j = lo to hi - 1 do
+            r := !r || values.(fan.(j))
+          done;
+          if ops.(i) = 3 then !r else not !r
+        | 6 | 7 ->
+          let r = ref false in
+          for j = lo to hi - 1 do
+            r := !r <> values.(fan.(j))
+          done;
+          if ops.(i) = 6 then !r else not !r
+        | 8 ->
+          if values.(fan.(lo)) then values.(fan.(lo + 2))
+          else values.(fan.(lo + 1))
+        | _ ->
+          let idx = ref 0 in
+          for j = lo to hi - 1 do
+            if values.(fan.(j)) then idx := !idx lor (1 lsl (j - lo))
+          done;
+          tabs.(i).(!idx)
+      in
+      values.(dst.(i)) <- v
+    done;
+    values
+
+  let eval_words e assignment =
+    let values = Array.make e.eng_nodes 0 in
+    Array.iter (fun id -> values.(id) <- assignment id) e.srcs;
+    Array.iter (fun id -> values.(id) <- -1) e.one_ids;
+    let { ops; dst; offs; fan; tabs; _ } = e in
+    for i = 0 to Array.length dst - 1 do
+      let lo = offs.(i) and hi = offs.(i + 1) in
+      let v =
+        match ops.(i) with
+        | 0 -> lnot values.(fan.(lo))
+        | 1 -> values.(fan.(lo))
+        | 2 | 4 ->
+          let r = ref (-1) in
+          for j = lo to hi - 1 do
+            r := !r land values.(fan.(j))
+          done;
+          if ops.(i) = 2 then !r else lnot !r
+        | 3 | 5 ->
+          let r = ref 0 in
+          for j = lo to hi - 1 do
+            r := !r lor values.(fan.(j))
+          done;
+          if ops.(i) = 3 then !r else lnot !r
+        | 6 | 7 ->
+          let r = ref 0 in
+          for j = lo to hi - 1 do
+            r := !r lxor values.(fan.(j))
+          done;
+          if ops.(i) = 6 then !r else lnot !r
+        | 8 ->
+          let s = values.(fan.(lo)) in
+          s land values.(fan.(lo + 2)) lor (lnot s land values.(fan.(lo + 1)))
+        | _ ->
+          (* Sum of products over the true rows of the truth table: for
+             every lane the conjunction selects exactly the row indexed by
+             that lane's fanin bits. *)
+          let tab = tabs.(i) in
+          let r = ref 0 in
+          for row = 0 to Array.length tab - 1 do
+            if tab.(row) then begin
+              let term = ref (-1) in
+              for j = lo to hi - 1 do
+                let w = values.(fan.(j)) in
+                term :=
+                  !term land (if row land (1 lsl (j - lo)) <> 0 then w else lnot w)
+              done;
+              r := !r lor !term
+            end
+          done;
+          !r
+      in
+      values.(dst.(i)) <- v
+    done;
+    values
+
+  let popcount w =
+    let c = ref 0 and w = ref w in
+    while !w <> 0 do
+      w := !w land (!w - 1);
+      incr c
+    done;
+    !c
+
+  (* [Random.State.bits] yields 30 bits per call; compose enough calls to
+     fill every lane of a word. *)
+  let random_word rng =
+    let w = ref 0 and filled = ref 0 in
+    while !filled < word_bits do
+      let chunk = min 30 (word_bits - !filled) in
+      let b = Random.State.bits rng land ((1 lsl chunk) - 1) in
+      w := !w lor (b lsl !filled);
+      filled := !filled + chunk
+    done;
+    !w
+end
+
+let eval_comb t assignment = Engine.eval (Engine.get t) assignment
 
 let pp_kind ppf = function
   | Input -> Format.pp_print_string ppf "input"

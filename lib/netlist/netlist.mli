@@ -122,8 +122,28 @@ val copy : t -> t
 val compact : t -> t * int array
 
 (** [fanout_table t] maps each id to the list of (consumer id, pin)
-    pairs; primary outputs are not included. *)
+    pairs; primary outputs are not included.  The array is memoized inside
+    the netlist (see {!generation}) and shared between callers — treat it
+    as read-only. *)
 val fanout_table : t -> (int * int) list array
+
+(** {1 Memoized analyses}
+
+    Structural analyses ({!comb_topo_order}, {!fanout_table}, {!levels})
+    and the compiled {!Engine} are cached inside the netlist record.  Every
+    mutation (adding nodes or outputs, rewiring fanins or output drivers,
+    renaming, killing) bumps a generation counter which lazily invalidates
+    all caches, so repeated queries between mutations cost one array
+    read. *)
+
+(** [generation t] is the mutation counter; it increases on every
+    structural change.  Snapshot it to detect staleness of derived data. *)
+val generation : t -> int
+
+(** [levels t] is the combinational depth per node id: 0 for sources
+    (inputs, constants, flip-flop Q pins), [1 + max fanin level] for
+    gates/LUTs, and [-1] for dead nodes.  Memoized; treat as read-only. *)
+val levels : t -> int array
 
 (** [validate t] checks arities, fanin references, LUT sizes, and
     combinational acyclicity.  @raise Failure with a diagnostic if broken. *)
@@ -133,15 +153,64 @@ val validate : t -> unit
     that each appears after all of its combinational fanins.  Sources
     (inputs, constants, flip-flop Q outputs) are omitted.  Sequential loops
     through flip-flops are legal; a purely combinational cycle raises
-    [Failure]. *)
+    [Failure].  Memoized. *)
 val comb_topo_order : t -> int list
+
+(** Same order as {!comb_topo_order}, as a memoized array — the form the
+    inner evaluation loops want.  Treat as read-only. *)
+val comb_topo_array : t -> int array
 
 (** [eval_comb t assignment] evaluates every node given Boolean values for
     inputs, constants and flip-flop outputs: [assignment id] must be
     provided for [Input] and [Ff] nodes, and is the node's value.  The
     result array is indexed by id (dead nodes map to [false]).  Used as the
-    zero-delay functional semantics and as the SAT-attack oracle. *)
+    zero-delay functional semantics and as the SAT-attack oracle.
+    Implemented as the scalar path of {!Engine}, so the per-call cost is
+    one pass over the compiled instruction stream. *)
 val eval_comb : t -> (int -> bool) -> bool array
+
+(** {1 Bit-parallel evaluation engine}
+
+    The engine compiles a netlist once into a flat instruction stream
+    (cached topological order, pre-resolved fanin offsets, LUT tables) and
+    evaluates it either for a single Boolean pattern ({!Engine.eval}, the
+    scalar fast path behind {!eval_comb}) or for {!Engine.word_bits}
+    stimulus patterns at once ({!Engine.eval_words}), one pattern per bit
+    of a native [int].  Compilation is memoized behind the netlist's
+    {!generation} counter: {!Engine.get} recompiles only after a
+    mutation. *)
+module Engine : sig
+  type engine
+
+  (** Lanes per word = [Sys.int_size] (63 on 64-bit platforms). *)
+  val word_bits : int
+
+  (** [get t] is the compiled engine for [t], memoized until the next
+      mutation of [t]. *)
+  val get : t -> engine
+
+  (** The netlist generation the engine was compiled at. *)
+  val generation : engine -> int
+
+  (** Ids of the [Input] and [Ff] nodes, in declaration order — exactly the
+      ids the assignment functions below are consulted for. *)
+  val sources : engine -> int array
+
+  (** [eval e assignment] is {!eval_comb} on the compiled form. *)
+  val eval : engine -> (int -> bool) -> bool array
+
+  (** [eval_words e assignment] evaluates {!word_bits} patterns at once:
+      [assignment id] packs one stimulus bit per lane for each source node,
+      and the result word per node id packs the node's value per lane.
+      Constants broadcast to every lane; dead nodes are 0. *)
+  val eval_words : engine -> (int -> int) -> int array
+
+  (** Number of set bits in a word (lanes at 1). *)
+  val popcount : int -> int
+
+  (** [random_word rng] draws {!word_bits} uniform stimulus bits. *)
+  val random_word : Random.State.t -> int
+end
 
 val pp_kind : Format.formatter -> kind -> unit
 val pp_node : Format.formatter -> node -> unit

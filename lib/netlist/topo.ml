@@ -1,22 +1,4 @@
-let levels t =
-  let n = Netlist.num_nodes t in
-  let lv = Array.make n 0 in
-  for id = 0 to n - 1 do
-    if (Netlist.node t id).kind = Netlist.Dead then lv.(id) <- -1
-  done;
-  List.iter
-    (fun id ->
-      let nd = Netlist.node t id in
-      let deepest =
-        Array.fold_left
-          (fun acc f ->
-            let fd = Netlist.node t f in
-            if Netlist.is_comb fd then max acc lv.(f) else max acc 0)
-          0 nd.fanins
-      in
-      lv.(id) <- deepest + 1)
-    (Netlist.comb_topo_order t);
-  lv
+let levels = Netlist.levels
 
 let depth t =
   let lv = levels t in

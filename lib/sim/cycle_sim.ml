@@ -1,28 +1,33 @@
 type t = {
   net : Netlist.t;
-  ff_ids : int list;
-  mutable ff_state : (int * bool) list;
+  ff_ids : int array;
+  (* dense flip-flop index: ff_slot.(node id) = position in ff_state, -1
+     for every other node *)
+  ff_slot : int array;
+  ff_state : bool array;
 }
 
 let create ?(init = fun _ -> false) net =
-  let ff_ids = Netlist.ffs net in
-  { net; ff_ids; ff_state = List.map (fun ff -> (ff, init ff)) ff_ids }
+  let ff_ids = Array.of_list (Netlist.ffs net) in
+  let ff_slot = Array.make (max 1 (Netlist.num_nodes net)) (-1) in
+  Array.iteri (fun i ff -> ff_slot.(ff) <- i) ff_ids;
+  { net; ff_ids; ff_slot; ff_state = Array.map init ff_ids }
 
 let netlist t = t.net
 
-let state t = t.ff_state
+let state t =
+  Array.to_list (Array.mapi (fun i ff -> (ff, t.ff_state.(i))) t.ff_ids)
 
 let step t ~inputs =
+  let eng = Netlist.Engine.get t.net in
   let values =
-    Netlist.eval_comb t.net (fun id ->
-        match List.assoc_opt id t.ff_state with
-        | Some v -> v
-        | None -> inputs id)
+    Netlist.Engine.eval eng (fun id ->
+        let s = if id < Array.length t.ff_slot then t.ff_slot.(id) else -1 in
+        if s >= 0 then t.ff_state.(s) else inputs id)
   in
-  t.ff_state <-
-    List.map
-      (fun ff -> (ff, values.((Netlist.node t.net ff).Netlist.fanins.(0))))
-      t.ff_ids;
+  Array.iteri
+    (fun i ff -> t.ff_state.(i) <- values.((Netlist.node t.net ff).Netlist.fanins.(0)))
+    t.ff_ids;
   values
 
 let outputs_of net values =
@@ -33,7 +38,30 @@ let run ?init net ~cycles ~stimulus =
   Array.init cycles (fun cycle ->
       outputs_of net (step sim ~inputs:(stimulus cycle)))
 
+let run_batch ?(init = fun _ -> 0) net ~cycles ~stimulus =
+  let eng = Netlist.Engine.get net in
+  let ff_ids = Array.of_list (Netlist.ffs net) in
+  let ff_slot = Array.make (max 1 (Netlist.num_nodes net)) (-1) in
+  Array.iteri (fun i ff -> ff_slot.(ff) <- i) ff_ids;
+  let state = Array.map init ff_ids in
+  Array.init cycles (fun cycle ->
+      let values =
+        Netlist.Engine.eval_words eng (fun id ->
+            let s = ff_slot.(id) in
+            if s >= 0 then state.(s) else stimulus cycle id)
+      in
+      Array.iteri
+        (fun i ff -> state.(i) <- values.((Netlist.node net ff).Netlist.fanins.(0)))
+        ff_ids;
+      List.map (fun (po, d) -> (po, values.(d))) (Netlist.outputs net))
+
 let comb_outputs net ~inputs =
   if Netlist.ffs net <> [] then
     invalid_arg "Cycle_sim.comb_outputs: netlist has flip-flops";
   outputs_of net (Netlist.eval_comb net inputs)
+
+let comb_outputs_batch net ~inputs =
+  if Netlist.ffs net <> [] then
+    invalid_arg "Cycle_sim.comb_outputs_batch: netlist has flip-flops";
+  let values = Netlist.Engine.eval_words (Netlist.Engine.get net) inputs in
+  List.map (fun (po, d) -> (po, values.(d))) (Netlist.outputs net)

@@ -32,7 +32,24 @@ val run :
   stimulus:(int -> int -> bool) ->
   (string * bool) list array
 
+(** [run_batch net ~cycles ~stimulus] simulates
+    {!Netlist.Engine.word_bits} independent stimulus sequences at once,
+    one per bit lane: [stimulus cycle pi_id] packs that cycle's input bit
+    for every lane, [init ff_id] (default all-0) packs the initial state,
+    and each returned word packs a primary output's value per lane.  One
+    pass of the bit-parallel engine per cycle. *)
+val run_batch :
+  ?init:(int -> int) ->
+  Netlist.t ->
+  cycles:int ->
+  stimulus:(int -> int -> int) ->
+  (string * int) list array
+
 (** [comb_outputs net ~inputs] evaluates a purely combinational netlist
     (the SAT-attack oracle).  [inputs] is consulted for [Input] nodes only;
     @raise Invalid_argument if the netlist still contains flip-flops. *)
 val comb_outputs : Netlist.t -> inputs:(int -> bool) -> (string * bool) list
+
+(** Word-parallel {!comb_outputs}: evaluates {!Netlist.Engine.word_bits}
+    input patterns per call, one per bit lane. *)
+val comb_outputs_batch : Netlist.t -> inputs:(int -> int) -> (string * int) list

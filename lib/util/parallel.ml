@@ -1,0 +1,37 @@
+let default_domains () =
+  match Sys.getenv_opt "GKLOCK_DOMAINS" with
+  | Some s -> ( match int_of_string_opt s with Some d when d > 0 -> d | _ -> 1)
+  | None -> Domain.recommended_domain_count ()
+
+let map ?domains f xs =
+  let items = Array.of_list xs in
+  let n = Array.length items in
+  let d =
+    max 1 (min n (match domains with Some d -> d | None -> default_domains ()))
+  in
+  if d <= 1 then List.map f xs
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec go () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (results.(i) <-
+             match f items.(i) with
+             | r -> Some (Ok r)
+             | exception e -> Some (Error e));
+          go ()
+        end
+      in
+      go ()
+    in
+    let doms = List.init (d - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join doms;
+    Array.to_list results
+    |> List.map (function
+         | Some (Ok r) -> r
+         | Some (Error e) -> raise e
+         | None -> assert false)
+  end

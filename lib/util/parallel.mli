@@ -1,0 +1,14 @@
+(** Work-stealing parallel map over OCaml 5 domains.
+
+    Used to spread independent per-benchmark experiment rows across cores.
+    Tasks must not share mutable state: each worker domain pulls the next
+    list element off an atomic counter, so sibling tasks run concurrently
+    in separate domains. *)
+
+(** [map ?domains f xs] is [List.map f xs] with elements evaluated in up to
+    [domains] domains (default: [Domain.recommended_domain_count], or the
+    [GKLOCK_DOMAINS] environment variable when set; [GKLOCK_DOMAINS=1]
+    forces sequential execution).  Order is preserved.  If any [f x]
+    raises, the first such exception (in list order) is re-raised after all
+    workers finish. *)
+val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list

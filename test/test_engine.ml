@@ -1,0 +1,311 @@
+(* The bit-parallel evaluation engine and the memoized graph analyses:
+   word-lane agreement with the scalar semantics on random circuits, and
+   cache invalidation across every mutation class. *)
+
+let tc = Alcotest.test_case
+
+let qcheck ?(count = 100) name arb law =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb law)
+
+let seed_arb =
+  QCheck.make
+    ~print:(fun seed -> Printf.sprintf "circuit seed %d" seed)
+    QCheck.Gen.(int_bound 1000)
+
+let generated_circuit seed =
+  Generator.generate
+    {
+      Generator.gen_name = Printf.sprintf "e%d" seed;
+      seed;
+      n_pi = 4 + (seed mod 5);
+      n_po = 2 + (seed mod 3);
+      n_ff = seed mod 7;
+      n_gates = 20 + (seed mod 40);
+      depth = 4 + (seed mod 6);
+      ff_depth_bias = 0.4;
+    }
+
+(* A random netlist exercising node kinds the generator avoids: LUTs of
+   arity 1-3, MUXes, constants and wide gates. *)
+let adversarial_circuit seed =
+  let rng = Random.State.make [| seed; 0xADE |] in
+  let net = Netlist.create (Printf.sprintf "adv%d" seed) in
+  let pool = ref [] in
+  for i = 0 to 3 + Random.State.int rng 4 do
+    pool := Netlist.add_input net (Printf.sprintf "i%d" i) :: !pool
+  done;
+  pool := Netlist.add_const net true :: Netlist.add_const net false :: !pool;
+  let pick () = List.nth !pool (Random.State.int rng (List.length !pool)) in
+  for _ = 1 to 25 + Random.State.int rng 25 do
+    let id =
+      match Random.State.int rng 6 with
+      | 0 ->
+        let k = 1 + Random.State.int rng 3 in
+        let truth =
+          Array.init (1 lsl k) (fun _ -> Random.State.bool rng)
+        in
+        Netlist.add_lut net ~truth (Array.init k (fun _ -> pick ()))
+      | 1 -> Netlist.add_gate net Cell.Mux [| pick (); pick (); pick () |]
+      | 2 -> Netlist.add_gate net Cell.Not [| pick () |]
+      | 3 ->
+        let fn = List.nth [ Cell.And; Cell.Or; Cell.Nand; Cell.Nor ]
+            (Random.State.int rng 4) in
+        let k = 2 + Random.State.int rng 3 in
+        Netlist.add_gate net fn (Array.init k (fun _ -> pick ()))
+      | 4 ->
+        let fn = if Random.State.bool rng then Cell.Xor else Cell.Xnor in
+        Netlist.add_gate net fn [| pick (); pick () |]
+      | _ -> Netlist.add_gate net Cell.Buf [| pick () |]
+    in
+    pool := id :: !pool
+  done;
+  Netlist.add_output net "y" (pick ());
+  Netlist.validate net;
+  net
+
+(* Reference semantics, independent of the engine: per-call DFS plus
+   Cell.eval, exactly the seed implementation of eval_comb. *)
+let reference_eval net assignment =
+  let n = Netlist.num_nodes net in
+  let state = Array.make n 0 in
+  let order = ref [] in
+  let rec visit id =
+    let nd = Netlist.node net id in
+    if Netlist.is_comb nd then
+      match state.(id) with
+      | 2 -> ()
+      | 1 -> failwith "cycle"
+      | _ ->
+        state.(id) <- 1;
+        Array.iter visit nd.Netlist.fanins;
+        state.(id) <- 2;
+        order := id :: !order
+  in
+  for id = 0 to n - 1 do
+    visit id
+  done;
+  let values = Array.make n false in
+  for id = 0 to n - 1 do
+    match (Netlist.node net id).Netlist.kind with
+    | Netlist.Input | Netlist.Ff -> values.(id) <- assignment id
+    | Netlist.Const b -> values.(id) <- b
+    | Netlist.Gate _ | Netlist.Lut _ | Netlist.Dead -> ()
+  done;
+  List.iter
+    (fun id ->
+      let nd = Netlist.node net id in
+      let ins = Array.map (fun f -> values.(f)) nd.Netlist.fanins in
+      match nd.Netlist.kind with
+      | Netlist.Gate fn -> values.(id) <- Cell.eval fn ins
+      | Netlist.Lut truth ->
+        let idx = ref 0 in
+        Array.iteri (fun i b -> if b then idx := !idx lor (1 lsl i)) ins;
+        values.(id) <- truth.(!idx)
+      | _ -> assert false)
+    (List.rev !order);
+  values
+
+(* Word lanes agree bit-for-bit with both the scalar engine path and the
+   reference evaluator. *)
+let engine_agrees_law mk seed =
+  let net = mk seed in
+  let n = Netlist.num_nodes net in
+  let rng = Random.State.make [| seed; 0x1A |] in
+  let w = Netlist.Engine.word_bits in
+  let lanes = 1 + Random.State.int rng w in
+  let vectors =
+    Array.init lanes (fun _ -> Array.init n (fun _ -> Random.State.bool rng))
+  in
+  let words =
+    Array.init n (fun id ->
+        let acc = ref 0 in
+        Array.iteri (fun l vec -> if vec.(id) then acc := !acc lor (1 lsl l)) vectors;
+        !acc)
+  in
+  let eng = Netlist.Engine.get net in
+  let word_values = Netlist.Engine.eval_words eng (Array.get words) in
+  Array.to_list vectors
+  |> List.mapi (fun l vec -> (l, vec))
+  |> List.for_all (fun (l, vec) ->
+         let scalar = Netlist.eval_comb net (Array.get vec) in
+         let reference = reference_eval net (Array.get vec) in
+         let ok = ref true in
+         for id = 0 to n - 1 do
+           if scalar.(id) <> reference.(id) then ok := false;
+           if word_values.(id) land (1 lsl l) <> 0 <> scalar.(id) then ok := false
+         done;
+         !ok)
+
+let generated_agrees_law = engine_agrees_law generated_circuit
+let adversarial_agrees_law = engine_agrees_law adversarial_circuit
+
+let test_engine_memoized () =
+  let net = Benchmarks.s27 () in
+  let e1 = Netlist.Engine.get net in
+  let e2 = Netlist.Engine.get net in
+  Alcotest.(check bool) "same engine while unmutated" true (e1 == e2);
+  let topo1 = Netlist.comb_topo_order net in
+  let topo2 = Netlist.comb_topo_order net in
+  Alcotest.(check bool) "same topo list while unmutated" true (topo1 == topo2);
+  let fan1 = Netlist.fanout_table net in
+  let fan2 = Netlist.fanout_table net in
+  Alcotest.(check bool) "same fanout table while unmutated" true (fan1 == fan2);
+  let lv1 = Netlist.levels net in
+  let lv2 = Netlist.levels net in
+  Alcotest.(check bool) "same levels while unmutated" true (lv1 == lv2)
+
+let test_cache_invalidation_add_rewire () =
+  let net = Netlist.create "inv" in
+  let a = Netlist.add_input net "a" in
+  let b = Netlist.add_input net "b" in
+  let g = Netlist.add_gate net Cell.And [| a; b |] in
+  Netlist.add_output net "y" g;
+  let gen0 = Netlist.generation net in
+  let v0 = Netlist.eval_comb net (fun _ -> true) in
+  Alcotest.(check bool) "and(1,1)" true v0.(g);
+  let topo0 = Netlist.comb_topo_order net in
+  (* add: topo and engine must grow *)
+  let inv = Netlist.add_gate net Cell.Not [| g |] in
+  Alcotest.(check bool) "generation bumped by add" true
+    (Netlist.generation net > gen0);
+  let topo1 = Netlist.comb_topo_order net in
+  Alcotest.(check int) "topo grew" (List.length topo0 + 1) (List.length topo1);
+  let v1 = Netlist.eval_comb net (fun _ -> true) in
+  Alcotest.(check bool) "new gate evaluated" false v1.(inv);
+  (* rewire: same ids, different function *)
+  Netlist.set_output_driver net "y" inv;
+  let c0 = Netlist.add_const net false in
+  Netlist.set_fanin net ~node_id:g ~pin:1 ~driver:c0;
+  let v2 = Netlist.eval_comb net (fun _ -> true) in
+  Alcotest.(check bool) "and(1,const0) = 0 after rewire" false v2.(g);
+  Alcotest.(check bool) "not propagates after rewire" true v2.(inv);
+  (* levels follow the rewire *)
+  Alcotest.(check int) "inv level" 2 (Netlist.levels net).(inv);
+  (* fanout reflects the rewire *)
+  let fans = Netlist.fanout_table net in
+  Alcotest.(check bool) "const0 feeds g" true (List.mem (g, 1) fans.(c0))
+
+let test_cache_invalidation_widen_kill_compact () =
+  let net = Netlist.create "wkc" in
+  let a = Netlist.add_input net "a" in
+  let b = Netlist.add_input net "b" in
+  let c = Netlist.add_input net "c" in
+  let g = Netlist.add_gate net Cell.And [| a; b |] in
+  let dead = Netlist.add_gate net Cell.Not [| a |] in
+  Netlist.add_output net "y" g;
+  let v0 = Netlist.eval_comb net (fun id -> id <> c) in
+  Alcotest.(check bool) "before widen" true v0.(g);
+  Netlist.widen_gate net ~node_id:g ~extra_driver:c;
+  let v1 = Netlist.eval_comb net (fun id -> id <> c) in
+  Alcotest.(check bool) "widened gate sees new fanin" false v1.(g);
+  Netlist.kill net dead;
+  let v2 = Netlist.eval_comb net (fun id -> id <> c) in
+  Alcotest.(check bool) "dead node reads false" false v2.(dead);
+  Alcotest.(check int) "topo omits the dead node" 1
+    (List.length (Netlist.comb_topo_order net));
+  let net', remap = Netlist.compact net in
+  let v3 = Netlist.eval_comb net' (fun id -> id <> remap.(c)) in
+  Alcotest.(check bool) "compacted netlist evaluates" false v3.(remap.(g))
+
+let test_run_batch_matches_run () =
+  let net = Benchmarks.s27 () in
+  let cycles = 8 in
+  let lanes = 5 in
+  let rng = Random.State.make [| 0x5B |] in
+  let stim =
+    Array.init cycles (fun _ ->
+        Array.init (Netlist.num_nodes net) (fun _ ->
+            Random.State.int rng (1 lsl lanes)))
+  in
+  let batch =
+    Cycle_sim.run_batch net ~cycles ~stimulus:(fun cy id -> stim.(cy).(id))
+  in
+  for l = 0 to lanes - 1 do
+    let scalar =
+      Cycle_sim.run net ~cycles ~stimulus:(fun cy id ->
+          stim.(cy).(id) land (1 lsl l) <> 0)
+    in
+    Array.iteri
+      (fun cy pos ->
+        List.iter
+          (fun (po, v) ->
+            let word = List.assoc po batch.(cy) in
+            Alcotest.(check bool)
+              (Printf.sprintf "cycle %d lane %d %s" cy l po)
+              v
+              (word land (1 lsl l) <> 0))
+          pos)
+      scalar
+  done
+
+let test_comb_outputs_batch () =
+  let net = Netlist.create "cb" in
+  let a = Netlist.add_input net "a" in
+  let b = Netlist.add_input net "b" in
+  let x = Netlist.add_gate net Cell.Xor [| a; b |] in
+  Netlist.add_output net "x" x;
+  (* lanes: (a,b) = 00 01 10 11 *)
+  let words = [ (a, 0b1100); (b, 0b1010) ] in
+  let outs = Cycle_sim.comb_outputs_batch net ~inputs:(fun id -> List.assoc id words) in
+  Alcotest.(check int) "xor truth column" 0b0110 (List.assoc "x" outs land 0b1111)
+
+let test_dense_ff_state () =
+  let net = Benchmarks.s27 () in
+  let sim = Cycle_sim.create ~init:(fun _ -> true) net in
+  let st = Cycle_sim.state sim in
+  Alcotest.(check int) "three ffs" 3 (List.length st);
+  List.iter (fun (_, v) -> Alcotest.(check bool) "init honoured" true v) st;
+  ignore (Cycle_sim.step sim ~inputs:(fun _ -> false));
+  let ids = List.map fst (Cycle_sim.state sim) in
+  Alcotest.(check (list int)) "ids stable across steps" (List.map fst st) ids
+
+let test_popcount_random_word () =
+  Alcotest.(check int) "popcount 0" 0 (Netlist.Engine.popcount 0);
+  Alcotest.(check int) "popcount -1 = word width" Sys.int_size
+    (Netlist.Engine.popcount (-1));
+  Alcotest.(check int) "popcount 0b1011" 3 (Netlist.Engine.popcount 0b1011);
+  let rng = Random.State.make [| 1 |] in
+  let w = Netlist.Engine.random_word rng in
+  Alcotest.(check bool) "random word within word_bits" true
+    (Netlist.Engine.word_bits = Sys.int_size || w lsr Netlist.Engine.word_bits = 0)
+
+let parallel_map_law seed =
+  let xs = List.init (seed mod 50) (fun i -> i + seed) in
+  Parallel.map ~domains:4 (fun x -> x * x) xs = List.map (fun x -> x * x) xs
+
+let test_parallel_map_exception () =
+  match Parallel.map ~domains:3 (fun x -> if x = 7 then failwith "boom" else x)
+          [ 1; 7; 9 ]
+  with
+  | _ -> Alcotest.fail "expected exception"
+  | exception Failure m -> Alcotest.(check string) "first error" "boom" m
+
+let suites =
+  [
+    ( "engine.eval",
+      [
+        qcheck ~count:60 "generated circuits: lanes = scalar = reference"
+          seed_arb generated_agrees_law;
+        qcheck ~count:60 "LUT/MUX/const circuits: lanes = scalar = reference"
+          seed_arb adversarial_agrees_law;
+        tc "popcount + random_word" `Quick test_popcount_random_word;
+      ] );
+    ( "engine.caching",
+      [
+        tc "analyses memoized between mutations" `Quick test_engine_memoized;
+        tc "invalidated by add/rewire" `Quick test_cache_invalidation_add_rewire;
+        tc "invalidated by widen/kill/compact" `Quick
+          test_cache_invalidation_widen_kill_compact;
+      ] );
+    ( "engine.cycle_sim",
+      [
+        tc "run_batch lanes = scalar run" `Quick test_run_batch_matches_run;
+        tc "comb_outputs_batch" `Quick test_comb_outputs_batch;
+        tc "dense ff state" `Quick test_dense_ff_state;
+      ] );
+    ( "engine.parallel",
+      [
+        qcheck ~count:20 "map = List.map" seed_arb parallel_map_law;
+        tc "map re-raises" `Quick test_parallel_map_exception;
+      ] );
+  ]

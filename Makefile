@@ -1,6 +1,6 @@
 # Convenience targets; dune is the real build system.
 
-.PHONY: all build test bench bench-quick bench-eval check examples clean
+.PHONY: all build test bench bench-quick bench-eval campaign-smoke check examples clean
 
 all: build
 
@@ -21,9 +21,14 @@ bench-quick:
 bench-eval:
 	dune exec bench/bench_eval.exe
 
+# Tiny campaign matrix end-to-end with the real executor: run, resume,
+# verify the resume skips everything.  Seconds, suitable for CI.
+campaign-smoke:
+	dune exec bench/campaign_smoke.exe
+
 # Everything a PR must keep green: full build (libs, CLI, examples,
-# benches) plus the test suite.
-check: build test
+# benches) plus the test suite and the campaign smoke.
+check: build test campaign-smoke
 
 examples:
 	dune exec examples/quickstart.exe

@@ -1,0 +1,42 @@
+(* End-to-end smoke of the campaign subsystem with the real executor:
+   runs the builtin "smoke" matrix (s27 + tiny, xor + mux, SAT attack,
+   two seeds — a few seconds) into a scratch directory, then runs it
+   again and checks the second pass is a pure resume.  Exits non-zero if
+   any job fails or the resume re-executes work, so `make campaign-smoke`
+   is a CI gate. *)
+
+let () =
+  let dir =
+    if Array.length Sys.argv > 1 then Sys.argv.(1)
+    else
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "gklock_campaign_smoke_%d" (Unix.getpid ()))
+  in
+  let matrix =
+    match Campaign_job.builtin "smoke" with
+    | Some m -> m
+    | None -> failwith "builtin smoke campaign missing"
+  in
+  let n_jobs = List.length (Campaign_job.expand matrix) in
+  Printf.printf "smoke campaign: %d jobs -> %s\n%!" n_jobs dir;
+  let t0 = Unix.gettimeofday () in
+  let stats = Campaign.run ~timeout_s:120.0 ~dir matrix in
+  Printf.printf "first pass: %d ok, %d failed, %d timed out (%.2fs)\n%!"
+    stats.Campaign_runner.ok stats.Campaign_runner.failed
+    stats.Campaign_runner.timed_out
+    (Unix.gettimeofday () -. t0);
+  let resume = Campaign.run ~timeout_s:120.0 ~dir matrix in
+  Printf.printf "resume: %d skipped, %d ran\n%!"
+    resume.Campaign_runner.skipped resume.Campaign_runner.ran;
+  print_newline ();
+  print_string (Campaign.report ~dir matrix);
+  let ok =
+    stats.Campaign_runner.ok = n_jobs
+    && resume.Campaign_runner.skipped = n_jobs
+    && resume.Campaign_runner.ran = 0
+  in
+  if not ok then begin
+    prerr_endline "campaign smoke FAILED";
+    exit 1
+  end

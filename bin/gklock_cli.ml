@@ -310,16 +310,165 @@ let flow_cmd =
        ~doc:"Run the full Sec. IV-B design flow (synthesize, place, insert, audit)")
     Term.(const run $ design_arg $ nkeys_arg $ seed_arg)
 
+(* ----- campaign ----- *)
+
+let die fmt = Printf.ksprintf (fun msg -> Printf.eprintf "%s\n" msg; exit 1) fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let campaign_name_arg =
+  let doc =
+    "Built-in campaign matrix: " ^ String.concat ", " Campaign_job.builtin_names
+    ^ "."
+  in
+  Arg.(value & opt (some string) None & info [ "name" ] ~docv:"NAME" ~doc)
+
+let campaign_spec_arg =
+  let doc = "Campaign matrix as a JSON file (see DESIGN.md §6c)." in
+  Arg.(value & opt (some string) None & info [ "spec" ] ~docv:"FILE" ~doc)
+
+let campaign_dir_arg =
+  let doc =
+    "Campaign directory (default: campaigns/<name>).  Holds the job store, \
+     telemetry and report; re-running against the same directory resumes."
+  in
+  Arg.(value & opt (some string) None & info [ "dir" ] ~docv:"DIR" ~doc)
+
+let workers_arg =
+  let doc = "Concurrent worker domains (default: GKLOCK_DOMAINS or cores)." in
+  Arg.(value & opt (some int) None & info [ "workers" ] ~docv:"N" ~doc)
+
+let timeout_arg =
+  let doc = "Per-job wall-clock timeout in seconds (0 = none)." in
+  Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SECONDS" ~doc)
+
+let retries_arg =
+  let doc = "Extra attempts for transient job failures." in
+  Arg.(value & opt (some int) None & info [ "retries" ] ~docv:"N" ~doc)
+
+(* A matrix comes from --spec (JSON file), --name (built-in), or — for
+   status/report — the matrix.json a previous run left in --dir. *)
+let campaign_matrix name spec dir =
+  match spec with
+  | Some path -> (
+    match Cjson.of_string (read_file path) with
+    | Error e -> die "%s: invalid JSON: %s" path e
+    | Ok j -> (
+      match Campaign_job.matrix_of_json j with
+      | Ok m -> m
+      | Error e -> die "%s: %s" path e))
+  | None -> (
+    match name with
+    | Some n -> (
+      match Campaign_job.builtin n with
+      | Some m -> m
+      | None ->
+        die "unknown campaign %S (built-ins: %s)" n
+          (String.concat ", " Campaign_job.builtin_names))
+    | None -> (
+      match dir with
+      | Some d -> (
+        match Campaign.load_matrix ~dir:d with
+        | Ok m -> m
+        | Error e -> die "%s" e)
+      | None -> die "campaign: need --name, --spec or --dir"))
+
+let campaign_dir dir (m : Campaign_job.matrix) =
+  match dir with
+  | Some d -> d
+  | None -> Campaign.dir_for m.Campaign_job.m_name
+
+let campaign_run_cmd =
+  let run name spec dir workers timeout retries =
+    let m = campaign_matrix name spec dir in
+    let dir = campaign_dir dir m in
+    let stats =
+      Campaign.run ?workers ?timeout_s:timeout ?retries ~dir m
+    in
+    Printf.printf
+      "campaign %s in %s: %d ran (%d ok, %d failed, %d timed out), %d \
+       skipped, %d retries%s\n"
+      m.Campaign_job.m_name dir stats.Campaign_runner.ran
+      stats.Campaign_runner.ok stats.Campaign_runner.failed
+      stats.Campaign_runner.timed_out stats.Campaign_runner.skipped
+      stats.Campaign_runner.retries
+      (if stats.Campaign_runner.aborted then " [aborted]" else "");
+    print_string (Campaign.report ~dir m);
+    if stats.Campaign_runner.aborted then exit 3
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Run (or resume) a campaign: completed jobs are skipped, failures \
+          and timeouts are recorded as data")
+    Term.(const run $ campaign_name_arg $ campaign_spec_arg $ campaign_dir_arg
+          $ workers_arg $ timeout_arg $ retries_arg)
+
+let campaign_status_cmd =
+  let run name spec dir =
+    let m = campaign_matrix name spec dir in
+    print_string (Campaign.status ~dir:(campaign_dir dir m) m)
+  in
+  Cmd.v
+    (Cmd.info "status" ~doc:"Progress and failure summary of a campaign")
+    Term.(const run $ campaign_name_arg $ campaign_spec_arg $ campaign_dir_arg)
+
+let campaign_report_cmd =
+  let run name spec dir =
+    let m = campaign_matrix name spec dir in
+    print_string (Campaign.report ~dir:(campaign_dir dir m) m)
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Deterministic report of the stored results (tables + matrix)")
+    Term.(const run $ campaign_name_arg $ campaign_spec_arg $ campaign_dir_arg)
+
+let campaign_cmd =
+  Cmd.group
+    (Cmd.info "campaign"
+       ~doc:
+         "Resumable experiment campaigns: a declarative job matrix executed \
+          by a worker pool with per-job timeouts, checkpointed to an on-disk \
+          job store with a telemetry trace")
+    [ campaign_run_cmd; campaign_status_cmd; campaign_report_cmd ]
+
 (* ----- tables / figs ----- *)
 
 let table_arg =
   let doc = "Which table: 1, 2, sat, comparison, ablation, corruption, all." in
   Arg.(value & opt string "all" & info [ "table" ] ~docv:"WHICH" ~doc)
 
+let tables_campaign_arg =
+  let doc =
+    "Render tables 1 and 2 as views over a campaign store in $(docv) \
+     instead of recomputing them (populate it with 'gklock campaign run \
+     --name paper')."
+  in
+  Arg.(value & opt (some string) None & info [ "campaign" ] ~docv:"DIR" ~doc)
+
 let tables_cmd =
-  let run which =
-    let t1 () = print_string (Report.table1 (Experiments.table1 ())) in
-    let t2 () = print_string (Report.table2 (Experiments.table2 ())) in
+  let run which campaign =
+    let t1 () =
+      match campaign with
+      | None -> print_string (Report.table1 (Experiments.table1 ()))
+      | Some dir -> (
+        match Campaign.table1_view dir with
+        | [] -> die "%s: no completed table1 jobs in the store" dir
+        | rows -> print_string (Report.table1 rows))
+    in
+    let t2 () =
+      match campaign with
+      | None -> print_string (Report.table2 (Experiments.table2 ()))
+      | Some dir -> (
+        match Campaign.table2_view dir with
+        | [] -> die "%s: no completed table2 jobs in the store" dir
+        | rows -> print_string (Report.table2 rows))
+    in
     let sat () = print_string (Report.sat_attack (Experiments.sat_attack_table ())) in
     let cmp () = print_string (Report.comparison (Experiments.attack_comparison ())) in
     let abl () =
@@ -339,7 +488,7 @@ let tables_cmd =
   in
   Cmd.v
     (Cmd.info "tables" ~doc:"Regenerate the paper's tables (and ablations)")
-    Term.(const run $ table_arg)
+    Term.(const run $ table_arg $ tables_campaign_arg)
 
 let figs_cmd =
   let run () =
@@ -362,5 +511,5 @@ let () =
        (Cmd.group info
           [
             info_cmd; gen_cmd; encrypt_cmd; attack_cmd; sim_cmd; sta_cmd;
-            flow_cmd; tables_cmd; figs_cmd;
+            flow_cmd; tables_cmd; figs_cmd; campaign_cmd;
           ]))

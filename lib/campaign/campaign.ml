@@ -1,0 +1,302 @@
+let default_root = "campaigns"
+
+let dir_for ?(root = default_root) name = Filename.concat root name
+
+let matrix_file = "matrix.json"
+let report_file = "report.txt"
+
+let load_matrix ~dir =
+  let path = Filename.concat dir matrix_file in
+  if not (Sys.file_exists path) then
+    Error (Printf.sprintf "no %s in %s (not a campaign directory?)" matrix_file dir)
+  else begin
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let contents = really_input_string ic n in
+    close_in ic;
+    Result.bind (Cjson.of_string contents) Campaign_job.matrix_of_json
+  end
+
+(* ----- job states against the store ----- *)
+
+type state =
+  | S_done of Cjson.t
+  | S_failed of Job_store.failure_kind * string * int
+  | S_pending
+
+let states ~dir matrix =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (r : Job_store.record) -> Hashtbl.replace tbl r.Job_store.r_id r)
+    (Job_store.load ~dir);
+  List.map
+    (fun (j : Campaign_job.t) ->
+      let st =
+        match Hashtbl.find_opt tbl j.Campaign_job.id with
+        | Some { Job_store.r_outcome = Job_store.Done p; _ } -> S_done p
+        | Some
+            { Job_store.r_outcome = Job_store.Failed { kind; message; attempts };
+              _ } ->
+          S_failed (kind, message, attempts)
+        | None -> S_pending
+      in
+      (j, st))
+    (Campaign_job.expand matrix)
+
+let count_states sts =
+  List.fold_left
+    (fun (d, f, t, p) (_, st) ->
+      match st with
+      | S_done _ -> (d + 1, f, t, p)
+      | S_failed (Job_store.Timeout, _, _) -> (d, f, t + 1, p)
+      | S_failed (Job_store.Exception, _, _) -> (d, f + 1, t, p)
+      | S_pending -> (d, f, t, p + 1))
+    (0, 0, 0, 0) sts
+
+let header (m : Campaign_job.matrix) sts =
+  let done_, failed, timeout, pending = count_states sts in
+  Printf.sprintf
+    "campaign %s: %d jobs — %d done, %d failed, %d timed out, %d pending\n"
+    m.Campaign_job.m_name (List.length sts) done_ failed timeout pending
+
+(* ----- status ----- *)
+
+let status ~dir matrix =
+  let sts = states ~dir matrix in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (header matrix sts);
+  List.iter
+    (fun ((j : Campaign_job.t), st) ->
+      match st with
+      | S_done _ -> ()
+      | S_failed (kind, msg, attempts) ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %-40s %s after %d attempt%s: %s\n"
+             (Campaign_job.describe j.Campaign_job.spec)
+             (match kind with
+             | Job_store.Timeout -> "TIMEOUT"
+             | Job_store.Exception -> "FAILED")
+             attempts
+             (if attempts = 1 then "" else "s")
+             msg)
+      | S_pending ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %-40s pending\n"
+             (Campaign_job.describe j.Campaign_job.spec)))
+    sts;
+  let summary_path = Filename.concat dir "summary.json" in
+  if Sys.file_exists summary_path then begin
+    let ic = open_in_bin summary_path in
+    let n = in_channel_length ic in
+    let contents = really_input_string ic n in
+    close_in ic;
+    Buffer.add_string buf ("telemetry: " ^ String.trim contents ^ "\n")
+  end;
+  Buffer.contents buf
+
+(* ----- report ----- *)
+
+let attack_outcome payload =
+  match Cjson.mem_str "status" payload with
+  | Some s -> s
+  | None -> (
+    match Cjson.mem_bool "exact" payload with
+    | Some true -> "exact_key"
+    | Some false -> "approx_key"
+    | None -> (
+      match Cjson.mem_int "recovered" payload with
+      | Some r ->
+        Printf.sprintf "%d/%d bits" r
+          (r + Option.value ~default:0 (Cjson.mem_int "unresolved" payload))
+      | None -> "done"))
+
+let attack_iters payload =
+  match Cjson.mem_int "iterations" payload with
+  | Some i -> string_of_int i
+  | None -> (
+    match Cjson.mem_int "dips" payload with
+    | Some i -> string_of_int i
+    | None -> (
+      match Cjson.mem_int "candidates_tried" payload with
+      | Some i -> string_of_int i
+      | None -> "-"))
+
+let attack_verdict payload =
+  match Cjson.mem_bool "broken" payload with
+  | Some true -> "broken"
+  | Some false -> "resists"
+  | None -> "-"
+
+let report ~dir matrix =
+  let sts = states ~dir matrix in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (header matrix sts);
+  (* Table I view *)
+  let t1_rows =
+    List.filter_map
+      (fun ((j : Campaign_job.t), st) ->
+        match (j.Campaign_job.spec, st) with
+        | Campaign_job.Table1 _, S_done p ->
+          Campaign_exec.table1_row_of_payload p
+        | _ -> None)
+      sts
+  in
+  if t1_rows <> [] then begin
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf (Report.table1 t1_rows)
+  end;
+  (* Table II views, one per profile *)
+  let t2_profiles =
+    List.fold_left
+      (fun acc ((j : Campaign_job.t), _) ->
+        match j.Campaign_job.spec with
+        | Campaign_job.Table2 { profile; _ } when not (List.mem profile acc) ->
+          profile :: acc
+        | _ -> acc)
+      [] sts
+    |> List.rev
+  in
+  List.iter
+    (fun prof ->
+      let rows =
+        List.filter_map
+          (fun ((j : Campaign_job.t), st) ->
+            match (j.Campaign_job.spec, st) with
+            | Campaign_job.Table2 { profile; _ }, S_done p when profile = prof
+              ->
+              Campaign_exec.table2_row_of_payload p
+            | _ -> None)
+          sts
+      in
+      if rows <> [] then begin
+        Buffer.add_char buf '\n';
+        if prof <> "standard" then
+          Buffer.add_string buf
+            (Printf.sprintf "(delay profile: %s)\n" prof);
+        Buffer.add_string buf (Report.table2 rows)
+      end)
+    t2_profiles;
+  (* Attack matrix *)
+  let attacks =
+    List.filter_map
+      (fun ((j : Campaign_job.t), st) ->
+        match j.Campaign_job.spec with
+        | Campaign_job.Attack { bench; scheme; width; attack; seed } ->
+          Some ((bench, scheme, width, attack, seed), st)
+        | _ -> None)
+      sts
+  in
+  if attacks <> [] then begin
+    let t =
+      Ascii_table.create ~title:"Attack matrix"
+        ~columns:
+          [
+            ("bench", Ascii_table.Left);
+            ("scheme", Ascii_table.Left);
+            ("n", Ascii_table.Right);
+            ("attack", Ascii_table.Left);
+            ("seed", Ascii_table.Right);
+            ("keys", Ascii_table.Right);
+            ("outcome", Ascii_table.Left);
+            ("iters", Ascii_table.Right);
+            ("verdict", Ascii_table.Left);
+          ]
+    in
+    List.iter
+      (fun ((bench, scheme, width, attack, seed), st) ->
+        let keys, outcome, iters, verdict =
+          match st with
+          | S_done p ->
+            ( (match Cjson.mem_int "keys" p with
+              | Some k -> string_of_int k
+              | None -> "-"),
+              attack_outcome p,
+              attack_iters p,
+              attack_verdict p )
+          | S_failed (Job_store.Timeout, _, _) -> ("-", "TIMEOUT", "-", "-")
+          | S_failed (Job_store.Exception, msg, _) ->
+            let msg =
+              if String.length msg > 32 then String.sub msg 0 32 ^ "…" else msg
+            in
+            ("-", "FAILED: " ^ msg, "-", "-")
+          | S_pending -> ("-", "pending", "-", "-")
+        in
+        Ascii_table.add_row t
+          [
+            bench; scheme; string_of_int width; attack; string_of_int seed;
+            keys; outcome; iters; verdict;
+          ])
+      attacks;
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf (Ascii_table.render t)
+  end;
+  Buffer.contents buf
+
+(* ----- table views over a raw store (no matrix needed) ----- *)
+
+let done_specs ~dir =
+  List.filter_map
+    (fun (r : Job_store.record) ->
+      match r.Job_store.r_outcome with
+      | Job_store.Done p -> (
+        match Campaign_job.spec_of_json r.Job_store.r_spec with
+        | Ok spec -> Some (spec, p)
+        | Error _ -> None)
+      | Job_store.Failed _ -> None)
+    (Job_store.load ~dir)
+  |> List.sort (fun (a, _) (b, _) -> Campaign_job.compare_spec a b)
+
+let table1_view dir =
+  List.filter_map
+    (fun (spec, p) ->
+      match spec with
+      | Campaign_job.Table1 _ -> Campaign_exec.table1_row_of_payload p
+      | _ -> None)
+    (done_specs ~dir)
+
+let table2_view ?(profile = "standard") dir =
+  List.filter_map
+    (fun (spec, p) ->
+      match spec with
+      | Campaign_job.Table2 { profile = pr; _ } when pr = profile ->
+        Campaign_exec.table2_row_of_payload p
+      | _ -> None)
+    (done_specs ~dir)
+
+(* ----- run ----- *)
+
+let run ?workers ?timeout_s ?retries ?exec ~dir matrix =
+  Job_store.mkdir_p dir;
+  Job_store.write_atomic
+    ~path:(Filename.concat dir matrix_file)
+    (Cjson.to_string (Campaign_job.matrix_to_json matrix) ^ "\n");
+  let config =
+    {
+      Campaign_runner.workers =
+        Option.value workers
+          ~default:Campaign_runner.default_config.Campaign_runner.workers;
+      timeout_s =
+        Option.value timeout_s
+          ~default:Campaign_runner.default_config.Campaign_runner.timeout_s;
+      max_retries =
+        Option.value retries
+          ~default:Campaign_runner.default_config.Campaign_runner.max_retries;
+    }
+  in
+  let exec =
+    match exec with
+    | Some f -> f
+    | None -> fun (j : Campaign_job.t) -> Campaign_exec.run j.Campaign_job.spec
+  in
+  let store = Job_store.open_ ~dir in
+  let telemetry = Telemetry.create ~dir in
+  let jobs = Campaign_job.expand matrix in
+  Fun.protect
+    ~finally:(fun () ->
+      Telemetry.write_summary telemetry;
+      Job_store.close store;
+      Telemetry.close telemetry;
+      Job_store.write_atomic
+        ~path:(Filename.concat dir report_file)
+        (report ~dir matrix))
+    (fun () -> Campaign_runner.run ~store ~telemetry config ~jobs ~exec)

@@ -1,0 +1,62 @@
+(** Campaign orchestration: tie the matrix, store, pool and views
+    together under one directory.
+
+    A campaign directory holds everything about one experiment matrix:
+
+    {v
+    <dir>/matrix.json     the declarative job matrix (written by run)
+    <dir>/results.jsonl   the job store — one record per finished job
+    <dir>/trace.jsonl     telemetry events (timestamps, wall times)
+    <dir>/summary.json    aggregate telemetry checkpoint
+    <dir>/report.txt      the deterministic report (same bytes whether
+                          the campaign ran once or was interrupted and
+                          resumed any number of times)
+    v}
+
+    {!run} is idempotent: it expands the matrix, skips every job already
+    in the store, executes the rest, and rewrites the report. *)
+
+(** Default campaign root directory, ["campaigns"] (gitignored). *)
+val default_root : string
+
+(** [dir_for ?root name] = [<root>/<name>]. *)
+val dir_for : ?root:string -> string -> string
+
+(** [run ?workers ?timeout_s ?retries ?exec ~dir matrix] executes (or
+    resumes) the campaign in [dir].  [exec] defaults to
+    {!Campaign_exec.run} on the job's spec; tests inject their own.
+    Writes [matrix.json] before and [summary.json] / [report.txt] after
+    (also on {!Campaign_runner.Abort}). *)
+val run :
+  ?workers:int ->
+  ?timeout_s:float ->
+  ?retries:int ->
+  ?exec:(Campaign_job.t -> Cjson.t) ->
+  dir:string ->
+  Campaign_job.matrix ->
+  Campaign_runner.stats
+
+(** The matrix a previous {!run} recorded in [dir/matrix.json]. *)
+val load_matrix : dir:string -> (Campaign_job.matrix, string) result
+
+(** Progress summary: job counts by state plus stored telemetry totals.
+    Informational — may include wall-clock figures. *)
+val status : dir:string -> Campaign_job.matrix -> string
+
+(** The deterministic campaign report: Tables I/II rendered from table
+    jobs ({!Campaign_exec.table1_row_of_payload} views over the store)
+    and one row per attack job, in {!Campaign_job.compare_spec} order.
+    Contains no timestamps or wall times, so an interrupted-and-resumed
+    campaign reports byte-identically to an uninterrupted one. *)
+val report : dir:string -> Campaign_job.matrix -> string
+
+(** {1 Table views}
+
+    Tables I and II as views over a campaign store: the completed table
+    jobs in [dir], decoded back to {!Experiments} rows in paper order.
+    [gklock tables --campaign DIR] renders these instead of recomputing
+    the analyses. *)
+
+val table1_view : string -> Experiments.table1_row list
+
+val table2_view : ?profile:string -> string -> Experiments.table2_row list

@@ -1,0 +1,244 @@
+let load_bench name =
+  match Benchmarks.find_spec name with
+  | Some spec -> Benchmarks.load spec
+  | None ->
+    if name = "s27" then Benchmarks.s27 ()
+    else if name = "tiny" then Benchmarks.tiny ()
+    else invalid_arg (Printf.sprintf "unknown benchmark %S" name)
+
+(* The generated s27/tiny circuits are too shallow for the benchmark
+   margins; match the CLI flow's small-circuit fallback. *)
+let margin_for name =
+  match Benchmarks.find_spec name with
+  | Some spec -> spec.Benchmarks.clk_margin
+  | None -> 4.5
+
+(* ----- table rows ↔ payloads ----- *)
+
+let table1_payload (r : Experiments.table1_row) =
+  Cjson.Obj
+    [
+      ("bench", Cjson.Str r.Experiments.t1_bench);
+      ("cells", Cjson.Int r.Experiments.t1_cells);
+      ("ffs", Cjson.Int r.Experiments.t1_ffs);
+      ("avail", Cjson.Int r.Experiments.t1_avail);
+      ("cov_pct", Cjson.Float r.Experiments.t1_cov_pct);
+      ("avail4", Cjson.Int r.Experiments.t1_avail4);
+      ("clock_ps", Cjson.Int r.Experiments.t1_clock_ps);
+      ("paper_avail", Cjson.Int r.Experiments.t1_paper_avail);
+      ("paper_avail4", Cjson.Int r.Experiments.t1_paper_avail4);
+    ]
+
+let table1_row_of_payload j =
+  match
+    ( Cjson.mem_str "bench" j,
+      Cjson.mem_int "cells" j,
+      Cjson.mem_int "ffs" j,
+      Cjson.mem_int "avail" j,
+      Cjson.mem_float "cov_pct" j,
+      Cjson.mem_int "avail4" j,
+      Cjson.mem_int "clock_ps" j,
+      Cjson.mem_int "paper_avail" j,
+      Cjson.mem_int "paper_avail4" j )
+  with
+  | ( Some t1_bench,
+      Some t1_cells,
+      Some t1_ffs,
+      Some t1_avail,
+      Some t1_cov_pct,
+      Some t1_avail4,
+      Some t1_clock_ps,
+      Some t1_paper_avail,
+      Some t1_paper_avail4 ) ->
+    Some
+      {
+        Experiments.t1_bench;
+        t1_cells;
+        t1_ffs;
+        t1_avail;
+        t1_cov_pct;
+        t1_avail4;
+        t1_clock_ps;
+        t1_paper_avail;
+        t1_paper_avail4;
+      }
+  | _ -> None
+
+let overhead_cell_json = function
+  | None -> Cjson.Null
+  | Some c ->
+    Cjson.Obj
+      [
+        ("cell_pct", Cjson.Float c.Experiments.oh_cell_pct);
+        ("area_pct", Cjson.Float c.Experiments.oh_area_pct);
+      ]
+
+let overhead_cell_of_json j =
+  match (Cjson.mem_float "cell_pct" j, Cjson.mem_float "area_pct" j) with
+  | Some oh_cell_pct, Some oh_area_pct ->
+    Some { Experiments.oh_cell_pct; oh_area_pct }
+  | _ -> None
+
+let table2_payload (r : Experiments.table2_row) =
+  Cjson.Obj
+    [
+      ("bench", Cjson.Str r.Experiments.t2_bench);
+      ("gk4", overhead_cell_json r.Experiments.t2_gk4);
+      ("gk8", overhead_cell_json r.Experiments.t2_gk8);
+      ("gk16", overhead_cell_json r.Experiments.t2_gk16);
+      ("hybrid", overhead_cell_json r.Experiments.t2_hybrid);
+    ]
+
+let table2_row_of_payload j =
+  match Cjson.mem_str "bench" j with
+  | None -> None
+  | Some t2_bench ->
+    let cell name = Option.bind (Cjson.member name j) overhead_cell_of_json in
+    Some
+      {
+        Experiments.t2_bench;
+        t2_gk4 = cell "gk4";
+        t2_gk8 = cell "gk8";
+        t2_gk16 = cell "gk16";
+        t2_hybrid = cell "hybrid";
+      }
+
+(* ----- attack jobs ----- *)
+
+(* Lock [net] with [scheme] at size [width]; [width] is the scheme's
+   natural size knob: GK count for gk, key-bit count for XOR-class
+   schemes, TDK site count, total key bits for hybrid (width/4 GKs +
+   width/2 XORs, the paper's half-and-half split). *)
+let build_locked net ~bench ~scheme ~width ~seed =
+  let clock () = Sta.clock_for net ~margin:(margin_for bench) in
+  match scheme with
+  | "gk" ->
+    let d = Insertion.lock ~seed net ~clock_ps:(clock ()) ~n_gks:width in
+    let stripped, keys = Insertion.strip_keygens d in
+    let comb, _ = Combinationalize.run stripped in
+    let c, a = Insertion.overhead d in
+    ( comb,
+      keys,
+      [
+        ("overhead_cell_pct", Cjson.Float c);
+        ("overhead_area_pct", Cjson.Float a);
+      ] )
+  | "hybrid" ->
+    let n_gks = max 1 (width / 4) and n_xors = max 1 (width / 2) in
+    let h =
+      Hybrid.lock ~seed net ~clock_ps:(clock ()) ~n_gks ~n_xors
+    in
+    let stripped, gk_keys = Insertion.strip_keygens h.Hybrid.design in
+    let comb, _ = Combinationalize.run stripped in
+    let c, a = Hybrid.overhead h in
+    ( comb,
+      gk_keys @ h.Hybrid.xor_key_inputs,
+      [
+        ("overhead_cell_pct", Cjson.Float c);
+        ("overhead_area_pct", Cjson.Float a);
+      ] )
+  | "tdk" ->
+    (* The paper's critique path: the attacker strips the TDBs first. *)
+    let t = Tdk.lock ~seed net ~clock_ps:(clock ()) ~n_sites:width in
+    let stripped = Removal_attack.strip_tdbs t in
+    let comb, _ = Combinationalize.run stripped.Locked.net in
+    (comb, stripped.Locked.key_inputs, [])
+  | "xor" | "mux" | "sarlock" | "antisat" | "fault" ->
+    let comb, _ = Combinationalize.run net in
+    let lk =
+      match scheme with
+      | "xor" -> Xor_lock.lock ~seed comb ~n_keys:width
+      | "mux" -> Mux_lock.lock ~seed comb ~n_keys:width
+      | "sarlock" -> Sarlock.lock ~seed comb ~n_keys:width
+      | "antisat" -> Antisat.lock ~seed comb ~n:width
+      | _ -> Fault_lock.lock ~seed comb ~n_keys:width
+    in
+    (lk.Locked.net, lk.Locked.key_inputs, [])
+  | s -> invalid_arg (Printf.sprintf "unknown scheme %S" s)
+
+let sat_status_string = function
+  | Sat_attack.Key_recovered _ -> "key_recovered"
+  | Sat_attack.Unsat_at_first_iteration _ -> "unsat_at_first"
+  | Sat_attack.Budget_exhausted -> "budget_exhausted"
+
+let run_attack ~bench ~scheme ~width ~attack ~seed =
+  let net = load_bench bench in
+  let oracle_comb, _ = Combinationalize.run net in
+  let oracle = Sat_attack.oracle_of_netlist oracle_comb in
+  let locked, key_inputs, extra =
+    build_locked net ~bench ~scheme ~width ~seed
+  in
+  let base = [ ("keys", Cjson.Int (List.length key_inputs)) ] in
+  let fields =
+    match attack with
+    | "none" -> []
+    | "sat" ->
+      let o = Sat_attack.run ~locked ~key_inputs ~oracle () in
+      let key =
+        match o.Sat_attack.status with
+        | Sat_attack.Key_recovered k | Sat_attack.Unsat_at_first_iteration k ->
+          Some k
+        | Sat_attack.Budget_exhausted -> None
+      in
+      let mismatches =
+        match key with
+        | Some k -> Sat_attack.verify_key ~locked ~key_inputs ~oracle k
+        | None -> -1
+      in
+      [
+        ("status", Cjson.Str (sat_status_string o.Sat_attack.status));
+        ("iterations", Cjson.Int o.Sat_attack.iterations);
+        ("dips", Cjson.Int (List.length o.Sat_attack.dips));
+        ("conflicts", Cjson.Int o.Sat_attack.conflicts);
+        ("mismatches", Cjson.Int mismatches);
+        ( "broken",
+          Cjson.Bool
+            (match o.Sat_attack.status with
+            | Sat_attack.Key_recovered _ -> mismatches = 0
+            | _ -> false) );
+      ]
+    | "appsat" ->
+      let o = Appsat.run ~locked ~key_inputs ~oracle () in
+      let mismatches =
+        Sat_attack.verify_key ~locked ~key_inputs ~oracle o.Appsat.key
+      in
+      [
+        ("exact", Cjson.Bool o.Appsat.exact);
+        ("dips", Cjson.Int o.Appsat.dips);
+        ("random_queries", Cjson.Int o.Appsat.random_queries);
+        ("error_rate", Cjson.Float o.Appsat.error_rate);
+        ("mismatches", Cjson.Int mismatches);
+        ("broken", Cjson.Bool (mismatches = 0));
+      ]
+    | "sensitization" ->
+      let o = Sensitization.run ~locked ~key_inputs ~oracle () in
+      [
+        ("recovered", Cjson.Int (List.length o.Sensitization.recovered));
+        ("unresolved", Cjson.Int (List.length o.Sensitization.unresolved));
+        ("patterns_used", Cjson.Int o.Sensitization.patterns_used);
+        ("broken", Cjson.Bool (o.Sensitization.unresolved = []));
+      ]
+    | "removal" ->
+      let rm = Removal_attack.run locked ~oracle in
+      [
+        ("removed", Cjson.Int (List.length rm.Removal_attack.removed));
+        ("candidates_tried", Cjson.Int rm.Removal_attack.candidates_tried);
+        ("broken", Cjson.Bool rm.Removal_attack.success);
+      ]
+    | a -> invalid_arg (Printf.sprintf "unknown attack %S" a)
+  in
+  Cjson.Obj (base @ fields @ extra)
+
+let run = function
+  | Campaign_job.Table1 { bench } -> (
+    match Benchmarks.find_spec bench with
+    | Some spec -> table1_payload (Experiments.table1_row spec)
+    | None -> invalid_arg (Printf.sprintf "unknown benchmark %S" bench))
+  | Campaign_job.Table2 { bench; profile } -> (
+    match (Benchmarks.find_spec bench, Experiments.profile_of_name profile) with
+    | Some spec, Some profile ->
+      table2_payload (Experiments.table2_row ~profile spec)
+    | None, _ -> invalid_arg (Printf.sprintf "unknown benchmark %S" bench)
+    | _, None -> invalid_arg (Printf.sprintf "unknown profile %S" profile))
+  | Campaign_job.Attack { bench; scheme; width; attack; seed } ->
+    run_attack ~bench ~scheme ~width ~attack ~seed

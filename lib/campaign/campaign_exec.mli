@@ -1,0 +1,22 @@
+(** The real job executor: maps a {!Campaign_job.spec} onto the locking
+    and attack stack and returns the metrics payload stored for it.
+
+    Everything here is deterministic in the job spec (benchmarks are
+    generated from fixed seeds, attacks are seeded), which is what makes
+    job IDs honest cache keys: same spec, same payload.
+
+    Unknown benchmarks, schemes, attacks, or infeasible combinations
+    (e.g. more GKs than available sites) raise [Invalid_argument], which
+    the runner records as a structured [Failed] result — a bad matrix
+    cell never takes the campaign down. *)
+
+(** [run spec] computes the job.  See DESIGN.md §7 for the payload
+    fields per job kind. *)
+val run : Campaign_job.spec -> Cjson.t
+
+(** [table1_row_of_payload j] / [table2_row_of_payload j] rebuild the
+    {!Experiments} row a table job stored — the campaign views behind
+    Tables I and II. *)
+val table1_row_of_payload : Cjson.t -> Experiments.table1_row option
+
+val table2_row_of_payload : Cjson.t -> Experiments.table2_row option

@@ -1,0 +1,257 @@
+type spec =
+  | Table1 of { bench : string }
+  | Table2 of { bench : string; profile : string }
+  | Attack of {
+      bench : string;
+      scheme : string;
+      width : int;
+      attack : string;
+      seed : int;
+    }
+
+type t = { id : string; spec : spec }
+
+let spec_to_json = function
+  | Table1 { bench } ->
+    Cjson.Obj [ ("kind", Cjson.Str "table1"); ("bench", Cjson.Str bench) ]
+  | Table2 { bench; profile } ->
+    Cjson.Obj
+      [
+        ("kind", Cjson.Str "table2");
+        ("bench", Cjson.Str bench);
+        ("profile", Cjson.Str profile);
+      ]
+  | Attack { bench; scheme; width; attack; seed } ->
+    Cjson.Obj
+      [
+        ("kind", Cjson.Str "attack");
+        ("bench", Cjson.Str bench);
+        ("scheme", Cjson.Str scheme);
+        ("width", Cjson.Int width);
+        ("attack", Cjson.Str attack);
+        ("seed", Cjson.Int seed);
+      ]
+
+let spec_of_json j =
+  let need f name =
+    match f name j with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "job spec: missing or ill-typed %S" name)
+  in
+  let ( let* ) = Result.bind in
+  let* kind = need Cjson.mem_str "kind" in
+  match kind with
+  | "table1" ->
+    let* bench = need Cjson.mem_str "bench" in
+    Ok (Table1 { bench })
+  | "table2" ->
+    let* bench = need Cjson.mem_str "bench" in
+    let* profile = need Cjson.mem_str "profile" in
+    Ok (Table2 { bench; profile })
+  | "attack" ->
+    let* bench = need Cjson.mem_str "bench" in
+    let* scheme = need Cjson.mem_str "scheme" in
+    let* width = need Cjson.mem_int "width" in
+    let* attack = need Cjson.mem_str "attack" in
+    let* seed = need Cjson.mem_int "seed" in
+    Ok (Attack { bench; scheme; width; attack; seed })
+  | k -> Error (Printf.sprintf "job spec: unknown kind %S" k)
+
+(* Bump the prefix whenever the spec encoding or the executor's meaning of
+   a spec changes incompatibly: every job ID changes, so stale store
+   entries are ignored rather than misread. *)
+let id_format = "gklock-job-v1:"
+
+let id spec = Digest.to_hex (Digest.string (id_format ^ Cjson.to_string (spec_to_json spec)))
+
+let make spec = { id = id spec; spec }
+
+let describe = function
+  | Table1 { bench } -> Printf.sprintf "table1 %s" bench
+  | Table2 { bench; profile } -> Printf.sprintf "table2 %s (%s)" bench profile
+  | Attack { bench; scheme; width; attack; seed } ->
+    Printf.sprintf "attack %s %s/%d %s #%d" bench scheme width attack seed
+
+(* Benchmarks in paper order, for report-stable sorting of table rows. *)
+let bench_rank b =
+  let rec go i = function
+    | [] -> max_int
+    | s :: rest -> if s.Benchmarks.bname = b then i else go (i + 1) rest
+  in
+  go 0 Benchmarks.specs
+
+let rank = function Table1 _ -> 0 | Table2 _ -> 1 | Attack _ -> 2
+
+let compare_spec a b =
+  match (a, b) with
+  | Table1 { bench = x }, Table1 { bench = y } ->
+    compare (bench_rank x, x) (bench_rank y, y)
+  | Table2 { bench = x; profile = p }, Table2 { bench = y; profile = q } ->
+    compare (p, bench_rank x, x) (q, bench_rank y, y)
+  | Attack x, Attack y ->
+    compare
+      (bench_rank x.bench, x.bench, x.scheme, x.width, x.attack, x.seed)
+      (bench_rank y.bench, y.bench, y.scheme, y.width, y.attack, y.seed)
+  | _ -> compare (rank a) (rank b)
+
+(* ----- matrices ----- *)
+
+type matrix = {
+  m_name : string;
+  m_tables : string list;
+  m_benches : string list;
+  m_schemes : string list;
+  m_widths : int list;
+  m_attacks : string list;
+  m_seeds : int list;
+}
+
+let table_jobs table =
+  let benches = List.map (fun s -> s.Benchmarks.bname) Benchmarks.specs in
+  match String.split_on_char ':' table with
+  | [ "table1" ] -> List.map (fun bench -> Table1 { bench }) benches
+  | [ "table2" ] ->
+    List.map (fun bench -> Table2 { bench; profile = "standard" }) benches
+  | [ "table2"; profile ] ->
+    List.map (fun bench -> Table2 { bench; profile }) benches
+  | _ -> invalid_arg (Printf.sprintf "Campaign_job.expand: unknown table %S" table)
+
+let expand m =
+  let tables = List.concat_map table_jobs m.m_tables in
+  let attacks =
+    List.concat_map
+      (fun bench ->
+        List.concat_map
+          (fun scheme ->
+            List.concat_map
+              (fun width ->
+                List.concat_map
+                  (fun attack ->
+                    List.map
+                      (fun seed ->
+                        Attack { bench; scheme; width; attack; seed })
+                      m.m_seeds)
+                  m.m_attacks)
+              m.m_widths)
+          m.m_schemes)
+      m.m_benches
+  in
+  let seen = Hashtbl.create 64 in
+  List.sort compare_spec (tables @ attacks)
+  |> List.filter_map (fun spec ->
+         let j = make spec in
+         if Hashtbl.mem seen j.id then None
+         else begin
+           Hashtbl.add seen j.id ();
+           Some j
+         end)
+
+let matrix_to_json m =
+  let strs xs = Cjson.List (List.map (fun s -> Cjson.Str s) xs) in
+  let ints xs = Cjson.List (List.map (fun i -> Cjson.Int i) xs) in
+  Cjson.Obj
+    [
+      ("name", Cjson.Str m.m_name);
+      ("tables", strs m.m_tables);
+      ("benches", strs m.m_benches);
+      ("schemes", strs m.m_schemes);
+      ("widths", ints m.m_widths);
+      ("attacks", strs m.m_attacks);
+      ("seeds", ints m.m_seeds);
+    ]
+
+let matrix_of_json j =
+  let ( let* ) = Result.bind in
+  let str_list name =
+    match Cjson.mem_list name j with
+    | None -> Ok [] (* absent list = empty dimension *)
+    | Some xs ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | x :: rest -> (
+          match Cjson.to_str x with
+          | Some s -> go (s :: acc) rest
+          | None -> Error (Printf.sprintf "matrix: %S must hold strings" name))
+      in
+      go [] xs
+  in
+  let int_list name =
+    match Cjson.mem_list name j with
+    | None -> Ok []
+    | Some xs ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | x :: rest -> (
+          match Cjson.to_int x with
+          | Some i -> go (i :: acc) rest
+          | None -> Error (Printf.sprintf "matrix: %S must hold integers" name))
+      in
+      go [] xs
+  in
+  let* m_name =
+    match Cjson.mem_str "name" j with
+    | Some s -> Ok s
+    | None -> Error "matrix: missing \"name\""
+  in
+  let* m_tables = str_list "tables" in
+  let* m_benches = str_list "benches" in
+  let* m_schemes = str_list "schemes" in
+  let* m_widths = int_list "widths" in
+  let* m_attacks = str_list "attacks" in
+  let* m_seeds = int_list "seeds" in
+  Ok { m_name; m_tables; m_benches; m_schemes; m_widths; m_attacks; m_seeds }
+
+(* ----- built-in campaigns ----- *)
+
+let all_benches () = List.map (fun s -> s.Benchmarks.bname) Benchmarks.specs
+
+let empty name =
+  {
+    m_name = name;
+    m_tables = [];
+    m_benches = [];
+    m_schemes = [];
+    m_widths = [];
+    m_attacks = [];
+    m_seeds = [];
+  }
+
+let builtin = function
+  | "smoke" ->
+    (* Tiny circuits, conventional schemes, exact SAT attack: the whole
+       matrix finishes in seconds, exercising every subsystem layer. *)
+    Some
+      {
+        (empty "smoke") with
+        m_benches = [ "s27"; "tiny" ];
+        m_schemes = [ "xor"; "mux" ];
+        m_widths = [ 4 ];
+        m_attacks = [ "sat" ];
+        m_seeds = [ 1; 2 ];
+      }
+  | "table1" -> Some { (empty "table1") with m_tables = [ "table1" ] }
+  | "table2" -> Some { (empty "table2") with m_tables = [ "table2" ] }
+  | "sat" ->
+    Some
+      {
+        (empty "sat") with
+        m_benches = all_benches ();
+        m_schemes = [ "gk" ];
+        m_widths = [ 8 ];
+        m_attacks = [ "sat" ];
+        m_seeds = [ 42 ];
+      }
+  | "paper" ->
+    Some
+      {
+        (empty "paper") with
+        m_tables = [ "table1"; "table2" ];
+        m_benches = all_benches ();
+        m_schemes = [ "gk" ];
+        m_widths = [ 8 ];
+        m_attacks = [ "sat" ];
+        m_seeds = [ 42 ];
+      }
+  | _ -> None
+
+let builtin_names = [ "smoke"; "table1"; "table2"; "sat"; "paper" ]

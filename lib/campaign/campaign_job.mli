@@ -1,0 +1,80 @@
+(** Campaign jobs: the unit of work of the experiment matrix.
+
+    A campaign is declared as a {!matrix} — benchmarks × schemes × key
+    widths × attacks × seeds, plus the paper's table rows — and
+    {!expand}ed into concrete jobs.  Every job carries a deterministic
+    {e content-derived ID}: the MD5 digest of its canonical JSON spec
+    under a format-version prefix.  The ID is the job store's key, so
+
+    - re-running a campaign finds completed jobs by ID and skips them;
+    - changing any input (seed, width, scheme parameters, or the spec
+      format itself) changes the ID and thus invalidates exactly the
+      affected jobs, never the rest of the store. *)
+
+(** What one job computes. *)
+type spec =
+  | Table1 of { bench : string }
+      (** one Table I row: available-FF analysis of [bench] *)
+  | Table2 of { bench : string; profile : string }
+      (** one Table II row under a delay-composition profile
+          ("standard" / "buffers" / "custom") *)
+  | Attack of {
+      bench : string;  (** benchmark name, or "s27" / "tiny" *)
+      scheme : string; (** gk / xor / mux / sarlock / antisat / fault / hybrid *)
+      width : int;     (** scheme size: GK count, key-bit count, ... *)
+      attack : string; (** sat / appsat / sensitization / removal / none *)
+      seed : int;
+    }
+
+type t = { id : string; spec : spec }
+
+(** Canonical JSON of a spec — the bytes that get digested. *)
+val spec_to_json : spec -> Cjson.t
+
+val spec_of_json : Cjson.t -> (spec, string) result
+
+(** The format-version prefix digested into every ID.  Bumping it
+    invalidates every stored record at once (a spec-format change). *)
+val id_format : string
+
+(** [id spec] is the content-derived job ID (32 hex chars). *)
+val id : spec -> string
+
+(** [make spec] pairs the spec with its ID. *)
+val make : spec -> t
+
+(** Short human-readable label, e.g. ["attack s5378 gk/8 sat #1"]. *)
+val describe : spec -> string
+
+(** Deterministic total order used by reports (table rows in paper
+    order first, then attack jobs by bench/scheme/width/attack/seed). *)
+val compare_spec : spec -> spec -> int
+
+(** {1 Matrices} *)
+
+type matrix = {
+  m_name : string;
+  m_tables : string list;
+      (** table campaigns to include: ["table1"], ["table2"],
+          ["table2:buffers"], ["table2:custom"] *)
+  m_benches : string list;
+  m_schemes : string list;
+  m_widths : int list;
+  m_attacks : string list;
+  m_seeds : int list;
+}
+
+(** [expand m] is the full job list: every table row plus the cartesian
+    product benches × schemes × widths × attacks × seeds, deduplicated
+    by ID, in {!compare_spec} order. *)
+val expand : matrix -> t list
+
+val matrix_to_json : matrix -> Cjson.t
+val matrix_of_json : Cjson.t -> (matrix, string) result
+
+(** Built-in campaigns: ["smoke"] (tiny, seconds), ["table1"],
+    ["table2"], ["sat"] (the Sec. VI SAT-attack matrix), ["paper"]
+    (tables + SAT matrix). *)
+val builtin : string -> matrix option
+
+val builtin_names : string list

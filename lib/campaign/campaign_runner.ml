@@ -1,0 +1,190 @@
+exception Abort
+exception Transient of string
+
+type config = { workers : int; timeout_s : float; max_retries : int }
+
+let default_config =
+  { workers = Parallel.default_domains (); timeout_s = 300.0; max_retries = 1 }
+
+type stats = {
+  ran : int;
+  ok : int;
+  failed : int;
+  timed_out : int;
+  skipped : int;
+  retries : int;
+  aborted : bool;
+  abandoned : int;
+}
+
+type worker_outcome =
+  | W_ok of Cjson.t
+  | W_transient of string
+  | W_abort
+  | W_exn of string
+
+type slot = {
+  sl_job : Campaign_job.t;
+  sl_attempt : int;
+  sl_started : float;
+  sl_deadline : float;
+  sl_cell : worker_outcome option Atomic.t;
+  sl_domain : unit Domain.t;
+}
+
+let now () = Unix.gettimeofday ()
+
+(* Integer metrics worth surfacing in the telemetry trace alongside the
+   lifecycle event (attack iterations, DIP counts, ...). *)
+let lift_metrics payload =
+  List.filter_map
+    (fun name ->
+      match Cjson.mem_int name payload with
+      | Some v -> Some (name, Cjson.Int v)
+      | None -> None)
+    [ "iterations"; "dips"; "mismatches"; "conflicts" ]
+
+let run ~store ?(telemetry = Telemetry.null ()) config ~jobs ~exec =
+  if config.workers < 1 then
+    invalid_arg "Campaign_runner.run: workers must be >= 1";
+  if config.max_retries < 0 then
+    invalid_arg "Campaign_runner.run: max_retries must be >= 0";
+  let pending = Queue.create () in
+  let skipped = ref 0 in
+  List.iter
+    (fun (j : Campaign_job.t) ->
+      match Job_store.lookup store j.Campaign_job.id with
+      | Some _ ->
+        incr skipped;
+        Telemetry.emit telemetry ~job:j.Campaign_job.id ~event:"skipped" []
+      | None ->
+        Telemetry.emit telemetry ~job:j.Campaign_job.id ~event:"queued"
+          [ ("spec", Campaign_job.spec_to_json j.Campaign_job.spec) ];
+        Queue.add (j, 1) pending)
+    jobs;
+  let ran = ref 0 and ok = ref 0 and failed = ref 0 in
+  let timed_out = ref 0 and retries = ref 0 and abandoned = ref 0 in
+  let aborted = ref false in
+  let in_flight = ref [] in
+  let spawn ((job : Campaign_job.t), attempt) =
+    let cell = Atomic.make None in
+    let dom =
+      Domain.spawn (fun () ->
+          let r =
+            match Parallel.run_sequentially (fun () -> exec job) with
+            | payload -> W_ok payload
+            | exception Abort -> W_abort
+            | exception Transient msg -> W_transient msg
+            | exception e -> W_exn (Printexc.to_string e)
+          in
+          Atomic.set cell (Some r))
+    in
+    Telemetry.emit telemetry ~job:job.Campaign_job.id ~attempt ~event:"started"
+      [];
+    let t0 = now () in
+    {
+      sl_job = job;
+      sl_attempt = attempt;
+      sl_started = t0;
+      sl_deadline =
+        (if config.timeout_s > 0.0 then t0 +. config.timeout_s else infinity);
+      sl_cell = cell;
+      sl_domain = dom;
+    }
+  in
+  let record sl outcome =
+    incr ran;
+    Job_store.append store
+      {
+        Job_store.r_id = sl.sl_job.Campaign_job.id;
+        r_spec = Campaign_job.spec_to_json sl.sl_job.Campaign_job.spec;
+        r_outcome = outcome;
+        r_wall_s = now () -. sl.sl_started;
+      }
+  in
+  let handle sl r =
+    let wall_s = now () -. sl.sl_started in
+    let job = sl.sl_job.Campaign_job.id in
+    match r with
+    | W_ok payload ->
+      incr ok;
+      record sl (Job_store.Done payload);
+      Telemetry.emit telemetry ~job ~attempt:sl.sl_attempt ~wall_s
+        ~event:"finished" (lift_metrics payload)
+    | W_transient msg when sl.sl_attempt <= config.max_retries ->
+      incr retries;
+      Telemetry.emit telemetry ~job ~attempt:sl.sl_attempt ~wall_s
+        ~event:"retried"
+        [ ("message", Cjson.Str msg) ];
+      Queue.add (sl.sl_job, sl.sl_attempt + 1) pending
+    | W_transient msg | W_exn msg ->
+      incr failed;
+      record sl
+        (Job_store.Failed
+           {
+             kind = Job_store.Exception;
+             message = msg;
+             attempts = sl.sl_attempt;
+           });
+      Telemetry.emit telemetry ~job ~attempt:sl.sl_attempt ~wall_s
+        ~event:"failed"
+        [ ("message", Cjson.Str msg) ]
+    | W_abort ->
+      aborted := true;
+      Telemetry.emit telemetry ~job ~attempt:sl.sl_attempt ~wall_s
+        ~event:"aborted" []
+  in
+  while (not (Queue.is_empty pending)) || !in_flight <> [] do
+    if !aborted then Queue.clear pending;
+    while
+      (not !aborted)
+      && List.length !in_flight < config.workers
+      && not (Queue.is_empty pending)
+    do
+      in_flight := spawn (Queue.pop pending) :: !in_flight
+    done;
+    let progressed = ref false in
+    in_flight :=
+      List.filter
+        (fun sl ->
+          match Atomic.get sl.sl_cell with
+          | Some r ->
+            progressed := true;
+            Domain.join sl.sl_domain;
+            handle sl r;
+            false
+          | None ->
+            if now () > sl.sl_deadline then begin
+              (* The domain cannot be killed; leave it running detached
+                 and record the job as timed out. *)
+              progressed := true;
+              incr abandoned;
+              incr timed_out;
+              record sl
+                (Job_store.Failed
+                   {
+                     kind = Job_store.Timeout;
+                     message =
+                       Printf.sprintf "timed out after %.1fs" config.timeout_s;
+                     attempts = sl.sl_attempt;
+                   });
+              Telemetry.emit telemetry ~job:sl.sl_job.Campaign_job.id
+                ~attempt:sl.sl_attempt
+                ~wall_s:(now () -. sl.sl_started)
+                ~event:"timeout" [];
+              false
+            end
+            else true)
+        !in_flight;
+    if not !progressed then Unix.sleepf 0.002
+  done;
+  {
+    ran = !ran;
+    ok = !ok;
+    failed = !failed;
+    timed_out = !timed_out;
+    skipped = !skipped;
+    retries = !retries;
+    aborted = !aborted;
+    abandoned = !abandoned;
+  }

@@ -1,0 +1,273 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ----- emission ----- *)
+
+let escape_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+(* Fixed float format: enough digits to round-trip the metrics we store,
+   and — more importantly — always the same bytes for the same value. *)
+let float_repr f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.12g" f
+
+let rec emit buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f ->
+    if Float.is_nan f then Buffer.add_string buf "null"
+    else if f = Float.infinity then Buffer.add_string buf "1e999"
+    else if f = Float.neg_infinity then Buffer.add_string buf "-1e999"
+    else Buffer.add_string buf (float_repr f)
+  | Str s -> escape_string buf s
+  | List xs ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_char buf ',';
+        emit buf x)
+      xs;
+    Buffer.add_char buf ']'
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        escape_string buf k;
+        Buffer.add_char buf ':';
+        emit buf v)
+      fields;
+    Buffer.add_char buf '}'
+
+let to_string j =
+  let buf = Buffer.create 128 in
+  emit buf j;
+  Buffer.contents buf
+
+(* ----- parsing ----- *)
+
+exception Parse_error of string
+
+type parser_state = { src : string; mutable pos : int }
+
+let peek p = if p.pos < String.length p.src then Some p.src.[p.pos] else None
+
+let advance p = p.pos <- p.pos + 1
+
+let fail p msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg p.pos))
+
+let rec skip_ws p =
+  match peek p with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+    advance p;
+    skip_ws p
+  | _ -> ()
+
+let expect p c =
+  match peek p with
+  | Some c' when c' = c -> advance p
+  | _ -> fail p (Printf.sprintf "expected %C" c)
+
+let parse_literal p lit value =
+  let n = String.length lit in
+  if p.pos + n <= String.length p.src && String.sub p.src p.pos n = lit then begin
+    p.pos <- p.pos + n;
+    value
+  end
+  else fail p (Printf.sprintf "expected %s" lit)
+
+(* Encode a Unicode code point as UTF-8 into [buf]. *)
+let add_utf8 buf cp =
+  if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+  else if cp < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+
+let parse_string p =
+  expect p '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek p with
+    | None -> fail p "unterminated string"
+    | Some '"' -> advance p
+    | Some '\\' ->
+      advance p;
+      (match peek p with
+      | Some '"' -> Buffer.add_char buf '"'; advance p
+      | Some '\\' -> Buffer.add_char buf '\\'; advance p
+      | Some '/' -> Buffer.add_char buf '/'; advance p
+      | Some 'b' -> Buffer.add_char buf '\b'; advance p
+      | Some 'f' -> Buffer.add_char buf '\012'; advance p
+      | Some 'n' -> Buffer.add_char buf '\n'; advance p
+      | Some 'r' -> Buffer.add_char buf '\r'; advance p
+      | Some 't' -> Buffer.add_char buf '\t'; advance p
+      | Some 'u' ->
+        advance p;
+        if p.pos + 4 > String.length p.src then fail p "truncated \\u escape";
+        let hex = String.sub p.src p.pos 4 in
+        (match int_of_string_opt ("0x" ^ hex) with
+        | Some cp ->
+          p.pos <- p.pos + 4;
+          add_utf8 buf cp
+        | None -> fail p "bad \\u escape")
+      | _ -> fail p "bad escape");
+      go ()
+    | Some c ->
+      Buffer.add_char buf c;
+      advance p;
+      go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number p =
+  let start = p.pos in
+  let is_float = ref false in
+  let rec go () =
+    match peek p with
+    | Some ('0' .. '9' | '-' | '+') ->
+      advance p;
+      go ()
+    | Some ('.' | 'e' | 'E') ->
+      is_float := true;
+      advance p;
+      go ()
+    | _ -> ()
+  in
+  go ();
+  let text = String.sub p.src start (p.pos - start) in
+  if !is_float then
+    match float_of_string_opt text with
+    | Some f -> Float f
+    | None -> fail p "bad number"
+  else
+    match int_of_string_opt text with
+    | Some i -> Int i
+    | None -> (
+      (* out-of-range integer literal: fall back to float *)
+      match float_of_string_opt text with
+      | Some f -> Float f
+      | None -> fail p "bad number")
+
+let rec parse_value p =
+  skip_ws p;
+  match peek p with
+  | None -> fail p "unexpected end of input"
+  | Some 'n' -> parse_literal p "null" Null
+  | Some 't' -> parse_literal p "true" (Bool true)
+  | Some 'f' -> parse_literal p "false" (Bool false)
+  | Some '"' -> Str (parse_string p)
+  | Some '[' ->
+    advance p;
+    skip_ws p;
+    if peek p = Some ']' then begin
+      advance p;
+      List []
+    end
+    else begin
+      let rec elems acc =
+        let v = parse_value p in
+        skip_ws p;
+        match peek p with
+        | Some ',' ->
+          advance p;
+          elems (v :: acc)
+        | Some ']' ->
+          advance p;
+          List.rev (v :: acc)
+        | _ -> fail p "expected ',' or ']'"
+      in
+      List (elems [])
+    end
+  | Some '{' ->
+    advance p;
+    skip_ws p;
+    if peek p = Some '}' then begin
+      advance p;
+      Obj []
+    end
+    else begin
+      let field () =
+        skip_ws p;
+        let k = parse_string p in
+        skip_ws p;
+        expect p ':';
+        let v = parse_value p in
+        (k, v)
+      in
+      let rec fields acc =
+        let kv = field () in
+        skip_ws p;
+        match peek p with
+        | Some ',' ->
+          advance p;
+          fields (kv :: acc)
+        | Some '}' ->
+          advance p;
+          List.rev (kv :: acc)
+        | _ -> fail p "expected ',' or '}'"
+      in
+      Obj (fields [])
+    end
+  | Some ('-' | '0' .. '9') -> parse_number p
+  | Some c -> fail p (Printf.sprintf "unexpected %C" c)
+
+let of_string s =
+  let p = { src = s; pos = 0 } in
+  match parse_value p with
+  | v ->
+    skip_ws p;
+    if p.pos = String.length s then Ok v
+    else Error (Printf.sprintf "trailing garbage at offset %d" p.pos)
+  | exception Parse_error msg -> Error msg
+
+(* ----- accessors ----- *)
+
+let member name = function
+  | Obj fields -> List.assoc_opt name fields
+  | _ -> None
+
+let to_str = function Str s -> Some s | _ -> None
+let to_int = function Int i -> Some i | _ -> None
+
+let to_float = function
+  | Float f -> Some f
+  | Int i -> Some (float_of_int i)
+  | _ -> None
+
+let to_bool = function Bool b -> Some b | _ -> None
+let to_list = function List xs -> Some xs | _ -> None
+
+let mem_str name j = Option.bind (member name j) to_str
+let mem_int name j = Option.bind (member name j) to_int
+let mem_float name j = Option.bind (member name j) to_float
+let mem_bool name j = Option.bind (member name j) to_bool
+let mem_list name j = Option.bind (member name j) to_list

@@ -1,0 +1,48 @@
+(** Minimal JSON values for the campaign subsystem.
+
+    The job store, telemetry trace and campaign specs are all JSONL /
+    JSON files; the toolchain ships no JSON library, so this is a small
+    self-contained codec.  Emission is {e canonical}: object fields keep
+    construction order and floats print with a fixed format, so the same
+    value always serializes to the same bytes — job IDs are digests of
+    this canonical form (see {!Campaign_job.id}). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** Canonical single-line rendering (no insignificant whitespace). *)
+val to_string : t -> string
+
+(** Parse one JSON value; trailing whitespace is allowed, trailing
+    garbage is an error.  Handles the subset {!to_string} emits plus
+    standard escapes (including [\uXXXX], decoded to UTF-8). *)
+val of_string : string -> (t, string) result
+
+(** {1 Accessors} — all total, returning [None] on shape mismatch. *)
+
+(** [member name j] is the value of field [name] when [j] is an object. *)
+val member : string -> t -> t option
+
+val to_str : t -> string option
+val to_int : t -> int option
+
+(** [to_float] accepts both [Float] and [Int]. *)
+val to_float : t -> float option
+
+val to_bool : t -> bool option
+val to_list : t -> t list option
+
+(** [mem_str name j] = [Option.bind (member name j) to_str], and
+    friends — the common "field of an object" reads. *)
+val mem_str : string -> t -> string option
+
+val mem_int : string -> t -> int option
+val mem_float : string -> t -> float option
+val mem_bool : string -> t -> bool option
+val mem_list : string -> t -> t list option

@@ -1,0 +1,178 @@
+type failure_kind = Timeout | Exception
+
+type outcome =
+  | Done of Cjson.t
+  | Failed of { kind : failure_kind; message : string; attempts : int }
+
+type record = {
+  r_id : string;
+  r_spec : Cjson.t;
+  r_outcome : outcome;
+  r_wall_s : float;
+}
+
+let results_file = "results.jsonl"
+
+let record_to_json r =
+  let outcome =
+    match r.r_outcome with
+    | Done payload ->
+      Cjson.Obj [ ("status", Cjson.Str "done"); ("payload", payload) ]
+    | Failed { kind; message; attempts } ->
+      Cjson.Obj
+        [
+          ("status", Cjson.Str "failed");
+          ( "kind",
+            Cjson.Str
+              (match kind with Timeout -> "timeout" | Exception -> "exception")
+          );
+          ("message", Cjson.Str message);
+          ("attempts", Cjson.Int attempts);
+        ]
+  in
+  Cjson.Obj
+    [
+      ("id", Cjson.Str r.r_id);
+      ("spec", r.r_spec);
+      ("outcome", outcome);
+      ("wall_s", Cjson.Float r.r_wall_s);
+    ]
+
+let record_of_json j =
+  let ( let* ) = Result.bind in
+  let* r_id =
+    match Cjson.mem_str "id" j with
+    | Some s -> Ok s
+    | None -> Error "record: missing \"id\""
+  in
+  let* r_spec =
+    match Cjson.member "spec" j with
+    | Some s -> Ok s
+    | None -> Error "record: missing \"spec\""
+  in
+  let* o =
+    match Cjson.member "outcome" j with
+    | Some o -> Ok o
+    | None -> Error "record: missing \"outcome\""
+  in
+  let* r_outcome =
+    match Cjson.mem_str "status" o with
+    | Some "done" -> (
+      match Cjson.member "payload" o with
+      | Some p -> Ok (Done p)
+      | None -> Error "record: done without payload")
+    | Some "failed" ->
+      let* kind =
+        match Cjson.mem_str "kind" o with
+        | Some "timeout" -> Ok Timeout
+        | Some "exception" -> Ok Exception
+        | _ -> Error "record: bad failure kind"
+      in
+      let message = Option.value ~default:"" (Cjson.mem_str "message" o) in
+      let attempts = Option.value ~default:1 (Cjson.mem_int "attempts" o) in
+      Ok (Failed { kind; message; attempts })
+    | _ -> Error "record: bad outcome status"
+  in
+  let r_wall_s = Option.value ~default:0.0 (Cjson.mem_float "wall_s" j) in
+  Ok { r_id; r_spec; r_outcome; r_wall_s }
+
+(* ----- loading ----- *)
+
+let fold_lines path f init =
+  if not (Sys.file_exists path) then init
+  else begin
+    let ic = open_in_bin path in
+    let rec go acc =
+      match input_line ic with
+      | line -> go (f acc line)
+      | exception End_of_file -> acc
+    in
+    let r = go init in
+    close_in ic;
+    r
+  end
+
+let parse_record line =
+  if String.trim line = "" then None
+  else
+    match Cjson.of_string line with
+    | Ok j -> ( match record_of_json j with Ok r -> Some r | Error _ -> None)
+    | Error _ -> None (* torn/corrupt line (e.g. a crash mid-write): skip *)
+
+let load ~dir =
+  let path = Filename.concat dir results_file in
+  let tbl = Hashtbl.create 64 in
+  let order =
+    fold_lines path
+      (fun order line ->
+        match parse_record line with
+        | None -> order
+        | Some r ->
+          let fresh = not (Hashtbl.mem tbl r.r_id) in
+          Hashtbl.replace tbl r.r_id r;
+          if fresh then r.r_id :: order else order)
+      []
+  in
+  List.rev_map (fun id -> Hashtbl.find tbl id) order
+
+(* ----- open store ----- *)
+
+type t = {
+  s_dir : string;
+  s_oc : out_channel;
+  s_mutex : Mutex.t;
+  s_tbl : (string, record) Hashtbl.t;
+}
+
+let rec mkdir_p path =
+  if path = "" || path = "." || path = "/" || Sys.file_exists path then ()
+  else begin
+    mkdir_p (Filename.dirname path);
+    try Unix.mkdir path 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let open_ ~dir =
+  mkdir_p dir;
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun r -> Hashtbl.replace tbl r.r_id r) (load ~dir);
+  let fd =
+    Unix.openfile
+      (Filename.concat dir results_file)
+      [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ]
+      0o644
+  in
+  {
+    s_dir = dir;
+    s_oc = Unix.out_channel_of_descr fd;
+    s_mutex = Mutex.create ();
+    s_tbl = tbl;
+  }
+
+let dir t = t.s_dir
+let lookup t id = Hashtbl.find_opt t.s_tbl id
+let size t = Hashtbl.length t.s_tbl
+
+let append t r =
+  let line = Cjson.to_string (record_to_json r) ^ "\n" in
+  Mutex.lock t.s_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.s_mutex)
+    (fun () ->
+      output_string t.s_oc line;
+      flush t.s_oc;
+      Hashtbl.replace t.s_tbl r.r_id r)
+
+let close t =
+  Mutex.lock t.s_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.s_mutex)
+    (fun () -> close_out t.s_oc)
+
+let write_atomic ~path contents =
+  mkdir_p (Filename.dirname path);
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  output_string oc contents;
+  close_out oc;
+  Sys.rename tmp path

@@ -1,0 +1,57 @@
+(** On-disk campaign result store: append-only JSONL, keyed by job ID.
+
+    One line per finished job attempt chain — either [Done] with the
+    executor's payload or [Failed] with a structured failure.  Lines are
+    appended with a single [O_APPEND] write and flushed, so concurrent
+    readers never see a torn record and a crash loses at most the line
+    being written; {!load} skips corrupt or truncated lines, which is
+    what makes interrupt/resume safe.  For duplicate IDs the last line
+    wins (a forced re-run supersedes the old record). *)
+
+type failure_kind = Timeout | Exception
+
+type outcome =
+  | Done of Cjson.t  (** executor payload (metrics) *)
+  | Failed of { kind : failure_kind; message : string; attempts : int }
+      (** [attempts] = executions consumed, retries included *)
+
+type record = {
+  r_id : string;       (** {!Campaign_job.id} of the spec *)
+  r_spec : Cjson.t;    (** canonical spec JSON, for self-contained files *)
+  r_outcome : outcome;
+  r_wall_s : float;    (** wall time of the last attempt; not reported *)
+}
+
+type t
+
+(** [open_ ~dir] creates [dir] if needed and loads [dir/results.jsonl]
+    (if any) for appending. *)
+val open_ : dir:string -> t
+
+val dir : t -> string
+
+(** [lookup t id] is the stored record for [id], if any. *)
+val lookup : t -> string -> record option
+
+(** Number of distinct job IDs with a record. *)
+val size : t -> int
+
+(** [append t r] records [r] durably (single-line append + flush) and in
+    memory. *)
+val append : t -> record -> unit
+
+val close : t -> unit
+
+(** Read-only load of a store directory; missing file = empty list.
+    Distinct IDs only, last record per ID, in first-seen file order. *)
+val load : dir:string -> record list
+
+val record_to_json : record -> Cjson.t
+val record_of_json : Cjson.t -> (record, string) result
+
+(** [write_atomic ~path contents] writes via a temp file + rename, so
+    readers see either the old or the new file, never a partial one. *)
+val write_atomic : path:string -> string -> unit
+
+(** [mkdir_p dir] creates [dir] and its parents (idempotent). *)
+val mkdir_p : string -> unit

@@ -1,0 +1,99 @@
+type t = {
+  t_dir : string option;
+  t_oc : out_channel option;
+  t_mutex : Mutex.t;
+  t_counts : (string, int) Hashtbl.t;
+  mutable t_jobs_timed : int;
+  mutable t_total_wall_s : float;
+  mutable t_max_wall_s : float;
+}
+
+let make dir oc =
+  {
+    t_dir = dir;
+    t_oc = oc;
+    t_mutex = Mutex.create ();
+    t_counts = Hashtbl.create 16;
+    t_jobs_timed = 0;
+    t_total_wall_s = 0.0;
+    t_max_wall_s = 0.0;
+  }
+
+let create ~dir =
+  Job_store.mkdir_p dir;
+  let fd =
+    Unix.openfile
+      (Filename.concat dir "trace.jsonl")
+      [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ]
+      0o644
+  in
+  make (Some dir) (Some (Unix.out_channel_of_descr fd))
+
+let null () = make None None
+
+let emit t ~job ?attempt ?wall_s ~event fields =
+  Mutex.lock t.t_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.t_mutex)
+    (fun () ->
+      Hashtbl.replace t.t_counts event
+        (1 + Option.value ~default:0 (Hashtbl.find_opt t.t_counts event));
+      (match wall_s with
+      | Some w ->
+        t.t_jobs_timed <- t.t_jobs_timed + 1;
+        t.t_total_wall_s <- t.t_total_wall_s +. w;
+        if w > t.t_max_wall_s then t.t_max_wall_s <- w
+      | None -> ());
+      match t.t_oc with
+      | None -> ()
+      | Some oc ->
+        let base =
+          [ ("ts", Cjson.Float (Unix.gettimeofday ()));
+            ("event", Cjson.Str event); ("job", Cjson.Str job) ]
+        in
+        let opt name = function
+          | Some (v : Cjson.t) -> [ (name, v) ]
+          | None -> []
+        in
+        let line =
+          Cjson.to_string
+            (Cjson.Obj
+               (base
+               @ opt "attempt" (Option.map (fun a -> Cjson.Int a) attempt)
+               @ opt "wall_s" (Option.map (fun w -> Cjson.Float w) wall_s)
+               @ fields))
+        in
+        output_string oc (line ^ "\n");
+        flush oc)
+
+let summary t =
+  Mutex.lock t.t_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.t_mutex)
+    (fun () ->
+      let counts =
+        Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.t_counts []
+        |> List.sort compare
+        |> List.map (fun (k, v) -> (k, Cjson.Int v))
+      in
+      Cjson.Obj
+        [
+          ("events", Cjson.Obj counts);
+          ("jobs_timed", Cjson.Int t.t_jobs_timed);
+          ("total_wall_s", Cjson.Float t.t_total_wall_s);
+          ("max_wall_s", Cjson.Float t.t_max_wall_s);
+        ])
+
+let write_summary t =
+  match t.t_dir with
+  | None -> ()
+  | Some dir ->
+    Job_store.write_atomic
+      ~path:(Filename.concat dir "summary.json")
+      (Cjson.to_string (summary t) ^ "\n")
+
+let close t =
+  Mutex.lock t.t_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.t_mutex)
+    (fun () -> match t.t_oc with Some oc -> close_out oc | None -> ())

@@ -1,0 +1,44 @@
+(** Campaign telemetry: a JSONL event trace plus aggregate counters.
+
+    Every job emits lifecycle events — [queued], [started], [retried],
+    [finished], [failed], [timeout], [skipped] — to [dir/trace.jsonl],
+    each stamped with a wall-clock timestamp and free-form metric fields
+    (wall seconds, attack iterations, DIP counts, ...).  The sink also
+    keeps per-event counters and total/maximum job wall time; {!summary}
+    renders those as JSON and {!write_summary} checkpoints them to
+    [dir/summary.json] atomically.
+
+    The trace records {e how} a campaign ran; the job store records
+    {e what} it computed.  Reports read only the store, so traces can
+    carry timestamps without breaking resume determinism. *)
+
+type t
+
+(** [create ~dir] opens (appends to) [dir/trace.jsonl]. *)
+val create : dir:string -> t
+
+(** [null ()] swallows events — for library callers that do not want a
+    trace on disk. *)
+val null : unit -> t
+
+(** [emit t ~job ~event fields] appends one trace line.  [attempt] is
+    1-based; [wall_s], when given, also feeds the aggregate timers.
+    Thread-safe. *)
+val emit :
+  t ->
+  job:string ->
+  ?attempt:int ->
+  ?wall_s:float ->
+  event:string ->
+  (string * Cjson.t) list ->
+  unit
+
+(** Aggregate counters as JSON (event counts, jobs timed, total and max
+    wall seconds). *)
+val summary : t -> Cjson.t
+
+(** Atomically write {!summary} to [dir/summary.json] (no-op for
+    {!null} sinks). *)
+val write_summary : t -> unit
+
+val close : t -> unit

@@ -38,6 +38,18 @@ let table1_row spec =
    independent and run one-per-domain. *)
 let table1 () = Parallel.map table1_row Benchmarks.specs
 
+(* Delay-profile naming shared by the CLI and the campaign subsystem: a
+   campaign job spec carries the profile as a string, and the job ID is a
+   digest of that string — renaming a profile invalidates its jobs. *)
+let profiles =
+  [ ("standard", `Standard); ("buffers", `Buffers_only); ("custom", `Custom) ]
+
+let profile_names = List.map fst profiles
+let profile_of_name n = List.assoc_opt n profiles
+
+let profile_name p =
+  fst (List.find (fun (_, q) -> q = p) profiles)
+
 type overhead_cell = { oh_cell_pct : float; oh_area_pct : float }
 
 type table2_row = {

@@ -23,6 +23,13 @@ val table1 : unit -> table1_row list
 
 (** {1 Table II — overhead} *)
 
+(** Stable names for {!Delay_synth.profile} values — the form campaign
+    job specs and the CLI use: ["standard"], ["buffers"], ["custom"]. *)
+val profile_names : string list
+
+val profile_of_name : string -> Delay_synth.profile option
+val profile_name : Delay_synth.profile -> string
+
 type overhead_cell = { oh_cell_pct : float; oh_area_pct : float }
 
 type table2_row = {

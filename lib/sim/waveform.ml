@@ -46,16 +46,28 @@ let pulses ?max_width w ~until =
   let fits width =
     match max_width with None -> true | Some m -> width <= m
   in
-  (* A pulse is a value interval bounded by transitions on both sides. *)
+  (* A pulse is a value interval opened by a transition at [t1 <= until].
+     It closes at the next transition — even one recorded past [until],
+     so a glitch straddling the boundary keeps its true width — or, when
+     no further transition was recorded, at [until] itself: a pulse still
+     open at the end of the trace is reported clipped rather than
+     silently dropped. *)
   let rec go acc = function
     | (t1, v) :: (((t2, _) :: _) as rest) ->
       let acc =
-        if t2 <= until && fits (t2 - t1) then
+        if t1 <= until && fits (t2 - t1) then
           { start_ps = t1; stop_ps = t2; level = v } :: acc
         else acc
       in
       go acc rest
-    | _ -> List.rev acc
+    | [ (t1, v) ] ->
+      let acc =
+        if t1 < until && fits (until - t1) then
+          { start_ps = t1; stop_ps = until; level = v } :: acc
+        else acc
+      in
+      List.rev acc
+    | [] -> List.rev acc
   in
   go [] w.trans
 

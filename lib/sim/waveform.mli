@@ -36,9 +36,14 @@ val changes_in : t -> from_:int -> until:int -> (int * Logic.t) list
     the values around it. *)
 type pulse = { start_ps : int; stop_ps : int; level : Logic.t }
 
-(** [pulses ?max_width w ~until] lists the pulses of [w] up to [until]
-    whose width is at most [max_width] (default: no limit) — with a small
-    [max_width] these are the glitches. *)
+(** [pulses ?max_width w ~until] lists the pulses of [w] that start at or
+    before [until] and whose width is at most [max_width] (default: no
+    limit) — with a small [max_width] these are the glitches.  A pulse
+    whose closing transition lies past [until] keeps its true
+    [stop_ps]; a pulse with {e no} recorded closing transition (still
+    open at the end of the trace) is reported with [stop_ps = until],
+    its width measured up to the boundary, so boundary-touching glitches
+    are never silently dropped. *)
 val pulses : ?max_width:int -> t -> until:int -> pulse list
 
 (** [toggle ~t0 ~period ~start] is the square-ish wave that starts at

@@ -3,13 +3,28 @@ let default_domains () =
   | Some s -> ( match int_of_string_opt s with Some d when d > 0 -> d | _ -> 1)
   | None -> Domain.recommended_domain_count ()
 
+(* True while the current domain is executing a task on behalf of a pool
+   (one of [map]'s workers, or a [run_sequentially] caller): nested [map]
+   calls must not spawn another layer of domains. *)
+let in_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let run_sequentially f =
+  let prev = Domain.DLS.get in_worker in
+  Domain.DLS.set in_worker true;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set in_worker prev) f
+
 let map ?domains f xs =
+  (match domains with
+  | Some d when d < 1 ->
+    invalid_arg (Printf.sprintf "Parallel.map: domains must be >= 1 (got %d)" d)
+  | _ -> ());
+  let nested = Domain.DLS.get in_worker in
   let items = Array.of_list xs in
   let n = Array.length items in
   let d =
     max 1 (min n (match domains with Some d -> d | None -> default_domains ()))
   in
-  if d <= 1 then List.map f xs
+  if d <= 1 || nested then List.map f xs
   else begin
     let results = Array.make n None in
     let next = Atomic.make 0 in
@@ -26,8 +41,9 @@ let map ?domains f xs =
       in
       go ()
     in
-    let doms = List.init (d - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
+    let marked_worker () = run_sequentially worker in
+    let doms = List.init (d - 1) (fun _ -> Domain.spawn marked_worker) in
+    marked_worker ();
     List.iter Domain.join doms;
     Array.to_list results
     |> List.map (function

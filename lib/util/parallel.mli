@@ -5,10 +5,28 @@
     list element off an atomic counter, so sibling tasks run concurrently
     in separate domains. *)
 
+(** The default domain count: [GKLOCK_DOMAINS] when set to a positive
+    integer, else [Domain.recommended_domain_count ()]. *)
+val default_domains : unit -> int
+
 (** [map ?domains f xs] is [List.map f xs] with elements evaluated in up to
-    [domains] domains (default: [Domain.recommended_domain_count], or the
-    [GKLOCK_DOMAINS] environment variable when set; [GKLOCK_DOMAINS=1]
+    [domains] domains (default: {!default_domains}; [GKLOCK_DOMAINS=1]
     forces sequential execution).  Order is preserved.  If any [f x]
     raises, the first such exception (in list order) is re-raised after all
-    workers finish. *)
+    workers finish.
+
+    Nested use is safe but not parallel: when [map] is called from inside
+    a task already running under [map] (or under {!run_sequentially}),
+    it degrades to a plain [List.map] instead of spawning domains from a
+    worker domain — nested fan-out would oversubscribe the machine with
+    [domains²] domains and, on OCaml 5.1, risks exceeding the runtime's
+    domain limit.
+
+    @raise Invalid_argument if [domains] is given and is [< 1]. *)
 val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+
+(** [run_sequentially f] runs [f ()] with this domain marked as a worker:
+    any {!map} call made (transitively) by [f] runs sequentially.  Used
+    by pools that manage their own domains (e.g. the campaign runner) to
+    keep library parallelism from multiplying with theirs. *)
+val run_sequentially : (unit -> 'a) -> 'a

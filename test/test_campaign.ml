@@ -1,0 +1,503 @@
+(* Tests for the campaign subsystem: Cjson codec, job IDs, the JSONL
+   store, the domain pool (timeouts, retries, structured failures) and
+   the interrupt/resume guarantee. *)
+
+let tc = Alcotest.test_case
+
+(* Fresh scratch directory per test; campaign stores are plain files so
+   cleanup is best-effort (the temp dir is reaped by the OS anyway). *)
+let dir_counter = ref 0
+
+let fresh_dir () =
+  incr dir_counter;
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "gklock_campaign_test_%d_%d" (Unix.getpid ()) !dir_counter)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+(* ----- Cjson ----- *)
+
+let test_cjson_roundtrip () =
+  let v =
+    Cjson.Obj
+      [
+        ("name", Cjson.Str "smoke");
+        ("n", Cjson.Int 42);
+        ("x", Cjson.Float 1.5);
+        ("ok", Cjson.Bool true);
+        ("nothing", Cjson.Null);
+        ("seeds", Cjson.List [ Cjson.Int 1; Cjson.Int 2 ]);
+        ("msg", Cjson.Str "a\"b\\c\nd");
+      ]
+  in
+  let s = Cjson.to_string v in
+  (match Cjson.of_string s with
+  | Ok v' -> Alcotest.(check string) "reparse" s (Cjson.to_string v')
+  | Error e -> Alcotest.failf "parse error: %s" e);
+  (* canonical: same value, same bytes *)
+  Alcotest.(check string) "stable" s (Cjson.to_string v)
+
+let test_cjson_errors () =
+  (match Cjson.of_string "{\"a\": }" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted malformed object");
+  (match Cjson.of_string "42 garbage" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted trailing garbage");
+  match Cjson.of_string "\"\\u00e9\"" with
+  | Ok (Cjson.Str s) -> Alcotest.(check string) "unicode escape" "\xc3\xa9" s
+  | _ -> Alcotest.fail "unicode escape"
+
+let test_cjson_accessors () =
+  let v = Cjson.Obj [ ("i", Cjson.Int 3); ("f", Cjson.Float 2.5) ] in
+  Alcotest.(check (option int)) "mem_int" (Some 3) (Cjson.mem_int "i" v);
+  Alcotest.(check (option (float 0.0)))
+    "int as float" (Some 3.0) (Cjson.mem_float "i" v);
+  Alcotest.(check (option int)) "missing" None (Cjson.mem_int "zzz" v)
+
+(* ----- job IDs and matrices ----- *)
+
+let attack_spec ?(seed = 1) () =
+  Campaign_job.Attack
+    { bench = "s27"; scheme = "xor"; width = 4; attack = "none"; seed }
+
+let test_job_id_deterministic () =
+  let a = Campaign_job.id (attack_spec ()) in
+  let b = Campaign_job.id (attack_spec ()) in
+  Alcotest.(check string) "same spec, same id" a b;
+  Alcotest.(check int) "hex digest" 32 (String.length a);
+  let c = Campaign_job.id (attack_spec ~seed:2 ()) in
+  Alcotest.(check bool) "changed seed, changed id" true (a <> c);
+  (* the id is the digest of the canonical spec JSON under the format
+     version prefix — the invalidation contract *)
+  let expect =
+    Digest.to_hex
+      (Digest.string
+         (Campaign_job.id_format
+         ^ Cjson.to_string (Campaign_job.spec_to_json (attack_spec ()))))
+  in
+  Alcotest.(check string) "digest of canonical spec" expect a
+
+let test_spec_json_roundtrip () =
+  List.iter
+    (fun spec ->
+      match Campaign_job.spec_of_json (Campaign_job.spec_to_json spec) with
+      | Ok spec' ->
+        Alcotest.(check string)
+          "roundtrip id" (Campaign_job.id spec) (Campaign_job.id spec')
+      | Error e -> Alcotest.failf "spec roundtrip: %s" e)
+    [
+      Campaign_job.Table1 { bench = "s5378" };
+      Campaign_job.Table2 { bench = "s9234"; profile = "buffers" };
+      attack_spec ();
+    ]
+
+let test_matrix_expand () =
+  let m =
+    {
+      Campaign_job.m_name = "t";
+      m_tables = [];
+      m_benches = [ "s27"; "tiny" ];
+      m_schemes = [ "xor"; "xor" ] (* dup collapses *);
+      m_widths = [ 4 ];
+      m_attacks = [ "none" ];
+      m_seeds = [ 1; 2 ];
+    }
+  in
+  let jobs = Campaign_job.expand m in
+  Alcotest.(check int) "2 benches x 2 seeds, dup scheme deduped" 4
+    (List.length jobs);
+  let ids = List.map (fun (j : Campaign_job.t) -> j.Campaign_job.id) jobs in
+  Alcotest.(check int) "unique ids" 4 (List.length (List.sort_uniq compare ids));
+  let sorted =
+    List.sort
+      (fun (a : Campaign_job.t) (b : Campaign_job.t) ->
+        Campaign_job.compare_spec a.Campaign_job.spec b.Campaign_job.spec)
+      jobs
+  in
+  Alcotest.(check bool) "expand is sorted" true (jobs = sorted);
+  match Campaign_job.matrix_of_json (Campaign_job.matrix_to_json m) with
+  | Ok m' ->
+    Alcotest.(check int) "matrix json roundtrip" 4
+      (List.length (Campaign_job.expand m'))
+  | Error e -> Alcotest.failf "matrix roundtrip: %s" e
+
+let test_builtins () =
+  List.iter
+    (fun name ->
+      match Campaign_job.builtin name with
+      | Some m ->
+        Alcotest.(check bool)
+          (name ^ " non-empty") true
+          (Campaign_job.expand m <> [])
+      | None -> Alcotest.failf "missing builtin %s" name)
+    Campaign_job.builtin_names;
+  Alcotest.(check (option reject)) "unknown builtin" None
+    (Campaign_job.builtin "no-such-campaign")
+
+(* ----- job store ----- *)
+
+let mk_record ?(seed = 1) outcome =
+  let spec = attack_spec ~seed () in
+  {
+    Job_store.r_id = Campaign_job.id spec;
+    r_spec = Campaign_job.spec_to_json spec;
+    r_outcome = outcome;
+    r_wall_s = 0.25;
+  }
+
+let test_store_basic () =
+  let dir = fresh_dir () in
+  let store = Job_store.open_ ~dir in
+  Alcotest.(check int) "empty" 0 (Job_store.size store);
+  let r1 = mk_record (Job_store.Done (Cjson.Obj [ ("keys", Cjson.Int 4) ])) in
+  let r2 =
+    mk_record ~seed:2
+      (Job_store.Failed
+         { kind = Job_store.Timeout; message = "timed out"; attempts = 2 })
+  in
+  Job_store.append store r1;
+  Job_store.append store r2;
+  (* duplicate id: last record wins *)
+  let r1' = mk_record (Job_store.Done (Cjson.Obj [ ("keys", Cjson.Int 8) ])) in
+  Job_store.append store r1';
+  Job_store.close store;
+  let loaded = Job_store.load ~dir in
+  Alcotest.(check int) "distinct ids" 2 (List.length loaded);
+  (match Job_store.load ~dir |> List.hd with
+  | { Job_store.r_outcome = Job_store.Done p; _ } ->
+    Alcotest.(check (option int)) "last wins" (Some 8) (Cjson.mem_int "keys" p)
+  | _ -> Alcotest.fail "expected Done");
+  (* a reopened store sees the same records *)
+  let store = Job_store.open_ ~dir in
+  Alcotest.(check int) "reopen" 2 (Job_store.size store);
+  Job_store.close store
+
+let test_store_corrupt_line () =
+  let dir = fresh_dir () in
+  let store = Job_store.open_ ~dir in
+  Job_store.append store
+    (mk_record (Job_store.Done (Cjson.Obj [ ("keys", Cjson.Int 4) ])));
+  Job_store.close store;
+  (* simulate a crash mid-append: a torn line at the end of the file *)
+  let oc =
+    open_out_gen [ Open_append; Open_binary ]
+      0o644
+      (Filename.concat dir "results.jsonl")
+  in
+  output_string oc "{\"id\": \"deadbeef\", \"outcome\": {\"st";
+  close_out oc;
+  Alcotest.(check int) "torn line skipped" 1 (List.length (Job_store.load ~dir))
+
+(* ----- runner: fake executors over a tiny matrix ----- *)
+
+let small_matrix ?(name = "t") () =
+  {
+    Campaign_job.m_name = name;
+    m_tables = [];
+    m_benches = [ "s27"; "tiny" ];
+    m_schemes = [ "xor" ];
+    m_widths = [ 4 ];
+    m_attacks = [ "none" ];
+    m_seeds = [ 1; 2 ];
+  }
+
+(* Deterministic payload derived only from the spec, so reports are
+   byte-identical however the campaign was scheduled. *)
+let fake_payload (j : Campaign_job.t) =
+  match j.Campaign_job.spec with
+  | Campaign_job.Attack { width; seed; _ } ->
+    Cjson.Obj
+      [
+        ("keys", Cjson.Int width);
+        ("status", Cjson.Str "ok");
+        ("iterations", Cjson.Int seed);
+        ("broken", Cjson.Bool false);
+      ]
+  | _ -> Cjson.Obj [ ("keys", Cjson.Int 0) ]
+
+(* exec runs in worker domains: shared state needs a lock *)
+let counted_exec ?(abort_after = max_int) counts =
+  let lock = Mutex.create () in
+  let started = ref 0 in
+  fun (j : Campaign_job.t) ->
+    let n =
+      Mutex.lock lock;
+      incr started;
+      let id = j.Campaign_job.id in
+      Hashtbl.replace counts id
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts id));
+      let n = !started in
+      Mutex.unlock lock;
+      n
+    in
+    if n > abort_after then raise Campaign_runner.Abort;
+    fake_payload j
+
+let test_runner_completes () =
+  let dir = fresh_dir () in
+  let counts = Hashtbl.create 8 in
+  let m = small_matrix () in
+  let stats =
+    Campaign.run ~workers:2 ~timeout_s:30.0 ~exec:(counted_exec counts) ~dir m
+  in
+  Alcotest.(check int) "ok" 4 stats.Campaign_runner.ok;
+  Alcotest.(check int) "ran" 4 stats.Campaign_runner.ran;
+  Alcotest.(check bool) "not aborted" false stats.Campaign_runner.aborted;
+  Hashtbl.iter
+    (fun _ n -> Alcotest.(check int) "executed once" 1 n)
+    counts;
+  (* artifacts present *)
+  List.iter
+    (fun f ->
+      Alcotest.(check bool) (f ^ " written") true
+        (Sys.file_exists (Filename.concat dir f)))
+    [ "matrix.json"; "results.jsonl"; "trace.jsonl"; "summary.json"; "report.txt" ];
+  (* second run is a pure resume: everything skipped, nothing re-run *)
+  let stats2 =
+    Campaign.run ~workers:2 ~timeout_s:30.0 ~exec:(counted_exec counts) ~dir m
+  in
+  Alcotest.(check int) "all skipped" 4 stats2.Campaign_runner.skipped;
+  Alcotest.(check int) "none ran" 0 stats2.Campaign_runner.ran;
+  Hashtbl.iter
+    (fun _ n -> Alcotest.(check int) "still executed once" 1 n)
+    counts
+
+(* ISSUE: kill a campaign after N of M jobs, resume, assert the final
+   report is byte-identical to an uninterrupted run and completed jobs
+   were not re-executed. *)
+let test_interrupt_resume () =
+  let m = small_matrix () in
+  (* reference: uninterrupted run *)
+  let dir_ref = fresh_dir () in
+  let _ =
+    Campaign.run ~workers:1 ~timeout_s:30.0
+      ~exec:(counted_exec (Hashtbl.create 8))
+      ~dir:dir_ref m
+  in
+  (* interrupted run: the executor aborts the campaign on the 3rd job *)
+  let dir = fresh_dir () in
+  let counts = Hashtbl.create 8 in
+  let stats =
+    Campaign.run ~workers:1 ~timeout_s:30.0
+      ~exec:(counted_exec ~abort_after:2 counts)
+      ~dir m
+  in
+  Alcotest.(check bool) "aborted" true stats.Campaign_runner.aborted;
+  Alcotest.(check int) "2 of 4 done before the kill" 2 stats.Campaign_runner.ok;
+  let done_before =
+    List.filter_map
+      (fun (r : Job_store.record) ->
+        match r.Job_store.r_outcome with
+        | Job_store.Done _ -> Some r.Job_store.r_id
+        | Job_store.Failed _ -> None)
+      (Job_store.load ~dir)
+  in
+  Alcotest.(check int) "store has the completed jobs" 2
+    (List.length done_before);
+  (* resume *)
+  let stats2 =
+    Campaign.run ~workers:1 ~timeout_s:30.0 ~exec:(counted_exec counts) ~dir m
+  in
+  Alcotest.(check int) "resume skips completed" 2 stats2.Campaign_runner.skipped;
+  Alcotest.(check int) "resume runs the rest" 2 stats2.Campaign_runner.ok;
+  List.iter
+    (fun id ->
+      Alcotest.(check int) "completed job not re-executed" 1
+        (Hashtbl.find counts id))
+    done_before;
+  (* byte-identical report *)
+  Alcotest.(check string) "report identical to uninterrupted run"
+    (read_file (Filename.concat dir_ref "report.txt"))
+    (read_file (Filename.concat dir "report.txt"))
+
+(* ISSUE: a job that sleeps past its timeout and a job that raises both
+   land in the store as structured failures without poisoning their
+   siblings. *)
+let test_timeout_and_crash_isolated () =
+  let dir = fresh_dir () in
+  let m = small_matrix () in
+  let exec (j : Campaign_job.t) =
+    match j.Campaign_job.spec with
+    | Campaign_job.Attack { bench = "s27"; seed = 1; _ } ->
+      Unix.sleepf 0.5;
+      fake_payload j
+    | Campaign_job.Attack { bench = "tiny"; seed = 1; _ } ->
+      failwith "boom"
+    | _ -> fake_payload j
+  in
+  let stats = Campaign.run ~workers:2 ~timeout_s:0.05 ~retries:0 ~exec ~dir m in
+  Alcotest.(check int) "siblings completed" 2 stats.Campaign_runner.ok;
+  Alcotest.(check int) "one timeout" 1 stats.Campaign_runner.timed_out;
+  Alcotest.(check int) "one failure" 1 stats.Campaign_runner.failed;
+  Alcotest.(check int) "timed-out domain abandoned" 1
+    stats.Campaign_runner.abandoned;
+  let records = Job_store.load ~dir in
+  Alcotest.(check int) "every job has an outcome" 4 (List.length records);
+  let timeouts, crashes =
+    List.partition
+      (fun (r : Job_store.record) ->
+        match r.Job_store.r_outcome with
+        | Job_store.Failed { kind = Job_store.Timeout; _ } -> true
+        | _ -> false)
+      (List.filter
+         (fun (r : Job_store.record) ->
+           match r.Job_store.r_outcome with
+           | Job_store.Failed _ -> true
+           | Job_store.Done _ -> false)
+         records)
+  in
+  (match timeouts with
+  | [ { Job_store.r_outcome = Job_store.Failed { message; attempts; _ }; _ } ]
+    ->
+    Alcotest.(check int) "timeout after 1 attempt" 1 attempts;
+    Alcotest.(check bool) "timeout message" true
+      (String.length message > 0)
+  | _ -> Alcotest.fail "expected exactly one timeout record");
+  (match crashes with
+  | [ { Job_store.r_outcome = Job_store.Failed { message; _ }; _ } ] ->
+    Alcotest.(check bool) "exception message captured" true
+      (contains ~needle:"boom" message)
+  | _ -> Alcotest.fail "expected exactly one exception record");
+  (* a resume re-runs nothing: failures are outcomes too *)
+  let stats2 =
+    Campaign.run ~workers:2 ~timeout_s:0.05 ~retries:0
+      ~exec:(fun _ -> Alcotest.fail "resumed a recorded job")
+      ~dir m
+  in
+  Alcotest.(check int) "failures not retried on resume" 4
+    stats2.Campaign_runner.skipped;
+  (* the report renders failures as rows, not exceptions *)
+  let report = Campaign.report ~dir m in
+  Alcotest.(check bool) "report mentions TIMEOUT" true
+    (contains ~needle:"TIMEOUT" report);
+  (* let the abandoned sleeper drain before the process exits *)
+  Unix.sleepf 0.5
+
+let test_transient_retry () =
+  let dir = fresh_dir () in
+  let store = Job_store.open_ ~dir in
+  let job = Campaign_job.make (attack_spec ()) in
+  let attempts = Atomic.make 0 in
+  let exec (j : Campaign_job.t) =
+    if Atomic.fetch_and_add attempts 1 = 0 then
+      raise (Campaign_runner.Transient "flaky")
+    else fake_payload j
+  in
+  let config =
+    { Campaign_runner.workers = 1; timeout_s = 0.0; max_retries = 1 }
+  in
+  let stats = Campaign_runner.run ~store config ~jobs:[ job ] ~exec in
+  Job_store.close store;
+  Alcotest.(check int) "retried once" 1 stats.Campaign_runner.retries;
+  Alcotest.(check int) "then succeeded" 1 stats.Campaign_runner.ok;
+  Alcotest.(check int) "two executions" 2 (Atomic.get attempts)
+
+let test_transient_exhausted () =
+  let dir = fresh_dir () in
+  let store = Job_store.open_ ~dir in
+  let job = Campaign_job.make (attack_spec ()) in
+  let exec _ = raise (Campaign_runner.Transient "still flaky") in
+  let config =
+    { Campaign_runner.workers = 1; timeout_s = 0.0; max_retries = 2 }
+  in
+  let stats = Campaign_runner.run ~store config ~jobs:[ job ] ~exec in
+  Job_store.close store;
+  Alcotest.(check int) "all retries used" 2 stats.Campaign_runner.retries;
+  Alcotest.(check int) "then failed" 1 stats.Campaign_runner.failed;
+  match Job_store.load ~dir with
+  | [ { Job_store.r_outcome = Job_store.Failed { attempts; kind; _ }; _ } ] ->
+    Alcotest.(check int) "attempts recorded" 3 attempts;
+    Alcotest.(check bool) "recorded as exception" true
+      (kind = Job_store.Exception)
+  | _ -> Alcotest.fail "expected one failure record"
+
+let test_runner_validation () =
+  let dir = fresh_dir () in
+  let store = Job_store.open_ ~dir in
+  let config =
+    { Campaign_runner.workers = 0; timeout_s = 0.0; max_retries = 0 }
+  in
+  Alcotest.check_raises "workers >= 1"
+    (Invalid_argument "Campaign_runner.run: workers must be >= 1") (fun () ->
+      ignore
+        (Campaign_runner.run ~store config ~jobs:[] ~exec:(fun _ -> Cjson.Null)));
+  let config =
+    { Campaign_runner.workers = 1; timeout_s = 0.0; max_retries = -1 }
+  in
+  Alcotest.check_raises "max_retries >= 0"
+    (Invalid_argument "Campaign_runner.run: max_retries must be >= 0")
+    (fun () ->
+      ignore
+        (Campaign_runner.run ~store config ~jobs:[] ~exec:(fun _ -> Cjson.Null)));
+  Job_store.close store
+
+(* ----- Parallel satellite: argument validation + nested-use guard ----- *)
+
+let test_parallel_validation () =
+  Alcotest.check_raises "domains >= 1"
+    (Invalid_argument "Parallel.map: domains must be >= 1 (got 0)") (fun () ->
+      ignore (Parallel.map ~domains:0 (fun x -> x) [ 1; 2; 3 ]));
+  Alcotest.check_raises "negative domains"
+    (Invalid_argument "Parallel.map: domains must be >= 1 (got -2)") (fun () ->
+      ignore (Parallel.map ~domains:(-2) (fun x -> x) [ 1 ]))
+
+let test_parallel_nested_sequential () =
+  (* under run_sequentially, nested maps degrade to List.map instead of
+     spawning domains from a worker domain *)
+  let xs = List.init 20 Fun.id in
+  let got =
+    Parallel.run_sequentially (fun () ->
+        Parallel.map ~domains:4 (fun x -> x * x) xs)
+  in
+  Alcotest.(check (list int)) "nested map" (List.map (fun x -> x * x) xs) got;
+  (* and the flag is restored afterwards: a top-level map still works *)
+  let got = Parallel.map ~domains:2 (fun x -> x + 1) xs in
+  Alcotest.(check (list int)) "flag restored" (List.map (( + ) 1) xs) got
+
+let suites =
+  [
+    ( "campaign.cjson",
+      [
+        tc "roundtrip" `Quick test_cjson_roundtrip;
+        tc "errors" `Quick test_cjson_errors;
+        tc "accessors" `Quick test_cjson_accessors;
+      ] );
+    ( "campaign.job",
+      [
+        tc "content-derived id" `Quick test_job_id_deterministic;
+        tc "spec json roundtrip" `Quick test_spec_json_roundtrip;
+        tc "matrix expand" `Quick test_matrix_expand;
+        tc "builtins" `Quick test_builtins;
+      ] );
+    ( "campaign.store",
+      [
+        tc "append/load/last-wins" `Quick test_store_basic;
+        tc "torn line skipped" `Quick test_store_corrupt_line;
+      ] );
+    ( "campaign.runner",
+      [
+        tc "completes and resumes" `Quick test_runner_completes;
+        tc "interrupt/resume byte-identical" `Quick test_interrupt_resume;
+        tc "timeout and crash isolated" `Slow test_timeout_and_crash_isolated;
+        tc "transient retry" `Quick test_transient_retry;
+        tc "transient exhausted" `Quick test_transient_exhausted;
+        tc "config validation" `Quick test_runner_validation;
+      ] );
+    ( "campaign.parallel",
+      [
+        tc "domains validation" `Quick test_parallel_validation;
+        tc "nested map sequential" `Quick test_parallel_nested_sequential;
+      ] );
+  ]

@@ -108,12 +108,47 @@ let test_waveform_pulses () =
       [ (100, Logic.T); (150, Logic.F); (300, Logic.T); (900, Logic.F) ]
   in
   let all = Waveform.pulses w ~until:1000 in
-  Alcotest.(check int) "two bounded pulses" 3 (List.length all);
+  (* three closed pulses plus the final interval still open at 1000 *)
+  Alcotest.(check int) "pulses incl. open tail" 4 (List.length all);
   let narrow = Waveform.pulses ~max_width:100 w ~until:1000 in
-  Alcotest.(check int) "one glitch" 1 (List.length narrow);
+  Alcotest.(check int) "glitches incl. open tail" 2 (List.length narrow);
   let p = List.hd narrow in
   Alcotest.(check int) "start" 100 p.Waveform.start_ps;
-  Alcotest.(check int) "stop" 150 p.Waveform.stop_ps
+  Alcotest.(check int) "stop" 150 p.Waveform.stop_ps;
+  (* the open tail is clipped at the trace boundary *)
+  let tail = List.nth narrow 1 in
+  Alcotest.(check int) "tail start" 900 tail.Waveform.start_ps;
+  Alcotest.(check int) "tail stop" 1000 tail.Waveform.stop_ps;
+  (* a short bounded window never invents a pulse out of the tail *)
+  Alcotest.(check int) "tail too wide for 50"
+    1
+    (List.length (Waveform.pulses ~max_width:50 w ~until:1000))
+
+let test_waveform_pulses_boundary () =
+  (* A glitch that straddles the observation boundary: starts at 950,
+     closes at 1010 > until.  It must be reported with its true width,
+     not silently dropped. *)
+  let w =
+    Waveform.make ~initial:Logic.F
+      [ (950, Logic.T); (1010, Logic.F); (1200, Logic.T) ]
+  in
+  let gl = Waveform.pulses ~max_width:100 w ~until:1000 in
+  Alcotest.(check int) "straddling glitch found" 1 (List.length gl);
+  let p = List.hd gl in
+  Alcotest.(check int) "straddle start" 950 p.Waveform.start_ps;
+  Alcotest.(check int) "straddle stop" 1010 p.Waveform.stop_ps;
+  Alcotest.(check char) "straddle level" '1' (Logic.to_char p.Waveform.level);
+  (* a pulse opened by the very last transition is clipped at [until] *)
+  let w2 = Waveform.make ~initial:Logic.F [ (980, Logic.T) ] in
+  (match Waveform.pulses ~max_width:100 w2 ~until:1000 with
+  | [ p ] ->
+    Alcotest.(check int) "open start" 980 p.Waveform.start_ps;
+    Alcotest.(check int) "open stop" 1000 p.Waveform.stop_ps
+  | l -> Alcotest.failf "expected one open pulse, got %d" (List.length l));
+  (* nothing opens after [until] *)
+  let w3 = Waveform.make ~initial:Logic.F [ (1050, Logic.T) ] in
+  Alcotest.(check int) "no pulse past until" 0
+    (List.length (Waveform.pulses w3 ~until:1000))
 
 let test_waveform_toggle_delay () =
   let w = Waveform.toggle ~t0:100 ~period:200 ~start:Logic.F ~until:700 in
@@ -353,6 +388,7 @@ let suites =
       [
         tc "normalize" `Quick test_waveform_normalize;
         tc "pulses" `Quick test_waveform_pulses;
+        tc "pulses at trace boundary" `Quick test_waveform_pulses_boundary;
         tc "toggle/delay" `Quick test_waveform_toggle_delay;
         tc "map2" `Quick test_waveform_map2;
         tc "stability" `Quick test_waveform_stability;

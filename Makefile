@@ -1,6 +1,6 @@
 # Convenience targets; dune is the real build system.
 
-.PHONY: all build test bench bench-quick bench-eval campaign-smoke check examples clean
+.PHONY: all build test bench bench-quick bench-eval campaign-smoke fuzz fuzz-smoke check examples clean
 
 all: build
 
@@ -26,9 +26,19 @@ bench-eval:
 campaign-smoke:
 	dune exec bench/campaign_smoke.exe
 
+# Differential fuzzing: engine vs reference vs timing sim vs SAT/BDD,
+# plus locking-scheme metamorphic properties.  Failures shrink to
+# replayable .bench/.stim pairs; rerun with GKLOCK_SEED=<n> to replay.
+fuzz:
+	dune exec bin/gklock_cli.exe -- fuzz --cases 2000
+
+# Time-boxed variant for CI: whatever fits in ~10 seconds.
+fuzz-smoke:
+	dune exec bin/gklock_cli.exe -- fuzz --cases 100000 --time 10 --quiet
+
 # Everything a PR must keep green: full build (libs, CLI, examples,
-# benches) plus the test suite and the campaign smoke.
-check: build test campaign-smoke
+# benches) plus the test suite, the campaign smoke and a fuzz smoke.
+check: build test campaign-smoke fuzz-smoke
 
 examples:
 	dune exec examples/quickstart.exe

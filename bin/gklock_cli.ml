@@ -310,9 +310,116 @@ let flow_cmd =
        ~doc:"Run the full Sec. IV-B design flow (synthesize, place, insert, audit)")
     Term.(const run $ design_arg $ nkeys_arg $ seed_arg)
 
-(* ----- campaign ----- *)
+(* ----- fuzz ----- *)
 
 let die fmt = Printf.ksprintf (fun msg -> Printf.eprintf "%s\n" msg; exit 1) fmt
+
+let fuzz_cmd =
+  let cases_arg =
+    let doc = "Number of fuzz cases to run." in
+    Arg.(value & opt int 200 & info [ "cases" ] ~docv:"N" ~doc)
+  in
+  let time_arg =
+    let doc = "Wall-clock budget in seconds (checked between batches)." in
+    Arg.(value & opt (some float) None & info [ "time" ] ~docv:"SECONDS" ~doc)
+  in
+  let fuzz_seed_arg =
+    let doc = "Run seed (default: GKLOCK_SEED, else 42)." in
+    Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"N" ~doc)
+  in
+  let corpus_arg =
+    let doc = "Persist shrunk failures as .bench/.stim pairs into $(docv)." in
+    Arg.(value & opt (some string) None & info [ "corpus" ] ~docv:"DIR" ~doc)
+  in
+  let fuzz_workers_arg =
+    let doc = "Worker domains (default: GKLOCK_DOMAINS or cores)." in
+    Arg.(value & opt (some int) None & info [ "workers" ] ~docv:"N" ~doc)
+  in
+  let inject_arg =
+    let doc =
+      "Mutation-testing mode: inject a known bug into the reference \
+       interpreter ("
+      ^ String.concat ", " (List.map Ref_sim.fault_name Ref_sim.all_faults)
+      ^ ") — the fuzzer must then find and shrink failures."
+    in
+    Arg.(value & opt (some string) None & info [ "inject" ] ~docv:"FAULT" ~doc)
+  in
+  let families_arg =
+    let doc =
+      "Comma-separated case families ("
+      ^ String.concat ", " (List.map Fuzz.family_name Fuzz.all_families)
+      ^ ").  Default: all."
+    in
+    Arg.(value & opt (some string) None & info [ "families" ] ~docv:"LIST" ~doc)
+  in
+  let quiet_arg =
+    let doc = "Suppress the per-batch progress line." in
+    Arg.(value & flag & info [ "quiet" ] ~doc)
+  in
+  let run cases time seed corpus workers inject families quiet =
+    let seed = match seed with Some s -> s | None -> Fuzz_seed.value () in
+    let fault =
+      match inject with
+      | None -> None
+      | Some name -> (
+        match Ref_sim.fault_of_string name with
+        | Some f -> Some f
+        | None ->
+          die "unknown fault %S (known: %s)" name
+            (String.concat ", " (List.map Ref_sim.fault_name Ref_sim.all_faults)))
+    in
+    let families =
+      match families with
+      | None -> None
+      | Some spec ->
+        Some
+          (String.split_on_char ',' spec
+          |> List.map String.trim
+          |> List.filter (fun s -> s <> "")
+          |> List.map (fun s ->
+                 match
+                   List.find_opt
+                     (fun f -> Fuzz.family_name f = s)
+                     Fuzz.all_families
+                 with
+                 | Some f -> f
+                 | None ->
+                   die "unknown family %S (known: %s)" s
+                     (String.concat ", "
+                        (List.map Fuzz.family_name Fuzz.all_families))))
+    in
+    let progress n =
+      if not quiet then (
+        Printf.printf "\rfuzz: %d/%d cases%!" n cases;
+        if n = cases then print_newline ())
+    in
+    let report =
+      Fuzz.run ?fault ?families ?corpus_dir:corpus ?workers
+        ?time_budget_s:time ~progress ~seed ~cases ()
+    in
+    if (not quiet) && report.Fuzz.r_cases_run < cases then print_newline ();
+    Printf.printf "fuzz: seed %d, %d/%d cases in %.1fs, %d failure(s)\n"
+      report.Fuzz.r_seed report.Fuzz.r_cases_run cases
+      report.Fuzz.r_elapsed_s
+      (List.length report.Fuzz.r_failures);
+    List.iter
+      (fun f ->
+        Format.printf "@[<v>%a@]@." Fuzz.pp_failure f;
+        Printf.printf "  replay: %s\n" (Fuzz.replay_command report f))
+      report.Fuzz.r_failures;
+    if report.Fuzz.r_failures <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing: random/adversarial/mutated netlists and \
+          locking-scheme properties checked across the engine, the naive \
+          reference, the timing simulator, SAT miters and BDDs; failures \
+          are shrunk to replayable .bench + .stim counterexamples")
+    Term.(const run $ cases_arg $ time_arg $ fuzz_seed_arg $ corpus_arg
+          $ fuzz_workers_arg $ inject_arg $ families_arg $ quiet_arg)
+
+(* ----- campaign ----- *)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -511,5 +618,5 @@ let () =
        (Cmd.group info
           [
             info_cmd; gen_cmd; encrypt_cmd; attack_cmd; sim_cmd; sta_cmd;
-            flow_cmd; tables_cmd; figs_cmd; campaign_cmd;
+            flow_cmd; tables_cmd; figs_cmd; campaign_cmd; fuzz_cmd;
           ]))

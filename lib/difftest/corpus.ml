@@ -1,0 +1,57 @@
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents)
+
+let ensure_dir dir =
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
+
+let save ~dir ~name (c : Fuzz_case.t) =
+  ensure_dir dir;
+  let bench = Filename.concat dir (name ^ ".bench") in
+  let stim = Filename.concat dir (name ^ ".stim") in
+  write_file bench (Bench_format.print c.Fuzz_case.net);
+  write_file stim (Fuzz_case.print_stim c);
+  (bench, stim)
+
+let load ~bench ~stim =
+  let name = Filename.remove_extension (Filename.basename bench) in
+  let net = Bench_format.parse ~name (read_file bench) in
+  Fuzz_case.parse_stim ~net (read_file stim)
+
+let load_all dir =
+  if not (Sys.file_exists dir) then []
+  else begin
+    let entries = Array.to_list (Sys.readdir dir) in
+    let stem ext f =
+      if Filename.check_suffix f ext then Some (Filename.chop_suffix f ext)
+      else None
+    in
+    let benches = List.filter_map (stem ".bench") entries in
+    let stims = List.filter_map (stem ".stim") entries in
+    List.iter
+      (fun s ->
+        if not (List.mem s stims) then
+          failwith (Printf.sprintf "corpus: %s/%s.bench has no .stim" dir s))
+      benches;
+    List.iter
+      (fun s ->
+        if not (List.mem s benches) then
+          failwith (Printf.sprintf "corpus: %s/%s.stim has no .bench" dir s))
+      stims;
+    List.sort compare benches
+    |> List.map (fun s ->
+           ( s,
+             load
+               ~bench:(Filename.concat dir (s ^ ".bench"))
+               ~stim:(Filename.concat dir (s ^ ".stim")) ))
+  end
+
+let replay ?oracles ~seed case = Diff_oracle.check ?oracles ~seed case

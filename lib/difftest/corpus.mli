@@ -1,0 +1,37 @@
+(** Persistent counterexample corpus.
+
+    Every failure the fuzzer finds is shrunk and saved as a pair of
+    plain-text files under a corpus directory:
+
+    - [<name>.bench] — the netlist, in the same BENCH dialect the rest
+      of the toolchain reads;
+    - [<name>.stim] — the stimulus (cycle count, input/flip-flop name
+      order, initial state, one bit row per cycle; see
+      {!Fuzz_case.print_stim}).
+
+    Committed corpus entries are regression tests: tier-1 replays every
+    pair through the full oracle stack, so a once-found engine bug can
+    never silently return. *)
+
+(** [save ~dir ~name case] writes [<dir>/<name>.bench] and
+    [<dir>/<name>.stim], creating [dir] if needed.  Returns the two
+    paths written. *)
+val save : dir:string -> name:string -> Fuzz_case.t -> string * string
+
+(** [load ~bench ~stim] reads one saved pair.
+    @raise Failure (or [Sys_error]) on unreadable or inconsistent
+    files. *)
+val load : bench:string -> stim:string -> Fuzz_case.t
+
+(** [load_all dir] loads every [.bench]/[.stim] pair in [dir], sorted by
+    name.  A [.bench] without its [.stim] (or vice versa) is an error;
+    an absent directory is an empty corpus. *)
+val load_all : string -> (string * Fuzz_case.t) list
+
+(** [replay ?oracles ~seed case] runs the differential oracle stack on a
+    loaded case — {!Diff_oracle.check} with no fault injected. *)
+val replay :
+  ?oracles:Diff_oracle.oracle list ->
+  seed:int ->
+  Fuzz_case.t ->
+  Diff_oracle.mismatch list

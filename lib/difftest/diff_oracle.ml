@@ -1,0 +1,324 @@
+type oracle =
+  | Engine_scalar
+  | Engine_lanes
+  | Timing
+  | Sat_roundtrip
+  | Bdd_probe
+
+let all_oracles =
+  [ Engine_scalar; Engine_lanes; Timing; Sat_roundtrip; Bdd_probe ]
+
+let oracle_name = function
+  | Engine_scalar -> "engine-scalar"
+  | Engine_lanes -> "engine-lanes"
+  | Timing -> "timing"
+  | Sat_roundtrip -> "sat-roundtrip"
+  | Bdd_probe -> "bdd-probe"
+
+let oracle_of_name s =
+  List.find_opt (fun o -> oracle_name o = s) all_oracles
+
+type mismatch = {
+  mm_oracle : string;
+  mm_cycle : int;
+  mm_signal : string;
+  mm_lane : int;
+  mm_detail : string;
+}
+
+let pp_mismatch ppf m =
+  Format.fprintf ppf "[%s] signal %s" m.mm_oracle m.mm_signal;
+  if m.mm_cycle >= 0 then Format.fprintf ppf " cycle %d" m.mm_cycle;
+  if m.mm_lane >= 0 then Format.fprintf ppf " lane %d" m.mm_lane;
+  if m.mm_detail <> "" then Format.fprintf ppf ": %s" m.mm_detail
+
+let mismatch_to_string m = Format.asprintf "%a" pp_mismatch m
+
+let mismatch ~oracle ?(cycle = -1) ?(lane = -1) ?(detail = "") signal =
+  {
+    mm_oracle = oracle;
+    mm_cycle = cycle;
+    mm_signal = signal;
+    mm_lane = lane;
+    mm_detail = detail;
+  }
+
+let mk ?(cycle = -1) ?(lane = -1) ?(detail = "") oracle signal =
+  {
+    mm_oracle = oracle_name oracle;
+    mm_cycle = cycle;
+    mm_signal = signal;
+    mm_lane = lane;
+    mm_detail = detail;
+  }
+
+let ff_name net id = (Netlist.node net id).Netlist.name
+
+(* ----- oracle 1: compiled scalar engine vs the naive reference ----- *)
+
+let check_engine_scalar ?fault (c : Fuzz_case.t) =
+  let net = c.Fuzz_case.net in
+  let reference = Ref_sim.run ?fault c in
+  let sim = Cycle_sim.create ~init:(Fuzz_case.init_fn c) net in
+  let out = ref [] in
+  (try
+     for k = 0 to c.Fuzz_case.cycles - 1 do
+       let values = Cycle_sim.step sim ~inputs:(Fuzz_case.input_fn c k) in
+       let ref_pos, ref_ffs = reference.(k) in
+       List.iter
+         (fun (po, drv) ->
+           let v = values.(drv) in
+           let rv = List.assoc po ref_pos in
+           if v <> rv && !out = [] then
+             out :=
+               [
+                 mk Engine_scalar po ~cycle:k
+                   ~detail:
+                     (Printf.sprintf "engine=%b reference=%b" v rv);
+               ])
+         (Netlist.outputs net);
+       List.iter
+         (fun (ff, rv) ->
+           let v = List.assoc ff (Cycle_sim.state sim) in
+           if v <> rv && !out = [] then
+             out :=
+               [
+                 mk Engine_scalar (ff_name net ff) ~cycle:k
+                   ~detail:
+                     (Printf.sprintf "ff state engine=%b reference=%b" v rv);
+               ])
+         ref_ffs
+     done
+   with e ->
+     out :=
+       [
+         mk Engine_scalar "<exception>"
+           ~detail:(Printexc.to_string e);
+       ]);
+  !out
+
+(* ----- oracle 2: bit-parallel lanes vs the scalar engine ----- *)
+
+let check_engine_lanes ~rng (c : Fuzz_case.t) =
+  let net = c.Fuzz_case.net in
+  if c.Fuzz_case.cycles = 0 then []
+  else begin
+    let w = Netlist.Engine.word_bits in
+    let n_pi = List.length (Netlist.inputs net) in
+    let n_ff = List.length (Netlist.ffs net) in
+    (* lane 0 carries the case stimulus; every other lane an independent
+       random stream, so the packing is exercised across the full word *)
+    let lane_stim =
+      Array.init w (fun l ->
+          if l = 0 then c.Fuzz_case.stim
+          else
+            Array.init c.Fuzz_case.cycles (fun _ ->
+                Array.init n_pi (fun _ -> Random.State.bool rng)))
+    in
+    let lane_init =
+      Array.init w (fun l ->
+          if l = 0 then c.Fuzz_case.init
+          else Array.init n_ff (fun _ -> Random.State.bool rng))
+    in
+    let pi_index = Hashtbl.create 16 and ff_index = Hashtbl.create 16 in
+    List.iteri (fun i id -> Hashtbl.replace pi_index id i) (Netlist.inputs net);
+    List.iteri (fun i id -> Hashtbl.replace ff_index id i) (Netlist.ffs net);
+    let pack per_lane id =
+      match Hashtbl.find_opt pi_index id with
+      | Some i ->
+        let word = ref 0 in
+        for l = 0 to w - 1 do
+          if per_lane l i then word := !word lor (1 lsl l)
+        done;
+        !word
+      | None -> 0
+    in
+    let batch =
+      Cycle_sim.run_batch net
+        ~init:(fun id ->
+          match Hashtbl.find_opt ff_index id with
+          | Some i ->
+            let word = ref 0 in
+            for l = 0 to w - 1 do
+              if lane_init.(l).(i) then word := !word lor (1 lsl l)
+            done;
+            !word
+          | None -> 0)
+        ~cycles:c.Fuzz_case.cycles
+        ~stimulus:(fun cy id -> pack (fun l i -> lane_stim.(l).(cy).(i)) id)
+    in
+    (* compare a handful of lanes scalar-side: the case lane, the word
+       edges, and a few random interior lanes *)
+    let lanes =
+      List.sort_uniq compare
+        (0 :: (w - 1) :: (w / 2)
+        :: List.init 4 (fun _ -> Random.State.int rng w))
+    in
+    let out = ref [] in
+    List.iter
+      (fun l ->
+        if !out = [] then
+          let scalar =
+            Cycle_sim.run net
+              ~init:(fun id ->
+                match Hashtbl.find_opt ff_index id with
+                | Some i -> lane_init.(l).(i)
+                | None -> false)
+              ~cycles:c.Fuzz_case.cycles
+              ~stimulus:(fun cy id ->
+                match Hashtbl.find_opt pi_index id with
+                | Some i -> lane_stim.(l).(cy).(i)
+                | None -> false)
+          in
+          Array.iteri
+            (fun k pos ->
+              List.iter
+                (fun (po, v) ->
+                  let word = List.assoc po batch.(k) in
+                  let lane_v = word land (1 lsl l) <> 0 in
+                  if lane_v <> v && !out = [] then
+                    out :=
+                      [
+                        mk Engine_lanes po ~cycle:k ~lane:l
+                          ~detail:
+                            (Printf.sprintf "lane=%b scalar=%b" lane_v v);
+                      ])
+                pos)
+            scalar)
+      lanes;
+    !out
+  end
+
+(* ----- oracle 3: timing simulator vs cycle-accurate sim ----- *)
+
+(* Constant primary inputs (stimulus row 0): no input-induced hazards, so
+   every capture must agree with the zero-delay semantics.  Convention
+   (see test_sim's law): with captures from edge 0, recorded timing
+   sample [k] equals the cycle-sim state after [k+2] steps. *)
+let check_timing (c : Fuzz_case.t) =
+  let net = c.Fuzz_case.net in
+  if c.Fuzz_case.cycles = 0 || Netlist.ffs net = [] then []
+  else begin
+    let floor_ps =
+      Cell_lib.dff_setup_ps + Cell_lib.dff_hold_ps + Cell_lib.dff_clk2q_ps + 10
+    in
+    let clock_ps = max floor_ps (Sta.clock_for net ~margin:1.5) in
+    let cycles = min c.Fuzz_case.cycles 8 in
+    let pi_vals = Fuzz_case.input_fn c 0 in
+    let r =
+      Timing_sim.run
+        ~init:(Fuzz_case.init_fn c)
+        ~drive:(fun pi -> Timing_sim.Const (pi_vals pi))
+        net
+        { Timing_sim.clock_ps; cycles }
+    in
+    if r.Timing_sim.violations <> [] then
+      (* constant inputs can never legally trip a capture window *)
+      [
+        mk Timing
+          (match r.Timing_sim.violations with
+          | v :: _ -> v.Timing_sim.v_ff_name
+          | [] -> "?")
+          ~detail:"capture violation under constant inputs";
+      ]
+    else begin
+      let sim = Cycle_sim.create ~init:(Fuzz_case.init_fn c) net in
+      ignore (Cycle_sim.step sim ~inputs:pi_vals);
+      let out = ref [] in
+      for k = 0 to cycles - 1 do
+        ignore (Cycle_sim.step sim ~inputs:pi_vals);
+        let state = Cycle_sim.state sim in
+        Array.iteri
+          (fun i ff ->
+            let expected = Logic.of_bool (List.assoc ff state) in
+            let got = r.Timing_sim.ff_samples.(i).(k) in
+            if (not (Logic.equal got expected)) && !out = [] then
+              out :=
+                [
+                  mk Timing (ff_name net ff) ~cycle:k
+                    ~detail:
+                      (Printf.sprintf "timing=%c cycle-sim=%c"
+                         (Logic.to_char got)
+                         (Logic.to_char expected));
+                ])
+          r.Timing_sim.ff_ids
+      done;
+      !out
+    end
+  end
+
+(* ----- oracle 4: SAT miter against the bench round-trip ----- *)
+
+let unrolled net =
+  if Netlist.ffs net = [] then net
+  else Unroll.frames net ~k:2 ~share:(fun _ -> false) ~init:`Free
+
+let check_sat_roundtrip (c : Fuzz_case.t) =
+  let net = c.Fuzz_case.net in
+  match Bench_format.parse ~name:(Netlist.name net) (Bench_format.print net) with
+  | exception e ->
+    [ mk Sat_roundtrip "<parse>" ~detail:(Printexc.to_string e) ]
+  | round_tripped -> (
+    match Equiv.check (unrolled net) (unrolled round_tripped) with
+    | Equiv.Equivalent -> []
+    | Equiv.Different witness ->
+      [
+        mk Sat_roundtrip "<miter>"
+          ~detail:
+            ("bench round-trip changed the function at "
+            ^ String.concat ","
+                (List.map
+                   (fun (n, v) -> Printf.sprintf "%s=%b" n v)
+                   witness));
+      ]
+    | exception Invalid_argument msg ->
+      [ mk Sat_roundtrip "<outputs>" ~detail:msg ])
+
+(* ----- oracle 5: BDD build vs the reference walk, sampled ----- *)
+
+let check_bdd ~rng (c : Fuzz_case.t) =
+  let net = unrolled c.Fuzz_case.net in
+  let inputs = Netlist.inputs net in
+  let nvars = List.length inputs in
+  if nvars = 0 || nvars > 18 || Netlist.num_nodes net > 600 then []
+  else begin
+    let var_index = Hashtbl.create 16 in
+    List.iteri (fun i id -> Hashtbl.replace var_index id i) inputs;
+    let man = Bdd.manager ~nvars in
+    match Bdd.of_netlist man net ~var_of_input:(Hashtbl.find var_index) with
+    | exception e -> [ mk Bdd_probe "<build>" ~detail:(Printexc.to_string e) ]
+    | bdds ->
+      let out = ref [] in
+      for _probe = 1 to 32 do
+        if !out = [] then begin
+          let bits = Array.init nvars (fun _ -> Random.State.bool rng) in
+          let assignment id = bits.(Hashtbl.find var_index id) in
+          let reference = Ref_sim.eval_comb net assignment in
+          List.iter
+            (fun (po, drv) ->
+              let bv = Bdd.eval man bdds.(drv) (Array.get bits) in
+              if bv <> reference.(drv) && !out = [] then
+                out :=
+                  [
+                    mk Bdd_probe po
+                      ~detail:
+                        (Printf.sprintf "bdd=%b reference=%b" bv
+                           reference.(drv));
+                  ])
+            (Netlist.outputs net)
+        end
+      done;
+      !out
+  end
+
+let check ?(oracles = all_oracles) ?fault ~seed (c : Fuzz_case.t) =
+  let rng = Random.State.make [| seed; 0x0_5ac1e |] in
+  List.concat_map
+    (fun o ->
+      match o with
+      | Engine_scalar -> check_engine_scalar ?fault c
+      | Engine_lanes -> check_engine_lanes ~rng c
+      | Timing -> check_timing c
+      | Sat_roundtrip -> check_sat_roundtrip c
+      | Bdd_probe -> check_bdd ~rng c)
+    oracles

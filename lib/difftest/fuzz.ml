@@ -1,0 +1,162 @@
+type family = Generated | Adversarial | Mutated | Lock_property
+
+let all_families = [ Generated; Adversarial; Mutated; Lock_property ]
+
+let family_name = function
+  | Generated -> "generated"
+  | Adversarial -> "adversarial"
+  | Mutated -> "mutated"
+  | Lock_property -> "lock-property"
+
+type failure = {
+  f_index : int;
+  f_seed : int;
+  f_family : family;
+  f_scheme : Lock_props.scheme option;
+  f_mismatches : Diff_oracle.mismatch list;
+  f_case : Fuzz_case.t option;
+  f_saved : (string * string) option;
+}
+
+type report = {
+  r_seed : int;
+  r_cases_run : int;
+  r_failures : failure list;
+  r_elapsed_s : float;
+}
+
+(* Mix the run seed with the case index into an independent per-case
+   seed — a splitmix-style finalizer, cheap and well spread. *)
+let case_seed ~seed index =
+  let z = ref (seed + (index * 0x9e3779b9)) in
+  z := (!z lxor (!z lsr 16)) * 0x85ebca6b land max_int;
+  z := (!z lxor (!z lsr 13)) * 0xc2b2ae35 land max_int;
+  !z lxor (!z lsr 16)
+
+let build_case family cs =
+  let rng = Random.State.make [| cs; 0xca5e |] in
+  let fresh net = Fuzz_case.random rng net ~cycles:(1 + Random.State.int rng 8) in
+  match family with
+  | Generated -> fresh (Netlist_gen.generated rng)
+  | Adversarial -> fresh (Netlist_gen.adversarial rng)
+  | Mutated ->
+    let base = fresh (Netlist_gen.net rng) in
+    let n = 1 + Random.State.int rng 3 in
+    fst (Netlist_mutate.burst rng n base)
+  | Lock_property -> assert false
+
+let run_one ?oracles ?fault ~families index cs =
+  let family = List.nth families (index mod List.length families) in
+  match family with
+  | Lock_property ->
+    let schemes = Lock_props.all in
+    let scheme =
+      List.nth schemes (index / List.length families mod List.length schemes)
+    in
+    let mismatches = Lock_props.check ~seed:cs scheme in
+    if mismatches = [] then None
+    else
+      Some
+        {
+          f_index = index;
+          f_seed = cs;
+          f_family = family;
+          f_scheme = Some scheme;
+          f_mismatches = mismatches;
+          f_case = None;
+          f_saved = None;
+        }
+  | Generated | Adversarial | Mutated ->
+    let case = build_case family cs in
+    let mismatches = Diff_oracle.check ?oracles ?fault ~seed:cs case in
+    if mismatches = [] then None
+    else
+      let failing c = Diff_oracle.check ?oracles ?fault ~seed:cs c <> [] in
+      let shrunk = Shrinker.minimize ~failing case in
+      Some
+        {
+          f_index = index;
+          f_seed = cs;
+          f_family = family;
+          f_scheme = None;
+          f_mismatches = Diff_oracle.check ?oracles ?fault ~seed:cs shrunk;
+          f_case = Some shrunk;
+          f_saved = None;
+        }
+
+let persist corpus_dir run_seed f =
+  match (corpus_dir, f.f_case) with
+  | Some dir, Some case ->
+    let name = Printf.sprintf "fuzz_s%d_c%d" run_seed f.f_index in
+    { f with f_saved = Some (Corpus.save ~dir ~name case) }
+  | _ -> f
+
+let run ?oracles ?fault ?(families = all_families) ?corpus_dir ?workers
+    ?time_budget_s ?(progress = fun _ -> ()) ~seed ~cases () =
+  if families = [] then invalid_arg "Fuzz.run: empty family list";
+  let t0 = Unix.gettimeofday () in
+  let deadline =
+    match time_budget_s with Some s -> Some (t0 +. s) | None -> None
+  in
+  let domains =
+    match workers with Some w -> w | None -> Parallel.default_domains ()
+  in
+  let batch_size = max domains (domains * 4) in
+  let failures = ref [] in
+  let ran = ref 0 in
+  let next = ref 0 in
+  let timed_out () =
+    match deadline with
+    | Some d -> Unix.gettimeofday () > d
+    | None -> false
+  in
+  while !next < cases && not (timed_out ()) do
+    let n = min batch_size (cases - !next) in
+    let indices = List.init n (fun i -> !next + i) in
+    let batch =
+      Parallel.map ~domains
+        (fun index ->
+          run_one ?oracles ?fault ~families index (case_seed ~seed index))
+        indices
+    in
+    List.iter
+      (function
+        | Some f -> failures := persist corpus_dir seed f :: !failures
+        | None -> ())
+      batch;
+    next := !next + n;
+    ran := !ran + n;
+    progress !ran
+  done;
+  {
+    r_seed = seed;
+    r_cases_run = !ran;
+    r_failures = List.rev !failures;
+    r_elapsed_s = Unix.gettimeofday () -. t0;
+  }
+
+let replay_command report f =
+  Printf.sprintf "GKLOCK_SEED=%d gklock fuzz --cases %d" report.r_seed
+    (f.f_index + 1)
+
+let pp_failure ppf f =
+  Format.fprintf ppf "case #%d (family %s%s, case seed %d):" f.f_index
+    (family_name f.f_family)
+    (match f.f_scheme with
+    | Some s -> ", scheme " ^ Lock_props.scheme_name s
+    | None -> "")
+    f.f_seed;
+  List.iteri
+    (fun i m ->
+      if i < 4 then Format.fprintf ppf "@,  %a" Diff_oracle.pp_mismatch m)
+    f.f_mismatches;
+  (match f.f_case with
+  | Some c ->
+    Format.fprintf ppf "@,  shrunk witness: %d nodes, %d cycles"
+      (Netlist.num_nodes c.Fuzz_case.net)
+      c.Fuzz_case.cycles
+  | None -> ());
+  match f.f_saved with
+  | Some (bench, stim) ->
+    Format.fprintf ppf "@,  saved: %s + %s" bench stim
+  | None -> ()

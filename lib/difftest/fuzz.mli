@@ -1,0 +1,76 @@
+(** The differential fuzzing driver.
+
+    Each case index is hashed with the run seed into an independent
+    per-case seed, so a run is fully reproducible from [(seed, cases)]
+    and any failure can be replayed by rerunning the same seed with at
+    least [index + 1] cases.  Cases rotate through four families:
+
+    - {e generated} — well-behaved random netlists from
+      {!Netlist_gen.generated} configs;
+    - {e adversarial} — edge-case shapes (LUTs, MUXes, wide gates,
+      repeated fanins, sequential loops);
+    - {e mutated} — a generated netlist after a burst of
+      {!Netlist_mutate} rewrites;
+    - {e lock-property} — {!Lock_props.check} on a rotating scheme.
+
+    The first three run the full {!Diff_oracle} stack.  Failing cases
+    are shrunk with {!Shrinker.minimize} (against the same oracle
+    predicate) and, when [corpus_dir] is given, persisted as replayable
+    [.bench]/[.stim] pairs.
+
+    Work fans out over the {!Parallel} domain pool in deadline-checked
+    batches; a [time_budget_s] stops between batches, so a run is bounded
+    by both budgets. *)
+
+type family = Generated | Adversarial | Mutated | Lock_property
+
+val family_name : family -> string
+val all_families : family list
+
+type failure = {
+  f_index : int;  (** case index within the run *)
+  f_seed : int;  (** derived per-case seed *)
+  f_family : family;
+  f_scheme : Lock_props.scheme option;  (** for [Lock_property] cases *)
+  f_mismatches : Diff_oracle.mismatch list;
+  f_case : Fuzz_case.t option;  (** shrunk witness, when the family has one *)
+  f_saved : (string * string) option;  (** corpus paths, when persisted *)
+}
+
+type report = {
+  r_seed : int;
+  r_cases_run : int;
+  r_failures : failure list;
+  r_elapsed_s : float;
+}
+
+(** [run ~seed ~cases ()] executes up to [cases] fuzz cases.
+
+    @param oracles oracle subset (default: the full stack).
+    @param fault reference-interpreter fault to inject — the
+      mutation-testing mode; the fuzzer must then report failures.
+    @param families case families to draw from (default: all four).
+    @param corpus_dir where to persist shrunk failures.
+    @param workers domain count for {!Parallel.map}.
+    @param time_budget_s wall-clock bound, checked between batches.
+    @param progress called after each batch with cases run so far. *)
+val run :
+  ?oracles:Diff_oracle.oracle list ->
+  ?fault:Ref_sim.fault ->
+  ?families:family list ->
+  ?corpus_dir:string ->
+  ?workers:int ->
+  ?time_budget_s:float ->
+  ?progress:(int -> unit) ->
+  seed:int ->
+  cases:int ->
+  unit ->
+  report
+
+(** [pp_failure ppf f] prints one failure: family, per-case seed, the
+    first mismatches, and the replay command hint. *)
+val pp_failure : Format.formatter -> failure -> unit
+
+(** [replay_command report f] is the shell command that deterministically
+    reproduces failure [f] (same seed, enough cases). *)
+val replay_command : report -> failure -> string

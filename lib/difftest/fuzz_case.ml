@@ -1,0 +1,154 @@
+type t = {
+  net : Netlist.t;
+  cycles : int;
+  init : bool array;
+  stim : bool array array;
+}
+
+let make net ~cycles ~init ~stim =
+  let n_pi = List.length (Netlist.inputs net) in
+  let n_ff = List.length (Netlist.ffs net) in
+  if cycles < 0 then invalid_arg "Fuzz_case.make: negative cycle count";
+  if Array.length init <> n_ff then
+    invalid_arg "Fuzz_case.make: init length <> flip-flop count";
+  if Array.length stim <> cycles then
+    invalid_arg "Fuzz_case.make: stimulus rows <> cycles";
+  Array.iter
+    (fun row ->
+      if Array.length row <> n_pi then
+        invalid_arg "Fuzz_case.make: stimulus row length <> input count")
+    stim;
+  { net; cycles; init; stim }
+
+let random rng net ~cycles =
+  let n_pi = List.length (Netlist.inputs net) in
+  let n_ff = List.length (Netlist.ffs net) in
+  {
+    net;
+    cycles;
+    init = Array.init n_ff (fun _ -> Random.State.bool rng);
+    stim =
+      Array.init cycles (fun _ ->
+          Array.init n_pi (fun _ -> Random.State.bool rng));
+  }
+
+(* Dense id → position tables, rebuilt on demand; cases are small. *)
+let index_of ids =
+  let tbl = Hashtbl.create (List.length ids * 2) in
+  List.iteri (fun i id -> Hashtbl.replace tbl id i) ids;
+  tbl
+
+let input_fn c k =
+  let idx = index_of (Netlist.inputs c.net) in
+  fun id ->
+    match Hashtbl.find_opt idx id with
+    | Some i -> c.stim.(k).(i)
+    | None -> false
+
+let init_fn c =
+  let idx = index_of (Netlist.ffs c.net) in
+  fun id ->
+    match Hashtbl.find_opt idx id with
+    | Some i -> c.init.(i)
+    | None -> false
+
+let with_net c net' =
+  make net' ~cycles:c.cycles ~init:c.init ~stim:c.stim
+
+let node_name net id = (Netlist.node net id).Netlist.name
+
+let bits_to_string bits =
+  String.init (Array.length bits) (fun i -> if bits.(i) then '1' else '0')
+
+let print_stim c =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "# gklock stimulus v1\n";
+  Printf.bprintf buf "cycles %d\n" c.cycles;
+  Printf.bprintf buf "inputs %s\n"
+    (String.concat " " (List.map (node_name c.net) (Netlist.inputs c.net)));
+  Printf.bprintf buf "ffs %s\n"
+    (String.concat " " (List.map (node_name c.net) (Netlist.ffs c.net)));
+  Printf.bprintf buf "init %s\n" (bits_to_string c.init);
+  Array.iter (fun row -> Printf.bprintf buf "%s\n" (bits_to_string row)) c.stim;
+  Buffer.contents buf
+
+let parse_bits line expected what =
+  if String.length line <> expected then
+    failwith
+      (Printf.sprintf "stimulus: %s has %d bits, expected %d" what
+         (String.length line) expected);
+  Array.init expected (fun i ->
+      match line.[i] with
+      | '0' -> false
+      | '1' -> true
+      | ch -> failwith (Printf.sprintf "stimulus: bad bit %C in %s" ch what))
+
+let parse_stim ~net text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+  in
+  let field prefix line =
+    let plen = String.length prefix in
+    if String.length line >= plen && String.sub line 0 plen = prefix then
+      String.trim (String.sub line plen (String.length line - plen))
+    else failwith (Printf.sprintf "stimulus: expected %S line" prefix)
+  in
+  match lines with
+  | cyc :: inp :: ffl :: ini :: rows ->
+    let cycles =
+      match int_of_string_opt (field "cycles" cyc) with
+      | Some n when n >= 0 -> n
+      | _ -> failwith "stimulus: bad cycle count"
+    in
+    let names s = if s = "" then [] else String.split_on_char ' ' s in
+    let in_names = names (field "inputs" inp) in
+    let ff_names = names (field "ffs" ffl) in
+    let resolve what name =
+      match Netlist.find net name with
+      | Some id -> id
+      | None -> failwith (Printf.sprintf "stimulus: unknown %s %S" what name)
+    in
+    let rec_inputs = List.map (resolve "input") in_names in
+    let rec_ffs = List.map (resolve "flip-flop") ff_names in
+    (* Reorder the recorded columns into the netlist's declaration order. *)
+    let reorder recorded declared bits what =
+      let pos = Hashtbl.create 16 in
+      List.iteri (fun i id -> Hashtbl.replace pos id i) recorded;
+      List.map
+        (fun id ->
+          match Hashtbl.find_opt pos id with
+          | Some i -> bits.(i)
+          | None ->
+            failwith
+              (Printf.sprintf "stimulus: %s %S not covered" what
+                 (node_name net id)))
+        declared
+      |> Array.of_list
+    in
+    let init_bits = parse_bits (field "init" ini) (List.length ff_names) "init" in
+    let init = reorder rec_ffs (Netlist.ffs net) init_bits "flip-flop" in
+    (* A zero-input netlist has empty bit rows, which line filtering
+       drops — synthesize them instead of demanding blank lines. *)
+    if in_names = [] then
+      make net ~cycles ~init ~stim:(Array.make cycles [||])
+    else begin
+      if List.length rows <> cycles then
+        failwith
+          (Printf.sprintf "stimulus: %d rows for %d cycles" (List.length rows)
+             cycles);
+      let stim =
+        List.mapi
+          (fun k row ->
+            let bits =
+              parse_bits row (List.length in_names)
+                (Printf.sprintf "cycle %d" k)
+            in
+            reorder rec_inputs (Netlist.inputs net) bits "input")
+          rows
+        |> Array.of_list
+      in
+      make net ~cycles ~init ~stim
+    end
+  | _ -> failwith "stimulus: truncated header"

@@ -1,0 +1,57 @@
+(** One differential-fuzzing test case: a netlist plus the sequential
+    stimulus it is exercised under.
+
+    A case is the unit the oracle stack ({!Diff_oracle}) checks, the
+    shrinker minimizes, and the corpus persists.  The stimulus is stored
+    positionally against the netlist's declaration order
+    ({!Netlist.inputs} / {!Netlist.ffs}); the textual stimulus format is
+    self-describing (it names the inputs and flip-flops), so a corpus
+    entry survives node-id renumbering in its [.bench] twin. *)
+
+type t = {
+  net : Netlist.t;
+  cycles : int;
+  init : bool array;  (** initial flip-flop states, {!Netlist.ffs} order *)
+  stim : bool array array;
+      (** [stim.(k).(i)]: cycle [k]'s value of the [i]-th primary input in
+          {!Netlist.inputs} order; length {!cycles} *)
+}
+
+(** [make net ~cycles ~init ~stim] validates dimensions.
+    @raise Invalid_argument on a shape mismatch. *)
+val make : Netlist.t -> cycles:int -> init:bool array -> stim:bool array array -> t
+
+(** [random rng net ~cycles] draws a uniformly random stimulus and initial
+    state. *)
+val random : Random.State.t -> Netlist.t -> cycles:int -> t
+
+(** [input_fn c k] is the per-PI-id assignment for cycle [k]. *)
+val input_fn : t -> int -> int -> bool
+
+(** [init_fn c] is the per-FF-id initial-state assignment. *)
+val init_fn : t -> int -> bool
+
+(** [with_net c net'] re-binds the stimulus to [net'] (same input/FF
+    counts; used after compaction). @raise Invalid_argument on mismatch. *)
+val with_net : t -> Netlist.t -> t
+
+(** {1 Stimulus file format}
+
+    {v
+    # gklock stimulus v1
+    cycles 3
+    inputs a b c
+    ffs q0 q1
+    init 10
+    011
+    110
+    000
+    v} *)
+
+(** [print_stim c] renders the stimulus (not the netlist). *)
+val print_stim : t -> string
+
+(** [parse_stim ~net text] re-attaches a stimulus to [net], reordering by
+    the recorded input/FF names.  @raise Failure on malformed text or
+    names absent from [net]. *)
+val parse_stim : net:Netlist.t -> string -> t

@@ -1,0 +1,18 @@
+let default = 42
+
+let value =
+  let v =
+    lazy
+      (match Sys.getenv_opt "GKLOCK_SEED" with
+      | None -> default
+      | Some s -> ( match int_of_string_opt (String.trim s) with
+        | Some n -> n
+        | None -> default))
+  in
+  fun () -> Lazy.force v
+
+let replay_hint () = Printf.sprintf "GKLOCK_SEED=%d" (value ())
+
+let state () = Random.State.make [| value (); 0x6b6c6f; 0x636b |]
+
+let derive tag = Random.State.make [| value (); tag; 0xd1f7; 0x7e57 |]

@@ -1,0 +1,32 @@
+(** The one explicit seed behind every randomized test and fuzz run.
+
+    All property-based tests and the differential fuzzer derive their
+    randomness from a single integer seed so that any failure is
+    replayable: the seed comes from the [GKLOCK_SEED] environment
+    variable when set, and otherwise defaults to a fixed value — test
+    runs are deterministic unless the user asks for variation.
+
+    Derived states ({!state}, {!derive}) split the master seed so that
+    independent consumers (one qcheck suite, one fuzz case) do not share
+    a stream — perturbing one test cannot silently change the inputs of
+    another. *)
+
+(** The fixed default ([42]) used when [GKLOCK_SEED] is unset or
+    unparsable. *)
+val default : int
+
+(** The effective seed: [GKLOCK_SEED] or {!default}.  Read once per
+    process. *)
+val value : unit -> int
+
+(** [replay_hint ()] is the shell fragment to reproduce the current run,
+    e.g. ["GKLOCK_SEED=42"].  Test names embed it so that an alcotest
+    failure line tells the user how to replay. *)
+val replay_hint : unit -> string
+
+(** [state ()] is a fresh PRNG state seeded from {!value}. *)
+val state : unit -> Random.State.t
+
+(** [derive tag] is a fresh PRNG state for the independent stream
+    [tag] — e.g. one per fuzz case index. *)
+val derive : int -> Random.State.t

@@ -1,0 +1,35 @@
+(** Metamorphic properties of the locking schemes.
+
+    Every scheme in [lib/locking] carries the same functional contract —
+    the oracle structure SAT attacks exploit, and exactly what a bug in
+    a transform or an evaluation engine would silently corrupt:
+
+    - {e transparency}: under the correct key the locked circuit is
+      equivalent to the original (combinational schemes: a SAT miter;
+      sequential schemes: timing-true simulation agreement with zero
+      capture violations);
+    - {e corruption}: for the non-SAT-resilient schemes (XOR, MUX,
+      fault-guided), some wrong key produces a nonzero
+      {!Metrics.bit_error_rate}; for the point-function schemes
+      (SARLock, Anti-SAT) and TDK's functional half, a wrong key is
+      SAT-distinguishable from the original;
+    - {e GK timing}: a glitch key-gate's measured pulse width under
+      {!Timing_sim} equals Eq. 2's [D_path + D_mux] for both transition
+      directions, and a wrong constant key inverts the very first
+      captured value of the locked flip-flop.
+
+    Each check builds a fresh seeded circuit, locks it, and reports
+    violations as {!Diff_oracle.mismatch} records (oracle field
+    ["prop:<scheme>"]).  Circuits too small to host a scheme (e.g. no
+    feasible GK site) are skipped, not failed. *)
+
+type scheme = Xor | Mux | Fault | Sarlock | Antisat | Tdk | Gk | Hybrid
+
+val all : scheme list
+val scheme_name : scheme -> string
+val scheme_of_name : string -> scheme option
+
+(** [check ~seed scheme] runs the scheme's property set on a seeded
+    circuit.  Empty list = all properties hold (or the case was
+    skipped). *)
+val check : seed:int -> scheme -> Diff_oracle.mismatch list

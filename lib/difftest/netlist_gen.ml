@@ -1,0 +1,91 @@
+let config rng =
+  let seed = Random.State.int rng 1_000_000 in
+  {
+    Generator.gen_name = Printf.sprintf "fz%d" seed;
+    seed;
+    n_pi = 4 + Random.State.int rng 7;
+    n_po = 2 + Random.State.int rng 4;
+    n_ff = Random.State.int rng 9;
+    n_gates = 20 + Random.State.int rng 61;
+    depth = 3 + Random.State.int rng 6;
+    ff_depth_bias = float_of_int (Random.State.int rng 11) /. 10.;
+  }
+
+let generated rng = Generator.generate (config rng)
+
+let adversarial rng =
+  let net = Netlist.create (Printf.sprintf "adv%d" (Random.State.bits rng)) in
+  let pool = ref [] in
+  for i = 0 to 2 + Random.State.int rng 5 do
+    pool := Netlist.add_input net (Printf.sprintf "i%d" i) :: !pool
+  done;
+  pool := Netlist.add_const net true :: Netlist.add_const net false :: !pool;
+  let pick () = List.nth !pool (Random.State.int rng (List.length !pool)) in
+  let comb = ref [] in
+  for _ = 1 to 20 + Random.State.int rng 40 do
+    let id =
+      match Random.State.int rng 8 with
+      | 0 ->
+        let k = 1 + Random.State.int rng 4 in
+        let truth = Array.init (1 lsl k) (fun _ -> Random.State.bool rng) in
+        Netlist.add_lut net ~truth (Array.init k (fun _ -> pick ()))
+      | 1 -> Netlist.add_gate net Cell.Mux [| pick (); pick (); pick () |]
+      | 2 -> Netlist.add_gate net Cell.Not [| pick () |]
+      | 3 | 4 ->
+        let fn =
+          List.nth [ Cell.And; Cell.Or; Cell.Nand; Cell.Nor ]
+            (Random.State.int rng 4)
+        in
+        let k = 2 + Random.State.int rng 4 in
+        (* fanin repetition is deliberate: pick () may repeat a driver *)
+        Netlist.add_gate net fn (Array.init k (fun _ -> pick ()))
+      | 5 ->
+        let fn = if Random.State.bool rng then Cell.Xor else Cell.Xnor in
+        Netlist.add_gate net fn [| pick (); pick () |]
+      | 6 -> Netlist.add_gate net Cell.Buf [| pick () |]
+      | _ ->
+        (* a flip-flop mid-stream: later gates read its Q, and its D may
+           come from anywhere built so far — including itself via the
+           pool once registered *)
+        Netlist.add_ff net (pick ())
+    in
+    pool := id :: !pool;
+    (match (Netlist.node net id).Netlist.kind with
+    | Netlist.Gate _ | Netlist.Lut _ -> comb := id :: !comb
+    | _ -> ());
+    ()
+  done;
+  (* close a sequential loop now and then: rewire one flip-flop's D pin
+     to a node built after it (legal — only combinational cycles are) *)
+  (match Netlist.ffs net with
+  | ff :: _ when Random.State.int rng 3 = 0 ->
+    Netlist.set_fanin net ~node_id:ff ~pin:0 ~driver:(pick ())
+  | _ -> ());
+  (* several outputs, possibly sharing a driver *)
+  let n_po = 1 + Random.State.int rng 3 in
+  for i = 0 to n_po - 1 do
+    Netlist.add_output net (Printf.sprintf "y%d" i) (pick ())
+  done;
+  Netlist.validate net;
+  net
+
+let net rng = if Random.State.bool rng then generated rng else adversarial rng
+
+let case rng =
+  let n = net rng in
+  Fuzz_case.random rng n ~cycles:(1 + Random.State.int rng 8)
+
+let pp_config c =
+  Printf.sprintf
+    "{seed=%d; pi=%d; po=%d; ff=%d; gates=%d; depth=%d; bias=%.1f}"
+    c.Generator.seed c.Generator.n_pi c.Generator.n_po c.Generator.n_ff
+    c.Generator.n_gates c.Generator.depth c.Generator.ff_depth_bias
+
+let arb_config =
+  QCheck.make ~print:pp_config
+    (fun rand -> config rand)
+
+let arb_seed =
+  QCheck.make
+    ~print:(fun s -> Printf.sprintf "seed %d" s)
+    QCheck.Gen.(int_bound 1_000_000)

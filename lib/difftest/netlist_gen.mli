@@ -1,0 +1,44 @@
+(** Random netlists and cases for the differential fuzzer.
+
+    Two families, mirroring the split in [test/test_engine.ml]:
+
+    - {e generated}: a random {!Generator.config}, so the circuits match
+      the statistics of mapped designs (staged DAG, FFs, realistic
+      depth) — this is also the qcheck generator over [Generator.config]
+      itself;
+    - {e adversarial}: free-form construction biased toward the node
+      kinds and corner shapes the staged generator avoids — LUTs of
+      every arity, MUXes, constants, wide variadic gates, fanin
+      repetition (the same driver on several pins), flip-flop
+      self-loops, and multiple outputs naming the same driver.
+
+    Everything is driven by an explicit [Random.State.t] so a fuzz case
+    is replayable from its seed; QCheck wrappers expose the same
+    distributions to property tests. *)
+
+(** [config rng] draws a small {!Generator.config} (4–10 PIs, up to ~8
+    FFs, 20–80 gates). *)
+val config : Random.State.t -> Generator.config
+
+(** [generated rng] is [Generator.generate (config rng)]. *)
+val generated : Random.State.t -> Netlist.t
+
+(** [adversarial rng] builds a free-form combinational-plus-FF netlist
+    exercising LUT/MUX/constant/wide-gate corners.  Validated. *)
+val adversarial : Random.State.t -> Netlist.t
+
+(** [net rng] draws from either family (biased ~half/half). *)
+val net : Random.State.t -> Netlist.t
+
+(** [case rng] is a random netlist with a random stimulus of 1–8
+    cycles. *)
+val case : Random.State.t -> Fuzz_case.t
+
+(** {1 QCheck wrappers} — for property tests; shrinking is left to
+    {!Shrinker}, which understands netlists. *)
+
+val arb_config : Generator.config QCheck.arbitrary
+
+(** A printable arbitrary over generator seeds; combine with {!generated}
+    or {!adversarial} inside the law. *)
+val arb_seed : int QCheck.arbitrary

@@ -1,0 +1,122 @@
+type mutation =
+  | Rewire of { node : int; pin : int; old_driver : int; new_driver : int }
+  | Swap_fn of { node : int; old_fn : Cell.gate_fn; new_fn : Cell.gate_fn }
+  | Toggle_ff_init of { ff_index : int }
+
+let describe = function
+  | Rewire r ->
+    Printf.sprintf "rewire node %d pin %d: %d -> %d" r.node r.pin r.old_driver
+      r.new_driver
+  | Swap_fn s ->
+    Printf.sprintf "swap node %d: %s -> %s" s.node (Cell.fn_name s.old_fn)
+      (Cell.fn_name s.new_fn)
+  | Toggle_ff_init t -> Printf.sprintf "toggle init of ff #%d" t.ff_index
+
+let choose rng xs =
+  match xs with
+  | [] -> None
+  | _ -> Some (List.nth xs (Random.State.int rng (List.length xs)))
+
+(* Functions interchangeable at a given arity, the mutation that turns a
+   gate into its dual or parity twin. *)
+let swaps_for fn arity =
+  List.filter
+    (fun fn' -> fn' <> fn && Cell.arity_ok fn' arity)
+    (match fn with
+    | Cell.Not | Cell.Buf -> [ Cell.Not; Cell.Buf ]
+    | Cell.Mux -> []
+    | _ -> [ Cell.And; Cell.Or; Cell.Nand; Cell.Nor; Cell.Xor; Cell.Xnor ])
+
+let live_nodes net =
+  List.init (Netlist.num_nodes net) Fun.id
+  |> List.filter (fun id ->
+         match (Netlist.node net id).Netlist.kind with
+         | Netlist.Dead -> false
+         | _ -> true)
+
+let try_rewire rng net =
+  let levels = Netlist.levels net in
+  let candidates =
+    live_nodes net
+    |> List.filter (fun id ->
+           let nd = Netlist.node net id in
+           Netlist.is_comb nd || nd.Netlist.kind = Netlist.Ff)
+  in
+  match choose rng candidates with
+  | None -> None
+  | Some node_id ->
+    let nd = Netlist.node net node_id in
+    let pin = Random.State.int rng (Array.length nd.Netlist.fanins) in
+    let legal =
+      live_nodes net
+      |> List.filter (fun d ->
+             if nd.Netlist.kind = Netlist.Ff then true
+             else levels.(d) >= 0 && levels.(d) < levels.(node_id))
+    in
+    let legal = List.filter (fun d -> d <> nd.Netlist.fanins.(pin)) legal in
+    (match choose rng legal with
+    | None -> None
+    | Some new_driver ->
+      let old_driver = nd.Netlist.fanins.(pin) in
+      Netlist.set_fanin net ~node_id ~pin ~driver:new_driver;
+      Some (Rewire { node = node_id; pin; old_driver; new_driver }))
+
+let try_swap rng net =
+  let gates =
+    live_nodes net
+    |> List.filter_map (fun id ->
+           match (Netlist.node net id).Netlist.kind with
+           | Netlist.Gate fn ->
+             let arity = Array.length (Netlist.node net id).Netlist.fanins in
+             (match swaps_for fn arity with
+             | [] -> None
+             | alts -> Some (id, fn, alts))
+           | _ -> None)
+  in
+  match choose rng gates with
+  | None -> None
+  | Some (node, old_fn, alts) ->
+    let new_fn = Option.get (choose rng alts) in
+    Netlist.set_gate_fn net ~node_id:node new_fn;
+    Some (Swap_fn { node; old_fn; new_fn })
+
+let random rng (c : Fuzz_case.t) =
+  let attempt () =
+    let net = Netlist.copy c.Fuzz_case.net in
+    let init = Array.copy c.Fuzz_case.init in
+    let m =
+      match Random.State.int rng 3 with
+      | 0 -> try_rewire rng net
+      | 1 -> try_swap rng net
+      | _ ->
+        if Array.length init = 0 then None
+        else begin
+          let i = Random.State.int rng (Array.length init) in
+          init.(i) <- not init.(i);
+          Some (Toggle_ff_init { ff_index = i })
+        end
+    in
+    match m with
+    | None -> None
+    | Some m ->
+      Netlist.validate net;
+      Some
+        ( Fuzz_case.make net ~cycles:c.Fuzz_case.cycles ~init
+            ~stim:(Array.map Array.copy c.Fuzz_case.stim),
+          m )
+  in
+  (* a kind may have no site in this netlist; retry a few times *)
+  let rec go n = if n = 0 then None else
+      match attempt () with Some r -> Some r | None -> go (n - 1)
+  in
+  go 6
+
+let burst rng n c =
+  let rec go k c acc =
+    if k = 0 then (c, List.rev acc)
+    else
+      match random rng c with
+      | None -> (c, List.rev acc)
+      | Some (c', m) -> go (k - 1) c' (m :: acc)
+  in
+  go n c []

@@ -1,0 +1,27 @@
+(** Structural netlist mutations for adversarial fuzz inputs.
+
+    A mutation produces a {e different but still valid} netlist: the
+    oracle stack must agree with itself on any well-formed circuit, so
+    mutating a case explores shapes neither generator family reaches —
+    rewired fanins that create reconvergence, function swaps that turn a
+    gate into its dual, flipped initial flip-flop states.
+
+    Mutations are applied to a deep copy; the input case is never
+    modified.  Rewiring picks the new driver from strictly shallower
+    {!Netlist.levels}, so combinational acyclicity is preserved by
+    construction (flip-flop D pins may rewire anywhere). *)
+
+type mutation =
+  | Rewire of { node : int; pin : int; old_driver : int; new_driver : int }
+  | Swap_fn of { node : int; old_fn : Cell.gate_fn; new_fn : Cell.gate_fn }
+  | Toggle_ff_init of { ff_index : int }
+
+val describe : mutation -> string
+
+(** [random rng case] applies one random mutation to a copy of [case].
+    Returns [None] when the netlist offers no mutable site (e.g. no
+    gates and no flip-flops).  The result is validated. *)
+val random : Random.State.t -> Fuzz_case.t -> (Fuzz_case.t * mutation) option
+
+(** [burst rng n case] applies up to [n] random mutations in sequence. *)
+val burst : Random.State.t -> int -> Fuzz_case.t -> Fuzz_case.t * mutation list

@@ -1,0 +1,86 @@
+type fault = Nor_as_or | Lut_reversed | Ff_stuck_init
+
+let fault_name = function
+  | Nor_as_or -> "nor-as-or"
+  | Lut_reversed -> "lut-reversed"
+  | Ff_stuck_init -> "ff-stuck-init"
+
+let all_faults = [ Nor_as_or; Lut_reversed; Ff_stuck_init ]
+
+let fault_of_string s =
+  List.find_opt (fun f -> fault_name f = s) all_faults
+
+let eval_comb ?fault net assignment =
+  let n = Netlist.num_nodes net in
+  (* fresh DFS per call: 0 = unvisited, 1 = on stack, 2 = done *)
+  let state = Array.make n 0 in
+  let order = ref [] in
+  let rec visit id =
+    let nd = Netlist.node net id in
+    if Netlist.is_comb nd then
+      match state.(id) with
+      | 2 -> ()
+      | 1 -> failwith "Ref_sim: combinational cycle"
+      | _ ->
+        state.(id) <- 1;
+        Array.iter visit nd.Netlist.fanins;
+        state.(id) <- 2;
+        order := id :: !order
+  in
+  for id = 0 to n - 1 do
+    visit id
+  done;
+  let values = Array.make n false in
+  for id = 0 to n - 1 do
+    match (Netlist.node net id).Netlist.kind with
+    | Netlist.Input | Netlist.Ff -> values.(id) <- assignment id
+    | Netlist.Const b -> values.(id) <- b
+    | Netlist.Gate _ | Netlist.Lut _ | Netlist.Dead -> ()
+  done;
+  List.iter
+    (fun id ->
+      let nd = Netlist.node net id in
+      let ins = Array.map (fun f -> values.(f)) nd.Netlist.fanins in
+      match nd.Netlist.kind with
+      | Netlist.Gate fn ->
+        let fn = if fault = Some Nor_as_or && fn = Cell.Nor then Cell.Or else fn in
+        values.(id) <- Cell.eval fn ins
+      | Netlist.Lut truth ->
+        let k = Array.length ins in
+        let idx = ref 0 in
+        Array.iteri
+          (fun i b ->
+            let bit = if fault = Some Lut_reversed then k - 1 - i else i in
+            if b then idx := !idx lor (1 lsl bit))
+          ins;
+        values.(id) <- truth.(!idx)
+      | _ -> assert false)
+    (List.rev !order);
+  values
+
+let run ?fault (c : Fuzz_case.t) =
+  let net = c.Fuzz_case.net in
+  let ffs = Netlist.ffs net in
+  let state = Hashtbl.create 16 in
+  List.iteri
+    (fun i ff -> Hashtbl.replace state ff c.Fuzz_case.init.(i))
+    ffs;
+  Array.init c.Fuzz_case.cycles (fun k ->
+      let inputs = Fuzz_case.input_fn c k in
+      let assignment id =
+        match Hashtbl.find_opt state id with
+        | Some v -> v
+        | None -> inputs id
+      in
+      let values = eval_comb ?fault net assignment in
+      let pos =
+        List.map (fun (po, drv) -> (po, values.(drv))) (Netlist.outputs net)
+      in
+      List.iter
+        (fun ff ->
+          if fault <> Some Ff_stuck_init then
+            let d = (Netlist.node net ff).Netlist.fanins.(0) in
+            Hashtbl.replace state ff values.(d))
+        ffs;
+      let ff_states = List.map (fun ff -> (ff, Hashtbl.find state ff)) ffs in
+      (pos, ff_states))

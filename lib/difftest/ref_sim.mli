@@ -1,0 +1,37 @@
+(** The reference semantics of the differential oracle: a deliberately
+    naive, engine-independent sequential interpreter.
+
+    Per cycle it does a fresh DFS topological walk and evaluates each
+    gate with {!Cell.eval} — exactly the seed implementation that
+    {!Netlist.Engine} replaced, kept slow on purpose so a bug in the
+    compiled instruction stream, the lane packing, or the memoized
+    analyses cannot also be present here.
+
+    {!fault} is the mutation-testing hook: injecting a fault makes this
+    reference wrong in a known way, and the oracle stack must catch and
+    shrink the resulting disagreement — that is how the fuzzer's own
+    detection power is tested without planting bugs in shipped code. *)
+
+(** An intentional bug, for mutation-testing the oracles.
+
+    - [Nor_as_or]: NOR gates evaluate as OR.
+    - [Lut_reversed]: LUT rows are indexed with the fanin bits reversed.
+    - [Ff_stuck_init]: flip-flops never leave their initial state. *)
+type fault = Nor_as_or | Lut_reversed | Ff_stuck_init
+
+val fault_of_string : string -> fault option
+val fault_name : fault -> string
+val all_faults : fault list
+
+(** [run ?fault case] simulates the case and returns, per cycle, the
+    primary-output values (name, value) and the flip-flop states after
+    the cycle's capture, as [(po_values, ff_states)] — cycle [k] uses
+    stimulus row [k], matching {!Cycle_sim.run}. *)
+val run :
+  ?fault:fault ->
+  Fuzz_case.t ->
+  ((string * bool) list * (int * bool) list) array
+
+(** [eval_comb ?fault net assignment] is the combinational reference:
+    like {!Netlist.eval_comb} but via the naive walk. *)
+val eval_comb : ?fault:fault -> Netlist.t -> (int -> bool) -> bool array

@@ -1,0 +1,29 @@
+(** Greedy counterexample minimization.
+
+    Given a failing case and the predicate that witnesses the failure
+    (usually "the oracle stack still disagrees"), the shrinker applies
+    reduction passes and keeps any transformation under which the
+    predicate still fails:
+
+    + truncate the stimulus (fewer cycles);
+    + drop primary outputs;
+    + replace a combinational node by a constant (rerouting its uses);
+    + sweep logic no longer reachable from an output or a flip-flop, and
+      compact the node table;
+    + zero surviving stimulus bits.
+
+    Passes repeat to a fixpoint (bounded by [rounds]).  The result is a
+    small, replayable case — the form persisted into the corpus.  The
+    predicate is always re-evaluated on a candidate before it is kept, so
+    the shrinker cannot invent failures; it can only keep smaller
+    witnesses of the one it was given. *)
+
+(** [minimize ?rounds ~failing case] shrinks [case] while [failing]
+    keeps returning [true].  [failing case] itself is assumed true (if
+    not, the case is returned unchanged).  Default [rounds] = 8. *)
+val minimize :
+  ?rounds:int -> failing:(Fuzz_case.t -> bool) -> Fuzz_case.t -> Fuzz_case.t
+
+(** [size case] is a rough cost measure (live nodes + stimulus bits) —
+    what {!minimize} drives down; exposed for tests. *)
+val size : Fuzz_case.t -> int

@@ -156,6 +156,25 @@ let build ~name p =
                with Invalid_argument m -> fail dline "%s" m))
           | Def_lut (truth, args) ->
             let fanins = Array.of_list (List.map (resolve ~stack dline) args) in
+            (* The hex form carries whole nibbles (and may drop leading
+               zeros), so the decoded bit count rarely equals 2^arity:
+               pad the high rows with zeros, or drop them when unset. *)
+            let want = 1 lsl Array.length fanins in
+            let have = Array.length truth in
+            let truth =
+              if have = want then truth
+              else if have < want then
+                Array.init want (fun i -> i < have && truth.(i))
+              else begin
+                for i = want to have - 1 do
+                  if truth.(i) then
+                    fail dline
+                      "LUT truth table sets row %d but only %d inputs" i
+                      (Array.length fanins)
+                done;
+                Array.sub truth 0 want
+              end
+            in
             (try Netlist.add_lut net ~name ~truth fanins
              with Invalid_argument m -> fail dline "%s" m)
         in

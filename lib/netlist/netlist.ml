@@ -227,6 +227,21 @@ let widen_gate t ~node_id ~extra_driver =
   | Gate (Not | Buf | Mux) | Input | Const _ | Lut _ | Ff | Dead ->
     invalid_arg "Netlist.widen_gate: not a variadic gate"
 
+let set_gate_fn t ~node_id fn =
+  let n = node t node_id in
+  match n.kind with
+  | Gate _ ->
+    let arity = Array.length n.fanins in
+    if not (Cell.arity_ok fn arity) then
+      invalid_arg
+        (Printf.sprintf "Netlist.set_gate_fn: %s cannot take %d inputs"
+           (Cell.fn_name fn) arity);
+    n.kind <- Gate fn;
+    n.cell <- Some (Cell_lib.bind fn arity);
+    touch t
+  | Input | Const _ | Lut _ | Ff | Dead ->
+    invalid_arg "Netlist.set_gate_fn: not a gate"
+
 let rename t id n =
   let nd = node t id in
   if nd.name = n then ()

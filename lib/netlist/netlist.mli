@@ -101,6 +101,12 @@ val set_fanin : t -> node_id:int -> pin:int -> driver:int -> unit
     the new arity.  @raise Invalid_argument on fixed-arity kinds. *)
 val widen_gate : t -> node_id:int -> extra_driver:int -> unit
 
+(** [set_gate_fn t ~node_id fn] replaces a [Gate] node's function in place
+    (same fanins) and rebinds its default library cell — the "swap cell
+    type" mutation of the differential fuzzer.  @raise Invalid_argument on
+    non-gates or an illegal arity for [fn]. *)
+val set_gate_fn : t -> node_id:int -> Cell.gate_fn -> unit
+
 (** [rename t id n] renames a node.  @raise Invalid_argument if taken. *)
 val rename : t -> int -> string -> unit
 

@@ -1,0 +1,13 @@
+(* Shared qcheck → alcotest adapter, seeded through Fuzz_seed so every
+   property test in the suite draws from GKLOCK_SEED (default 42): runs
+   are reproducible, and a failing property's test name carries the
+   exact environment needed to replay it.  Each test derives its own
+   stream from a hash of its name, so adding or reordering tests never
+   perturbs another test's inputs. *)
+
+let qcheck ?(count = 100) name arb law =
+  QCheck_alcotest.to_alcotest
+    ~rand:(Fuzz_seed.derive (Hashtbl.hash name))
+    (QCheck.Test.make ~count
+       ~name:(Printf.sprintf "%s [replay: %s]" name (Fuzz_seed.replay_hint ()))
+       arb law)

@@ -66,6 +66,100 @@ let test_cjson_accessors () =
     "int as float" (Some 3.0) (Cjson.mem_float "i" v);
   Alcotest.(check (option int)) "missing" None (Cjson.mem_int "zzz" v)
 
+(* ----- Cjson properties ----- *)
+
+let qcheck ?(count = 200) name arb law = Qc.qcheck ~count name arb law
+
+(* Ints stressed at the word boundaries: the parser falls back to float
+   on overflow, so exact max_int/min_int must stay Int. *)
+let gen_int =
+  QCheck.Gen.(
+    oneof
+      [
+        small_signed_int;
+        int;
+        oneofl [ 0; 1; -1; max_int; min_int; max_int - 1; min_int + 1 ];
+      ])
+
+(* Floats whose canonical rendering re-parses to the same value: any
+   finite float normalized through its 12-significant-digit decimal form
+   (a 12-digit decimal → double → decimal trip is the identity, and the
+   emitter prints %.12g / %.1f). *)
+let gen_safe_float =
+  QCheck.Gen.(
+    map2
+      (fun m e ->
+        float_of_string
+          (Printf.sprintf "%.12g" (float_of_int m *. (10. ** float_of_int e))))
+      (int_range (-10000) 10000)
+      (int_range (-3) 3))
+
+let gen_string =
+  QCheck.Gen.(
+    string_size ~gen:(map Char.chr (int_range 0 255)) (int_range 0 12))
+
+let gen_json =
+  let open QCheck.Gen in
+  sized (fun n ->
+      fix
+        (fun self n ->
+          let leaf =
+            oneof
+              [
+                return Cjson.Null;
+                map (fun b -> Cjson.Bool b) bool;
+                map (fun i -> Cjson.Int i) gen_int;
+                map (fun f -> Cjson.Float f) gen_safe_float;
+                map (fun s -> Cjson.Str s) gen_string;
+              ]
+          in
+          if n <= 0 then leaf
+          else
+            frequency
+              [
+                (3, leaf);
+                ( 1,
+                  map
+                    (fun l -> Cjson.List l)
+                    (list_size (int_range 0 4) (self (n / 2))) );
+                ( 1,
+                  map
+                    (fun kvs -> Cjson.Obj kvs)
+                    (list_size (int_range 0 4)
+                       (pair gen_string (self (n / 2)))) );
+              ])
+        (min n 6))
+
+let arb_json = QCheck.make ~print:Cjson.to_string gen_json
+
+let cjson_roundtrip_law v =
+  match Cjson.of_string (Cjson.to_string v) with
+  | Ok v' -> v' = v
+  | Error e -> QCheck.Test.fail_reportf "parse error: %s" e
+
+let cjson_idempotent_law v =
+  (* even for values outside the exact-round-trip domain, the canonical
+     form must be a fixpoint of print ∘ parse *)
+  let s = Cjson.to_string v in
+  match Cjson.of_string s with
+  | Ok v' -> Cjson.to_string v' = s
+  | Error e -> QCheck.Test.fail_reportf "parse error: %s" e
+
+let arb_any_float =
+  QCheck.make
+    ~print:(fun f -> Printf.sprintf "%h" f)
+    QCheck.Gen.(
+      oneof
+        [
+          float;
+          oneofl [ 0.; -0.; 1e-300; 1e300; 4.2e-5; 1. /. 3.; Float.pi ];
+        ])
+
+let cjson_float_idempotent_law f =
+  cjson_idempotent_law (Cjson.Float f)
+
+let cjson_string_law s = cjson_roundtrip_law (Cjson.Str s)
+
 (* ----- job IDs and matrices ----- *)
 
 let attack_spec ?(seed = 1) () =
@@ -473,6 +567,13 @@ let suites =
         tc "roundtrip" `Quick test_cjson_roundtrip;
         tc "errors" `Quick test_cjson_errors;
         tc "accessors" `Quick test_cjson_accessors;
+        qcheck "parse∘print identity" arb_json cjson_roundtrip_law;
+        qcheck "canonical form is a fixpoint" arb_json cjson_idempotent_law;
+        qcheck ~count:500 "string escaping round-trips"
+          QCheck.(string_gen Gen.(map Char.chr (int_range 0 255)))
+          cjson_string_law;
+        qcheck ~count:500 "arbitrary floats reach a fixpoint" arb_any_float
+          cjson_float_idempotent_law;
       ] );
     ( "campaign.job",
       [

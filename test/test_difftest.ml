@@ -1,0 +1,211 @@
+(* Tests for the differential fuzzing subsystem: the generators and the
+   mutator produce valid netlists, the oracle stack agrees with itself
+   on seeded batches, an injected reference bug is caught and shrunk to
+   a small replayable witness, the corpus round-trips through disk, and
+   the committed corpus/ regression cases replay clean. *)
+
+let tc = Alcotest.test_case
+let qcheck ?(count = 50) name arb law = Qc.qcheck ~count name arb law
+let seed = Fuzz_seed.value ()
+
+(* ----- generators and mutator ----- *)
+
+let gen_valid_law s =
+  let rng = Random.State.make [| s; 0x6e |] in
+  let net = Netlist_gen.net rng in
+  Netlist.validate net;
+  Netlist.inputs net <> [] && Netlist.outputs net <> []
+
+let mutant_valid_law s =
+  let rng = Random.State.make [| s; 0x6f |] in
+  let case = Netlist_gen.case rng in
+  match Netlist_mutate.random rng case with
+  | None -> true (* no mutable site: fine for degenerate nets *)
+  | Some (case', m) ->
+    Netlist.validate case'.Fuzz_case.net;
+    ignore (Netlist_mutate.describe m);
+    (* the original case is untouched *)
+    Netlist.validate case.Fuzz_case.net;
+    true
+
+(* ----- oracle stack on healthy inputs ----- *)
+
+let oracle_clean_law s =
+  let rng = Random.State.make [| s; 0x70 |] in
+  let case = Netlist_gen.case rng in
+  match Diff_oracle.check ~seed:s case with
+  | [] -> true
+  | m :: _ ->
+    QCheck.Test.fail_reportf "oracle disagreement: %s"
+      (Diff_oracle.mismatch_to_string m)
+
+let test_lock_props_smoke () =
+  List.iter
+    (fun scheme ->
+      match Lock_props.check ~seed:(seed + 17) scheme with
+      | [] -> ()
+      | m :: _ ->
+        Alcotest.failf "%s: %s"
+          (Lock_props.scheme_name scheme)
+          (Diff_oracle.mismatch_to_string m))
+    Lock_props.all
+
+(* ----- fault injection: the fuzzer must catch a planted bug ----- *)
+
+let test_fault_caught_and_shrunk () =
+  List.iter
+    (fun fault ->
+      let report =
+        Fuzz.run ~fault ~workers:1
+          ~families:[ Fuzz.Generated; Fuzz.Adversarial; Fuzz.Mutated ]
+          ~seed ~cases:60 ()
+      in
+      match report.Fuzz.r_failures with
+      | [] ->
+        Alcotest.failf "fault %s not detected in 60 cases"
+          (Ref_sim.fault_name fault)
+      | f :: _ -> (
+        Alcotest.(check bool)
+          (Ref_sim.fault_name fault ^ " has mismatches")
+          true (f.Fuzz.f_mismatches <> []);
+        match f.Fuzz.f_case with
+        | None -> Alcotest.fail "no witness case"
+        | Some c ->
+          (* the shrunk witness still fails, and shrank below the raw
+             generator's typical size *)
+          Alcotest.(check bool) "witness still fails" true
+            (Diff_oracle.check ~fault ~seed:f.Fuzz.f_seed c <> []);
+          Alcotest.(check bool) "witness is small" true
+            (Shrinker.size c <= 120)))
+    Ref_sim.all_faults
+
+let test_shrinker_minimizes () =
+  (* a synthetic predicate: "the net still contains a NOR gate" — the
+     shrinker must keep one NOR and dissolve everything else *)
+  let rng = Random.State.make [| seed; 0x71 |] in
+  let case = ref (Netlist_gen.case rng) in
+  let has_nor (c : Fuzz_case.t) =
+    let n = c.Fuzz_case.net in
+    let found = ref false in
+    for id = 0 to Netlist.num_nodes n - 1 do
+      match (Netlist.node n id).Netlist.kind with
+      | Netlist.Gate Cell.Nor -> found := true
+      | _ -> ()
+    done;
+    !found
+  in
+  while not (has_nor !case) do case := Netlist_gen.case rng done;
+  let shrunk = Shrinker.minimize ~failing:has_nor !case in
+  Alcotest.(check bool) "property preserved" true (has_nor shrunk);
+  Alcotest.(check bool) "strictly smaller" true
+    (Shrinker.size shrunk < Shrinker.size !case);
+  Alcotest.(check bool) "cycles minimized" true (shrunk.Fuzz_case.cycles <= 1)
+
+(* ----- corpus persistence ----- *)
+
+let test_corpus_roundtrip () =
+  let rng = Random.State.make [| seed; 0x72 |] in
+  let case = Netlist_gen.case rng in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "gklock_corpus_test_%d" (Unix.getpid ()))
+  in
+  let bench, stim = Corpus.save ~dir ~name:"rt" case in
+  let case' = Corpus.load ~bench ~stim in
+  Alcotest.(check int) "cycles" case.Fuzz_case.cycles case'.Fuzz_case.cycles;
+  Alcotest.(check bool) "init" true (case.Fuzz_case.init = case'.Fuzz_case.init);
+  Alcotest.(check bool) "stim" true (case.Fuzz_case.stim = case'.Fuzz_case.stim);
+  (* the loaded case must mean the same circuit: the reference runs of
+     original and reloaded case agree cycle by cycle (flip-flop states
+     compared by name — the reparsed net assigns fresh node ids) *)
+  let obs (c : Fuzz_case.t) =
+    Array.map
+      (fun (pos, ffs) ->
+        ( pos,
+          List.map
+            (fun (id, v) ->
+              ((Netlist.node c.Fuzz_case.net id).Netlist.name, v))
+            ffs ))
+      (Ref_sim.run c)
+  in
+  Alcotest.(check bool) "same semantics" true (obs case = obs case');
+  (match Corpus.load_all dir with
+  | [ ("rt", _) ] -> ()
+  | l -> Alcotest.failf "load_all found %d entries" (List.length l));
+  Sys.remove bench;
+  (match Corpus.load_all dir with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "orphan .stim not reported");
+  Sys.remove stim
+
+(* ----- the committed corpus replays clean on HEAD ----- *)
+
+let test_committed_corpus_replays () =
+  (* dune materializes test/corpus/* next to the test executable (see
+     the glob_files dep); resolve relative to the binary so the test
+     also works under `dune exec` from the repo root *)
+  let dir = Filename.concat (Filename.dirname Sys.executable_name) "corpus" in
+  let entries = Corpus.load_all dir in
+  Alcotest.(check bool) "corpus present" true (List.length entries >= 3);
+  List.iter
+    (fun (name, case) ->
+      match Corpus.replay ~seed case with
+      | [] -> ()
+      | m :: _ ->
+        Alcotest.failf "%s: %s" name (Diff_oracle.mismatch_to_string m))
+    entries
+
+(* ----- seeded fuzz batch (tier-1 smoke of the whole driver) ----- *)
+
+let test_fuzz_batch_clean () =
+  let report = Fuzz.run ~workers:1 ~seed ~cases:24 () in
+  Alcotest.(check int) "all cases ran" 24 report.Fuzz.r_cases_run;
+  match report.Fuzz.r_failures with
+  | [] -> ()
+  | f :: _ ->
+    Alcotest.failf "fuzz failure (%s): %s" (Fuzz.replay_command report f)
+      (Format.asprintf "%a" Fuzz.pp_failure f)
+
+let test_seed_derivation () =
+  (* distinct tags give independent streams; equal tags replay *)
+  let a = Fuzz_seed.derive 1 and b = Fuzz_seed.derive 1 in
+  Alcotest.(check int) "same tag replays" (Random.State.int a 1000000)
+    (Random.State.int b 1000000);
+  let c = Fuzz_seed.derive 2 in
+  Alcotest.(check bool) "hint names the env var" true
+    (String.length (Fuzz_seed.replay_hint ()) > 0);
+  ignore (Random.State.int c 2)
+
+let suites =
+  [
+    ( "difftest.generators",
+      [
+        qcheck ~count:40 "generated nets validate"
+          QCheck.(int_bound 1_000_000)
+          gen_valid_law;
+        qcheck ~count:40 "mutants validate, originals untouched"
+          QCheck.(int_bound 1_000_000)
+          mutant_valid_law;
+      ] );
+    ( "difftest.oracles",
+      [
+        qcheck ~count:30 "oracle stack agrees on healthy nets"
+          QCheck.(int_bound 1_000_000)
+          oracle_clean_law;
+        tc "lock properties hold" `Slow test_lock_props_smoke;
+      ] );
+    ( "difftest.fuzzer",
+      [
+        tc "injected faults caught and shrunk" `Slow
+          test_fault_caught_and_shrunk;
+        tc "shrinker minimizes" `Quick test_shrinker_minimizes;
+        tc "seeded batch clean" `Slow test_fuzz_batch_clean;
+        tc "seed derivation" `Quick test_seed_derivation;
+      ] );
+    ( "difftest.corpus",
+      [
+        tc "save/load round-trip" `Quick test_corpus_roundtrip;
+        tc "committed corpus replays clean" `Quick
+          test_committed_corpus_replays;
+      ] );
+  ]

@@ -3,8 +3,7 @@
 
 let tc = Alcotest.test_case
 
-let qcheck ?(count = 50) name arb law =
-  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb law)
+let qcheck ?(count = 50) name arb law = Qc.qcheck ~count name arb law
 
 let seed_arb = QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 500)
 

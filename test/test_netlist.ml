@@ -3,8 +3,7 @@
 
 let tc = Alcotest.test_case
 
-let qcheck ?(count = 100) name arb law =
-  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb law)
+let qcheck ?(count = 100) name arb law = Qc.qcheck ~count name arb law
 
 (* Small deterministic generated circuits for property tests. *)
 let gen_circuit_arb =
@@ -259,6 +258,29 @@ let bench_roundtrip_law seed =
   let c2, _ = Combinationalize.run net2 in
   Equiv.check c1 c2 = Equiv.Equivalent
 
+(* The fuzzer's adversarial generator reaches shapes the Generator never
+   makes (small LUTs, MUXes, wide gates, repeated fanins); the full
+   print/parse/unroll/miter pipeline is the sat-roundtrip oracle. *)
+let bench_adversarial_roundtrip_law seed =
+  let rng = Random.State.make [| seed; 0xbe5 |] in
+  let case = Netlist_gen.case rng in
+  Diff_oracle.check ~oracles:[ Diff_oracle.Sat_roundtrip ] ~seed case = []
+
+(* Found by fuzzing: a 2-row truth table prints as one whole hex nibble,
+   so the parser must trim the padding back to 2^arity rows. *)
+let test_bench_lut_arity1 () =
+  let net = Netlist.create "l1" in
+  let a = Netlist.add_input net "a" in
+  let l = Netlist.add_lut net ~name:"inv" ~truth:[| true; false |] [| a |] in
+  Netlist.add_output net "y" l;
+  let net2 = Bench_format.parse ~name:"l1" (Bench_format.print net) in
+  (match Equiv.check net net2 with
+  | Equiv.Equivalent -> ()
+  | Equiv.Different _ -> Alcotest.fail "1-input LUT changed function");
+  match Bench_format.parse ~name:"bad" "INPUT(a)\nOUTPUT(y)\ny = LUT 0xe (a)\n" with
+  | exception Bench_format.Parse_error _ -> ()
+  | _ -> Alcotest.fail "out-of-range LUT row accepted"
+
 let test_bench_parse_errors () =
   let bad text msg =
     match Bench_format.parse ~name:"x" text with
@@ -460,6 +482,9 @@ let suites =
         tc "through-FF cycles" `Quick test_bench_dff_cycle;
         qcheck ~count:30 "generated round trip" gen_circuit_arb
           bench_roundtrip_law;
+        tc "1-input LUT nibble padding" `Quick test_bench_lut_arity1;
+        qcheck ~count:25 "adversarial round trip (miter)"
+          QCheck.(int_bound 1_000_000) bench_adversarial_roundtrip_law;
       ] );
     ( "netlist.generator",
       [

@@ -3,8 +3,7 @@
 
 let tc = Alcotest.test_case
 
-let qcheck ?(count = 100) name arb law =
-  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb law)
+let qcheck ?(count = 100) name arb law = Qc.qcheck ~count name arb law
 
 let logic_arb =
   QCheck.make
@@ -123,6 +122,39 @@ let test_waveform_pulses () =
   Alcotest.(check int) "tail too wide for 50"
     1
     (List.length (Waveform.pulses ~max_width:50 w ~until:1000))
+
+let test_waveform_pulses_edges () =
+  let w = Waveform.make ~initial:Logic.F [ (100, Logic.T); (130, Logic.F) ] in
+  (* the width filter is inclusive: a 30 ps pulse survives max_width 30 *)
+  Alcotest.(check int) "width = max_width kept" 1
+    (List.length
+       (List.filter
+          (fun p -> p.Waveform.start_ps = 100)
+          (Waveform.pulses ~max_width:30 w ~until:200)));
+  Alcotest.(check int) "width > max_width dropped" 0
+    (List.length
+       (List.filter
+          (fun p -> p.Waveform.start_ps = 100)
+          (Waveform.pulses ~max_width:29 w ~until:200)));
+  (* every interval carries its level, including the low tail *)
+  (match Waveform.pulses w ~until:200 with
+  | [ hi; lo ] ->
+    Alcotest.(check char) "high level" '1' (Logic.to_char hi.Waveform.level);
+    Alcotest.(check char) "low tail level" '0' (Logic.to_char lo.Waveform.level);
+    Alcotest.(check int) "low tail clipped" 200 lo.Waveform.stop_ps
+  | ps -> Alcotest.failf "expected 2 intervals, got %d" (List.length ps));
+  (* a closed pulse opening exactly at [until] is reported ... *)
+  let at = Waveform.make ~initial:Logic.F [ (200, Logic.T); (260, Logic.F) ] in
+  (match Waveform.pulses ~max_width:100 at ~until:200 with
+  | [ p ] ->
+    Alcotest.(check int) "at-boundary start" 200 p.Waveform.start_ps;
+    Alcotest.(check int) "at-boundary true stop" 260 p.Waveform.stop_ps
+  | ps -> Alcotest.failf "expected 1 pulse, got %d" (List.length ps));
+  (* ... but an open tail starting exactly at [until] is not: it would
+     be a zero-width artifact of the clipping *)
+  let tail = Waveform.make ~initial:Logic.F [ (200, Logic.T) ] in
+  Alcotest.(check int) "zero-width tail suppressed" 0
+    (List.length (Waveform.pulses tail ~until:200))
 
 let test_waveform_pulses_boundary () =
   (* A glitch that straddles the observation boundary: starts at 950,
@@ -389,6 +421,7 @@ let suites =
         tc "normalize" `Quick test_waveform_normalize;
         tc "pulses" `Quick test_waveform_pulses;
         tc "pulses at trace boundary" `Quick test_waveform_pulses_boundary;
+        tc "pulses width/level edges" `Quick test_waveform_pulses_edges;
         tc "toggle/delay" `Quick test_waveform_toggle_delay;
         tc "map2" `Quick test_waveform_map2;
         tc "stability" `Quick test_waveform_stability;

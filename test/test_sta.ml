@@ -3,8 +3,7 @@
 
 let tc = Alcotest.test_case
 
-let qcheck ?(count = 100) name arb law =
-  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb law)
+let qcheck ?(count = 100) name arb law = Qc.qcheck ~count name arb law
 
 (* A hand-built pipeline with known delays:
    pi -> NOT(40) -> AND2(75) -> ff1 ; ff1 -> XOR2(95) -> ff2, po *)

@@ -2,8 +2,7 @@
 
 let tc = Alcotest.test_case
 
-let qcheck ?(count = 200) name arb law =
-  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb law)
+let qcheck ?(count = 200) name arb law = Qc.qcheck ~count name arb law
 
 (* ----- Vec ----- *)
 
@@ -52,6 +51,34 @@ let test_vec_iter_fold () =
   Alcotest.(check (list (pair int int))) "iteri" [ (2, 3); (1, 2); (0, 1) ] !acc;
   Alcotest.(check bool) "exists" true (Vec.exists (fun x -> x = 2) v);
   Alcotest.(check bool) "exists not" false (Vec.exists (fun x -> x = 9) v)
+
+(* Growth across many doublings, and indexing after shrink: stale cells
+   beyond the logical length must never leak back. *)
+let test_vec_growth () =
+  let v = Vec.create () in
+  for i = 0 to 999 do
+    Vec.push v i;
+    if Vec.top v <> i then Alcotest.failf "top after push %d" i
+  done;
+  Alcotest.(check int) "length" 1000 (Vec.length v);
+  for i = 0 to 999 do
+    if Vec.get v i <> i then Alcotest.failf "get %d" i
+  done;
+  Vec.set v 512 (-1);
+  Alcotest.(check int) "set/get" (-1) (Vec.get v 512);
+  Alcotest.(check int) "neighbour untouched" 511 (Vec.get v 511);
+  Vec.shrink v 100;
+  Alcotest.(check int) "shrunk length" 100 (Vec.length v);
+  Alcotest.(check int) "last survivor" 99 (Vec.get v 99);
+  Alcotest.check_raises "index 100 out of bounds after shrink"
+    (Invalid_argument "Vec: index 100 out of bounds (len 100)") (fun () ->
+      ignore (Vec.get v 100));
+  Vec.push v 7;
+  Alcotest.(check int) "push after shrink" 7 (Vec.get v 100);
+  Vec.clear v;
+  Vec.push v 3;
+  Alcotest.(check int) "push after clear" 3 (Vec.get v 0);
+  Alcotest.(check int) "length after clear+push" 1 (Vec.length v)
 
 (* A vector behaves like the list of pushed elements. *)
 let vec_model_law (xs : int list) =
@@ -103,6 +130,7 @@ let suites =
         tc "bounds" `Quick test_vec_bounds;
         tc "shrink/clear" `Quick test_vec_shrink_clear;
         tc "make" `Quick test_vec_make;
+        tc "growth + stale cells" `Quick test_vec_growth;
         tc "iter/fold" `Quick test_vec_iter_fold;
         qcheck "vec models list" QCheck.(list int) vec_model_law;
         qcheck "push/pop is a stack" QCheck.(list int) vec_push_pop_law;

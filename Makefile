@@ -1,6 +1,6 @@
 # Convenience targets; dune is the real build system.
 
-.PHONY: all build test bench bench-quick bench-eval campaign-smoke fuzz fuzz-smoke check examples clean
+.PHONY: all build test bench bench-quick bench-eval bench-attacks bench-attacks-smoke campaign-smoke fuzz fuzz-smoke check examples clean
 
 all: build
 
@@ -21,6 +21,17 @@ bench-quick:
 bench-eval:
 	dune exec bench/bench_eval.exe
 
+# Attack-framework benchmarks: oracle throughput (batched engine path
+# vs. the pre-framework assoc-list oracle, equivalence-checked, must be
+# >= 10x) plus per-attack wall time; writes BENCH_attacks.json.
+bench-attacks:
+	dune exec bench/bench_attacks.exe
+
+# CI-sized variant; writes outside the tree so the committed
+# BENCH_attacks.json stays a full-run artifact.
+bench-attacks-smoke:
+	dune exec bench/bench_attacks.exe -- --smoke /tmp/BENCH_attacks_smoke.json
+
 # Tiny campaign matrix end-to-end with the real executor: run, resume,
 # verify the resume skips everything.  Seconds, suitable for CI.
 campaign-smoke:
@@ -38,7 +49,7 @@ fuzz-smoke:
 
 # Everything a PR must keep green: full build (libs, CLI, examples,
 # benches) plus the test suite, the campaign smoke and a fuzz smoke.
-check: build test campaign-smoke fuzz-smoke
+check: build test campaign-smoke fuzz-smoke bench-attacks-smoke
 
 examples:
 	dune exec examples/quickstart.exe

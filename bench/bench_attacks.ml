@@ -1,0 +1,263 @@
+(* Attack-framework benchmarks: oracle query throughput (batched
+   63-lane engine path vs. scalar engine path vs. the pre-framework
+   assoc-list oracle) plus per-attack wall time for every registry entry
+   on two benchmarks.  Prints human-readable tables and writes
+   machine-readable results to BENCH_attacks.json (or the path given as
+   the last argument):
+
+     dune exec bench/bench_attacks.exe              # or: make bench-attacks
+     dune exec bench/bench_attacks.exe -- --smoke   # CI-sized, seconds
+
+   All three oracle paths are equivalence-checked on the same query set
+   before being timed, and the run fails unless the batched path beats
+   the assoc-list baseline by at least 10x. *)
+
+(* ----- the pre-framework oracle, reproduced as a fixed baseline -----
+
+   One scalar evaluation per query on the seed evaluation path (a fresh
+   DFS topological sort and per-gate fanin array per call — see
+   bench_eval.ml), with every source resolved by an assoc-list lookup on
+   the query (unmentioned sources read false) — exactly the closure the
+   attacks module used to build before the instrumented [Oracle.t]. *)
+
+let legacy_topo net =
+  let n = Netlist.num_nodes net in
+  let state = Array.make n 0 in
+  let order = ref [] in
+  let rec visit id =
+    let nd = Netlist.node net id in
+    if not (Netlist.is_comb nd) then ()
+    else
+      match state.(id) with
+      | 2 -> ()
+      | 1 -> failwith "cycle"
+      | _ ->
+        state.(id) <- 1;
+        Array.iter visit nd.Netlist.fanins;
+        state.(id) <- 2;
+        order := id :: !order
+  in
+  for id = 0 to n - 1 do
+    visit id
+  done;
+  List.rev !order
+
+let assoc_query net q =
+  let values = Array.make (Netlist.num_nodes net) false in
+  for id = 0 to Netlist.num_nodes net - 1 do
+    match (Netlist.node net id).Netlist.kind with
+    | Netlist.Input | Netlist.Ff ->
+      values.(id) <-
+        (match List.assoc_opt (Netlist.node net id).Netlist.name q with
+        | Some v -> v
+        | None -> false)
+    | Netlist.Const b -> values.(id) <- b
+    | Netlist.Gate _ | Netlist.Lut _ | Netlist.Dead -> ()
+  done;
+  List.iter
+    (fun id ->
+      let n = Netlist.node net id in
+      let ins = Array.map (fun f -> values.(f)) n.Netlist.fanins in
+      match n.Netlist.kind with
+      | Netlist.Gate fn -> values.(id) <- Cell.eval fn ins
+      | Netlist.Lut truth ->
+        let idx = ref 0 in
+        Array.iteri (fun i b -> if b then idx := !idx lor (1 lsl i)) ins;
+        values.(id) <- truth.(!idx)
+      | Netlist.Input | Netlist.Const _ | Netlist.Ff | Netlist.Dead ->
+        assert false)
+    (legacy_topo net);
+  List.map (fun (po, d) -> (po, values.(d))) (Netlist.outputs net)
+
+(* ----- measurement ----- *)
+
+let time_reps ~min_time f =
+  f ();
+  (* warm-up *)
+  let reps = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  let elapsed = ref 0.0 in
+  while !elapsed < min_time do
+    f ();
+    incr reps;
+    elapsed := Unix.gettimeofday () -. t0
+  done;
+  (!reps, !elapsed)
+
+type oracle_row = {
+  o_bench : string;
+  o_cells : int;
+  o_queries : int;
+  o_assoc_qps : float;
+  o_scalar_qps : float;
+  o_batch_qps : float;
+}
+
+let bench_oracle ~min_time ~n_queries net name cells =
+  let comb, _ = Combinationalize.run net in
+  (* memoization off: every timed query is a real evaluation *)
+  let oracle = Oracle.of_netlist ~memo:false comb in
+  let names = Oracle.input_names oracle in
+  let rng = Random.State.make [| 0xA77; Hashtbl.hash name |] in
+  let dips =
+    List.init n_queries (fun _ ->
+        List.map (fun n -> (n, Random.State.bool rng)) names)
+  in
+  (* equivalence first: all three paths must agree on every query *)
+  let batch_results = Oracle.query_batch oracle dips in
+  List.iter2
+    (fun dip batched ->
+      if assoc_query comb dip <> batched then
+        failwith (name ^ ": batched oracle disagrees with assoc-list eval");
+      if Oracle.query oracle dip <> batched then
+        failwith (name ^ ": batched oracle disagrees with scalar query"))
+    dips batch_results;
+  Printf.printf "equivalence %-8s OK (%d queries x 3 paths)\n%!" name
+    n_queries;
+  let qps f =
+    let reps, elapsed = time_reps ~min_time f in
+    float_of_int (reps * n_queries) /. elapsed
+  in
+  {
+    o_bench = name;
+    o_cells = cells;
+    o_queries = n_queries;
+    o_assoc_qps =
+      qps (fun () -> List.iter (fun d -> ignore (assoc_query comb d)) dips);
+    o_scalar_qps =
+      qps (fun () -> List.iter (fun d -> ignore (Oracle.query oracle d)) dips);
+    o_batch_qps = qps (fun () -> ignore (Oracle.query_batch oracle dips));
+  }
+
+(* ----- per-attack wall time ----- *)
+
+type attack_row = {
+  a_bench : string;
+  a_attack : string;
+  a_verdict : string;
+  a_iterations : int;
+  a_queries : int;
+  a_conflicts : int;
+  a_elapsed_s : float;
+}
+
+let bench_attacks ~max_iterations ~deadline_s net name =
+  let comb, _ = Combinationalize.run net in
+  let lk = Xor_lock.lock ~seed:42 comb ~n_keys:6 in
+  List.map
+    (fun attack ->
+      let o =
+        Attack.run
+          ~budget:(Budget.create ~max_iterations ~deadline_s ())
+          ~seed:42 ~name:attack ~locked:lk.Locked.net
+          ~key_inputs:lk.Locked.key_inputs
+          (* fresh oracle per attack: the memo must not let one attack's
+             queries answer the next one's for free *)
+          ~oracle:(Oracle.of_netlist comb)
+          ()
+      in
+      {
+        a_bench = name;
+        a_attack = attack;
+        a_verdict = Attack.verdict_name o.Attack.verdict;
+        a_iterations = o.Attack.iterations;
+        a_queries = o.Attack.queries;
+        a_conflicts = o.Attack.conflicts;
+        a_elapsed_s = o.Attack.elapsed_s;
+      })
+    (Attack.names ())
+
+(* ----- output ----- *)
+
+let json_of_oracle r =
+  Printf.sprintf
+    "    {\"name\": %S, \"cells\": %d, \"queries\": %d, \
+     \"assoc_queries_per_sec\": %.1f, \"scalar_queries_per_sec\": %.1f, \
+     \"batch_queries_per_sec\": %.1f, \"batch_speedup_vs_assoc\": %.2f, \
+     \"batch_speedup_vs_scalar\": %.2f}"
+    r.o_bench r.o_cells r.o_queries r.o_assoc_qps r.o_scalar_qps r.o_batch_qps
+    (r.o_batch_qps /. r.o_assoc_qps)
+    (r.o_batch_qps /. r.o_scalar_qps)
+
+let json_of_attack r =
+  Printf.sprintf
+    "    {\"bench\": %S, \"attack\": %S, \"verdict\": %S, \"iterations\": \
+     %d, \"queries\": %d, \"conflicts\": %d, \"elapsed_s\": %.4f}"
+    r.a_bench r.a_attack r.a_verdict r.a_iterations r.a_queries r.a_conflicts
+    r.a_elapsed_s
+
+let () =
+  let smoke = Array.exists (( = ) "--smoke") Sys.argv in
+  let out_path =
+    let last = Sys.argv.(Array.length Sys.argv - 1) in
+    if Array.length Sys.argv > 1 && last <> "--smoke" then last
+    else "BENCH_attacks.json"
+  in
+  let min_time = if smoke then 0.05 else 0.3 in
+  let n_queries = Netlist.Engine.word_bits * if smoke then 2 else 16 in
+  (* throughput needs circuits large enough that evaluation, not
+     per-query bookkeeping, is the cost being amortized *)
+  let oracle_benches =
+    List.filter_map
+      (fun n ->
+        Option.map (fun s -> (n, Benchmarks.load s)) (Benchmarks.find_spec n))
+      (if smoke then [ "s1238" ] else [ "s1238"; "s5378"; "s38417" ])
+  in
+  let oracle_rows =
+    List.map
+      (fun (n, net) ->
+        bench_oracle ~min_time ~n_queries net n (Netlist.num_nodes net))
+      oracle_benches
+  in
+  Printf.printf "\n%-8s %6s %12s %12s %12s %9s %9s\n" "bench" "cells"
+    "assoc q/s" "scalar q/s" "batch q/s" "vs-assoc" "vs-scalar";
+  List.iter
+    (fun r ->
+      Printf.printf "%-8s %6d %12.0f %12.0f %12.0f %8.1fx %8.1fx\n" r.o_bench
+        r.o_cells r.o_assoc_qps r.o_scalar_qps r.o_batch_qps
+        (r.o_batch_qps /. r.o_assoc_qps)
+        (r.o_batch_qps /. r.o_scalar_qps))
+    oracle_rows;
+  List.iter
+    (fun r ->
+      if r.o_batch_qps < 10.0 *. r.o_assoc_qps then
+        failwith
+          (Printf.sprintf
+             "%s: batched oracle only %.1fx over the assoc-list baseline \
+              (need >= 10x)"
+             r.o_bench
+             (r.o_batch_qps /. r.o_assoc_qps)))
+    oracle_rows;
+  let max_iterations = if smoke then 64 else 256 in
+  let deadline_s = if smoke then 5.0 else 30.0 in
+  let attack_rows =
+    List.concat_map
+      (fun (n, net) -> bench_attacks ~max_iterations ~deadline_s net n)
+      [ ("tiny", Benchmarks.tiny ()); ("s27", Benchmarks.s27 ()) ]
+  in
+  Printf.printf "\n%-6s %-17s %-22s %6s %8s %9s %9s\n" "bench" "attack"
+    "verdict" "iters" "queries" "conflicts" "time s";
+  List.iter
+    (fun r ->
+      Printf.printf "%-6s %-17s %-22s %6d %8d %9d %9.3f\n" r.a_bench
+        r.a_attack r.a_verdict r.a_iterations r.a_queries r.a_conflicts
+        r.a_elapsed_s)
+    attack_rows;
+  let oc = open_out out_path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"schema\": \"gklock/bench_attacks/v1\",\n\
+    \  \"smoke\": %b,\n\
+    \  \"word_bits\": %d,\n\
+    \  \"oracle\": [\n\
+     %s\n\
+    \  ],\n\
+    \  \"attacks\": [\n\
+     %s\n\
+    \  ]\n\
+     }\n"
+    smoke Netlist.Engine.word_bits
+    (String.concat ",\n" (List.map json_of_oracle oracle_rows))
+    (String.concat ",\n" (List.map json_of_attack attack_rows));
+  close_out oc;
+  Printf.printf "\nwrote %s\n" out_path

@@ -42,7 +42,7 @@ let scan_section () =
   let stripped, _ = Insertion.strip_keygens d in
   let stripped_comb, _ = Combinationalize.run stripped in
   let oracle_comb, _ = Combinationalize.run net in
-  let oracle = Sat_attack.oracle_of_netlist oracle_comb in
+  let oracle = Sat_attack.oracle_of_netlist ~partial:true oracle_comb in
   let verdicts = Scan_attack.run ~stripped_comb ~oracle () in
   let show tag vs decrypted =
     Printf.printf "%-28s located=%d decided=%d decrypted=%s\n" tag
@@ -62,7 +62,7 @@ let scan_section () =
   let hstripped, _ = Insertion.strip_keygens h.Hybrid.design in
   let hcomb, _ = Combinationalize.run hstripped in
   let horacle_comb, _ = Combinationalize.run big in
-  let horacle = Sat_attack.oracle_of_netlist horacle_comb in
+  let horacle = Sat_attack.oracle_of_netlist ~partial:true horacle_comb in
   let hv =
     Scan_attack.run ~unknown:h.Hybrid.xor_key_inputs ~stripped_comb:hcomb
       ~oracle:horacle ()

@@ -162,14 +162,26 @@ let oracle_arg =
   Arg.(required & opt (some string) None & info [ "oracle" ] ~docv:"DESIGN" ~doc)
 
 let method_arg =
-  let methods =
-    [ ("sat", `Sat); ("appsat", `Appsat); ("sensitization", `Sens) ]
+  let doc =
+    "Attack name from the registry (see $(b,gklock attacks) for the list)."
   in
-  let doc = "Attack: sat (exact DIP loop), appsat, or sensitization." in
-  Arg.(value & opt (enum methods) `Sat & info [ "method" ] ~docv:"M" ~doc)
+  Arg.(value & opt string "sat" & info [ "method" ] ~docv:"NAME" ~doc)
+
+let max_iterations_arg =
+  let doc = "Budget: maximum attack iterations (DIPs, candidates, ...)." in
+  Arg.(value & opt int 4096 & info [ "max-iterations" ] ~docv:"N" ~doc)
+
+let max_queries_arg =
+  let doc = "Budget: maximum chip (oracle) queries." in
+  Arg.(value & opt (some int) None & info [ "max-queries" ] ~docv:"N" ~doc)
+
+let deadline_arg =
+  let doc = "Budget: wall-clock deadline in seconds." in
+  Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"S" ~doc)
 
 let attack_cmd =
-  let run design keys oracle_path method_ =
+  let run design keys oracle_path name max_iterations max_queries deadline
+      seed =
     let locked = load_design design in
     let locked, _ =
       if Netlist.ffs locked = [] then (locked, [])
@@ -181,45 +193,74 @@ let attack_cmd =
       else Combinationalize.run oracle_net
     in
     let key_inputs = String.split_on_char ',' keys in
-    let oracle = Sat_attack.oracle_of_netlist oracle_net in
-    match method_ with
-    | `Appsat ->
-      let o = Appsat.run ~locked ~key_inputs ~oracle () in
-      Printf.printf
-        "appsat: %s key after %d DIPs + %d random queries (error %.3f)\n"
-        (if o.Appsat.exact then "exact" else "approximate")
-        o.Appsat.dips o.Appsat.random_queries o.Appsat.error_rate;
-      Printf.printf "key: %s\n" (Key.to_string o.Appsat.key)
-    | `Sens ->
-      let o = Sensitization.run ~locked ~key_inputs ~oracle () in
-      Printf.printf "sensitization: %d bits recovered, %d unresolved\n"
-        (List.length o.Sensitization.recovered)
-        (List.length o.Sensitization.unresolved);
-      if o.Sensitization.recovered <> [] then
-        Printf.printf "bits: %s\n" (Key.to_string o.Sensitization.recovered)
-    | `Sat ->
-    let o = Sat_attack.run ~locked ~key_inputs ~oracle () in
-    (match o.Sat_attack.status with
-    | Sat_attack.Key_recovered k ->
-      Printf.printf "key recovered after %d DIPs: %s\n" o.Sat_attack.iterations
-        (Key.to_string k);
-      Printf.printf "oracle mismatches for the key: %d/64\n"
-        (Sat_attack.verify_key ~locked ~key_inputs ~oracle k)
-    | Sat_attack.Unsat_at_first_iteration k ->
+    let budget =
+      Budget.create ~max_iterations ?max_queries ?deadline_s:deadline ()
+    in
+    let o =
+      Attack.run ~budget ~seed ~name ~locked ~key_inputs
+        ~oracle:(Oracle.of_netlist oracle_net)
+        ()
+    in
+    Printf.printf "%s: %s\n" name (Attack.verdict_name o.Attack.verdict);
+    (match o.Attack.verdict with
+    | Attack.Key_recovered k ->
+      Printf.printf "key recovered after %d iterations: %s\n"
+        o.Attack.iterations (Key.to_string k)
+    | Attack.Wrong_key { key; mismatches } ->
+      Printf.printf "claimed key %s refuted by the chip on %d/64 samples\n"
+        (Key.to_string key) mismatches
+    | Attack.No_dip { key; mismatches } ->
       Printf.printf
         "unsatisfiable at the first DIP search — the attack learned nothing\n";
-      Printf.printf "an arbitrary consistent key (%s) mismatches the chip on %d/64 samples\n"
-        (Key.to_string k)
-        (Sat_attack.verify_key ~locked ~key_inputs ~oracle k)
-    | Sat_attack.Budget_exhausted ->
-      Printf.printf "DIP budget exhausted after %d iterations\n"
-        o.Sat_attack.iterations);
-    Printf.printf "CDCL conflicts: %d\n" o.Sat_attack.conflicts
+      Printf.printf
+        "an arbitrary consistent key (%s) mismatches the chip on %d/64 \
+         samples\n"
+        (Key.to_string key) mismatches
+    | Attack.Approx_key { key; error_rate } ->
+      Printf.printf "approximate key (error %.3f): %s\n" error_rate
+        (Key.to_string key)
+    | Attack.Partial_key { recovered; unresolved } ->
+      Printf.printf "%d bits recovered, %d unresolved\n"
+        (List.length recovered) unresolved;
+      if recovered <> [] then
+        Printf.printf "bits: %s\n" (Key.to_string recovered)
+    | Attack.Recovered_netlist net ->
+      Printf.printf "recovered a key-free netlist (%d nodes)\n"
+        (Netlist.num_nodes net)
+    | Attack.Gave_up -> print_endline "the attack gave up"
+    | Attack.Skipped -> ()
+    | Attack.Out_of_budget r ->
+      Printf.printf "budget exhausted (%s) after %d iterations\n"
+        (Budget.reason_name r) o.Attack.iterations);
+    Printf.printf
+      "iterations: %d   oracle queries: %d   CDCL conflicts: %d   %.2fs\n"
+      o.Attack.iterations o.Attack.queries o.Attack.conflicts
+      o.Attack.elapsed_s;
+    Printf.printf "replay with: --seed %d\n" seed
   in
   Cmd.v
     (Cmd.info "attack"
-       ~doc:"Run the SAT attack [11] against a locked design")
-    Term.(const run $ design_arg $ keys_arg $ oracle_arg $ method_arg)
+       ~doc:"Run a registered oracle-guided attack against a locked design")
+    Term.(const run $ design_arg $ keys_arg $ oracle_arg $ method_arg
+          $ max_iterations_arg $ max_queries_arg $ deadline_arg $ seed_arg)
+
+let attacks_cmd =
+  let run markdown =
+    if markdown then print_string (Attack.markdown_table ())
+    else
+      List.iter
+        (fun (e : Attack.entry) ->
+          Printf.printf "%-17s %-55s budget unit: %s\n" e.Attack.name
+            e.Attack.threat_model e.Attack.budget_unit)
+        Attack.registry
+  in
+  let markdown_arg =
+    let doc = "Emit the registry as a markdown table (README format)." in
+    Arg.(value & flag & info [ "markdown" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "attacks" ~doc:"List the attack registry")
+    Term.(const run $ markdown_arg)
 
 (* ----- sim ----- *)
 
@@ -617,6 +658,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            info_cmd; gen_cmd; encrypt_cmd; attack_cmd; sim_cmd; sta_cmd;
-            flow_cmd; tables_cmd; figs_cmd; campaign_cmd; fuzz_cmd;
+            info_cmd; gen_cmd; encrypt_cmd; attack_cmd; attacks_cmd; sim_cmd;
+            sta_cmd; flow_cmd; tables_cmd; figs_cmd; campaign_cmd; fuzz_cmd;
           ]))

@@ -45,7 +45,7 @@ let () =
   let stripped, _ = Insertion.strip_keygens d in
   let stripped_comb, _ = Combinationalize.run stripped in
   let oracle_comb, _ = Combinationalize.run net in
-  let oracle = Sat_attack.oracle_of_netlist oracle_comb in
+  let oracle = Sat_attack.oracle_of_netlist ~partial:true oracle_comb in
   pf "@.[gk-only] scan-capture hypothesis test per located GK:@.";
   let verdicts = Scan_attack.run ~stripped_comb ~oracle () in
   show_verdicts verdicts;
@@ -63,7 +63,7 @@ let () =
   let hstripped, _ = Insertion.strip_keygens h.Hybrid.design in
   let hcomb, _ = Combinationalize.run hstripped in
   let horacle_comb, _ = Combinationalize.run big in
-  let horacle = Sat_attack.oracle_of_netlist horacle_comb in
+  let horacle = Sat_attack.oracle_of_netlist ~partial:true horacle_comb in
   pf "@.[hybrid] same attack, with %d XOR key bits the attacker cannot drive:@."
     (List.length h.Hybrid.xor_key_inputs);
   let hv =

@@ -12,7 +12,7 @@ let () =
   let stripped, _gk_keys = Insertion.strip_keygens design in
   let locked_comb, _ = Combinationalize.run stripped in
   let oracle_comb, _ = Combinationalize.run net in
-  let oracle = Sat_attack.oracle_of_netlist oracle_comb in
+  let oracle = Sat_attack.oracle_of_netlist ~partial:true oracle_comb in
 
   (* --- bare GKs: the enhanced removal attack works --- *)
   let located = Enhanced_removal.locate locked_comb in

@@ -9,10 +9,11 @@ type outcome = {
 (* A self-contained DIP engine: one miter solver plus a parallel
    "candidate" solver holding only the accumulated I/O constraints, from
    which the current best key is extracted between iterations. *)
-let run ?(max_iterations = 512) ?(check_every = 4) ?(error_threshold = 0.01)
-    ?(queries_per_check = 50) ?(seed = 41) ~locked ~key_inputs ~oracle () =
+let exec ?(check_every = 4) ?(error_threshold = 0.01) ?(queries_per_check = 50)
+    ?seed ~budget ~locked ~key_inputs ~oracle () =
   if Netlist.ffs locked <> [] then
     invalid_arg "Appsat.run: locked netlist must be combinational";
+  let seed = match seed with Some s -> s | None -> Fuzz_seed.value () in
   let rng = Random.State.make [| seed; 0x4150 |] in
   let x_pis =
     List.filter
@@ -87,56 +88,83 @@ let run ?(max_iterations = 512) ?(check_every = 4) ?(error_threshold = 0.01)
     | Solver.Unsat -> None
   in
   let random_dip () = List.map (fun n -> (n, Random.State.bool rng)) x_names in
-  let locked_oracle = Sat_attack.oracle_of_netlist locked in
-  let locked_out key dip = locked_oracle (dip @ key) in
+  let locked_o = Oracle.of_netlist locked in
   let queries = ref 0 in
-  (* estimate the error and feed failing queries back as constraints *)
+  (* estimate the error on a batch of random queries (one 63-lane engine
+     pass per word on each side) and feed failing queries back as
+     constraints *)
   let estimate key =
-    let errors = ref 0 in
+    let dips = ref [] in
     for _ = 1 to queries_per_check do
-      incr queries;
-      let dip = random_dip () in
-      let expected = oracle dip in
-      let got = locked_out key dip in
-      let fails =
-        List.exists
-          (fun (po, v) ->
-            match List.assoc_opt po got with Some w -> v <> w | None -> false)
-          expected
-      in
-      if fails then begin
-        incr errors;
-        add_io_constraint dip expected
-      end
+      dips := random_dip () :: !dips
     done;
+    let dips = List.rev !dips in
+    queries := !queries + queries_per_check;
+    let expected = Oracle.query_batch oracle dips in
+    let got = Oracle.query_batch locked_o (List.map (fun d -> d @ key) dips) in
+    let errors = ref 0 in
+    List.iter2
+      (fun (dip, exp) g ->
+        let fails =
+          List.exists
+            (fun (po, v) ->
+              match List.assoc_opt po g with Some w -> v <> w | None -> false)
+            exp
+        in
+        if fails then begin
+          incr errors;
+          add_io_constraint dip exp
+        end)
+      (List.combine dips expected)
+      got;
     float_of_int !errors /. float_of_int queries_per_check
   in
   let fallback = List.map (fun k -> (k, false)) key_inputs in
-  let rec loop dips =
-    if dips >= max_iterations then
-      let key = Option.value (extract_candidate ()) ~default:fallback in
-      { key; error_rate = estimate key; dips; random_queries = !queries; exact = false }
-    else
-      match Solver.solve solver with
-      | Solver.Unsat ->
-        let key = Option.value (extract_candidate ()) ~default:fallback in
-        { key; error_rate = 0.0; dips; random_queries = !queries; exact = true }
-      | Solver.Sat ->
-        let dip =
-          List.map (fun n -> (n, Solver.value solver (Hashtbl.find x_vars n))) x_names
-        in
-        let outs = oracle dip in
-        add_io_constraint dip outs;
-        let dips = dips + 1 in
-        if dips mod check_every = 0 then begin
-          match extract_candidate () with
-          | None -> loop dips
-          | Some key ->
-            let err = estimate key in
-            if err <= error_threshold then
-              { key; error_rate = err; dips; random_queries = !queries; exact = false }
-            else loop dips
-        end
-        else loop dips
+  let exhausted dips =
+    let key = Option.value (extract_candidate ()) ~default:fallback in
+    let error_rate =
+      (* a deadline or query cap may already be spent: report the
+         pessimistic bound rather than burn more budget *)
+      match estimate key with
+      | e -> e
+      | exception Budget.Exhausted _ -> 1.0
+    in
+    { key; error_rate; dips; random_queries = !queries; exact = false }
   in
-  loop 0
+  let rec loop dips =
+    Budget.check budget;
+    match Solver.solve solver with
+    | Solver.Unsat ->
+      let key = Option.value (extract_candidate ()) ~default:fallback in
+      { key; error_rate = 0.0; dips; random_queries = !queries; exact = true }
+    | Solver.Sat ->
+      (* charge the iteration only once a DIP exists (see Sat_attack) *)
+      Budget.tick budget;
+      let dip =
+        List.map (fun n -> (n, Solver.value solver (Hashtbl.find x_vars n))) x_names
+      in
+      let outs = Oracle.query oracle dip in
+      add_io_constraint dip outs;
+      let dips = dips + 1 in
+      if dips mod check_every = 0 then begin
+        match extract_candidate () with
+        | None -> loop dips
+        | Some key ->
+          let err = estimate key in
+          if err <= error_threshold then
+            { key; error_rate = err; dips; random_queries = !queries; exact = false }
+          else loop dips
+      end
+      else loop dips
+  in
+  let start = Budget.iterations budget in
+  try loop 0
+  with Budget.Exhausted _ -> exhausted (Budget.iterations budget - start)
+
+let run ?(max_iterations = 512) ?check_every ?error_threshold
+    ?queries_per_check ?seed ~locked ~key_inputs ~oracle () =
+  exec ?check_every ?error_threshold ?queries_per_check ?seed
+    ~budget:(Budget.create ~max_iterations ())
+    ~locked ~key_inputs
+    ~oracle:(Oracle.of_fn oracle)
+    ()

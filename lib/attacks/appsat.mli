@@ -21,11 +21,26 @@ type outcome = {
   exact : bool;                  (** the miter went UNSAT: key is exact *)
 }
 
-(** [run ?max_iterations ?check_every ?error_threshold ?queries_per_check
-    ~locked ~key_inputs ~oracle ()] — stops when the candidate key's
-    estimated error rate is at most [error_threshold] (default 0.01), or
-    on exact convergence.  Checks every [check_every] DIPs (default 4)
-    with [queries_per_check] random queries (default 50). *)
+(** [exec ~budget ~locked ~key_inputs ~oracle ()] — framework entry:
+    stops when the candidate key's estimated error rate is at most
+    [error_threshold] (default 0.01), on exact convergence, or when
+    [budget] runs out (one {!Budget.tick} per DIP; queries charged by
+    the oracle).  Checks every [check_every] DIPs (default 4) with
+    [queries_per_check] random queries (default 50), batched through the
+    63-lane engine path.  [seed] defaults to {!Fuzz_seed.value}. *)
+val exec :
+  ?check_every:int ->
+  ?error_threshold:float ->
+  ?queries_per_check:int ->
+  ?seed:int ->
+  budget:Budget.t ->
+  locked:Netlist.t ->
+  key_inputs:string list ->
+  oracle:Oracle.t ->
+  unit ->
+  outcome
+
+(** Legacy entry: {!exec} under a DIP-count-only budget (default 512). *)
 val run :
   ?max_iterations:int ->
   ?check_every:int ->

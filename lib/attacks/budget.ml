@@ -1,0 +1,67 @@
+type reason = Iterations | Queries | Deadline
+
+let reason_name = function
+  | Iterations -> "iterations"
+  | Queries -> "queries"
+  | Deadline -> "deadline"
+
+exception Exhausted of reason
+
+type t = {
+  max_iterations : int option;
+  max_queries : int option;
+  deadline : float option; (* absolute, Unix.gettimeofday scale *)
+  started : float;
+  mutable n_iterations : int;
+  mutable n_queries : int;
+  mutable tripped : reason option;
+}
+
+let create ?max_iterations ?max_queries ?deadline_s () =
+  (match max_iterations with
+  | Some n when n < 0 -> invalid_arg "Budget.create: max_iterations < 0"
+  | _ -> ());
+  (match max_queries with
+  | Some n when n < 0 -> invalid_arg "Budget.create: max_queries < 0"
+  | _ -> ());
+  let now = Unix.gettimeofday () in
+  {
+    max_iterations;
+    max_queries;
+    deadline = Option.map (fun s -> now +. s) deadline_s;
+    started = now;
+    n_iterations = 0;
+    n_queries = 0;
+    tripped = None;
+  }
+
+let unlimited () = create ()
+
+let iterations t = t.n_iterations
+let queries t = t.n_queries
+let tripped t = t.tripped
+let elapsed_s t = Unix.gettimeofday () -. t.started
+
+let trip t r =
+  t.tripped <- Some r;
+  raise (Exhausted r)
+
+let check t =
+  match t.deadline with
+  | Some d when Unix.gettimeofday () > d -> trip t Deadline
+  | _ -> ()
+
+let tick t =
+  check t;
+  (match t.max_iterations with
+  | Some m when t.n_iterations >= m -> trip t Iterations
+  | _ -> ());
+  t.n_iterations <- t.n_iterations + 1
+
+let note_queries t n =
+  if n < 0 then invalid_arg "Budget.note_queries: n < 0";
+  t.n_queries <- t.n_queries + n;
+  (match t.max_queries with
+  | Some m when t.n_queries > m -> trip t Queries
+  | _ -> ());
+  check t

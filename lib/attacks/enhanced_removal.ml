@@ -87,14 +87,21 @@ let remodel src located =
   let swept, _ = Synth.optimize net in
   { net = swept; new_key_inputs = names }
 
-let attack ?max_iterations src ~oracle =
+let exec ~budget src ~oracle () =
   let located = locate src in
   let rm = remodel src located in
   let outcome =
-    Sat_attack.run ?max_iterations ~locked:rm.net
-      ~key_inputs:rm.new_key_inputs ~oracle ()
+    Sat_attack.exec ~budget ~locked:rm.net ~key_inputs:rm.new_key_inputs
+      ~oracle ()
   in
   (rm, outcome)
+
+let attack ?(max_iterations = 4096) src ~oracle =
+  exec
+    ~budget:(Budget.create ~max_iterations ())
+    src
+    ~oracle:(Oracle.of_fn oracle)
+    ()
 
 let withheld_search_space_log2 ~n_gks ~lut_inputs =
   float_of_int n_gks *. (2.0 ** float_of_int lut_inputs)

@@ -44,6 +44,15 @@ val attack :
   oracle:Sat_attack.oracle ->
   remodelled * Sat_attack.outcome
 
+(** Framework variant of {!attack}: the remodelled DIP loop runs under
+    [budget] against a counted, memoized {!Oracle.t}. *)
+val exec :
+  budget:Budget.t ->
+  Netlist.t ->
+  oracle:Oracle.t ->
+  unit ->
+  remodelled * Sat_attack.outcome
+
 (** Search-space size (log2) an attacker faces when [n] GKs are hidden in
     withheld [k]-input LUTs: [n × 2^k] unknown truth-table bits. *)
 val withheld_search_space_log2 : n_gks:int -> lut_inputs:int -> float

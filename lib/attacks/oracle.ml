@@ -1,0 +1,211 @@
+type stats = { mutable evals : int; mutable hits : int }
+
+type net_backend = {
+  net : Netlist.t;
+  eng : Netlist.Engine.engine;
+  srcs : int array;
+  src_names : string array;
+  idx_of_name : (string, int) Hashtbl.t;
+  idx_of_id : (int, int) Hashtbl.t;
+  outs : (string * int) list;
+}
+
+type backend =
+  | Net of net_backend
+  | Fn of ((string * bool) list -> (string * bool) list)
+
+type t = {
+  backend : backend;
+  partial : bool;
+  budget : Budget.t option;
+  memo : (string, (string * bool) list) Hashtbl.t option;
+  stats : stats;
+}
+
+let of_netlist ?(partial = false) ?budget ?(memo = true) net =
+  let eng = Netlist.Engine.get net in
+  let srcs = Netlist.Engine.sources eng in
+  let src_names =
+    Array.map (fun id -> (Netlist.node net id).Netlist.name) srcs
+  in
+  let idx_of_name = Hashtbl.create (2 * Array.length srcs) in
+  Array.iteri (fun i n -> Hashtbl.replace idx_of_name n i) src_names;
+  let idx_of_id = Hashtbl.create (2 * Array.length srcs) in
+  Array.iteri (fun i id -> Hashtbl.replace idx_of_id id i) srcs;
+  {
+    backend =
+      Net
+        {
+          net;
+          eng;
+          srcs;
+          src_names;
+          idx_of_name;
+          idx_of_id;
+          outs = Netlist.outputs net;
+        };
+    partial;
+    budget;
+    memo = (if memo then Some (Hashtbl.create 256) else None);
+    stats = { evals = 0; hits = 0 };
+  }
+
+let of_fn ?budget ?(memo = true) fn =
+  {
+    backend = Fn fn;
+    partial = true;
+    budget;
+    memo = (if memo then Some (Hashtbl.create 256) else None);
+    stats = { evals = 0; hits = 0 };
+  }
+
+let relax t = { t with partial = true }
+let queries t = t.stats.evals
+let memo_hits t = t.stats.hits
+
+let input_names t =
+  match t.backend with
+  | Net b -> Array.to_list b.src_names
+  | Fn _ -> []
+
+(* Canonical memo key: one char per source in id order, so two queries
+   that resolve to the same effective assignment share an entry whatever
+   order (or duplicates) the caller listed the pins in. *)
+let resolve t b q =
+  let n = Array.length b.srcs in
+  let vals = Bytes.make n '0' in
+  let seen = if t.partial then Bytes.empty else Bytes.make n '\000' in
+  List.iter
+    (fun (name, v) ->
+      match Hashtbl.find_opt b.idx_of_name name with
+      | Some i ->
+        Bytes.set vals i (if v then '1' else '0');
+        if not t.partial then Bytes.set seen i '\001'
+      | None ->
+        if not t.partial then
+          invalid_arg
+            (Printf.sprintf
+               "Oracle.query: unknown input %S for netlist %s (use \
+                ~partial:true to ignore stray names)"
+               name (Netlist.name b.net)))
+    q;
+  if not t.partial then
+    for i = 0 to n - 1 do
+      if Bytes.get seen i = '\000' then
+        invalid_arg
+          (Printf.sprintf
+             "Oracle.query: no value for input %S of netlist %s (use \
+              ~partial:true to read missing inputs as false)"
+             b.src_names.(i) (Netlist.name b.net))
+    done;
+  Bytes.unsafe_to_string vals
+
+(* Canonical key for a black-box oracle: sorted, last-wins. *)
+let fn_key q =
+  let tbl = Hashtbl.create (2 * List.length q) in
+  List.iter (fun (k, v) -> Hashtbl.replace tbl k v) q;
+  let kvs = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] in
+  let kvs = List.sort (fun (a, _) (b, _) -> compare a b) kvs in
+  String.concat ";"
+    (List.map (fun (k, v) -> k ^ (if v then "=1" else "=0")) kvs)
+
+let charge t n =
+  t.stats.evals <- t.stats.evals + n;
+  match t.budget with Some b -> Budget.note_queries b n | None -> ()
+
+let memo_find t key =
+  match t.memo with
+  | None -> None
+  | Some m ->
+    let r = Hashtbl.find_opt m key in
+    if r <> None then t.stats.hits <- t.stats.hits + 1;
+    r
+
+let memo_add t key r =
+  match t.memo with None -> () | Some m -> Hashtbl.replace m key r
+
+let eval_key b key =
+  let values =
+    (* [eng] consults only source ids, each of which has a slot *)
+    Netlist.Engine.eval b.eng (fun id -> key.[Hashtbl.find b.idx_of_id id] = '1')
+  in
+  List.map (fun (po, d) -> (po, values.(d))) b.outs
+
+let query t q =
+  match t.backend with
+  | Net b -> (
+    let key = resolve t b q in
+    match memo_find t key with
+    | Some r -> r
+    | None ->
+      charge t 1;
+      let r = eval_key b key in
+      memo_add t key r;
+      r)
+  | Fn fn -> (
+    let key = fn_key q in
+    match memo_find t key with
+    | Some r -> r
+    | None ->
+      charge t 1;
+      let r = fn q in
+      memo_add t key r;
+      r)
+
+let query_batch t qs =
+  match t.backend with
+  | Fn _ -> List.map (query t) qs
+  | Net b ->
+    let w = Netlist.Engine.word_bits in
+    let n_src = Array.length b.srcs in
+    let keys = Array.of_list (List.map (resolve t b) qs) in
+    let results = Array.make (Array.length keys) None in
+    (* distinct keys not in the memo, preserving first-seen order *)
+    let pending = Hashtbl.create 64 in
+    let order = ref [] in
+    Array.iteri
+      (fun i key ->
+        match memo_find t key with
+        | Some r -> results.(i) <- Some r
+        | None ->
+          if not (Hashtbl.mem pending key) then begin
+            Hashtbl.replace pending key ();
+            order := key :: !order
+          end)
+      keys;
+    let misses = Array.of_list (List.rev !order) in
+    let computed = Hashtbl.create (2 * Array.length misses) in
+    let words = Array.make (Netlist.num_nodes b.net) 0 in
+    let chunk_start = ref 0 in
+    while !chunk_start < Array.length misses do
+      let lanes = min w (Array.length misses - !chunk_start) in
+      charge t lanes;
+      for si = 0 to n_src - 1 do
+        let word = ref 0 in
+        for j = 0 to lanes - 1 do
+          if misses.(!chunk_start + j).[si] = '1' then
+            word := !word lor (1 lsl j)
+        done;
+        words.(b.srcs.(si)) <- !word
+      done;
+      let values = Netlist.Engine.eval_words b.eng (Array.get words) in
+      for j = 0 to lanes - 1 do
+        let key = misses.(!chunk_start + j) in
+        let r =
+          List.map
+            (fun (po, d) -> (po, (values.(d) lsr j) land 1 = 1))
+            b.outs
+        in
+        memo_add t key r;
+        Hashtbl.replace computed key r
+      done;
+      chunk_start := !chunk_start + lanes
+    done;
+    Array.iteri
+      (fun i key ->
+        if results.(i) = None then
+          results.(i) <- Some (Hashtbl.find computed key))
+      keys;
+    Array.to_list (Array.map Option.get results)
+
+let as_fn t q = query t q

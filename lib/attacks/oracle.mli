@@ -1,0 +1,75 @@
+(** The instrumented chip oracle every attack in the framework queries.
+
+    An [Oracle.t] wraps either a combinational netlist (the simulated
+    unlocked chip) or an arbitrary query function, and adds the three
+    things the attack literature measures and the ad-hoc closures lost:
+
+    - {b query counting}: AppSAT and the SAT attack define their cost in
+      oracle queries; {!queries} reports real evaluations, with memo
+      hits tracked separately ({!memo_hits}).
+    - {b memoization}: repeated queries (DIP re-checks, verify samples)
+      hit a canonical-form cache instead of re-simulating — and do not
+      recount.
+    - {b budget charging}: when constructed with a {!Budget.t}, every
+      real evaluation is charged, so a query cap or deadline stops the
+      attack with [Budget.Exhausted] instead of letting it run away.
+
+    Netlist-backed oracles also {b validate queries}: a name that is not
+    one of the netlist's sources, or a source left unassigned, raises
+    [Invalid_argument] — the silent read-as-false that used to hide
+    mistyped key names is now an error.  [~partial:true] (or {!relax})
+    restores the permissive semantics for attacks that genuinely cannot
+    name every pin (e.g. the scan attack's undriveable key inputs).
+
+    Batched queries ({!query_batch}) route through the 63-lane
+    bit-parallel {!Netlist.Engine.eval_words}, evaluating one word of
+    distinct vectors per netlist pass — the fast path for sampling
+    workloads (brute force, AppSAT error estimation, removal-equivalence
+    checks, [verify_key]). *)
+
+type t
+
+(** [of_netlist ?partial ?budget ?memo net] wraps [net] (combinational,
+    or any netlist whose FF outputs are to be driven directly) as an
+    oracle.  [partial] (default false): read unmentioned sources as
+    false instead of raising.  [memo] (default true): cache query
+    results.  The netlist must not be mutated while wrapped. *)
+val of_netlist : ?partial:bool -> ?budget:Budget.t -> ?memo:bool -> Netlist.t -> t
+
+(** [of_fn ?budget ?memo fn] wraps a black-box query function (e.g. a
+    frame-regrouping wrapper around another oracle).  No validation is
+    possible; [fn] must be deterministic if [memo] is on (default). *)
+val of_fn :
+  ?budget:Budget.t ->
+  ?memo:bool ->
+  ((string * bool) list -> (string * bool) list) ->
+  t
+
+(** [query t inputs] is the chip's output assignment for [inputs].
+    @raise Invalid_argument on unknown or missing input names (strict
+    netlist-backed oracles only).
+    @raise Budget.Exhausted past the attached budget. *)
+val query : t -> (string * bool) list -> (string * bool) list
+
+(** [query_batch t qs] evaluates all of [qs] — duplicate and memoized
+    vectors cost nothing; distinct misses are packed 63 per engine
+    pass.  Results are in request order. *)
+val query_batch :
+  t -> (string * bool) list list -> (string * bool) list list
+
+(** [relax t] is [t] with permissive validation (shares counters, memo
+    and budget with [t]). *)
+val relax : t -> t
+
+(** [as_fn t] is [query t] as a bare closure, for legacy signatures. *)
+val as_fn : t -> (string * bool) list -> (string * bool) list
+
+(** Real evaluations performed (memo hits excluded). *)
+val queries : t -> int
+
+(** Queries answered from the memo. *)
+val memo_hits : t -> int
+
+(** Source (input + FF) names of a netlist-backed oracle, in declaration
+    order; [[]] for black-box oracles. *)
+val input_names : t -> string list

@@ -6,43 +6,48 @@ type removal_outcome = {
 }
 
 (* Sample-based oracle check of a candidate netlist (key inputs, if any
-   remain, read false). *)
-let agrees_with_oracle ?(samples = 128) ?(seed = 3) net ~oracle =
+   remain, read false).  The candidate is evaluated through its own
+   batched engine oracle; the chip is queried relaxed, since a restored
+   netlist need not expose exactly the chip's pin list. *)
+let agrees_with_oracle ?(samples = 128) ?seed net ~oracle =
+  let seed = match seed with Some s -> s | None -> Fuzz_seed.value () in
   let rng = Random.State.make [| seed; 0x524d |] in
   let names =
     List.map (fun pi -> (Netlist.node net pi).Netlist.name) (Netlist.inputs net)
   in
-  let ok = ref true in
+  let dips = ref [] in
   for _ = 1 to samples do
-    if !ok then begin
-      let dip = List.map (fun n -> (n, Random.State.bool rng)) names in
-      let expected = oracle dip in
-      let got = Sat_attack.oracle_of_netlist net dip in
-      if
-        List.exists
-          (fun (po, v) ->
-            match List.assoc_opt po got with Some w -> v <> w | None -> false)
-          expected
-      then ok := false
-    end
+    dips := List.map (fun n -> (n, Random.State.bool rng)) names :: !dips
   done;
-  !ok
+  let dips = List.rev !dips in
+  let expected = Oracle.query_batch (Oracle.relax oracle) dips in
+  let got = Oracle.query_batch (Oracle.of_netlist net) dips in
+  List.for_all2
+    (fun exp g ->
+      not
+        (List.exists
+           (fun (po, v) ->
+             match List.assoc_opt po g with Some w -> v <> w | None -> false)
+           exp))
+    expected got
 
-let run ?(samples = 128) ?(eps = 0.05) ?(max_candidates = 12) locked ~oracle =
-  let probs = Signal_prob.estimate locked in
+let exec ?(samples = 128) ?(eps = 0.05) ?(max_candidates = 12) ?seed ~budget
+    locked ~oracle =
+  let probs = Signal_prob.estimate ?seed locked in
   let candidates = Signal_prob.skewed ~eps locked probs in
   let rec try_candidates tried = function
     | [] -> { removed = []; restored = None; candidates_tried = tried; success = false }
     | _ when tried >= max_candidates ->
       { removed = []; restored = None; candidates_tried = tried; success = false }
     | (id, p) :: rest ->
+      Budget.tick budget;
       let attempt = Netlist.copy locked in
       let dominant = p >= 0.5 in
       let c = Netlist.add_const attempt dominant in
       Netlist.replace_uses attempt ~old_id:id ~new_id:c;
       Netlist.kill attempt id;
       let cleaned, _report = Synth.optimize attempt in
-      if agrees_with_oracle ~samples cleaned ~oracle then
+      if agrees_with_oracle ~samples ?seed cleaned ~oracle then
         {
           removed = [ id ];
           restored = Some cleaned;
@@ -52,6 +57,12 @@ let run ?(samples = 128) ?(eps = 0.05) ?(max_candidates = 12) locked ~oracle =
       else try_candidates (tried + 1) rest
   in
   try_candidates 0 candidates
+
+let run ?samples ?eps ?max_candidates locked ~oracle =
+  exec ?samples ?eps ?max_candidates
+    ~budget:(Budget.unlimited ())
+    locked
+    ~oracle:(Oracle.of_fn oracle)
 
 let strip_tdbs (tdk : Tdk.t) =
   let net = Netlist.copy tdk.Tdk.locked.Locked.net in
@@ -96,13 +107,15 @@ type gk_guess_outcome = {
   recovered : Netlist.t option;
 }
 
-let guess_gk ?(samples = 128) stripped ~gks ~oracle =
+let guess_gk_o ?(samples = 128) ?seed ~budget stripped ~gks ~oracle =
+  let seed = match seed with Some s -> s | None -> Fuzz_seed.value () in
   let n = List.length gks in
   if n > 20 then invalid_arg "Removal_attack.guess_gk: too many GKs to enumerate";
   let total = 1 lsl n in
   let rec try_guess g =
     if g >= total then { guesses_tried = total; total_guesses = total; recovered = None }
     else begin
+      Budget.tick budget;
       let attempt = Netlist.copy stripped in
       List.iteri
         (fun i (out, x) ->
@@ -115,9 +128,15 @@ let guess_gk ?(samples = 128) stripped ~gks ~oracle =
           Netlist.replace_uses attempt ~old_id:out ~new_id:repl)
         gks;
       let cleaned, _ = Synth.optimize attempt in
-      if agrees_with_oracle ~samples ~seed:(17 + g) cleaned ~oracle then
+      if agrees_with_oracle ~samples ~seed:(seed + g) cleaned ~oracle then
         { guesses_tried = g + 1; total_guesses = total; recovered = Some cleaned }
       else try_guess (g + 1)
     end
   in
   try_guess 0
+
+let guess_gk ?samples ?seed stripped ~gks ~oracle =
+  guess_gk_o ?samples ?seed
+    ~budget:(Budget.unlimited ())
+    stripped ~gks
+    ~oracle:(Oracle.of_fn oracle)

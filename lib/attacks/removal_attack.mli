@@ -21,10 +21,23 @@ type removal_outcome = {
   success : bool;
 }
 
-(** [run ?samples ?eps ?max_candidates locked ~oracle] attacks a locked
-    {i combinational} netlist: key inputs are left free (the structure is
-    bypassed, not decoded).  Equivalence with the oracle is checked on
-    random samples plus the skew-revealing patterns. *)
+(** [exec ~budget locked ~oracle] attacks a locked {i combinational}
+    netlist: key inputs are left free (the structure is bypassed, not
+    decoded).  Equivalence with the chip is checked on [samples] random
+    vectors per candidate, batched through the 63-lane engine path; one
+    {!Budget.tick} is charged per candidate.  [seed] defaults to
+    {!Fuzz_seed.value}. *)
+val exec :
+  ?samples:int ->
+  ?eps:float ->
+  ?max_candidates:int ->
+  ?seed:int ->
+  budget:Budget.t ->
+  Netlist.t ->
+  oracle:Oracle.t ->
+  removal_outcome
+
+(** Legacy entry: {!exec} with an unlimited budget. *)
 val run :
   ?samples:int ->
   ?eps:float ->
@@ -45,12 +58,25 @@ type gk_guess_outcome = {
   recovered : Netlist.t option;
 }
 
-(** [guess_gk stripped ~gk_outputs ~oracle] enumerates buffer/inverter
-    replacements for each located GK output (given by node id and its [x]
-    fanin) and tests each candidate against the oracle on random samples.
-    Deterministic enumeration order — expected cost half the space. *)
+(** [guess_gk_o ~budget stripped ~gks ~oracle] enumerates
+    buffer/inverter replacements for each located GK output (given by
+    node id and its [x] fanin) and tests each candidate against the chip
+    on random samples (batched); one {!Budget.tick} per guess.
+    Deterministic enumeration order — expected cost half the space.
+    [seed] defaults to {!Fuzz_seed.value}. *)
+val guess_gk_o :
+  ?samples:int ->
+  ?seed:int ->
+  budget:Budget.t ->
+  Netlist.t ->
+  gks:(int * int) list ->
+  oracle:Oracle.t ->
+  gk_guess_outcome
+
+(** Legacy entry: {!guess_gk_o} with an unlimited budget. *)
 val guess_gk :
   ?samples:int ->
+  ?seed:int ->
   Netlist.t ->
   gks:(int * int) list ->
   oracle:Sat_attack.oracle ->

@@ -12,22 +12,8 @@ type outcome = {
   conflicts : int;
 }
 
-(* The closure is built once per oracle: source names and outputs are
-   resolved up front, and each query hashes its input list once instead of
-   doing a linear [List.assoc_opt] per source node. *)
-let oracle_of_netlist net =
-  let names = Array.init (Netlist.num_nodes net) (fun id -> (Netlist.node net id).Netlist.name) in
-  let outs = Netlist.outputs net in
-  fun inputs ->
-    let tbl = Hashtbl.create (2 * List.length inputs) in
-    List.iter (fun (k, v) -> Hashtbl.replace tbl k v) inputs;
-    let values =
-      Netlist.Engine.eval (Netlist.Engine.get net) (fun id ->
-          match Hashtbl.find_opt tbl names.(id) with
-          | Some b -> b
-          | None -> false)
-    in
-    List.map (fun (po, d) -> (po, values.(d))) outs
+let oracle_of_netlist ?(partial = false) net =
+  Oracle.as_fn (Oracle.of_netlist ~partial net)
 
 (* Split the locked netlist's inputs into X inputs and key inputs. *)
 let classify_inputs locked key_inputs =
@@ -37,7 +23,7 @@ let classify_inputs locked key_inputs =
     (fun pi -> not (Hashtbl.mem is_key (Netlist.node locked pi).Netlist.name))
     (Netlist.inputs locked)
 
-let run ?(max_iterations = 4096) ~locked ~key_inputs ~oracle () =
+let exec ~budget ~locked ~key_inputs ~oracle () =
   if Netlist.ffs locked <> [] then
     invalid_arg "Sat_attack.run: locked netlist must be combinational";
   List.iter
@@ -140,57 +126,74 @@ let run ?(max_iterations = 4096) ~locked ~key_inputs ~oracle () =
       (* Impossible unless the oracle is inconsistent with the netlist. *)
       List.map (fun k -> (k, false)) key_inputs
   in
-  let rec loop iter =
-    if iter >= max_iterations then
-      {
-        status = Budget_exhausted;
-        iterations = iter;
-        dips = List.rev_map fst !dips;
-        conflicts = Solver.conflicts solver;
-      }
-    else
-      match Solver.solve solver with
-      | Solver.Unsat ->
-        let key = extract_key () in
-        let status =
-          if iter = 0 then Unsat_at_first_iteration key else Key_recovered key
-        in
-        {
-          status;
-          iterations = iter;
-          dips = List.rev_map fst !dips;
-          conflicts = Solver.conflicts solver;
-        }
-      | Solver.Sat ->
-        let dip =
-          List.map
-            (fun n -> (n, Solver.value solver (Hashtbl.find x_vars n)))
-            x_names
-        in
-        let outs = oracle dip in
-        dips := (dip, outs) :: !dips;
-        add_constraint k1_vars dip outs;
-        add_constraint k2_vars dip outs;
-        loop (iter + 1)
+  let finish status iter =
+    {
+      status;
+      iterations = iter;
+      dips = List.rev_map fst !dips;
+      conflicts = Solver.conflicts solver;
+    }
   in
-  loop 0
+  let rec loop iter =
+    Budget.check budget;
+    match Solver.solve solver with
+    | Solver.Unsat ->
+      let key = extract_key () in
+      let status =
+        if iter = 0 then Unsat_at_first_iteration key else Key_recovered key
+      in
+      finish status iter
+    | Solver.Sat ->
+      (* charge the iteration only once a DIP exists, so the iteration
+         count always equals the number of DIPs consumed *)
+      Budget.tick budget;
+      let dip =
+        List.map
+          (fun n -> (n, Solver.value solver (Hashtbl.find x_vars n)))
+          x_names
+      in
+      let outs = Oracle.query oracle dip in
+      dips := (dip, outs) :: !dips;
+      add_constraint k1_vars dip outs;
+      add_constraint k2_vars dip outs;
+      loop (iter + 1)
+  in
+  try loop 0
+  with Budget.Exhausted _ -> finish Budget_exhausted (List.length !dips)
 
-let verify_key ?(samples = 64) ?(seed = 7) ~locked ~key_inputs ~oracle key =
+let run ?(max_iterations = 4096) ~locked ~key_inputs ~oracle () =
+  exec
+    ~budget:(Budget.create ~max_iterations ())
+    ~locked ~key_inputs
+    ~oracle:(Oracle.of_fn oracle)
+    ()
+
+let verify_key_o ?(samples = 64) ?seed ~locked ~key_inputs ~oracle key =
+  let seed = match seed with Some s -> s | None -> Fuzz_seed.value () in
   let rng = Random.State.make [| seed; 0x5646 |] in
   let x_pis, _ = classify_inputs locked key_inputs in
   let x_names = List.map (fun pi -> (Netlist.node locked pi).Netlist.name) x_pis in
-  let locked_oracle = oracle_of_netlist locked in
-  let mismatches = ref 0 in
+  let dips = ref [] in
   for _ = 1 to samples do
-    let dip = List.map (fun n -> (n, Random.State.bool rng)) x_names in
-    let expected = oracle dip in
-    let got = locked_oracle (dip @ key) in
-    let differs =
-      List.exists
-        (fun (po, v) ->
-          match List.assoc_opt po got with Some w -> v <> w | None -> true)
-        expected
-    in
-    if differs then incr mismatches
+    dips := List.map (fun n -> (n, Random.State.bool rng)) x_names :: !dips
   done;
-  !mismatches
+  let dips = List.rev !dips in
+  (* the chip may expose pins the locked view lacks (and vice versa) —
+     verification drives the pins it can name *)
+  let expected = Oracle.query_batch (Oracle.relax oracle) dips in
+  let locked_o = Oracle.of_netlist ~partial:true locked in
+  let got = Oracle.query_batch locked_o (List.map (fun d -> d @ key) dips) in
+  List.fold_left2
+    (fun mismatches exp g ->
+      let differs =
+        List.exists
+          (fun (po, v) ->
+            match List.assoc_opt po g with Some w -> v <> w | None -> true)
+          exp
+      in
+      if differs then mismatches + 1 else mismatches)
+    0 expected got
+
+let verify_key ?samples ?seed ~locked ~key_inputs ~oracle key =
+  verify_key_o ?samples ?seed ~locked ~key_inputs ~oracle:(Oracle.of_fn oracle)
+    key

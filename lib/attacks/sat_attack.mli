@@ -36,13 +36,29 @@ type outcome = {
 }
 
 (** [oracle_of_netlist net] wraps a combinational netlist as the oracle
-    (simulating the unlocked chip).  Unmentioned inputs read false. *)
-val oracle_of_netlist : Netlist.t -> oracle
+    (simulating the unlocked chip), via a memoizing {!Oracle.t}.  A
+    query naming an unknown input, or leaving an input unassigned,
+    raises [Invalid_argument]; [~partial:true] restores the old
+    permissive read-as-false semantics for attacks that cannot name
+    every pin. *)
+val oracle_of_netlist : ?partial:bool -> Netlist.t -> oracle
 
-(** [run ?max_iterations ~locked ~key_inputs ~oracle ()] executes the
-    attack.  [locked] must be combinational; [key_inputs] are the names of
-    its key PIs; all other PIs are the X inputs presented to the oracle.
-    Default budget: 4096 DIPs. *)
+(** [exec ~budget ~locked ~key_inputs ~oracle ()] is the framework entry
+    point: the DIP loop charges one {!Budget.tick} per iteration and
+    every oracle query against [budget]; exhaustion (from this function
+    or the oracle) returns [Budget_exhausted] instead of raising.
+    [locked] must be combinational; [key_inputs] are the names of its
+    key PIs; all other PIs are the X inputs presented to the oracle. *)
+val exec :
+  budget:Budget.t ->
+  locked:Netlist.t ->
+  key_inputs:string list ->
+  oracle:Oracle.t ->
+  unit ->
+  outcome
+
+(** [run ?max_iterations ~locked ~key_inputs ~oracle ()] — legacy entry:
+    {!exec} under a DIP-count-only budget (default 4096). *)
 val run :
   ?max_iterations:int ->
   locked:Netlist.t ->
@@ -51,9 +67,21 @@ val run :
   unit ->
   outcome
 
-(** [verify_key ?samples ~locked ~key_inputs ~oracle key] samples random
-    input vectors and checks the locked netlist under [key] against the
-    oracle; returns the number of mismatching vectors (0 = consistent). *)
+(** [verify_key_o ?samples ?seed ~locked ~key_inputs ~oracle key]
+    samples random input vectors and checks the locked netlist under
+    [key] against the chip; returns the number of mismatching vectors
+    (0 = consistent).  Both sides are evaluated through the batched
+    63-lane oracle path.  [seed] defaults to {!Fuzz_seed.value}. *)
+val verify_key_o :
+  ?samples:int ->
+  ?seed:int ->
+  locked:Netlist.t ->
+  key_inputs:string list ->
+  oracle:Oracle.t ->
+  Key.assignment ->
+  int
+
+(** Legacy {!verify_key_o} over a bare oracle closure. *)
 val verify_key :
   ?samples:int ->
   ?seed:int ->

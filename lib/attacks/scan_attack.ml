@@ -9,10 +9,11 @@ type verdict = {
   v_samples : int;
 }
 
-let run ?(samples = 64) ?(seed = 29) ?(unknown = []) ~stripped_comb ~oracle
+let exec ?(samples = 64) ?seed ?(unknown = []) ~budget ~stripped_comb ~oracle
     () =
   if Netlist.ffs stripped_comb <> [] then
     invalid_arg "Scan_attack.run: combinationalize the stripped netlist first";
+  let seed = match seed with Some s -> s | None -> Fuzz_seed.value () in
   let located = Enhanced_removal.locate stripped_comb in
   let rng = Random.State.make [| seed; 0x5343 |] in
   let pis = Netlist.inputs stripped_comb in
@@ -34,31 +35,59 @@ let run ?(samples = 64) ?(seed = 29) ?(unknown = []) ~stripped_comb ~oracle
         else (pi, name, Random.State.bool rng))
       pis
   in
+  let eng = Netlist.Engine.get stripped_comb in
+  let w = Netlist.Engine.word_bits in
+  let words = Array.make (Netlist.num_nodes stripped_comb) 0 in
+  (* the chip cannot be asked about the stripped netlist's key pins —
+     the undriveable-pin guess is exactly the partial-query escape *)
+  let chip = Oracle.relax oracle in
   List.filter_map
     (fun gk ->
       match ppo_of gk.Enhanced_removal.mux with
       | None -> None
       | Some ppo ->
-        let agree_buf = ref 0 and agree_inv = ref 0 in
+        Budget.tick budget;
+        let assignments = ref [] in
         for _ = 1 to samples do
-          let assignment = sample_inputs () in
-          let values =
-            Netlist.eval_comb stripped_comb (fun id ->
-                let _, _, v =
-                  List.find (fun (pi, _, _) -> pi = id) assignment
-                in
-                v)
-          in
-          let x = values.(gk.Enhanced_removal.x) in
-          let chip =
-            oracle (List.map (fun (_, name, v) -> (name, v)) assignment)
-          in
-          match List.assoc_opt ppo chip with
-          | Some captured ->
-            if captured = x then incr agree_buf;
-            if captured = not x then incr agree_inv
-          | None -> ()
+          assignments := sample_inputs () :: !assignments
         done;
+        let assignments = Array.of_list (List.rev !assignments) in
+        (* stripped-side x values: 63 sample lanes per engine pass *)
+        let x_vals = Array.make samples false in
+        let start = ref 0 in
+        while !start < samples do
+          let lanes = min w (samples - !start) in
+          List.iter (fun pi -> words.(pi) <- 0) pis;
+          for j = 0 to lanes - 1 do
+            List.iter
+              (fun (pi, _, v) ->
+                if v then words.(pi) <- words.(pi) lor (1 lsl j))
+              assignments.(!start + j)
+          done;
+          let values = Netlist.Engine.eval_words eng (Array.get words) in
+          for j = 0 to lanes - 1 do
+            x_vals.(!start + j) <-
+              (values.(gk.Enhanced_removal.x) lsr j) land 1 = 1
+          done;
+          start := !start + lanes
+        done;
+        let chips =
+          Oracle.query_batch chip
+            (Array.to_list
+               (Array.map
+                  (fun a -> List.map (fun (_, name, v) -> (name, v)) a)
+                  assignments))
+        in
+        let agree_buf = ref 0 and agree_inv = ref 0 in
+        List.iteri
+          (fun i resp ->
+            match List.assoc_opt ppo resp with
+            | Some captured ->
+              let x = x_vals.(i) in
+              if captured = x then incr agree_buf;
+              if captured = not x then incr agree_inv
+            | None -> ())
+          chips;
         let v_behaviour =
           if !agree_buf = samples then `Buffer
           else if !agree_inv = samples then `Inverter
@@ -74,6 +103,13 @@ let run ?(samples = 64) ?(seed = 29) ?(unknown = []) ~stripped_comb ~oracle
             v_samples = samples;
           })
     located
+
+let run ?samples ?(seed = 29) ?unknown ~stripped_comb ~oracle () =
+  exec ?samples ~seed ?unknown
+    ~budget:(Budget.unlimited ())
+    ~stripped_comb
+    ~oracle:(Oracle.of_fn oracle)
+    ()
 
 let decrypt ~stripped_comb verdicts =
   if

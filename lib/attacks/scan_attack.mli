@@ -50,6 +50,21 @@ val run :
   unit ->
   verdict list
 
+(** Framework variant of {!run}: one budget iteration per located GK,
+    chip captures are drawn through [oracle] in counted, memoized
+    batches (the stripped-netlist side is evaluated on the bit-parallel
+    engine, 63 samples per pass).  [seed] defaults to the session
+    {!Fuzz_seed}. *)
+val exec :
+  ?samples:int ->
+  ?seed:int ->
+  ?unknown:string list ->
+  budget:Budget.t ->
+  stripped_comb:Netlist.t ->
+  oracle:Oracle.t ->
+  unit ->
+  verdict list
+
 (** [decrypt ~stripped_comb verdicts] replaces each decided GK by the
     revealed buffer/inverter and sweeps; [None] when any verdict is
     [`Unknown]. *)

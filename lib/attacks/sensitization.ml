@@ -4,9 +4,10 @@ type outcome = {
   patterns_used : int;
 }
 
-let run ?(samples_other = 8) ?(seed = 37) ~locked ~key_inputs ~oracle () =
+let exec ?(samples_other = 8) ?seed ~budget ~locked ~key_inputs ~oracle () =
   if Netlist.ffs locked <> [] then
     invalid_arg "Sensitization.run: locked netlist must be combinational";
+  let seed = match seed with Some s -> s | None -> Fuzz_seed.value () in
   let rng = Random.State.make [| seed; 0x534e |] in
   let x_pis =
     List.filter
@@ -18,6 +19,9 @@ let run ?(samples_other = 8) ?(seed = 37) ~locked ~key_inputs ~oracle () =
     List.map (fun pi -> (Netlist.node locked pi).Netlist.name) x_pis
   in
   let patterns = ref 0 in
+  (* attacker-side simulation of the locked netlist: free, not a chip
+     query — it never counts against the oracle budget *)
+  let locked_sim = Sat_attack.oracle_of_netlist locked in
   let attack_bit target =
     let others = List.filter (fun k -> k <> target) key_inputs in
     let samples =
@@ -74,7 +78,7 @@ let run ?(samples_other = 8) ?(seed = 37) ~locked ~key_inputs ~oracle () =
       let dip =
         List.map (fun n -> (n, Solver.value solver (Hashtbl.find x_vars n))) x_names
       in
-      let chip = oracle dip in
+      let chip = Oracle.query oracle dip in
       (* Infer the bit from properly sensitized outputs: an output is
          trustworthy only if, at this input pattern, it flips with the
          target and is *independent of the other key bits* (same value
@@ -85,10 +89,7 @@ let run ?(samples_other = 8) ?(seed = 37) ~locked ~key_inputs ~oracle () =
       let sims =
         List.map
           (fun sample ->
-            let sim v =
-              Sat_attack.oracle_of_netlist locked
-                (dip @ ((target, v) :: sample))
-            in
+            let sim v = locked_sim (dip @ ((target, v) :: sample)) in
             (sim false, sim true))
           samples
       in
@@ -126,6 +127,7 @@ let run ?(samples_other = 8) ?(seed = 37) ~locked ~key_inputs ~oracle () =
   let recovered = ref [] and unresolved = ref [] in
   List.iter
     (fun k ->
+      Budget.tick budget;
       match attack_bit k with
       | Some bit -> recovered := bit :: !recovered
       | None -> unresolved := k :: !unresolved)
@@ -135,3 +137,10 @@ let run ?(samples_other = 8) ?(seed = 37) ~locked ~key_inputs ~oracle () =
     unresolved = List.rev !unresolved;
     patterns_used = !patterns;
   }
+
+let run ?samples_other ?seed ~locked ~key_inputs ~oracle () =
+  exec ?samples_other ?seed
+    ~budget:(Budget.unlimited ())
+    ~locked ~key_inputs
+    ~oracle:(Oracle.of_fn oracle)
+    ()

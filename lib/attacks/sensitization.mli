@@ -20,6 +20,21 @@ type outcome = {
   patterns_used : int;
 }
 
+(** [exec ~budget ~locked ~key_inputs ~oracle ()] — framework entry: one
+    {!Budget.tick} per key bit; chip queries are charged by the oracle
+    (attacker-side simulations of the locked netlist are free).  [seed]
+    defaults to {!Fuzz_seed.value}. *)
+val exec :
+  ?samples_other:int ->
+  ?seed:int ->
+  budget:Budget.t ->
+  locked:Netlist.t ->
+  key_inputs:string list ->
+  oracle:Oracle.t ->
+  unit ->
+  outcome
+
+(** Legacy entry: {!exec} with an unlimited budget. *)
 val run :
   ?samples_other:int ->
   ?seed:int ->

@@ -27,7 +27,7 @@ let strip_prefix p s =
     Some (String.sub s lp (String.length s - lp))
   else None
 
-let run ?max_iterations ~k ~locked ~key_inputs ~oracle_step () =
+let exec ~budget ~k ~locked ~key_inputs ~oracle_step () =
   let is_key name = List.mem name key_inputs in
   let unrolled = Unroll.frames locked ~k ~share:is_key ~init:`Zero in
   let oracle flat_inputs =
@@ -48,9 +48,17 @@ let run ?max_iterations ~k ~locked ~key_inputs ~oracle_step () =
            List.map (fun (po, v) -> (frame_prefix i ^ po, v)) frame_outs)
          outs)
   in
-  let sat = Sat_attack.run ?max_iterations ~locked:unrolled ~key_inputs ~oracle () in
+  let sat =
+    Sat_attack.exec ~budget ~locked:unrolled ~key_inputs
+      ~oracle:(Oracle.of_fn oracle) ()
+  in
   {
     sat;
     frames = k;
     unrolled_inputs = List.length (Netlist.inputs unrolled);
   }
+
+let run ?(max_iterations = 4096) ~k ~locked ~key_inputs ~oracle_step () =
+  exec
+    ~budget:(Budget.create ~max_iterations ())
+    ~k ~locked ~key_inputs ~oracle_step ()

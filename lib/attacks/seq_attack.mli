@@ -32,6 +32,18 @@ val run :
   unit ->
   outcome
 
+(** Framework variant of {!run}: the unrolled DIP loop runs under
+    [budget] (sequence queries are counted through the wrapping
+    oracle). *)
+val exec :
+  budget:Budget.t ->
+  k:int ->
+  locked:Netlist.t ->
+  key_inputs:string list ->
+  oracle_step:((string * bool) list list -> (string * bool) list list) ->
+  unit ->
+  outcome
+
 (** [oracle_of_netlist net] wraps the original sequential design as the
     sequence oracle: cycle-simulate from the all-zero state. *)
 val oracle_of_netlist :

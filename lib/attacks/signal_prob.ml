@@ -1,6 +1,7 @@
-let estimate ?(samples = 2048) ?(seed = 11) ?(fixed = []) net =
+let estimate ?(samples = 2048) ?seed ?(fixed = []) net =
   if Netlist.ffs net <> [] then
     invalid_arg "Signal_prob.estimate: netlist must be combinational";
+  let seed = match seed with Some s -> s | None -> Fuzz_seed.value () in
   let rng = Random.State.make [| seed; 0x5350 |] in
   let n = Netlist.num_nodes net in
   let ones = Array.make n 0 in

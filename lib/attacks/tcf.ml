@@ -43,10 +43,10 @@ let unroll locked ~key_inputs =
 
 type outcome = { sat : Sat_attack.outcome; frame_inputs : int }
 
-let two_frame_attack ?max_iterations ~locked ~key_inputs ~oracle () =
-  let two = unroll locked ~key_inputs in
+(* One unrolled query fans out into one chip query per frame. *)
+let frame_oracle oracle =
   let strip_tag name = String.sub name 3 (String.length name - 3) in
-  let two_oracle inputs =
+  fun inputs ->
     let frame tag =
       let sub =
         List.filter_map
@@ -59,8 +59,20 @@ let two_frame_attack ?max_iterations ~locked ~key_inputs ~oracle () =
       List.map (fun (po, v) -> (tag ^ "_" ^ po, v)) (oracle sub)
     in
     frame "f0" @ frame "f1"
-  in
+
+let exec ~budget ~locked ~key_inputs ~oracle () =
+  let two = unroll locked ~key_inputs in
   let sat =
-    Sat_attack.run ?max_iterations ~locked:two ~key_inputs ~oracle:two_oracle ()
+    Sat_attack.exec ~budget ~locked:two ~key_inputs
+      ~oracle:(Oracle.of_fn (frame_oracle (Oracle.query oracle)))
+      ()
+  in
+  { sat; frame_inputs = List.length (Netlist.inputs two) }
+
+let two_frame_attack ?max_iterations ~locked ~key_inputs ~oracle () =
+  let two = unroll locked ~key_inputs in
+  let sat =
+    Sat_attack.run ?max_iterations ~locked:two ~key_inputs
+      ~oracle:(frame_oracle oracle) ()
   in
   { sat; frame_inputs = List.length (Netlist.inputs two) }

@@ -20,6 +20,17 @@ type outcome = {
   frame_inputs : int;  (** PIs of the unrolled netlist (2× the original) *)
 }
 
+(** [exec ~budget ~locked ~key_inputs ~oracle ()] — framework entry:
+    the DIP loop runs under [budget]; each unrolled query fans out into
+    one (counted, memoized) chip query per frame. *)
+val exec :
+  budget:Budget.t ->
+  locked:Netlist.t ->
+  key_inputs:string list ->
+  oracle:Oracle.t ->
+  unit ->
+  outcome
+
 (** [two_frame_attack ?max_iterations ~locked ~key_inputs ~oracle ()] —
     [oracle] is the single-frame chip oracle; the two-frame oracle is
     derived by querying it on each frame. *)

@@ -96,18 +96,19 @@ let status ~dir matrix =
 
 (* ----- report ----- *)
 
+(* Registry payloads are uniform: verdict / iterations / queries /
+   broken.  The "status"/"dips"/"candidates_tried" fallbacks read the
+   pre-registry (v1) payload shape so old result stores still render. *)
 let attack_outcome payload =
-  match Cjson.mem_str "status" payload with
+  match Cjson.mem_str "verdict" payload with
   | Some s -> s
   | None -> (
-    match Cjson.mem_bool "exact" payload with
-    | Some true -> "exact_key"
-    | Some false -> "approx_key"
+    match Cjson.mem_str "status" payload with
+    | Some s -> s
     | None -> (
-      match Cjson.mem_int "recovered" payload with
-      | Some r ->
-        Printf.sprintf "%d/%d bits" r
-          (r + Option.value ~default:0 (Cjson.mem_int "unresolved" payload))
+      match Cjson.mem_bool "exact" payload with
+      | Some true -> "exact_key"
+      | Some false -> "approx_key"
       | None -> "done"))
 
 let attack_iters payload =
@@ -120,6 +121,11 @@ let attack_iters payload =
       match Cjson.mem_int "candidates_tried" payload with
       | Some i -> string_of_int i
       | None -> "-"))
+
+let attack_queries payload =
+  match Cjson.mem_int "queries" payload with
+  | Some q -> string_of_int q
+  | None -> "-"
 
 let attack_verdict payload =
   match Cjson.mem_bool "broken" payload with
@@ -199,12 +205,13 @@ let report ~dir matrix =
             ("keys", Ascii_table.Right);
             ("outcome", Ascii_table.Left);
             ("iters", Ascii_table.Right);
+            ("queries", Ascii_table.Right);
             ("verdict", Ascii_table.Left);
           ]
     in
     List.iter
       (fun ((bench, scheme, width, attack, seed), st) ->
-        let keys, outcome, iters, verdict =
+        let keys, outcome, iters, queries, verdict =
           match st with
           | S_done p ->
             ( (match Cjson.mem_int "keys" p with
@@ -212,19 +219,21 @@ let report ~dir matrix =
               | None -> "-"),
               attack_outcome p,
               attack_iters p,
+              attack_queries p,
               attack_verdict p )
-          | S_failed (Job_store.Timeout, _, _) -> ("-", "TIMEOUT", "-", "-")
+          | S_failed (Job_store.Timeout, _, _) ->
+            ("-", "TIMEOUT", "-", "-", "-")
           | S_failed (Job_store.Exception, msg, _) ->
             let msg =
               if String.length msg > 32 then String.sub msg 0 32 ^ "…" else msg
             in
-            ("-", "FAILED: " ^ msg, "-", "-")
-          | S_pending -> ("-", "pending", "-", "-")
+            ("-", "FAILED: " ^ msg, "-", "-", "-")
+          | S_pending -> ("-", "pending", "-", "-", "-")
         in
         Ascii_table.add_row t
           [
             bench; scheme; string_of_int width; attack; string_of_int seed;
-            keys; outcome; iters; verdict;
+            keys; outcome; iters; queries; verdict;
           ])
       attacks;
     Buffer.add_char buf '\n';

@@ -156,78 +156,37 @@ let build_locked net ~bench ~scheme ~width ~seed =
     (lk.Locked.net, lk.Locked.key_inputs, [])
   | s -> invalid_arg (Printf.sprintf "unknown scheme %S" s)
 
-let sat_status_string = function
-  | Sat_attack.Key_recovered _ -> "key_recovered"
-  | Sat_attack.Unsat_at_first_iteration _ -> "unsat_at_first"
-  | Sat_attack.Budget_exhausted -> "budget_exhausted"
-
 let run_attack ~bench ~scheme ~width ~attack ~seed =
   let net = load_bench bench in
   let oracle_comb, _ = Combinationalize.run net in
-  let oracle = Sat_attack.oracle_of_netlist oracle_comb in
   let locked, key_inputs, extra =
     build_locked net ~bench ~scheme ~width ~seed
   in
-  let base = [ ("keys", Cjson.Int (List.length key_inputs)) ] in
-  let fields =
-    match attack with
-    | "none" -> []
-    | "sat" ->
-      let o = Sat_attack.run ~locked ~key_inputs ~oracle () in
-      let key =
-        match o.Sat_attack.status with
-        | Sat_attack.Key_recovered k | Sat_attack.Unsat_at_first_iteration k ->
-          Some k
-        | Sat_attack.Budget_exhausted -> None
-      in
-      let mismatches =
-        match key with
-        | Some k -> Sat_attack.verify_key ~locked ~key_inputs ~oracle k
-        | None -> -1
-      in
-      [
-        ("status", Cjson.Str (sat_status_string o.Sat_attack.status));
-        ("iterations", Cjson.Int o.Sat_attack.iterations);
-        ("dips", Cjson.Int (List.length o.Sat_attack.dips));
-        ("conflicts", Cjson.Int o.Sat_attack.conflicts);
-        ("mismatches", Cjson.Int mismatches);
-        ( "broken",
-          Cjson.Bool
-            (match o.Sat_attack.status with
-            | Sat_attack.Key_recovered _ -> mismatches = 0
-            | _ -> false) );
-      ]
-    | "appsat" ->
-      let o = Appsat.run ~locked ~key_inputs ~oracle () in
-      let mismatches =
-        Sat_attack.verify_key ~locked ~key_inputs ~oracle o.Appsat.key
-      in
-      [
-        ("exact", Cjson.Bool o.Appsat.exact);
-        ("dips", Cjson.Int o.Appsat.dips);
-        ("random_queries", Cjson.Int o.Appsat.random_queries);
-        ("error_rate", Cjson.Float o.Appsat.error_rate);
-        ("mismatches", Cjson.Int mismatches);
-        ("broken", Cjson.Bool (mismatches = 0));
-      ]
-    | "sensitization" ->
-      let o = Sensitization.run ~locked ~key_inputs ~oracle () in
-      [
-        ("recovered", Cjson.Int (List.length o.Sensitization.recovered));
-        ("unresolved", Cjson.Int (List.length o.Sensitization.unresolved));
-        ("patterns_used", Cjson.Int o.Sensitization.patterns_used);
-        ("broken", Cjson.Bool (o.Sensitization.unresolved = []));
-      ]
-    | "removal" ->
-      let rm = Removal_attack.run locked ~oracle in
-      [
-        ("removed", Cjson.Int (List.length rm.Removal_attack.removed));
-        ("candidates_tried", Cjson.Int rm.Removal_attack.candidates_tried);
-        ("broken", Cjson.Bool rm.Removal_attack.success);
-      ]
-    | a -> invalid_arg (Printf.sprintf "unknown attack %S" a)
+  (* Every attack dispatches through the one registry; the payload is the
+     registry's uniform outcome.  [elapsed_s] is deliberately excluded —
+     payloads must be deterministic so resumed campaigns reproduce
+     byte-identical results. *)
+  let o =
+    Attack.run
+      ~budget:(Budget.create ~max_iterations:4096 ())
+      ~seed ~name:attack ~locked ~key_inputs
+      ~oracle:(Oracle.of_netlist oracle_comb)
+      ()
   in
-  Cjson.Obj (base @ fields @ extra)
+  let fields =
+    [
+      ("keys", Cjson.Int (List.length key_inputs));
+      ("verdict", Cjson.Str (Attack.verdict_name o.Attack.verdict));
+      ("broken", Cjson.Bool (Attack.broken o.Attack.verdict));
+      ("iterations", Cjson.Int o.Attack.iterations);
+      ("queries", Cjson.Int o.Attack.queries);
+      ("conflicts", Cjson.Int o.Attack.conflicts);
+    ]
+    @ (match Attack.mismatches_of_verdict o.Attack.verdict with
+      | Some m -> [ ("mismatches", Cjson.Int m) ]
+      | None -> [])
+  in
+  Cjson.Obj (fields @ extra)
 
 let run = function
   | Campaign_job.Table1 { bench } -> (

@@ -60,7 +60,7 @@ let spec_of_json j =
 (* Bump the prefix whenever the spec encoding or the executor's meaning of
    a spec changes incompatibly: every job ID changes, so stale store
    entries are ignored rather than misread. *)
-let id_format = "gklock-job-v1:"
+let id_format = "gklock-job-v2:"
 
 let id spec = Digest.to_hex (Digest.string (id_format ^ Cjson.to_string (spec_to_json spec)))
 

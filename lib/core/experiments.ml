@@ -103,26 +103,21 @@ let sat_attack_on_gk spec ~n_gks =
   let stripped, gkkeys = Insertion.strip_keygens d in
   let locked_comb, _ = Combinationalize.run stripped in
   let oracle_comb, _ = Combinationalize.run net in
-  let oracle = Sat_attack.oracle_of_netlist oracle_comb in
-  let o = Sat_attack.run ~locked:locked_comb ~key_inputs:gkkeys ~oracle () in
-  let unsat1, key =
-    match o.Sat_attack.status with
-    | Sat_attack.Unsat_at_first_iteration k -> (true, Some k)
-    | Sat_attack.Key_recovered k -> (false, Some k)
-    | Sat_attack.Budget_exhausted -> (false, None)
-  in
-  let mism =
-    match key with
-    | Some k ->
-      Sat_attack.verify_key ~locked:locked_comb ~key_inputs:gkkeys ~oracle k
-    | None -> -1
+  let o =
+    Attack.run ~name:"sat" ~locked:locked_comb ~key_inputs:gkkeys
+      ~oracle:(Oracle.of_netlist oracle_comb)
+      ()
   in
   {
     at_bench = spec.Benchmarks.bname;
     at_keys = List.length gkkeys;
-    at_unsat_at_first = unsat1;
-    at_iterations = o.Sat_attack.iterations;
-    at_key_mismatches = mism;
+    at_unsat_at_first =
+      (match o.Attack.verdict with Attack.No_dip _ -> true | _ -> false);
+    at_iterations = o.Attack.iterations;
+    at_key_mismatches =
+      Option.value
+        (Attack.mismatches_of_verdict o.Attack.verdict)
+        ~default:(-1);
   }
 
 let sat_attack_table ?(n_gks = 8) () =
@@ -157,78 +152,74 @@ let comparison_circuit seed =
 let attack_comparison ?(seed = 5) () =
   let net = comparison_circuit seed in
   let comb, _ = Combinationalize.run net in
-  let oracle = Sat_attack.oracle_of_netlist comb in
+  let oracle = Oracle.of_netlist comb in
   let clock = Sta.clock_for net ~margin:1.6 in
-  let sat_on (lk : Locked.t) =
-    Sat_attack.run ~max_iterations:2048 ~locked:lk.Locked.net
-      ~key_inputs:lk.Locked.key_inputs ~oracle ()
+  let attack_on name (lk : Locked.t) =
+    Attack.run
+      ~budget:(Budget.create ~max_iterations:2048 ())
+      ~name ~locked:lk.Locked.net ~key_inputs:lk.Locked.key_inputs ~oracle ()
   in
-  let classify lk (o : Sat_attack.outcome) =
-    match o.Sat_attack.status with
-    | Sat_attack.Key_recovered k ->
-      let m =
-        Sat_attack.verify_key ~locked:lk.Locked.net
-          ~key_inputs:lk.Locked.key_inputs ~oracle k
-      in
-      if m = 0 then ("key recovered, functionally correct", true)
-      else ("key recovered but wrong on the chip", false)
-    | Sat_attack.Unsat_at_first_iteration _ ->
-      ("UNSAT at first DIP search: attack invalid", false)
-    | Sat_attack.Budget_exhausted -> ("DIP budget exhausted", false)
+  let classify (o : Attack.outcome) =
+    match o.Attack.verdict with
+    | Attack.Key_recovered _ -> ("key recovered, functionally correct", true)
+    | Attack.Wrong_key _ -> ("key recovered but wrong on the chip", false)
+    | Attack.No_dip _ -> ("UNSAT at first DIP search: attack invalid", false)
+    | Attack.Out_of_budget _ -> ("DIP budget exhausted", false)
+    | Attack.Skipped | Attack.Approx_key _ | Attack.Partial_key _
+    | Attack.Recovered_netlist _ | Attack.Gave_up ->
+      ("unexpected outcome", false)
   in
   let xor_row =
-    let lk = Xor_lock.lock ~seed comb ~n_keys:16 in
-    let o = sat_on lk in
-    let outcome, ok = classify lk o in
+    let o = attack_on "sat" (Xor_lock.lock ~seed comb ~n_keys:16) in
+    let outcome, ok = classify o in
     {
       cp_scheme = "XOR/XNOR [9]";
       cp_keys = 16;
       cp_outcome = outcome;
-      cp_iterations = o.Sat_attack.iterations;
+      cp_iterations = o.Attack.iterations;
       cp_decrypted = ok;
     }
   in
   let mux_row =
-    let lk = Mux_lock.lock ~seed comb ~n_keys:16 in
-    let o = sat_on lk in
-    let outcome, ok = classify lk o in
+    let o = attack_on "sat" (Mux_lock.lock ~seed comb ~n_keys:16) in
+    let outcome, ok = classify o in
     {
       cp_scheme = "MUX";
       cp_keys = 16;
       cp_outcome = outcome;
-      cp_iterations = o.Sat_attack.iterations;
+      cp_iterations = o.Attack.iterations;
       cp_decrypted = ok;
     }
   in
   let sar_row =
     let lk = Sarlock.lock ~seed comb ~n_keys:8 in
-    let o = sat_on lk in
+    let o = attack_on "sat" lk in
     let outcome =
       Printf.sprintf "SAT needs %d DIPs (~2^8); removal strips it"
-        o.Sat_attack.iterations
+        o.Attack.iterations
     in
-    let rm = Removal_attack.run lk.Locked.net ~oracle in
+    let rm = attack_on "removal" lk in
     {
       cp_scheme = "SARLock [14]";
       cp_keys = 8;
       cp_outcome = outcome;
-      cp_iterations = o.Sat_attack.iterations;
-      cp_decrypted = rm.Removal_attack.success;
+      cp_iterations = o.Attack.iterations;
+      cp_decrypted = Attack.broken rm.Attack.verdict;
     }
   in
   let antisat_row =
-    let lk = Antisat.lock ~seed comb ~n:8 in
-    let rm = Removal_attack.run lk.Locked.net ~oracle in
+    let rm = attack_on "removal" (Antisat.lock ~seed comb ~n:8) in
+    let ok = Attack.broken rm.Attack.verdict in
     {
       cp_scheme = "Anti-SAT [13]";
       cp_keys = 16;
       cp_outcome =
-        (if rm.Removal_attack.success then
+        (if ok then
            Printf.sprintf "removal locates the block in %d tries"
-             rm.Removal_attack.candidates_tried
+             rm.Attack.iterations
          else "removal failed");
       cp_iterations = 0;
-      cp_decrypted = rm.Removal_attack.success;
+      cp_decrypted = ok;
     }
   in
   let tdk_row =
@@ -236,24 +227,18 @@ let attack_comparison ?(seed = 5) () =
     let strippedt = Removal_attack.strip_tdbs tdk in
     let tcomb, _ = Combinationalize.run strippedt.Locked.net in
     let o =
-      Sat_attack.run ~locked:tcomb ~key_inputs:strippedt.Locked.key_inputs
-        ~oracle ()
-    in
-    let ok =
-      match o.Sat_attack.status with
-      | Sat_attack.Key_recovered k ->
-        Sat_attack.verify_key ~locked:tcomb
-          ~key_inputs:strippedt.Locked.key_inputs ~oracle k
-        = 0
-      | Sat_attack.Unsat_at_first_iteration _ | Sat_attack.Budget_exhausted ->
-        false
+      Attack.run ~name:"sat" ~locked:tcomb
+        ~key_inputs:strippedt.Locked.key_inputs ~oracle ()
     in
     {
       cp_scheme = "TDK [12]";
       cp_keys = 16;
       cp_outcome = "TDB removed + re-synthesized, then SAT succeeds";
-      cp_iterations = o.Sat_attack.iterations;
-      cp_decrypted = ok;
+      cp_iterations = o.Attack.iterations;
+      cp_decrypted =
+        (match o.Attack.verdict with
+        | Attack.Key_recovered _ -> true
+        | _ -> false);
     }
   in
   let gk_design =
@@ -262,43 +247,42 @@ let attack_comparison ?(seed = 5) () =
   let gk_stripped, gkkeys = Insertion.strip_keygens gk_design in
   let gk_comb, _ = Combinationalize.run gk_stripped in
   let gk_row =
-    let o = Sat_attack.run ~locked:gk_comb ~key_inputs:gkkeys ~oracle () in
+    let o =
+      Attack.run ~name:"sat" ~locked:gk_comb ~key_inputs:gkkeys ~oracle ()
+    in
     let outcome, ok =
-      match o.Sat_attack.status with
-      | Sat_attack.Unsat_at_first_iteration k ->
-        let m =
-          Sat_attack.verify_key ~locked:gk_comb ~key_inputs:gkkeys ~oracle k
-        in
-        ( Printf.sprintf "UNSAT at first DIP; arbitrary key wrong on %d/64 samples" m,
+      match o.Attack.verdict with
+      | Attack.No_dip { mismatches; _ } ->
+        ( Printf.sprintf
+            "UNSAT at first DIP; arbitrary key wrong on %d/64 samples"
+            mismatches,
           false )
-      | Sat_attack.Key_recovered _ -> ("unexpected recovery", true)
-      | Sat_attack.Budget_exhausted -> ("budget exhausted", false)
+      | Attack.Key_recovered _ -> ("unexpected recovery", true)
+      | Attack.Out_of_budget _ -> ("budget exhausted", false)
+      | _ -> ("unexpected outcome", false)
     in
     {
       cp_scheme = "GK (this paper)";
       cp_keys = List.length gkkeys;
       cp_outcome = outcome;
-      cp_iterations = o.Sat_attack.iterations;
+      cp_iterations = o.Attack.iterations;
       cp_decrypted = ok;
     }
   in
   let enhanced_row =
-    let rm, o = Enhanced_removal.attack gk_comb ~oracle in
-    let ok =
-      match o.Sat_attack.status with
-      | Sat_attack.Key_recovered k ->
-        Sat_attack.verify_key ~locked:rm.Enhanced_removal.net
-          ~key_inputs:rm.Enhanced_removal.new_key_inputs ~oracle k
-        = 0
-      | Sat_attack.Unsat_at_first_iteration _ | Sat_attack.Budget_exhausted ->
-        false
+    let o =
+      Attack.run ~name:"enhanced-removal" ~locked:gk_comb ~key_inputs:gkkeys
+        ~oracle ()
     in
     {
       cp_scheme = "GK vs locate+remodel (V-D)";
-      cp_keys = List.length rm.Enhanced_removal.new_key_inputs;
+      cp_keys = List.length (Enhanced_removal.locate gk_comb);
       cp_outcome = "GKs located and remodelled as XORs; SAT then succeeds";
-      cp_iterations = o.Sat_attack.iterations;
-      cp_decrypted = ok;
+      cp_iterations = o.Attack.iterations;
+      cp_decrypted =
+        (match o.Attack.verdict with
+        | Attack.Key_recovered _ -> true
+        | _ -> false);
     }
   in
   let withheld_row =

@@ -324,8 +324,64 @@ let check_hybrid ~seed =
            "correct key: %d PO sample mismatches, %d capture violations" mism
            (List.length locked.Timing_sim.violations))
 
+(* ----- attack resistance through the registry ----- *)
+
+(* The attack side of each scheme's contract, driven through the one
+   {!Attack} registry: conventional XOR/MUX locking must fall to the
+   budgeted SAT attack (and report nonzero oracle telemetry), a stripped
+   GK netlist must leave the very first DIP search UNSAT. *)
+let check_attack scheme ~seed =
+  match scheme with
+  | Xor | Mux ->
+    let comb = comb_circuit seed in
+    let lk =
+      match scheme with
+      | Xor -> Xor_lock.lock ~seed comb ~n_keys:5
+      | _ -> Mux_lock.lock ~seed comb ~n_keys:5
+    in
+    let o =
+      Attack.run
+        ~budget:(Budget.create ~max_iterations:256 ~deadline_s:60. ())
+        ~seed ~name:"sat" ~locked:lk.Locked.net
+        ~key_inputs:lk.Locked.key_inputs
+        ~oracle:(Oracle.of_netlist comb)
+        ()
+    in
+    if not (Attack.broken o.Attack.verdict) then
+      fail scheme "<sat-attack>"
+        (Printf.sprintf "budgeted SAT attack should break %s locking (%s)"
+           (scheme_name scheme)
+           (Attack.verdict_name o.Attack.verdict))
+    else if o.Attack.queries <= 0 then
+      fail scheme "<sat-attack>"
+        "attack succeeded but reported zero oracle queries"
+    else []
+  | Gk -> (
+    let net = gk_circuit seed in
+    let clock_ps = max (Sta.clock_for net ~margin:1.2) 2600 in
+    match Insertion.lock ~seed net ~clock_ps ~n_gks:2 with
+    | exception Invalid_argument _ -> [] (* no feasible sites: skip *)
+    | d -> (
+      let stripped, keys = Insertion.strip_keygens d in
+      let locked_comb, _ = Combinationalize.run stripped in
+      let oracle_comb, _ = Combinationalize.run net in
+      let o =
+        Attack.run ~seed ~name:"sat" ~locked:locked_comb ~key_inputs:keys
+          ~oracle:(Oracle.of_netlist oracle_comb)
+          ()
+      in
+      match o.Attack.verdict with
+      | Attack.No_dip _ -> []
+      | v ->
+        fail Gk "<sat-attack>"
+          (Printf.sprintf
+             "stripped GK netlist should be UNSAT at the first DIP (got %s)"
+             (Attack.verdict_name v))))
+  | Fault | Sarlock | Antisat | Tdk | Hybrid -> []
+
 let check ~seed = function
-  | (Xor | Mux | Fault | Sarlock | Antisat) as s -> check_comb s ~seed
+  | (Xor | Mux | Fault | Sarlock | Antisat) as s ->
+    check_comb s ~seed @ check_attack s ~seed
   | Tdk -> check_tdk ~seed
-  | Gk -> check_gk ~seed
+  | Gk -> check_gk ~seed @ check_attack Gk ~seed
   | Hybrid -> check_hybrid ~seed

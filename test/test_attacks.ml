@@ -35,9 +35,22 @@ let test_oracle () =
   let oracle = Sat_attack.oracle_of_netlist net in
   Alcotest.(check (list (pair string bool))) "11" [ ("y", true) ]
     (oracle [ ("a", true); ("b", true) ]);
+  (* strict by default: underqueries and mistyped names raise *)
+  Alcotest.check_raises "unassigned input raises"
+    (Invalid_argument
+       "Oracle.query: no value for input \"b\" of netlist o (use \
+        ~partial:true to read missing inputs as false)") (fun () ->
+      ignore (oracle [ ("a", true) ]));
+  Alcotest.check_raises "unknown name raises"
+    (Invalid_argument
+       "Oracle.query: unknown input \"bb\" for netlist o (use ~partial:true \
+        to ignore stray names)") (fun () ->
+      ignore (oracle [ ("a", true); ("bb", true) ]));
+  (* the escape hatch restores the permissive semantics *)
+  let permissive = Sat_attack.oracle_of_netlist ~partial:true net in
   Alcotest.(check (list (pair string bool))) "unmentioned reads false"
     [ ("y", false) ]
-    (oracle [ ("a", true) ])
+    (permissive [ ("a", true); ("stray", true) ])
 
 (* ----- SAT attack ----- *)
 
@@ -177,14 +190,14 @@ let test_signal_prob_skew_finds_sarlock () =
 let removal_kills_sarlock_law seed =
   let comb = comb_circuit (seed + 40) in
   let lk = Sarlock.lock ~seed comb ~n_keys:7 in
-  let oracle = Sat_attack.oracle_of_netlist comb in
+  let oracle = Sat_attack.oracle_of_netlist ~partial:true comb in
   let o = Removal_attack.run lk.Locked.net ~oracle in
   o.Removal_attack.success
 
 let test_removal_kills_antisat () =
   let comb = comb_circuit 44 in
   let lk = Antisat.lock ~seed:44 comb ~n:7 in
-  let oracle = Sat_attack.oracle_of_netlist comb in
+  let oracle = Sat_attack.oracle_of_netlist ~partial:true comb in
   let o = Removal_attack.run lk.Locked.net ~oracle in
   Alcotest.(check bool) "success" true o.Removal_attack.success;
   match o.Removal_attack.restored with
@@ -198,7 +211,7 @@ let test_removal_fails_on_xor () =
   (* conventional key-gates have no skewed security structure to excise *)
   let comb = comb_circuit 45 in
   let lk = Xor_lock.lock ~seed:45 comb ~n_keys:8 in
-  let oracle = Sat_attack.oracle_of_netlist comb in
+  let oracle = Sat_attack.oracle_of_netlist ~partial:true comb in
   let o = Removal_attack.run lk.Locked.net ~oracle in
   Alcotest.(check bool) "no easy removal" false o.Removal_attack.success
 
@@ -240,7 +253,7 @@ let test_guess_gk () =
     List.map (fun g -> (g.Enhanced_removal.mux, g.Enhanced_removal.x)) located
   in
   let oracle_comb, _ = Combinationalize.run net in
-  let oracle = Sat_attack.oracle_of_netlist oracle_comb in
+  let oracle = Sat_attack.oracle_of_netlist ~partial:true oracle_comb in
   let o = Removal_attack.guess_gk locked_comb ~gks ~oracle in
   Alcotest.(check int) "search space" 4 o.Removal_attack.total_guesses;
   (match o.Removal_attack.recovered with
@@ -322,7 +335,7 @@ let test_enhanced_locate_and_attack () =
   let located = Enhanced_removal.locate locked_comb in
   Alcotest.(check int) "locates both GKs" 2 (List.length located);
   let oracle_comb, _ = Combinationalize.run net in
-  let oracle = Sat_attack.oracle_of_netlist oracle_comb in
+  let oracle = Sat_attack.oracle_of_netlist ~partial:true oracle_comb in
   let rm, o = Enhanced_removal.attack locked_comb ~oracle in
   (match o.Sat_attack.status with
   | Sat_attack.Key_recovered k ->

@@ -58,7 +58,7 @@ let test_scan_attack_cracks_gk_only () =
   let stripped, _ = Insertion.strip_keygens d in
   let stripped_comb, _ = Combinationalize.run stripped in
   let oracle_comb, _ = Combinationalize.run net in
-  let oracle = Sat_attack.oracle_of_netlist oracle_comb in
+  let oracle = Sat_attack.oracle_of_netlist ~partial:true oracle_comb in
   let verdicts = Scan_attack.run ~stripped_comb ~oracle () in
   Alcotest.(check int) "both GKs tested" 2 (List.length verdicts);
   List.iter
@@ -83,7 +83,7 @@ let test_scan_attack_vs_hybrid () =
   let stripped, _ = Insertion.strip_keygens h.Hybrid.design in
   let stripped_comb, _ = Combinationalize.run stripped in
   let oracle_comb, _ = Combinationalize.run net in
-  let oracle = Sat_attack.oracle_of_netlist oracle_comb in
+  let oracle = Sat_attack.oracle_of_netlist ~partial:true oracle_comb in
   let verdicts =
     Scan_attack.run ~unknown:h.Hybrid.xor_key_inputs ~stripped_comb ~oracle ()
   in

@@ -1,6 +1,6 @@
 # Convenience targets; dune is the real build system.
 
-.PHONY: all build test bench bench-quick bench-eval bench-attacks bench-attacks-smoke campaign-smoke fuzz fuzz-smoke check examples clean
+.PHONY: all build test bench bench-quick bench-eval bench-attacks bench-attacks-smoke campaign-smoke fuzz fuzz-smoke trace-smoke check examples clean
 
 all: build
 
@@ -47,9 +47,19 @@ fuzz:
 fuzz-smoke:
 	dune exec bin/gklock_cli.exe -- fuzz --cases 100000 --time 10 --quiet
 
+# Observability smoke: lock a benchmark, run the SAT attack under
+# `gklock trace`, and validate the JSONL it wrote — every span closed,
+# timestamps monotone (`gklock trace` exits non-zero otherwise).
+trace-smoke:
+	dune exec bin/gklock_cli.exe -- gen tiny -o /tmp/gklock_ts_oracle.bench
+	dune exec bin/gklock_cli.exe -- encrypt tiny --scheme xor -n 4 -o /tmp/gklock_ts_locked.bench
+	dune exec bin/gklock_cli.exe -- trace --out /tmp/gklock_ts.jsonl attack /tmp/gklock_ts_locked.bench --keys xk0,xk1,xk2,xk3 --oracle /tmp/gklock_ts_oracle.bench --method sat --metrics-out /tmp/gklock_ts_metrics.json
+	dune exec bin/gklock_cli.exe -- trace --check /tmp/gklock_ts.jsonl
+
 # Everything a PR must keep green: full build (libs, CLI, examples,
-# benches) plus the test suite, the campaign smoke and a fuzz smoke.
-check: build test campaign-smoke fuzz-smoke bench-attacks-smoke
+# benches) plus the test suite, the campaign smoke, a fuzz smoke and the
+# tracing smoke.
+check: build test campaign-smoke fuzz-smoke bench-attacks-smoke trace-smoke
 
 examples:
 	dune exec examples/quickstart.exe

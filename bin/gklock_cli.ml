@@ -179,9 +179,24 @@ let deadline_arg =
   let doc = "Budget: wall-clock deadline in seconds." in
   Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"S" ~doc)
 
+let metrics_out_arg =
+  let doc =
+    "Write the process-global metrics registry (oracle queries, memo hits, \
+     engine evals, budget trips, ...) as one JSON object to $(docv) after \
+     the run."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+
+let write_metrics = function
+  | None -> ()
+  | Some path ->
+    Obs.Metrics.write_file path;
+    Printf.printf "wrote %s\n" path
+
 let attack_cmd =
   let run design keys oracle_path name max_iterations max_queries deadline
-      seed =
+      seed metrics_out =
     let locked = load_design design in
     let locked, _ =
       if Netlist.ffs locked = [] then (locked, [])
@@ -236,13 +251,15 @@ let attack_cmd =
       "iterations: %d   oracle queries: %d   CDCL conflicts: %d   %.2fs\n"
       o.Attack.iterations o.Attack.queries o.Attack.conflicts
       o.Attack.elapsed_s;
-    Printf.printf "replay with: --seed %d\n" seed
+    Printf.printf "replay with: --seed %d\n" seed;
+    write_metrics metrics_out
   in
   Cmd.v
     (Cmd.info "attack"
        ~doc:"Run a registered oracle-guided attack against a locked design")
     Term.(const run $ design_arg $ keys_arg $ oracle_arg $ method_arg
-          $ max_iterations_arg $ max_queries_arg $ deadline_arg $ seed_arg)
+          $ max_iterations_arg $ max_queries_arg $ deadline_arg $ seed_arg
+          $ metrics_out_arg)
 
 let attacks_cmd =
   let run markdown =
@@ -532,7 +549,7 @@ let campaign_dir dir (m : Campaign_job.matrix) =
   | None -> Campaign.dir_for m.Campaign_job.m_name
 
 let campaign_run_cmd =
-  let run name spec dir workers timeout retries =
+  let run name spec dir workers timeout retries metrics_out =
     let m = campaign_matrix name spec dir in
     let dir = campaign_dir dir m in
     let stats =
@@ -547,6 +564,7 @@ let campaign_run_cmd =
       stats.Campaign_runner.retries
       (if stats.Campaign_runner.aborted then " [aborted]" else "");
     print_string (Campaign.report ~dir m);
+    write_metrics metrics_out;
     if stats.Campaign_runner.aborted then exit 3
   in
   Cmd.v
@@ -555,7 +573,7 @@ let campaign_run_cmd =
          "Run (or resume) a campaign: completed jobs are skipped, failures \
           and timeouts are recorded as data")
     Term.(const run $ campaign_name_arg $ campaign_spec_arg $ campaign_dir_arg
-          $ workers_arg $ timeout_arg $ retries_arg)
+          $ workers_arg $ timeout_arg $ retries_arg $ metrics_out_arg)
 
 let campaign_status_cmd =
   let run name spec dir =
@@ -651,13 +669,86 @@ let figs_cmd =
   Cmd.v (Cmd.info "figs" ~doc:"Regenerate the paper's figures")
     Term.(const run $ const ())
 
+(* ----- trace ----- *)
+
+(* `gklock trace [--out FILE] CMD ARGS...` wraps any other subcommand
+   under tracing, then validates the file it wrote.  The wrapped
+   command's arguments must pass through untouched (including its own
+   --flags), which cmdliner's positional parsing does not allow, so this
+   subcommand is dispatched by hand from [main]: flags before the first
+   positional token belong to trace, everything from that token on is
+   re-evaluated as a fresh gklock command line.  [trace_stub_cmd] exists
+   so `gklock --help` documents the subcommand. *)
+let trace_stub_cmd =
+  let run () =
+    prerr_endline
+      "gklock trace: give a subcommand to run under tracing, e.g.\n\
+      \  gklock trace --out run.jsonl attack LOCKED --keys k0,k1 --oracle \
+       CHIP\n\
+      \  gklock trace --check run.jsonl";
+    exit 2
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run any gklock subcommand under span tracing (JSONL, Chrome Trace \
+          Event schema), or validate a trace file with --check")
+    Term.(const run $ const ())
+
+let run_trace eval args =
+  let out = ref "gklock_trace.jsonl" in
+  let check = ref None in
+  let rec parse = function
+    | "--out" :: v :: rest | "-o" :: v :: rest ->
+      out := v;
+      parse rest
+    | "--check" :: v :: rest ->
+      check := Some v;
+      parse rest
+    | rest -> rest
+  in
+  let rest = parse args in
+  let report path =
+    match Obs.Trace.validate_file path with
+    | Ok c ->
+      Printf.printf "%s: valid — %d events, %d spans, max depth %d\n" path
+        c.Obs.Trace.v_events c.Obs.Trace.v_spans c.Obs.Trace.v_max_depth;
+      0
+    | Error e ->
+      Printf.eprintf "%s: INVALID trace: %s\n" path e;
+      1
+  in
+  match !check with
+  | Some path -> report path
+  | None ->
+    if rest = [] then (
+      Printf.eprintf
+        "gklock trace: nothing to run (expected a subcommand, e.g. `gklock \
+         trace attack ...`)\n";
+      2)
+    else begin
+      Obs.Trace.enable ~file:!out ();
+      let code = eval (Array.of_list ("gklock" :: rest)) in
+      Obs.Trace.disable ();
+      let vcode = report !out in
+      if code <> 0 then code else vcode
+    end
+
 let () =
   let doc = "Glitch key-gate logic locking — paper reproduction toolkit" in
   let info = Cmd.info "gklock" ~version:"1.0.0" ~doc in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [
-            info_cmd; gen_cmd; encrypt_cmd; attack_cmd; attacks_cmd; sim_cmd;
-            sta_cmd; flow_cmd; tables_cmd; figs_cmd; campaign_cmd; fuzz_cmd;
-          ]))
+  let group =
+    Cmd.group info
+      [
+        info_cmd; gen_cmd; encrypt_cmd; attack_cmd; attacks_cmd; sim_cmd;
+        sta_cmd; flow_cmd; tables_cmd; figs_cmd; campaign_cmd; fuzz_cmd;
+        trace_stub_cmd;
+      ]
+  in
+  let argv = Sys.argv in
+  if Array.length argv > 1 && argv.(1) = "trace" then
+    exit
+      (run_trace
+         (fun argv -> Cmd.eval ~argv group)
+         (Array.to_list (Array.sub argv 2 (Array.length argv - 2))))
+  else exit (Cmd.eval group)

@@ -13,6 +13,18 @@ let exec ?(check_every = 4) ?(error_threshold = 0.01) ?(queries_per_check = 50)
     ?seed ~budget ~locked ~key_inputs ~oracle () =
   if Netlist.ffs locked <> [] then
     invalid_arg "Appsat.run: locked netlist must be combinational";
+  (* An already-expired budget (deadline_s <= 0) yields a structured
+     pessimistic outcome before any encoding, solving or oracle work. *)
+  match Budget.check budget with
+  | exception Budget.Exhausted _ ->
+    {
+      key = List.map (fun k -> (k, false)) key_inputs;
+      error_rate = 1.0;
+      dips = 0;
+      random_queries = 0;
+      exact = false;
+    }
+  | () ->
   let seed = match seed with Some s -> s | None -> Fuzz_seed.value () in
   let rng = Random.State.make [| seed; 0x4150 |] in
   let x_pis =
@@ -94,6 +106,10 @@ let exec ?(check_every = 4) ?(error_threshold = 0.01) ?(queries_per_check = 50)
      pass per word on each side) and feed failing queries back as
      constraints *)
   let estimate key =
+    Obs.Trace.with_span
+      ~args:[ ("queries", Cjson.Int queries_per_check) ]
+      "appsat.estimate"
+    @@ fun () ->
     let dips = ref [] in
     for _ = 1 to queries_per_check do
       dips := random_dip () :: !dips
@@ -133,18 +149,33 @@ let exec ?(check_every = 4) ?(error_threshold = 0.01) ?(queries_per_check = 50)
   in
   let rec loop dips =
     Budget.check budget;
-    match Solver.solve solver with
+    let verdict =
+      Obs.Trace.with_span
+        ~args:[ ("iter", Cjson.Int dips) ]
+        "attack.solve"
+        (fun () -> Solver.solve solver)
+    in
+    match verdict with
     | Solver.Unsat ->
       let key = Option.value (extract_candidate ()) ~default:fallback in
       { key; error_rate = 0.0; dips; random_queries = !queries; exact = true }
     | Solver.Sat ->
-      (* charge the iteration only once a DIP exists (see Sat_attack) *)
+      (* charge the iteration only once a DIP exists (see Sat_attack);
+         the span opens after a successful tick and closes before any
+         recursion, so attack.iteration spans count charged iterations
+         exactly *)
       Budget.tick budget;
-      let dip =
-        List.map (fun n -> (n, Solver.value solver (Hashtbl.find x_vars n))) x_names
-      in
-      let outs = Oracle.query oracle dip in
-      add_io_constraint dip outs;
+      (Obs.Trace.with_span
+         ~args:[ ("iter", Cjson.Int dips); ("dips", Cjson.Int dips) ]
+         "attack.iteration"
+       @@ fun () ->
+       let dip =
+         List.map
+           (fun n -> (n, Solver.value solver (Hashtbl.find x_vars n)))
+           x_names
+       in
+       let outs = Oracle.query oracle dip in
+       add_io_constraint dip outs);
       let dips = dips + 1 in
       if dips mod check_every = 0 then begin
         match extract_candidate () with

@@ -244,6 +244,9 @@ let find_exn name =
       (Printf.sprintf "Attack.run: unknown attack %S (known: %s)" name
          (String.concat ", " (names ())))
 
+let m_runs = Obs.Metrics.counter "attack.runs"
+let h_elapsed = Obs.Metrics.histogram "attack.elapsed_s"
+
 let run ?budget ?seed ~name ~locked ~key_inputs ~oracle () =
   let e = find_exn name in
   let budget =
@@ -253,18 +256,48 @@ let run ?budget ?seed ~name ~locked ~key_inputs ~oracle () =
   in
   let seed = match seed with Some s -> s | None -> Fuzz_seed.value () in
   let ctx = { locked; key_inputs; oracle; budget; seed } in
+  Obs.Metrics.incr m_runs;
+  let sp =
+    Obs.Trace.span_begin
+      ~args:
+        [
+          ("attack", Cjson.Str name);
+          ("netlist", Cjson.Str (Netlist.name locked));
+          ("key_inputs", Cjson.Int (List.length key_inputs));
+          ("seed", Cjson.Int seed);
+        ]
+      "attack.run"
+  in
   let t0 = Unix.gettimeofday () in
   let q0 = Oracle.queries oracle in
-  let verdict, conflicts =
-    try e.runner ctx with Budget.Exhausted r -> (Out_of_budget r, 0)
-  in
-  {
-    verdict;
-    iterations = Budget.iterations budget;
-    queries = Oracle.queries oracle - q0;
-    conflicts;
-    elapsed_s = Unix.gettimeofday () -. t0;
-  }
+  match (try e.runner ctx with Budget.Exhausted r -> (Out_of_budget r, 0)) with
+  | verdict, conflicts ->
+    let outcome =
+      {
+        verdict;
+        iterations = Budget.iterations budget;
+        queries = Oracle.queries oracle - q0;
+        conflicts;
+        elapsed_s = Unix.gettimeofday () -. t0;
+      }
+    in
+    Obs.Metrics.observe h_elapsed outcome.elapsed_s;
+    Obs.Trace.span_end
+      ~args:
+        [
+          ("verdict", Cjson.Str (verdict_name outcome.verdict));
+          ("iterations", Cjson.Int outcome.iterations);
+          ("queries", Cjson.Int outcome.queries);
+          ("conflicts", Cjson.Int outcome.conflicts);
+          ("elapsed_s", Cjson.Float outcome.elapsed_s);
+        ]
+      sp;
+    outcome
+  | exception ex ->
+    (* non-budget exception (Invalid_argument and friends): close the
+       span so a trace of a failing run still validates *)
+    Obs.Trace.span_end ~args:[ ("verdict", Cjson.Str "exception") ] sp;
+    raise ex
 
 let markdown_table () =
   let b = Buffer.create 512 in

@@ -5,6 +5,16 @@ let reason_name = function
   | Queries -> "queries"
   | Deadline -> "deadline"
 
+let m_exhausted_iterations = Obs.Metrics.counter "budget.exhausted.iterations"
+let m_exhausted_queries = Obs.Metrics.counter "budget.exhausted.queries"
+let m_exhausted_deadline = Obs.Metrics.counter "budget.exhausted.deadline"
+let h_time_to_exhaustion = Obs.Metrics.histogram "budget.time_to_exhaustion_s"
+
+let m_exhausted = function
+  | Iterations -> m_exhausted_iterations
+  | Queries -> m_exhausted_queries
+  | Deadline -> m_exhausted_deadline
+
 exception Exhausted of reason
 
 type t = {
@@ -44,11 +54,27 @@ let elapsed_s t = Unix.gettimeofday () -. t.started
 
 let trip t r =
   t.tripped <- Some r;
+  Obs.Metrics.incr (m_exhausted r);
+  Obs.Metrics.observe h_time_to_exhaustion (elapsed_s t);
+  if Obs.Trace.enabled () then
+    Obs.Trace.instant
+      ~args:
+        [
+          ("reason", Cjson.Str (reason_name r));
+          ("iterations", Cjson.Int t.n_iterations);
+          ("queries", Cjson.Int t.n_queries);
+          ("elapsed_s", Cjson.Float (elapsed_s t));
+        ]
+      "budget.exhausted";
   raise (Exhausted r)
 
+(* [>=], not [>]: a deadline of exactly zero (or any negative budget)
+   must already be expired at the first check, so a zero-deadline attack
+   performs no solver or oracle work at all instead of sneaking in
+   however many iterations fit inside the clock's resolution. *)
 let check t =
   match t.deadline with
-  | Some d when Unix.gettimeofday () > d -> trip t Deadline
+  | Some d when Unix.gettimeofday () >= d -> trip t Deadline
   | _ -> ()
 
 let tick t =

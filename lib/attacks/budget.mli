@@ -23,8 +23,12 @@ type t
 
 (** [create ?max_iterations ?max_queries ?deadline_s ()] — omitted
     limits are unlimited.  [deadline_s] is a relative wall-clock budget
-    in seconds starting now.  @raise Invalid_argument on negative
-    integer limits. *)
+    in seconds starting now.  A zero or negative [deadline_s] is an
+    {e already-expired} budget: the first {!check} (and hence the first
+    {!tick} or {!note_queries}) raises {!Exhausted}[ Deadline], so an
+    attack given such a budget performs no solver or oracle work and
+    reports a structured [Out_of_budget] verdict.  @raise
+    Invalid_argument on negative integer limits. *)
 val create :
   ?max_iterations:int -> ?max_queries:int -> ?deadline_s:float -> unit -> t
 

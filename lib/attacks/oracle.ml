@@ -1,3 +1,9 @@
+let m_queries = Obs.Metrics.counter "oracle.queries"
+let m_memo_hits = Obs.Metrics.counter "oracle.memo_hits"
+let m_batch_words = Obs.Metrics.counter "oracle.batch_words"
+let m_batch_lanes = Obs.Metrics.counter "oracle.batch_lanes"
+let m_partial_defaults = Obs.Metrics.counter "oracle.partial_defaults"
+
 type stats = { mutable evals : int; mutable hits : int }
 
 type net_backend = {
@@ -74,13 +80,18 @@ let input_names t =
 let resolve t b q =
   let n = Array.length b.srcs in
   let vals = Bytes.make n '0' in
-  let seen = if t.partial then Bytes.empty else Bytes.make n '\000' in
+  (* [seen] is tracked even in partial mode so defaulted reads are
+     counted rather than silently folded into the key: a relaxed query
+     that omits an FF pseudo-input (whose init is undefined in the
+     source netlist) still reads a deterministic false, but every such
+     read now shows up in oracle.partial_defaults. *)
+  let seen = Bytes.make n '\000' in
   List.iter
     (fun (name, v) ->
       match Hashtbl.find_opt b.idx_of_name name with
       | Some i ->
         Bytes.set vals i (if v then '1' else '0');
-        if not t.partial then Bytes.set seen i '\001'
+        Bytes.set seen i '\001'
       | None ->
         if not t.partial then
           invalid_arg
@@ -89,7 +100,14 @@ let resolve t b q =
                 ~partial:true to ignore stray names)"
                name (Netlist.name b.net)))
     q;
-  if not t.partial then
+  if t.partial then begin
+    let defaulted = ref 0 in
+    for i = 0 to n - 1 do
+      if Bytes.get seen i = '\000' then incr defaulted
+    done;
+    if !defaulted > 0 then Obs.Metrics.add m_partial_defaults !defaulted
+  end
+  else
     for i = 0 to n - 1 do
       if Bytes.get seen i = '\000' then
         invalid_arg
@@ -111,6 +129,7 @@ let fn_key q =
 
 let charge t n =
   t.stats.evals <- t.stats.evals + n;
+  Obs.Metrics.add m_queries n;
   match t.budget with Some b -> Budget.note_queries b n | None -> ()
 
 let memo_find t key =
@@ -118,7 +137,10 @@ let memo_find t key =
   | None -> None
   | Some m ->
     let r = Hashtbl.find_opt m key in
-    if r <> None then t.stats.hits <- t.stats.hits + 1;
+    if r <> None then begin
+      t.stats.hits <- t.stats.hits + 1;
+      Obs.Metrics.incr m_memo_hits
+    end;
     r
 
 let memo_add t key r =
@@ -180,6 +202,9 @@ let query_batch t qs =
     while !chunk_start < Array.length misses do
       let lanes = min w (Array.length misses - !chunk_start) in
       charge t lanes;
+      (* Batch fill ratio = batch_lanes / (batch_words * word_bits). *)
+      Obs.Metrics.incr m_batch_words;
+      Obs.Metrics.add m_batch_lanes lanes;
       for si = 0 to n_src - 1 do
         let word = ref 0 in
         for j = 0 to lanes - 1 do

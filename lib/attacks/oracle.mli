@@ -21,6 +21,18 @@
     restores the permissive semantics for attacks that genuinely cannot
     name every pin (e.g. the scan attack's undriveable key inputs).
 
+    {b Partial-read rule.} Under [~partial:true] every source the query
+    does not mention — ordinary primary inputs {e and} the [ppi_*]
+    pseudo-inputs standing in for flip-flops whose initial state the
+    source netlist leaves undefined — reads as a deterministic [false].
+    The same rule applies on both the scalar ({!query}) and batched
+    ({!query_batch}) paths, and a relaxed query therefore shares its
+    memo entry with the equivalent strict query that names those pins
+    [false] explicitly.  Defaulted reads are never silent: each one is
+    counted in the [oracle.partial_defaults] metric (see [Obs.Metrics]),
+    so a run that leaned on the default is distinguishable from one that
+    pinned every pin.
+
     Batched queries ({!query_batch}) route through the 63-lane
     bit-parallel {!Netlist.Engine.eval_words}, evaluating one word of
     distinct vectors per netlist pass — the fast path for sampling

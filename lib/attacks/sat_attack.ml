@@ -33,6 +33,12 @@ let exec ~budget ~locked ~key_inputs ~oracle () =
       | Some _ -> invalid_arg ("Sat_attack.run: " ^ k ^ " is not an input")
       | None -> invalid_arg ("Sat_attack.run: no key input " ^ k))
     key_inputs;
+  (* An already-expired budget (deadline_s <= 0) yields a structured
+     Budget_exhausted before any encoding, solving or oracle work. *)
+  match Budget.check budget with
+  | exception Budget.Exhausted _ ->
+    { status = Budget_exhausted; iterations = 0; dips = []; conflicts = 0 }
+  | () ->
   let x_pis, _key_pis = classify_inputs locked key_inputs in
   let x_names = List.map (fun pi -> (Netlist.node locked pi).Netlist.name) x_pis in
   let solver = Solver.create () in
@@ -136,7 +142,13 @@ let exec ~budget ~locked ~key_inputs ~oracle () =
   in
   let rec loop iter =
     Budget.check budget;
-    match Solver.solve solver with
+    let verdict =
+      Obs.Trace.with_span
+        ~args:[ ("iter", Cjson.Int iter) ]
+        "attack.solve"
+        (fun () -> Solver.solve solver)
+    in
+    match verdict with
     | Solver.Unsat ->
       let key = extract_key () in
       let status =
@@ -145,21 +157,34 @@ let exec ~budget ~locked ~key_inputs ~oracle () =
       finish status iter
     | Solver.Sat ->
       (* charge the iteration only once a DIP exists, so the iteration
-         count always equals the number of DIPs consumed *)
+         count always equals the number of DIPs consumed.  The span is
+         opened only after a successful tick and closed before the
+         recursive call, so attack.iteration spans in a trace count the
+         charged iterations exactly (no nesting, no span for a tick
+         that tripped the budget). *)
       Budget.tick budget;
-      let dip =
-        List.map
-          (fun n -> (n, Solver.value solver (Hashtbl.find x_vars n)))
-          x_names
-      in
-      let outs = Oracle.query oracle dip in
-      dips := (dip, outs) :: !dips;
-      add_constraint k1_vars dip outs;
-      add_constraint k2_vars dip outs;
+      (Obs.Trace.with_span
+         ~args:
+           [ ("iter", Cjson.Int iter); ("dips", Cjson.Int (List.length !dips)) ]
+         "attack.iteration"
+       @@ fun () ->
+       let dip =
+         List.map
+           (fun n -> (n, Solver.value solver (Hashtbl.find x_vars n)))
+           x_names
+       in
+       let outs = Oracle.query oracle dip in
+       dips := (dip, outs) :: !dips;
+       add_constraint k1_vars dip outs;
+       add_constraint k2_vars dip outs);
       loop (iter + 1)
   in
+  (* On mid-iteration exhaustion the iteration was already charged
+     (ticked) and its span emitted, so report Budget.iterations — keeps
+     the outcome's count equal to both the budget telemetry and the
+     number of attack.iteration spans in a trace. *)
   try loop 0
-  with Budget.Exhausted _ -> finish Budget_exhausted (List.length !dips)
+  with Budget.Exhausted _ -> finish Budget_exhausted (Budget.iterations budget)
 
 let run ?(max_iterations = 4096) ~locked ~key_inputs ~oracle () =
   exec

@@ -34,6 +34,13 @@ type slot = {
 
 let now () = Unix.gettimeofday ()
 
+let m_jobs_ok = Obs.Metrics.counter "campaign.jobs_ok"
+let m_jobs_failed = Obs.Metrics.counter "campaign.jobs_failed"
+let m_jobs_timed_out = Obs.Metrics.counter "campaign.jobs_timed_out"
+let m_jobs_retried = Obs.Metrics.counter "campaign.jobs_retried"
+let m_jobs_skipped = Obs.Metrics.counter "campaign.jobs_skipped"
+let h_job_wall = Obs.Metrics.histogram "campaign.job_wall_s"
+
 (* Integer metrics worth surfacing in the telemetry trace alongside the
    lifecycle event (attack iterations, DIP counts, ...). *)
 let lift_metrics payload =
@@ -56,6 +63,7 @@ let run ~store ?(telemetry = Telemetry.null ()) config ~jobs ~exec =
       match Job_store.lookup store j.Campaign_job.id with
       | Some _ ->
         incr skipped;
+        Obs.Metrics.incr m_jobs_skipped;
         Telemetry.emit telemetry ~job:j.Campaign_job.id ~event:"skipped" []
       | None ->
         Telemetry.emit telemetry ~job:j.Campaign_job.id ~event:"queued"
@@ -70,8 +78,19 @@ let run ~store ?(telemetry = Telemetry.null ()) config ~jobs ~exec =
     let cell = Atomic.make None in
     let dom =
       Domain.spawn (fun () ->
+          (* One span per job attempt, emitted from the worker domain, so
+             a trace shows per-worker lanes with job occupancy. *)
           let r =
-            match Parallel.run_sequentially (fun () -> exec job) with
+            match
+              Obs.Trace.with_span
+                ~args:
+                  [
+                    ("job", Cjson.Str job.Campaign_job.id);
+                    ("attempt", Cjson.Int attempt);
+                  ]
+                "campaign.job"
+                (fun () -> Parallel.run_sequentially (fun () -> exec job))
+            with
             | payload -> W_ok payload
             | exception Abort -> W_abort
             | exception Transient msg -> W_transient msg
@@ -105,20 +124,40 @@ let run ~store ?(telemetry = Telemetry.null ()) config ~jobs ~exec =
   let handle sl r =
     let wall_s = now () -. sl.sl_started in
     let job = sl.sl_job.Campaign_job.id in
+    Obs.Metrics.observe h_job_wall wall_s;
     match r with
     | W_ok payload ->
       incr ok;
+      Obs.Metrics.incr m_jobs_ok;
       record sl (Job_store.Done payload);
       Telemetry.emit telemetry ~job ~attempt:sl.sl_attempt ~wall_s
         ~event:"finished" (lift_metrics payload)
     | W_transient msg when sl.sl_attempt <= config.max_retries ->
       incr retries;
+      Obs.Metrics.incr m_jobs_retried;
+      Obs.Trace.instant
+        ~args:
+          [
+            ("job", Cjson.Str job);
+            ("attempt", Cjson.Int sl.sl_attempt);
+            ("cause", Cjson.Str msg);
+          ]
+        "campaign.retry";
       Telemetry.emit telemetry ~job ~attempt:sl.sl_attempt ~wall_s
         ~event:"retried"
         [ ("message", Cjson.Str msg) ];
       Queue.add (sl.sl_job, sl.sl_attempt + 1) pending
     | W_transient msg | W_exn msg ->
       incr failed;
+      Obs.Metrics.incr m_jobs_failed;
+      Obs.Trace.instant
+        ~args:
+          [
+            ("job", Cjson.Str job);
+            ("attempt", Cjson.Int sl.sl_attempt);
+            ("cause", Cjson.Str msg);
+          ]
+        "campaign.failed";
       record sl
         (Job_store.Failed
            {
@@ -160,6 +199,15 @@ let run ~store ?(telemetry = Telemetry.null ()) config ~jobs ~exec =
               progressed := true;
               incr abandoned;
               incr timed_out;
+              Obs.Metrics.incr m_jobs_timed_out;
+              Obs.Trace.instant
+                ~args:
+                  [
+                    ("job", Cjson.Str sl.sl_job.Campaign_job.id);
+                    ("attempt", Cjson.Int sl.sl_attempt);
+                    ("timeout_s", Cjson.Float config.timeout_s);
+                  ]
+                "campaign.timeout";
               record sl
                 (Job_store.Failed
                    {

@@ -18,6 +18,59 @@ let reachable_from net from_ =
   go from_;
   seen
 
+(* Re-evaluate [net] with [target]'s consumers seeing [value] instead of the
+   fault-free value — the functional effect of a mis-keyed MUX, before it is
+   inserted. *)
+let eval_with_subst net order base ~target ~value =
+  let values = Array.copy base in
+  values.(target) <- value;
+  List.iter
+    (fun id ->
+      if id <> target then begin
+        let nd = Netlist.node net id in
+        let ins = Array.map (fun f -> values.(f)) nd.Netlist.fanins in
+        match nd.Netlist.kind with
+        | Netlist.Gate fn -> values.(id) <- Cell.eval fn ins
+        | Netlist.Lut truth ->
+          let idx = ref 0 in
+          Array.iteri (fun i b -> if b then idx := !idx lor (1 lsl i)) ins;
+          values.(id) <- truth.(!idx)
+        | Netlist.Input | Netlist.Const _ | Netlist.Ff | Netlist.Dead -> ()
+      end)
+    order;
+  values
+
+(* Would routing [decoy] into [target]'s fanouts corrupt at least one primary
+   output on a sampled vector?  [fixed] pins the key inputs of already
+   inserted key-gates to their correct bits so those stay transparent; all
+   other sources draw random values.  A pair that never corrupts is useless
+   as a key-gate: the flipped key bit would be functionally unobservable. *)
+let corrupts ?(samples = 32) ~rng ~fixed net ~target ~decoy =
+  let order = Netlist.comb_topo_order net in
+  let pos = Netlist.outputs net in
+  let srcs = Netlist.Engine.sources (Netlist.Engine.get net) in
+  let draw = Hashtbl.create 32 in
+  let exception Found in
+  try
+    for _ = 1 to samples do
+      Array.iter
+        (fun s ->
+          Hashtbl.replace draw s
+            (match Hashtbl.find_opt fixed s with
+            | Some b -> b
+            | None -> Random.State.bool rng))
+        srcs;
+      let base = Netlist.eval_comb net (Hashtbl.find draw) in
+      if base.(target) <> base.(decoy) then begin
+        let sub = eval_with_subst net order base ~target ~value:base.(decoy) in
+        if List.exists (fun (_, d) -> base.(d) <> sub.(d)) pos then raise Found
+      end
+    done;
+    false
+  with Found -> true
+
+let max_decoy_tries = 8
+
 let lock ?(seed = 1) net ~n_keys =
   let rng = Random.State.make [| seed; 0x4d58 |] in
   let net = Netlist.copy net in
@@ -26,20 +79,60 @@ let lock ?(seed = 1) net ~n_keys =
       (fun id -> Netlist.is_comb (Netlist.node net id))
       (Locked.gate_wires net)
   in
-  let targets = Locked.pick_distinct rng n_keys comb in
+  if List.length comb < n_keys then
+    invalid_arg "Mux_lock.lock: not enough candidate wires";
+  (* Candidate targets in random order; each key-gate consumes the first
+     target for which some decoy demonstrably corrupts an output. *)
+  let candidates = ref (Locked.pick_distinct rng (List.length comb) comb) in
+  let fixed = Hashtbl.create 8 in
+  let pick_pair () =
+    let decoys_of target =
+      let blocked = reachable_from net target in
+      List.filter (fun d -> not blocked.(d)) comb
+    in
+    let rec scan tried = function
+      | [] -> (
+        (* No sampled-observable pair anywhere (heavily redundant circuit):
+           fall back to the first untried target with an arbitrary decoy so
+           the lock still has [n_keys] key inputs. *)
+        match List.rev tried with
+        | [] -> assert false (* length checked above *)
+        | target :: rest ->
+          candidates := rest;
+          let decoy =
+            match decoys_of target with
+            | [] -> target (* degenerate circuit; MUX becomes transparent *)
+            | ds -> List.nth ds (Random.State.int rng (List.length ds))
+          in
+          (target, decoy))
+      | target :: rest -> (
+        let ds =
+          match decoys_of target with
+          | [] -> []
+          | ds -> Locked.pick_distinct rng (List.length ds) ds
+        in
+        let rec first_good k = function
+          | d :: tl ->
+            if corrupts ~rng ~fixed net ~target ~decoy:d then Some d
+            else if k + 1 >= max_decoy_tries then None
+            else first_good (k + 1) tl
+          | [] -> None
+        in
+        match first_good 0 ds with
+        | Some decoy ->
+          candidates := List.rev_append tried rest;
+          (target, decoy)
+        | None -> scan (target :: tried) rest)
+    in
+    scan [] !candidates
+  in
   let keyed =
-    List.mapi
-      (fun i target ->
+    List.init n_keys (fun i ->
+        let target, decoy = pick_pair () in
         let key_name = Printf.sprintf "mk%d" i in
         let k = Netlist.add_input net key_name in
-        let blocked = reachable_from net target in
-        let decoys = List.filter (fun d -> not blocked.(d)) comb in
-        let decoy =
-          match decoys with
-          | [] -> target (* degenerate circuit; MUX becomes transparent *)
-          | ds -> List.nth ds (Random.State.int rng (List.length ds))
-        in
         let bit = Random.State.bool rng in
+        Hashtbl.replace fixed k bit;
         (* MUX(sel; a; b) = sel ? b : a — put the true wire where the
            correct bit routes it. *)
         let a, b = if bit then (decoy, target) else (target, decoy) in
@@ -50,7 +143,6 @@ let lock ?(seed = 1) net ~n_keys =
                 Cell.Mux [| k; a; b |])
         in
         (key_name, bit))
-      targets
   in
   {
     Locked.net;

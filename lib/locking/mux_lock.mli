@@ -7,5 +7,9 @@
 
 (** [lock ?seed net ~n_keys] inserts [n_keys] MUX key-gates.  Key inputs
     are named [mk0], [mk1], ...; decoys are drawn from wires outside the
-    target's own fanout cone (no combinational cycles). *)
+    target's own fanout cone (no combinational cycles).  Each target/decoy
+    pair is checked by random simulation to actually corrupt a primary
+    output when the key bit is flipped — unobservable targets (masked or
+    redundant wires) are skipped while observable candidates remain, so a
+    wrong key is not silently transparent. *)
 val lock : ?seed:int -> Netlist.t -> n_keys:int -> Locked.t

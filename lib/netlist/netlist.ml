@@ -78,7 +78,21 @@ let create net_name =
 
 let generation t = t.gen
 
-let touch t = t.gen <- t.gen + 1
+(* Observability instruments (see DESIGN.md §6f).  Generation bumps and
+   engine compiles are counted unconditionally — they happen at mutation
+   and compile granularity, not per evaluation.  Per-eval accounting is
+   gated behind [Obs.Probe] so the untraced hot path pays one boolean
+   load per call. *)
+let m_generation_bumps = Obs.Metrics.counter "netlist.generation_bumps"
+let m_engine_compiles = Obs.Metrics.counter "engine.compiles"
+let m_engine_instructions = Obs.Metrics.counter "engine.instructions_compiled"
+let m_engine_evals = Obs.Metrics.counter "engine.evals"
+let m_engine_word_evals = Obs.Metrics.counter "engine.word_evals"
+let m_engine_instr_exec = Obs.Metrics.counter "engine.instructions_executed"
+
+let touch t =
+  Obs.Metrics.incr m_generation_bumps;
+  t.gen <- t.gen + 1
 
 let caches t =
   let c = t.caches in
@@ -464,6 +478,10 @@ module Engine = struct
   let op_lut = 9
 
   let compile t =
+    Obs.Trace.with_span
+      ~args:[ ("netlist", Cjson.Str t.net_name); ("gen", Cjson.Int t.gen) ]
+      "engine.compile"
+    @@ fun () ->
     let order = comb_topo_array t in
     let n_instr = Array.length order in
     let ops = Array.make n_instr 0 in
@@ -483,6 +501,8 @@ module Engine = struct
         | Input | Const _ | Ff | Dead -> assert false)
       order;
     offs.(n_instr) <- !total;
+    Obs.Metrics.incr m_engine_compiles;
+    Obs.Metrics.add m_engine_instructions n_instr;
     let fan = Array.make (max 1 !total) 0 in
     Array.iteri
       (fun i id ->
@@ -523,6 +543,10 @@ module Engine = struct
   let sources e = e.srcs
 
   let eval e assignment =
+    if Obs.Probe.active () then begin
+      Obs.Metrics.incr m_engine_evals;
+      Obs.Metrics.add m_engine_instr_exec (Array.length e.dst)
+    end;
     let values = Array.make e.eng_nodes false in
     Array.iter (fun id -> values.(id) <- assignment id) e.srcs;
     Array.iter (fun id -> values.(id) <- true) e.one_ids;
@@ -566,6 +590,10 @@ module Engine = struct
     values
 
   let eval_words e assignment =
+    if Obs.Probe.active () then begin
+      Obs.Metrics.incr m_engine_word_evals;
+      Obs.Metrics.add m_engine_instr_exec (Array.length e.dst)
+    end;
     let values = Array.make e.eng_nodes 0 in
     Array.iter (fun id -> values.(id) <- assignment id) e.srcs;
     Array.iter (fun id -> values.(id) <- -1) e.one_ids;

@@ -1,0 +1,412 @@
+(* Observability: structured tracing, a metrics registry and cheap
+   probes.  See obs.mli for the contract; the implementation notes that
+   matter are local:
+
+   - Everything is domain-safe.  Counters are [Atomic.t]; histogram and
+     sink state sit behind mutexes.
+   - One mutex serializes timestamp assignment *and* the line write, so
+     records land in the file in timestamp order even when campaign
+     worker domains trace concurrently — the monotonicity the validator
+     checks is by construction, not luck.
+   - [Probe.active] is an [Atomic.t bool] read; hot paths pay one load
+     when tracing is off. *)
+
+(* ----- metrics ----- *)
+
+module Metrics = struct
+  type counter = int Atomic.t
+  type gauge = float Atomic.t
+
+  type hist_state = {
+    h_mutex : Mutex.t;
+    mutable h_count : int;
+    mutable h_sum : float;
+    mutable h_min : float;
+    mutable h_max : float;
+    (* log2-magnitude buckets: index = clamp (frexp exponent + 32),
+       so ~1e-9 .. ~4e9 each get their own power-of-two bucket. *)
+    h_buckets : int array;
+  }
+
+  type histogram = hist_state
+
+  type instrument = Counter of counter | Gauge of gauge | Hist of histogram
+
+  let registry : (string, instrument) Hashtbl.t = Hashtbl.create 64
+  let reg_mutex = Mutex.create ()
+
+  let with_registry f =
+    Mutex.lock reg_mutex;
+    Fun.protect ~finally:(fun () -> Mutex.unlock reg_mutex) f
+
+  let register name make match_existing =
+    with_registry (fun () ->
+        match Hashtbl.find_opt registry name with
+        | Some i -> (
+          match match_existing i with
+          | Some v -> v
+          | None ->
+            invalid_arg
+              (Printf.sprintf
+                 "Obs.Metrics: %S already registered as a different kind" name))
+        | None ->
+          let v = make () in
+          v)
+
+  let counter name =
+    register name
+      (fun () ->
+        let c = Atomic.make 0 in
+        Hashtbl.replace registry name (Counter c);
+        c)
+      (function Counter c -> Some c | Gauge _ | Hist _ -> None)
+
+  let incr c = ignore (Atomic.fetch_and_add c 1)
+  let add c n = ignore (Atomic.fetch_and_add c n)
+  let value c = Atomic.get c
+
+  let gauge name =
+    register name
+      (fun () ->
+        let g = Atomic.make 0.0 in
+        Hashtbl.replace registry name (Gauge g);
+        g)
+      (function Gauge g -> Some g | Counter _ | Hist _ -> None)
+
+  let set g v = Atomic.set g v
+
+  let histogram name =
+    register name
+      (fun () ->
+        let h =
+          {
+            h_mutex = Mutex.create ();
+            h_count = 0;
+            h_sum = 0.0;
+            h_min = infinity;
+            h_max = neg_infinity;
+            h_buckets = Array.make 64 0;
+          }
+        in
+        Hashtbl.replace registry name (Hist h);
+        h)
+      (function Hist h -> Some h | Counter _ | Gauge _ -> None)
+
+  let bucket_of v =
+    if v <= 0.0 || Float.is_nan v then 0
+    else
+      let _, e = Float.frexp v in
+      max 0 (min 63 (e + 32))
+
+  let observe h v =
+    Mutex.lock h.h_mutex;
+    h.h_count <- h.h_count + 1;
+    h.h_sum <- h.h_sum +. v;
+    if v < h.h_min then h.h_min <- v;
+    if v > h.h_max then h.h_max <- v;
+    let b = bucket_of v in
+    h.h_buckets.(b) <- h.h_buckets.(b) + 1;
+    Mutex.unlock h.h_mutex
+
+  let hist_json h =
+    Mutex.lock h.h_mutex;
+    let r =
+      Cjson.Obj
+        [
+          ("count", Cjson.Int h.h_count);
+          ("sum", Cjson.Float h.h_sum);
+          ("min", Cjson.Float (if h.h_count = 0 then 0.0 else h.h_min));
+          ("max", Cjson.Float (if h.h_count = 0 then 0.0 else h.h_max));
+          ( "buckets",
+            Cjson.List
+              (Array.to_list h.h_buckets
+              |> List.mapi (fun i n -> (i, n))
+              |> List.filter (fun (_, n) -> n > 0)
+              |> List.map (fun (i, n) ->
+                     Cjson.List [ Cjson.Int (i - 32); Cjson.Int n ])) );
+        ]
+    in
+    Mutex.unlock h.h_mutex;
+    r
+
+  let snapshot () =
+    let entries =
+      with_registry (fun () ->
+          Hashtbl.fold (fun k v acc -> (k, v) :: acc) registry [])
+    in
+    Cjson.Obj
+      (List.sort (fun (a, _) (b, _) -> compare a b) entries
+      |> List.map (fun (name, i) ->
+             ( name,
+               match i with
+               | Counter c -> Cjson.Int (Atomic.get c)
+               | Gauge g -> Cjson.Float (Atomic.get g)
+               | Hist h -> hist_json h )))
+
+  let dump () = Cjson.to_string (snapshot ())
+
+  let write_file path =
+    let oc = open_out path in
+    output_string oc (dump ());
+    output_char oc '\n';
+    close_out oc
+
+  let reset () =
+    with_registry (fun () ->
+        Hashtbl.iter
+          (fun _ -> function
+            | Counter c -> Atomic.set c 0
+            | Gauge g -> Atomic.set g 0.0
+            | Hist h ->
+              Mutex.lock h.h_mutex;
+              h.h_count <- 0;
+              h.h_sum <- 0.0;
+              h.h_min <- infinity;
+              h.h_max <- neg_infinity;
+              Array.fill h.h_buckets 0 (Array.length h.h_buckets) 0;
+              Mutex.unlock h.h_mutex)
+          registry)
+end
+
+(* ----- trace sink ----- *)
+
+let probe_flag = Atomic.make false
+
+type sink = {
+  s_mutex : Mutex.t;
+  s_oc : out_channel;
+  s_file : string;
+  mutable s_last_us : int;
+  s_t0 : float;
+}
+
+let sink : sink option Atomic.t = Atomic.make None
+let env_read = Atomic.make false
+
+(* Latch GKLOCK_TRACE once: unset/""/"0" leaves tracing off, "1" means
+   the default file, anything else is the output path. *)
+let init_from_env enable_to =
+  if not (Atomic.get env_read) then begin
+    Atomic.set env_read true;
+    match Sys.getenv_opt "GKLOCK_TRACE" with
+    | None | Some "" | Some "0" -> ()
+    | Some "1" -> enable_to "gklock_trace.jsonl"
+    | Some file -> enable_to file
+  end
+
+let rec enable_file file =
+  match Atomic.get sink with
+  | Some s when s.s_file = file -> ()
+  | Some s ->
+    disable_sink s;
+    enable_file file
+  | None ->
+    Atomic.set env_read true;
+    let oc =
+      Unix.out_channel_of_descr
+        (* Truncate: one trace file holds one run — the validator requires
+           globally monotone timestamps, which a second appended run with a
+           fresh epoch would break. *)
+        (Unix.openfile file [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644)
+    in
+    let s =
+      {
+        s_mutex = Mutex.create ();
+        s_oc = oc;
+        s_file = file;
+        s_last_us = 0;
+        s_t0 = Unix.gettimeofday ();
+      }
+    in
+    Atomic.set sink (Some s);
+    Atomic.set probe_flag true
+
+and disable_sink s =
+  Atomic.set sink None;
+  Atomic.set probe_flag false;
+  Mutex.lock s.s_mutex;
+  (try flush s.s_oc; close_out s.s_oc with Sys_error _ -> ());
+  Mutex.unlock s.s_mutex
+
+let current_sink () =
+  init_from_env enable_file;
+  Atomic.get sink
+
+let () =
+  at_exit (fun () ->
+      match Atomic.get sink with
+      | Some s -> ( try flush s.s_oc with Sys_error _ -> ())
+      | None -> ())
+
+(* ----- trace ----- *)
+
+module Trace = struct
+  let enabled () = current_sink () <> None
+  let enable ~file () = enable_file file
+
+  let disable () =
+    match Atomic.get sink with Some s -> disable_sink s | None -> ()
+
+  let tid () = (Domain.self () :> int)
+
+  (* Timestamp (µs since enable) and write under one lock: file order is
+     timestamp order. *)
+  let emit s ~ph ~name ?dur args =
+    Mutex.lock s.s_mutex;
+    let us =
+      let raw = int_of_float ((Unix.gettimeofday () -. s.s_t0) *. 1e6) in
+      if raw > s.s_last_us then s.s_last_us <- raw;
+      s.s_last_us
+    in
+    let fields =
+      [
+        ("name", Cjson.Str name);
+        ("ph", Cjson.Str ph);
+        ("ts", Cjson.Int us);
+        ("pid", Cjson.Int (Unix.getpid ()));
+        ("tid", Cjson.Int (tid ()));
+      ]
+      @ (match dur with Some d -> [ ("dur", Cjson.Int d) ] | None -> [])
+      @ (match args with [] -> [] | a -> [ ("args", Cjson.Obj a) ])
+    in
+    (try
+       output_string s.s_oc (Cjson.to_string (Cjson.Obj fields));
+       output_char s.s_oc '\n';
+       flush s.s_oc
+     with Sys_error _ -> ());
+    Mutex.unlock s.s_mutex
+
+  type span = No_span | Span of { sp_name : string }
+
+  let span_begin ?(args = []) name =
+    match current_sink () with
+    | None -> No_span
+    | Some s ->
+      emit s ~ph:"B" ~name args;
+      Span { sp_name = name }
+
+  let span_end ?(args = []) = function
+    | No_span -> ()
+    | Span { sp_name } -> (
+      match Atomic.get sink with
+      | None -> ()
+      | Some s -> emit s ~ph:"E" ~name:sp_name args)
+
+  let with_span ?args name f =
+    match current_sink () with
+    | None -> f ()
+    | Some _ ->
+      let sp = span_begin ?args name in
+      Fun.protect ~finally:(fun () -> span_end sp) f
+
+  let instant ?(args = []) name =
+    match current_sink () with
+    | None -> ()
+    | Some s -> emit s ~ph:"i" ~name args
+
+  let counter_event name series =
+    match current_sink () with
+    | None -> ()
+    | Some s ->
+      emit s ~ph:"C" ~name
+        (List.map (fun (k, v) -> (k, Cjson.Float v)) series)
+
+  (* ----- validation ----- *)
+
+  type check = { v_events : int; v_spans : int; v_max_depth : int }
+
+  let validate_file path =
+    let ic = open_in path in
+    let stacks : (int, string list) Hashtbl.t = Hashtbl.create 8 in
+    let events = ref 0 and spans = ref 0 and max_depth = ref 0 in
+    let last_ts = ref min_int in
+    let err = ref None in
+    let fail lineno msg =
+      err := Some (Printf.sprintf "%s:%d: %s" path lineno msg)
+    in
+    let lineno = ref 0 in
+    (try
+       while !err = None do
+         let line = input_line ic in
+         incr lineno;
+         if String.trim line <> "" then begin
+           match Cjson.of_string line with
+           | Error e -> fail !lineno ("bad JSON: " ^ e)
+           | Ok j -> (
+             incr events;
+             let str k = Cjson.mem_str k j in
+             let int k = Cjson.mem_int k j in
+             match (str "name", str "ph", int "ts", int "pid", int "tid") with
+             | None, _, _, _, _ -> fail !lineno "missing name"
+             | _, None, _, _, _ -> fail !lineno "missing ph"
+             | _, _, None, _, _ -> fail !lineno "missing ts"
+             | _, _, _, None, _ -> fail !lineno "missing pid"
+             | _, _, _, _, None -> fail !lineno "missing tid"
+             | Some name, Some ph, Some ts, Some _, Some tid ->
+               if ts < !last_ts then
+                 fail !lineno
+                   (Printf.sprintf "timestamp %d goes backwards (last %d)" ts
+                      !last_ts)
+               else begin
+                 last_ts := ts;
+                 let stack =
+                   Option.value ~default:[] (Hashtbl.find_opt stacks tid)
+                 in
+                 match ph with
+                 | "B" ->
+                   let stack = name :: stack in
+                   if List.length stack > !max_depth then
+                     max_depth := List.length stack;
+                   Hashtbl.replace stacks tid stack
+                 | "E" -> (
+                   match stack with
+                   | [] ->
+                     fail !lineno
+                       (Printf.sprintf "E %S with no open span on tid %d" name
+                          tid)
+                   | top :: rest ->
+                     if top <> name then
+                       fail !lineno
+                         (Printf.sprintf "E %S closes open span %S" name top)
+                     else begin
+                       incr spans;
+                       Hashtbl.replace stacks tid rest
+                     end)
+                 | "X" -> (
+                   match Cjson.mem_int "dur" j with
+                   | Some d when d >= 0 -> ()
+                   | Some _ -> fail !lineno "X with negative dur"
+                   | None -> fail !lineno "X without dur")
+                 | "i" | "C" | "M" -> ()
+                 | other ->
+                   fail !lineno (Printf.sprintf "unknown phase %S" other)
+               end)
+         end
+       done
+     with End_of_file -> ());
+    close_in ic;
+    match !err with
+    | Some e -> Error e
+    | None ->
+      let open_spans =
+        Hashtbl.fold
+          (fun tid stack acc ->
+            match stack with
+            | [] -> acc
+            | top :: _ ->
+              Printf.sprintf "tid %d: span %S never closed" tid top :: acc)
+          stacks []
+      in
+      (match open_spans with
+      | [] ->
+        Ok { v_events = !events; v_spans = !spans; v_max_depth = !max_depth }
+      | e :: _ -> Error (path ^ ": " ^ e))
+end
+
+(* ----- probes ----- *)
+
+module Probe = struct
+  let active () = Atomic.get probe_flag
+  let add c n = if Atomic.get probe_flag then Metrics.add c n
+  let incr c = if Atomic.get probe_flag then Metrics.incr c
+end

@@ -1,0 +1,126 @@
+(** Zero-dependency structured observability: tracing, metrics, probes.
+
+    The paper's claims are quantitative — glitch windows (Eq. 2),
+    slack-eligible FF percentages (Table I), SAT attacks terminating at
+    iteration 1 — so a run has to be inspectable beyond its final
+    verdict.  This module gives the rest of the system three tools:
+
+    - {!Trace}: nested spans with monotonic timestamps, per-domain
+      thread ids and key=value attributes, appended as JSONL whose
+      records are Chrome Trace Event objects ([chrome://tracing] /
+      Perfetto load them once wrapped in [\[...\]]; see README
+      "Observability").
+    - {!Metrics}: process-global counters, gauges and histograms with a
+      registry and a JSON [dump] snapshot ([gklock attack
+      --metrics-out]).
+    - {!Probe}: the gate hot paths consult before paying any
+      instrumentation cost.  When [GKLOCK_TRACE] is unset every probe
+      site reduces to one boolean load, so BENCH_eval / BENCH_attacks
+      throughput does not regress.
+
+    Tracing activates either from the environment ([GKLOCK_TRACE=FILE],
+    or [GKLOCK_TRACE=1] for [gklock_trace.jsonl]) at first use, or
+    programmatically via {!Trace.enable} (what [gklock trace <cmd>]
+    does).  All emission is mutex-serialized and safe from multiple
+    domains; timestamps are forced monotonically non-decreasing in file
+    order, which {!Trace.validate_file} (and [make trace-smoke])
+    checks. *)
+
+module Metrics : sig
+  type counter
+  type gauge
+  type histogram
+
+  (** [counter name] registers (or retrieves) the process-global counter
+      [name].  Counters are atomic; safe from any domain. *)
+  val counter : string -> counter
+
+  val incr : counter -> unit
+  val add : counter -> int -> unit
+  val value : counter -> int
+
+  val gauge : string -> gauge
+  val set : gauge -> float -> unit
+
+  (** Histograms record count / sum / min / max plus powers-of-two
+      magnitude buckets — enough for time-to-exhaustion and span-length
+      distributions without a fixed bucket layout. *)
+  val histogram : string -> histogram
+
+  val observe : histogram -> float -> unit
+
+  (** [snapshot ()] is the whole registry as one JSON object, keys
+      sorted: counters as ints, gauges as floats, histograms as
+      [{count,sum,min,max,buckets}]. *)
+  val snapshot : unit -> Cjson.t
+
+  (** [dump ()] is [snapshot] rendered as a JSON string (one line). *)
+  val dump : unit -> string
+
+  (** [write_file path] writes [dump () ^ "\n"] to [path]. *)
+  val write_file : string -> unit
+
+  (** Zero every registered instrument (tests only — instruments stay
+      registered so cached [counter] handles remain valid). *)
+  val reset : unit -> unit
+end
+
+module Trace : sig
+  (** Whether span/instant emission is active right now. *)
+  val enabled : unit -> bool
+
+  (** [enable ~file ()] starts writing trace events to [file],
+      overriding the environment.  The file is truncated: one trace
+      file holds one run (the validator requires globally monotone
+      timestamps).  Idempotent per file. *)
+  val enable : file:string -> unit -> unit
+
+  (** Stop tracing and flush/close the sink. *)
+  val disable : unit -> unit
+
+  type span
+
+  (** [span_begin ?args name] emits a "B" record and returns a handle;
+      close it with {!span_end}, optionally attaching result
+      attributes to the "E" record.  When tracing is disabled both are
+      free and no record is emitted. *)
+  val span_begin : ?args:(string * Cjson.t) list -> string -> span
+
+  val span_end : ?args:(string * Cjson.t) list -> span -> unit
+
+  (** [with_span ?args name f] wraps [f ()] in a span; the "E" record is
+      emitted even when [f] raises. *)
+  val with_span : ?args:(string * Cjson.t) list -> string -> (unit -> 'a) -> 'a
+
+  (** A zero-duration "i" record (glitch pulses, budget trips, retry
+      causes...). *)
+  val instant : ?args:(string * Cjson.t) list -> string -> unit
+
+  (** A "C" record: named counter series plotted by the trace viewer. *)
+  val counter_event : string -> (string * float) list -> unit
+
+  type check = {
+    v_events : int;  (** records parsed *)
+    v_spans : int;  (** matched B/E pairs *)
+    v_max_depth : int;  (** deepest per-domain span nesting *)
+  }
+
+  (** [validate_file path] checks the JSONL schema [make trace-smoke]
+      relies on: every line a JSON object with [name]/[ph]/[ts]/[pid]/
+      [tid], phases one of B E X i C M, timestamps non-decreasing in
+      file order, and every "B" closed by a matching "E" on the same
+      [tid] with names pairing LIFO. *)
+  val validate_file : string -> (check, string) result
+end
+
+module Probe : sig
+  (** One boolean load: true iff tracing is (or has been) enabled.  Hot
+      paths guard their accounting with this so the untraced build does
+      no instrumentation work. *)
+  val active : unit -> bool
+
+  (** [add c n] / [incr c] bump [c] only when {!active}. *)
+  val add : Metrics.counter -> int -> unit
+
+  val incr : Metrics.counter -> unit
+end

@@ -1,4 +1,6 @@
-
+(* Popped-event accounting is probe-gated: one boolean load per pop when
+   tracing is off. *)
+let m_pops = Obs.Metrics.counter "event_queue.pops"
 
 type 'a entry = { time : int; seq : int; payload : 'a }
 
@@ -46,6 +48,7 @@ let add q ~time payload =
 let pop_min q =
   if is_empty q then None
   else begin
+    Obs.Probe.incr m_pops;
     let top = Vec.get q.heap 0 in
     let last = Vec.pop q.heap in
     if Vec.length q.heap > 0 then begin

@@ -1,4 +1,10 @@
-
+(* Per-run instrumentation: counters are bumped once per run (cheap,
+   always on); per-pulse trace records are emitted only when tracing. *)
+let m_sim_runs = Obs.Metrics.counter "sim.runs"
+let m_sim_events = Obs.Metrics.counter "sim.events_popped"
+let m_sim_trans = Obs.Metrics.counter "sim.transitions"
+let m_sim_viol = Obs.Metrics.counter "sim.violations"
+let m_sim_glitch = Obs.Metrics.counter "sim.glitch_pulses"
 
 type drive = Const of bool | Wave of Waveform.t
 
@@ -46,6 +52,20 @@ let run ?(init = fun _ -> false) ?(drive = fun _ -> Const false)
   assert (clk2q >= hold);
   if config.clock_ps <= setup + hold + clk2q then
     invalid_arg "Timing_sim.run: clock period shorter than FF timing arcs";
+  Obs.Metrics.incr m_sim_runs;
+  let sp =
+    Obs.Trace.span_begin
+      ~args:
+        [
+          ("netlist", Cjson.Str (Netlist.name net));
+          ("cycles", Cjson.Int config.cycles);
+          ("clock_ps", Cjson.Int config.clock_ps);
+          ("nodes", Cjson.Int (Netlist.num_nodes net));
+        ]
+      "sim.run"
+  in
+  Fun.protect ~finally:(fun () -> Obs.Trace.span_end sp) @@ fun () ->
+  let events_popped = ref 0 and n_trans = ref 0 in
   let n = Netlist.num_nodes net in
   let values = Array.make n Logic.X in
   let trans : (int * Logic.t) Vec.t array = Array.init n (fun _ -> Vec.create ()) in
@@ -122,6 +142,7 @@ let run ?(init = fun _ -> false) ?(drive = fun _ -> Const false)
   let set_value time id v =
     if not (Logic.equal values.(id) v) then begin
       values.(id) <- v;
+      incr n_trans;
       Vec.push trans.(id) (time, v);
       List.iter
         (fun (consumer, _pin) ->
@@ -180,11 +201,13 @@ let run ?(init = fun _ -> false) ?(drive = fun _ -> Const false)
   let rec pump () =
     match Event_queue.pop_min queue with
     | None -> ()
-    | Some (time, _) when time > horizon -> ()
+    | Some (time, _) when time > horizon -> incr events_popped
     | Some (time, Set (id, v)) ->
+      incr events_popped;
       set_value time id v;
       pump ()
     | Some (time, Latch (ff, cycle)) ->
+      incr events_popped;
       latch time ff cycle;
       pump ()
   in
@@ -193,6 +216,45 @@ let run ?(init = fun _ -> false) ?(drive = fun _ -> Const false)
     Array.init n (fun id ->
         Waveform.make ~initial:initials.(id) (Vec.to_list trans.(id)))
   in
+  Obs.Metrics.add m_sim_events !events_popped;
+  Obs.Metrics.add m_sim_trans !n_trans;
+  Obs.Metrics.add m_sim_viol (List.length !violations);
+  if Obs.Trace.enabled () then begin
+    (* Glitch pulses per Eq. 2 on every FF data pin: any value interval
+       narrower than the clock period is a capture hazard; start/stop
+       are simulation picoseconds carried as attributes (the trace
+       timeline itself stays wall-clock). *)
+    Array.iter
+      (fun ff ->
+        let ffn = (Netlist.node net ff).Netlist.name in
+        let d = (Netlist.node net ff).Netlist.fanins.(0) in
+        List.iter
+          (fun p ->
+            Obs.Metrics.incr m_sim_glitch;
+            Obs.Trace.instant
+              ~args:
+                [
+                  ("ff", Cjson.Str ffn);
+                  ("signal", Cjson.Str (Netlist.node net d).Netlist.name);
+                  ("start_ps", Cjson.Int p.Waveform.start_ps);
+                  ("stop_ps", Cjson.Int p.Waveform.stop_ps);
+                  ("width_ps", Cjson.Int (p.Waveform.stop_ps - p.Waveform.start_ps));
+                  ( "level",
+                    Cjson.Str (String.make 1 (Logic.to_char p.Waveform.level)) );
+                ]
+              "sim.glitch")
+          (Waveform.pulses ~max_width:(config.clock_ps - 1) waves.(d)
+             ~until:horizon))
+      ff_ids;
+    Obs.Trace.instant
+      ~args:
+        [
+          ("events_popped", Cjson.Int !events_popped);
+          ("transitions", Cjson.Int !n_trans);
+          ("violations", Cjson.Int (List.length !violations));
+        ]
+      "sim.stats"
+  end;
   let po_samples =
     List.map
       (fun (po, driver) ->

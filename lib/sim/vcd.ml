@@ -12,6 +12,41 @@ let char_of = function
   | Logic.T -> '1'
   | Logic.X -> 'x'
 
+(* $var reference names must be single whitespace-free tokens, and a
+   leading '$' collides with the keyword namespace some readers use.
+   Netlist_gen's adversarial shapes produce names with spaces and '$';
+   map every offending character to '_' (keeping printable ASCII
+   otherwise) and uniquify collisions with a numeric suffix. *)
+let sanitize_names names =
+  let clean name =
+    let s =
+      String.map
+        (fun c ->
+          match c with
+          | ' ' | '\t' | '\n' | '\r' | '$' -> '_'
+          | c when Char.code c < 0x21 || Char.code c > 0x7e -> '_'
+          | c -> c)
+        name
+    in
+    if s = "" then "_" else s
+  in
+  let used = Hashtbl.create 16 in
+  List.map
+    (fun name ->
+      let base = clean name in
+      let unique =
+        if not (Hashtbl.mem used base) then base
+        else
+          let rec probe k =
+            let candidate = Printf.sprintf "%s_%d" base k in
+            if Hashtbl.mem used candidate then probe (k + 1) else candidate
+          in
+          probe 2
+      in
+      Hashtbl.replace used unique ();
+      unique)
+    names
+
 let of_result net result ~signals =
   let ids =
     match signals with
@@ -31,15 +66,18 @@ let of_result net result ~signals =
           | None -> invalid_arg ("Vcd.of_result: unknown signal " ^ name))
         names
   in
+  let var_names = sanitize_names (List.map fst ids) in
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "$date gklock $end\n";
   Buffer.add_string buf "$version gklock timing simulator $end\n";
   Buffer.add_string buf "$timescale 1ps $end\n";
-  Printf.bprintf buf "$scope module %s $end\n" (Netlist.name net);
+  Printf.bprintf buf "$scope module %s $end\n"
+    (match sanitize_names [ Netlist.name net ] with
+    | [ m ] -> m
+    | _ -> assert false);
   List.iteri
-    (fun i (name, _) ->
-      Printf.bprintf buf "$var wire 1 %s %s $end\n" (code i) name)
-    ids;
+    (fun i name -> Printf.bprintf buf "$var wire 1 %s %s $end\n" (code i) name)
+    var_names;
   Buffer.add_string buf "$upscope $end\n$enddefinitions $end\n";
   (* initial values *)
   Buffer.add_string buf "#0\n";

@@ -106,6 +106,51 @@ let test_mux_acyclic () =
     Netlist.validate lk.Locked.net
   done
 
+(* Fuzz-found regression (lock-property family): on these case seeds every
+   MUX key-gate used to land on a functionally unobservable wire — flipping
+   any single key bit left the circuit exactly equivalent, so the lock
+   protected nothing.  Target/decoy pairs must now be sampled-observable. *)
+let test_mux_flip_observable () =
+  List.iter
+    (fun seed ->
+      let comb =
+        fst
+          (Combinationalize.run
+             (Generator.generate
+                {
+                  Generator.gen_name = Printf.sprintf "lp%d" seed;
+                  seed;
+                  n_pi = 6;
+                  n_po = 4;
+                  n_ff = 6;
+                  n_gates = 30;
+                  depth = 5;
+                  ff_depth_bias = 0.2;
+                }))
+      in
+      let lk = Mux_lock.lock ~seed comb ~n_keys:5 in
+      (match Equiv.check ~fixed_b:lk.Locked.correct_key comb lk.Locked.net with
+      | Equiv.Equivalent -> ()
+      | Equiv.Different _ -> Alcotest.fail "correct key not transparent");
+      let corrupting =
+        List.filter
+          (fun name ->
+            Metrics.bit_error_rate ~samples:128 ~seed ~reference:comb lk
+              (Key.flip lk.Locked.correct_key name)
+            > 0.)
+          lk.Locked.key_inputs
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: some flip corrupts" seed)
+        true
+        (corrupting <> []))
+    [
+      4504999465468316646;
+      1956143378011559044;
+      2505266000894152716;
+      1501109808130665824;
+    ]
+
 (* ----- SARLock ----- *)
 
 let test_sarlock_semantics () =
@@ -544,6 +589,7 @@ let suites =
     ( "locking.mux",
       [
         tc "acyclic" `Quick test_mux_acyclic;
+        tc "flipped key bit observable" `Quick test_mux_flip_observable;
         qcheck ~count:20 "correct key transparent" seed_arb mux_correct_key_law;
       ] );
     ( "locking.sarlock",

@@ -1,6 +1,6 @@
 # Convenience targets; dune is the real build system.
 
-.PHONY: all build test bench bench-quick bench-eval bench-attacks bench-attacks-smoke campaign-smoke fuzz fuzz-smoke trace-smoke check examples clean
+.PHONY: all build test bench bench-quick bench-eval bench-attacks bench-eval-smoke bench-attacks-smoke bench-smoke campaign-smoke fuzz fuzz-smoke trace-smoke check examples clean
 
 all: build
 
@@ -27,10 +27,19 @@ bench-eval:
 bench-attacks:
 	dune exec bench/bench_attacks.exe
 
-# CI-sized variant; writes outside the tree so the committed
-# BENCH_attacks.json stays a full-run artifact.
+# CI-sized variants; they write outside the tree so the committed
+# BENCH_*.json stay full-run artifacts.  Both self-check their emitted
+# JSON against the repo parser; bench_eval asserts the block path never
+# loses to the single-word path, bench_attacks asserts the batched
+# oracle is >= 10x the assoc baseline and >= 1x scalar on the largest
+# circuit in the run.
+bench-eval-smoke:
+	dune exec bench/bench_eval.exe -- --smoke /tmp/BENCH_eval_smoke.json
+
 bench-attacks-smoke:
 	dune exec bench/bench_attacks.exe -- --smoke /tmp/BENCH_attacks_smoke.json
+
+bench-smoke: bench-eval-smoke bench-attacks-smoke
 
 # Tiny campaign matrix end-to-end with the real executor: run, resume,
 # verify the resume skips everything.  Seconds, suitable for CI.
@@ -57,9 +66,9 @@ trace-smoke:
 	dune exec bin/gklock_cli.exe -- trace --check /tmp/gklock_ts.jsonl
 
 # Everything a PR must keep green: full build (libs, CLI, examples,
-# benches) plus the test suite, the campaign smoke, a fuzz smoke and the
-# tracing smoke.
-check: build test campaign-smoke fuzz-smoke bench-attacks-smoke trace-smoke
+# benches) plus the test suite, the campaign smoke, a fuzz smoke, both
+# bench smokes and the tracing smoke.
+check: build test campaign-smoke fuzz-smoke bench-smoke trace-smoke
 
 examples:
 	dune exec examples/quickstart.exe

@@ -2,9 +2,10 @@
    vs. word-parallel evaluation and cached vs. uncached topological
    ordering, on three seed benchmarks.  Prints a human-readable table and
    writes machine-readable results to BENCH_eval.json (or the path given
-   as the first argument) so later PRs can track the perf trajectory:
+   as the last argument) so later PRs can track the perf trajectory:
 
      dune exec bench/bench_eval.exe            # or: make bench-eval
+     dune exec bench/bench_eval.exe -- --smoke # CI-sized, seconds
 
    The "legacy" rows re-measure the pre-engine eval_comb (a fresh DFS
    topological sort and per-gate fanin array per call) as a fixed baseline
@@ -62,6 +63,7 @@ let legacy_eval net assignment =
 let time_reps ?(min_time = 0.3) f =
   (* warm up once, then repeat until [min_time] elapsed *)
   f ();
+  Gc.compact ();
   let reps = ref 0 in
   let t0 = Unix.gettimeofday () in
   let elapsed = ref 0.0 in
@@ -72,13 +74,16 @@ let time_reps ?(min_time = 0.3) f =
   done;
   (!reps, !elapsed)
 
-let throughput ~patterns_per_call f =
-  let reps, elapsed = time_reps f in
+let throughput ?min_time ~patterns_per_call f =
+  let reps, elapsed = time_reps ?min_time f in
   float_of_int (reps * patterns_per_call) /. elapsed
 
-let micros f =
-  let reps, elapsed = time_reps f in
+let micros ?min_time f =
+  let reps, elapsed = time_reps ?min_time f in
   1e6 *. elapsed /. float_of_int reps
+
+(* words per block on the throughput row — the oracle's default *)
+let block_words = 8
 
 type row = {
   r_name : string;
@@ -86,44 +91,66 @@ type row = {
   r_legacy_pps : float;
   r_scalar_pps : float;
   r_word_pps : float;
+  r_block_pps : float;
   r_topo_uncached_us : float;
   r_topo_cached_us : float;
 }
 
-let bench_spec spec =
+let bench_spec ?min_time spec =
   let net = Benchmarks.load spec in
   let n = Netlist.num_nodes net in
   let rng = Random.State.make [| 0xB17; Hashtbl.hash spec.Benchmarks.bname |] in
   let stim = Array.init n (fun _ -> Random.State.bool rng) in
   let stim_words = Array.init n (fun _ -> Netlist.Engine.random_word rng) in
   let eng = Netlist.Engine.get net in
+  let n_srcs = Array.length (Netlist.Engine.sources eng) in
+  let block_stim =
+    Array.init (n_srcs * block_words) (fun _ -> Netlist.Engine.random_word rng)
+  in
+  let scratch = Netlist.Engine.create_scratch eng in
   let legacy_pps =
-    throughput ~patterns_per_call:1 (fun () ->
+    throughput ?min_time ~patterns_per_call:1 (fun () ->
         ignore (legacy_eval net (Array.get stim)))
   in
   let scalar_pps =
-    throughput ~patterns_per_call:1 (fun () ->
+    throughput ?min_time ~patterns_per_call:1 (fun () ->
         ignore (Netlist.eval_comb net (Array.get stim)))
   in
+  (* the word row drives the engine the way the library's hot paths do
+     (reused scratch, slot-dense result); the id-indexed compat wrapper
+     [eval_words] pays an extra allocation + scatter per call *)
   let word_pps =
-    throughput ~patterns_per_call:Netlist.Engine.word_bits (fun () ->
-        ignore (Netlist.Engine.eval_words eng (Array.get stim_words)))
+    throughput ?min_time ~patterns_per_call:Netlist.Engine.word_bits (fun () ->
+        ignore (Netlist.Engine.eval_words_into ~scratch eng (Array.get stim_words)))
   in
-  let topo_uncached_us = micros (fun () -> ignore (legacy_topo net)) in
-  let topo_cached_us = micros (fun () -> ignore (Netlist.comb_topo_order net)) in
+  (* the multi-word engine path as the oracle drives it: reused scratch,
+     sources filled straight into the slot-dense block buffer *)
+  let block_pps =
+    throughput ?min_time
+      ~patterns_per_call:(block_words * Netlist.Engine.word_bits) (fun () ->
+        ignore
+          (Netlist.Engine.eval_block ~scratch eng ~n_words:block_words
+             ~fill:(fun buf ->
+               Array.blit block_stim 0 buf 0 (n_srcs * block_words))))
+  in
+  let topo_uncached_us = micros ?min_time (fun () -> ignore (legacy_topo net)) in
+  let topo_cached_us =
+    micros ?min_time (fun () -> ignore (Netlist.comb_topo_order net))
+  in
   {
     r_name = spec.Benchmarks.bname;
     r_cells = spec.Benchmarks.cells;
     r_legacy_pps = legacy_pps;
     r_scalar_pps = scalar_pps;
     r_word_pps = word_pps;
+    r_block_pps = block_pps;
     r_topo_uncached_us = topo_uncached_us;
     r_topo_cached_us = topo_cached_us;
   }
 
 (* ----- equivalence: engine vs. the seed path, all seed benchmarks ----- *)
 
-let check_equivalence () =
+let check_equivalence specs =
   List.iter
     (fun spec ->
       let net = Benchmarks.load spec in
@@ -159,7 +186,7 @@ let check_equivalence () =
         vectors;
       Printf.printf "equivalence %-8s OK (%d lanes x %d nodes)\n%!"
         spec.Benchmarks.bname Netlist.Engine.word_bits n)
-    Benchmarks.specs
+    specs
 
 (* ----- output ----- *)
 
@@ -167,33 +194,73 @@ let json_of_row r =
   Printf.sprintf
     "    {\"name\": %S, \"cells\": %d, \"legacy_patterns_per_sec\": %.1f, \
      \"scalar_patterns_per_sec\": %.1f, \"word_patterns_per_sec\": %.1f, \
-     \"word_speedup_vs_legacy\": %.2f, \"scalar_speedup_vs_legacy\": %.2f, \
+     \"block_patterns_per_sec\": %.1f, \"word_speedup_vs_legacy\": %.2f, \
+     \"scalar_speedup_vs_legacy\": %.2f, \"block_speedup_vs_word\": %.2f, \
      \"topo_uncached_us\": %.2f, \"topo_cached_us\": %.2f}"
     r.r_name r.r_cells r.r_legacy_pps r.r_scalar_pps r.r_word_pps
+    r.r_block_pps
     (r.r_word_pps /. r.r_legacy_pps)
     (r.r_scalar_pps /. r.r_legacy_pps)
+    (r.r_block_pps /. r.r_word_pps)
     r.r_topo_uncached_us r.r_topo_cached_us
 
 let () =
-  let out_path = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_eval.json" in
-  check_equivalence ();
-  let rows =
-    List.map bench_spec
-      (List.filter_map Benchmarks.find_spec [ "s1238"; "s5378"; "s38417" ])
+  let smoke = Array.exists (( = ) "--smoke") Sys.argv in
+  let out_path =
+    let last = Sys.argv.(Array.length Sys.argv - 1) in
+    if Array.length Sys.argv > 1 && last <> "--smoke" then last
+    else "BENCH_eval.json"
   in
-  Printf.printf "\n%-8s %6s %14s %14s %14s %8s %11s %10s\n" "bench" "cells"
-    "legacy p/s" "scalar p/s" "word p/s" "speedup" "topo-raw us" "topo-c us";
+  let min_time = if smoke then 0.05 else 0.3 in
+  let names =
+    if smoke then [ "s1238"; "s5378" ] else [ "s1238"; "s5378"; "s38417" ]
+  in
+  let specs = List.filter_map Benchmarks.find_spec names in
+  check_equivalence (if smoke then specs else Benchmarks.specs);
+  let rows = List.map (bench_spec ~min_time) specs in
+  Printf.printf "\n%-8s %6s %14s %14s %14s %14s %8s %11s %10s\n" "bench"
+    "cells" "legacy p/s" "scalar p/s" "word p/s" "block p/s" "speedup"
+    "topo-raw us" "topo-c us";
   List.iter
     (fun r ->
-      Printf.printf "%-8s %6d %14.0f %14.0f %14.0f %7.1fx %11.2f %10.2f\n"
+      Printf.printf
+        "%-8s %6d %14.0f %14.0f %14.0f %14.0f %7.1fx %11.2f %10.2f\n"
         r.r_name r.r_cells r.r_legacy_pps r.r_scalar_pps r.r_word_pps
+        r.r_block_pps
         (r.r_word_pps /. r.r_legacy_pps)
         r.r_topo_uncached_us r.r_topo_cached_us)
     rows;
+  (* the block path exists to amortize per-pass overhead; it must not
+     lose to the single-word path it generalizes *)
+  List.iter
+    (fun r ->
+      if r.r_block_pps < r.r_word_pps then
+        failwith
+          (Printf.sprintf
+             "%s: block path regressed below single-word path (%.2fx)"
+             r.r_name
+             (r.r_block_pps /. r.r_word_pps)))
+    rows;
+  let doc =
+    Printf.sprintf
+      "{\n\
+      \  \"schema\": \"gklock/bench_eval/v1\",\n\
+      \  \"smoke\": %b,\n\
+      \  \"word_bits\": %d,\n\
+      \  \"block_words\": %d,\n\
+      \  \"benchmarks\": [\n\
+       %s\n\
+      \  ]\n\
+       }\n"
+      smoke Netlist.Engine.word_bits block_words
+      (String.concat ",\n" (List.map json_of_row rows))
+  in
+  (* round-trip the hand-rolled printer through the repo's JSON parser *)
+  (match Cjson.of_string doc with
+  | Ok (Cjson.Obj _) -> ()
+  | Ok _ -> failwith (out_path ^ ": emitted JSON is not an object")
+  | Error e -> failwith (out_path ^ ": emitted invalid JSON: " ^ e));
   let oc = open_out out_path in
-  Printf.fprintf oc
-    "{\n  \"schema\": \"gklock/bench_eval/v1\",\n  \"word_bits\": %d,\n  \"benchmarks\": [\n%s\n  ]\n}\n"
-    Netlist.Engine.word_bits
-    (String.concat ",\n" (List.map json_of_row rows));
+  output_string oc doc;
   close_out oc;
   Printf.printf "\nwrote %s\n" out_path

@@ -1,34 +1,106 @@
 let m_queries = Obs.Metrics.counter "oracle.queries"
 let m_memo_hits = Obs.Metrics.counter "oracle.memo_hits"
+let m_memo_evictions = Obs.Metrics.counter "oracle.memo_evictions"
 let m_batch_words = Obs.Metrics.counter "oracle.batch_words"
 let m_batch_lanes = Obs.Metrics.counter "oracle.batch_lanes"
+let m_batch_blocks = Obs.Metrics.counter "oracle.batch_blocks"
+let m_shard_batches = Obs.Metrics.counter "oracle.shard_batches"
+let m_shard_jobs = Obs.Metrics.counter "oracle.shard_jobs"
 let m_partial_defaults = Obs.Metrics.counter "oracle.partial_defaults"
 
-type stats = { mutable evals : int; mutable hits : int }
+type stats = {
+  mutable evals : int;
+  mutable hits : int;
+  mutable evictions : int;
+}
+
+(* Bounded memo: FIFO eviction (oldest inserted entry goes first) once
+   [cap] entries are resident.  [fifo] mirrors the table's keys in
+   insertion order exactly — a key is queued when inserted and dequeued
+   only when evicted — so eviction is O(1). *)
+type memo = {
+  tbl : (string, (string * bool) list) Hashtbl.t;
+  fifo : string Queue.t;
+  cap : int;  (* max_int = unbounded *)
+}
 
 type net_backend = {
   net : Netlist.t;
   eng : Netlist.Engine.engine;
+  sc : Netlist.Engine.scratch;  (* scalar-path + sequential-batch scratch *)
   srcs : int array;
   src_names : string array;
   idx_of_name : (string, int) Hashtbl.t;
-  idx_of_id : (int, int) Hashtbl.t;
-  outs : (string * int) list;
+  src_idx_of_id : int array;  (* node id -> source index, -1 elsewhere *)
+  outs : (string * int) list;  (* po name, driver node id *)
+  out_slots : int array;  (* driver slot per output, engine slot space *)
+  (* the only two possible response entries per output, preallocated and
+     shared by every response list — responses are immutable, so a query
+     allocates cons cells only, halving the per-query garbage *)
+  out_t : (string * bool) array;
+  out_f : (string * bool) array;
+  block_words : int;  (* words per eval_block pass *)
+  shards : int option;  (* forced shard count; None = size-gated auto *)
+}
+
+(* Canonical-key state for black-box oracles: the distinct sorted name
+   sets seen so far, each with a prebuilt name -> position index.  A
+   query is resolved against a known set in O(n) lookups instead of the
+   per-query sort + string concatenation the old fn_key paid. *)
+type fn_set = {
+  fs_id : int;
+  fs_size : int;
+  fs_idx : (string, int) Hashtbl.t;
+}
+
+type fn_backend = {
+  fn : (string * bool) list -> (string * bool) list;
+  mutable fn_sets : fn_set list;
+  mutable fn_next_id : int;
 }
 
 type backend =
   | Net of net_backend
-  | Fn of ((string * bool) list -> (string * bool) list)
+  | Fn of fn_backend
 
 type t = {
   backend : backend;
   partial : bool;
   budget : Budget.t option;
-  memo : (string, (string * bool) list) Hashtbl.t option;
+  memo : memo option;
   stats : stats;
 }
 
-let of_netlist ?(partial = false) ?budget ?(memo = true) net =
+(* Words per eval_block pass: 8 * 63 = 504 lanes per instruction-stream
+   walk — deep enough to amortize the walk, shallow enough that the block
+   buffer of a multi-thousand-slot engine stays cache-resident. *)
+let default_block_words = 8
+
+(* Auto-sharding engages when (miss lanes x engine slots) is big enough
+   that per-lane work dwarfs the domain spawns. *)
+let shard_work_min = 1 lsl 18
+
+let mk_memo memo memo_cap =
+  (match memo_cap with
+  | Some c when c < 1 ->
+    invalid_arg "Oracle: memo_cap must be >= 1 (use ~memo:false to disable)"
+  | _ -> ());
+  if not memo then None
+  else
+    Some
+      {
+        tbl = Hashtbl.create 256;
+        fifo = Queue.create ();
+        cap = (match memo_cap with Some c -> c | None -> max_int);
+      }
+
+let of_netlist ?(partial = false) ?budget ?(memo = true) ?memo_cap
+    ?(block_words = default_block_words) ?shards net =
+  if block_words < 1 then
+    invalid_arg "Oracle.of_netlist: block_words must be >= 1";
+  (match shards with
+  | Some s when s < 1 -> invalid_arg "Oracle.of_netlist: shards must be >= 1"
+  | _ -> ());
   let eng = Netlist.Engine.get net in
   let srcs = Netlist.Engine.sources eng in
   let src_names =
@@ -36,38 +108,51 @@ let of_netlist ?(partial = false) ?budget ?(memo = true) net =
   in
   let idx_of_name = Hashtbl.create (2 * Array.length srcs) in
   Array.iteri (fun i n -> Hashtbl.replace idx_of_name n i) src_names;
-  let idx_of_id = Hashtbl.create (2 * Array.length srcs) in
-  Array.iteri (fun i id -> Hashtbl.replace idx_of_id id i) srcs;
+  let src_idx_of_id = Array.make (max 1 (Netlist.num_nodes net)) (-1) in
+  Array.iteri (fun i id -> src_idx_of_id.(id) <- i) srcs;
+  let outs = Netlist.outputs net in
+  let slot_of_id = Netlist.Engine.slot_of_id eng in
+  let out_names = Array.of_list (List.map fst outs) in
+  let out_slots =
+    Array.of_list (List.map (fun (_, d) -> slot_of_id.(d)) outs)
+  in
   {
     backend =
       Net
         {
           net;
           eng;
+          sc = Netlist.Engine.create_scratch eng;
           srcs;
           src_names;
           idx_of_name;
-          idx_of_id;
-          outs = Netlist.outputs net;
+          src_idx_of_id;
+          outs;
+          out_slots;
+          out_t = Array.map (fun n -> (n, true)) out_names;
+          out_f = Array.map (fun n -> (n, false)) out_names;
+          block_words;
+          shards;
         };
     partial;
     budget;
-    memo = (if memo then Some (Hashtbl.create 256) else None);
-    stats = { evals = 0; hits = 0 };
+    memo = mk_memo memo memo_cap;
+    stats = { evals = 0; hits = 0; evictions = 0 };
   }
 
-let of_fn ?budget ?(memo = true) fn =
+let of_fn ?budget ?(memo = true) ?memo_cap fn =
   {
-    backend = Fn fn;
+    backend = Fn { fn; fn_sets = []; fn_next_id = 0 };
     partial = true;
     budget;
-    memo = (if memo then Some (Hashtbl.create 256) else None);
-    stats = { evals = 0; hits = 0 };
+    memo = mk_memo memo memo_cap;
+    stats = { evals = 0; hits = 0; evictions = 0 };
   }
 
 let relax t = { t with partial = true }
 let queries t = t.stats.evals
 let memo_hits t = t.stats.hits
+let memo_evictions t = t.stats.evictions
 
 let input_names t =
   match t.backend with
@@ -86,19 +171,31 @@ let resolve t b q =
      source netlist) still reads a deterministic false, but every such
      read now shows up in oracle.partial_defaults. *)
   let seen = Bytes.make n '\000' in
+  (* positional fast path: queries are usually built by mapping over
+     {!input_names}, i.e. pins arrive in declaration order — check the
+     next expected source before paying a hash lookup *)
+  let next = ref 0 in
   List.iter
     (fun (name, v) ->
-      match Hashtbl.find_opt b.idx_of_name name with
-      | Some i ->
-        Bytes.set vals i (if v then '1' else '0');
-        Bytes.set seen i '\001'
-      | None ->
-        if not t.partial then
-          invalid_arg
-            (Printf.sprintf
-               "Oracle.query: unknown input %S for netlist %s (use \
-                ~partial:true to ignore stray names)"
-               name (Netlist.name b.net)))
+      let i =
+        let g = !next in
+        if g < n && String.equal (Array.unsafe_get b.src_names g) name then g
+        else
+          match Hashtbl.find_opt b.idx_of_name name with
+          | Some i -> i
+          | None -> -1
+      in
+      if i >= 0 then begin
+        next := i + 1;
+        Bytes.unsafe_set vals i (if v then '1' else '0');
+        Bytes.unsafe_set seen i '\001'
+      end
+      else if not t.partial then
+        invalid_arg
+          (Printf.sprintf
+             "Oracle.query: unknown input %S for netlist %s (use \
+              ~partial:true to ignore stray names)"
+             name (Netlist.name b.net)))
     q;
   if t.partial then begin
     let defaulted = ref 0 in
@@ -118,14 +215,55 @@ let resolve t b q =
     done;
   Bytes.unsafe_to_string vals
 
-(* Canonical key for a black-box oracle: sorted, last-wins. *)
-let fn_key q =
-  let tbl = Hashtbl.create (2 * List.length q) in
-  List.iter (fun (k, v) -> Hashtbl.replace tbl k v) q;
-  let kvs = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] in
-  let kvs = List.sort (fun (a, _) (b, _) -> compare a b) kvs in
-  String.concat ";"
-    (List.map (fun (k, v) -> k ^ (if v then "=1" else "=0")) kvs)
+(* Canonical key for a black-box oracle: the query's effective
+   assignment in sorted-name order (duplicates last-wins), prefixed by
+   the id of its name set.  The sorted order is computed once per
+   distinct name set and reused, so the steady state is O(n) hash
+   lookups per query instead of a sort + concatenation. *)
+let fn_key_with set q =
+  let n = set.fs_size in
+  let vals = Bytes.make n '0' in
+  let seen = Bytes.make n '\000' in
+  let ok = ref true in
+  List.iter
+    (fun (name, v) ->
+      if !ok then
+        match Hashtbl.find_opt set.fs_idx name with
+        | Some i ->
+          Bytes.set vals i (if v then '1' else '0');
+          Bytes.set seen i '\001'
+        | None -> ok := false)
+    q;
+  if !ok then begin
+    for i = 0 to n - 1 do
+      if Bytes.get seen i = '\000' then ok := false
+    done;
+    if !ok then
+      Some (string_of_int set.fs_id ^ ":" ^ Bytes.unsafe_to_string vals)
+    else None
+  end
+  else None
+
+let fn_key fb q =
+  let rec try_sets = function
+    | [] -> None
+    | s :: rest -> (
+      match fn_key_with s q with Some k -> Some k | None -> try_sets rest)
+  in
+  match try_sets fb.fn_sets with
+  | Some k -> k
+  | None ->
+    let names = List.sort_uniq compare (List.map fst q) in
+    let idx = Hashtbl.create (2 * List.length names) in
+    List.iteri (fun i n -> Hashtbl.replace idx n i) names;
+    let set =
+      { fs_id = fb.fn_next_id; fs_size = List.length names; fs_idx = idx }
+    in
+    fb.fn_next_id <- fb.fn_next_id + 1;
+    fb.fn_sets <- set :: fb.fn_sets;
+    (match fn_key_with set q with
+    | Some k -> k
+    | None -> assert false (* the set was built from exactly q's names *))
 
 let charge t n =
   t.stats.evals <- t.stats.evals + n;
@@ -136,7 +274,7 @@ let memo_find t key =
   match t.memo with
   | None -> None
   | Some m ->
-    let r = Hashtbl.find_opt m key in
+    let r = Hashtbl.find_opt m.tbl key in
     if r <> None then begin
       t.stats.hits <- t.stats.hits + 1;
       Obs.Metrics.incr m_memo_hits
@@ -144,14 +282,36 @@ let memo_find t key =
     r
 
 let memo_add t key r =
-  match t.memo with None -> () | Some m -> Hashtbl.replace m key r
+  match t.memo with
+  | None -> ()
+  | Some m ->
+    if not (Hashtbl.mem m.tbl key) then begin
+      if m.cap < max_int then begin
+        while Hashtbl.length m.tbl >= m.cap && not (Queue.is_empty m.fifo) do
+          Hashtbl.remove m.tbl (Queue.pop m.fifo);
+          t.stats.evictions <- t.stats.evictions + 1;
+          Obs.Metrics.incr m_memo_evictions
+        done;
+        Queue.push key m.fifo
+      end;
+      Hashtbl.replace m.tbl key r
+    end
+
+let outs_of_slots b (values : bool array) =
+  let r = ref [] in
+  for oi = Array.length b.out_slots - 1 downto 0 do
+    r :=
+      (if values.(b.out_slots.(oi)) then b.out_t.(oi) else b.out_f.(oi)) :: !r
+  done;
+  !r
 
 let eval_key b key =
+  (* sources are engine slots 0..n_src-1 in the same order as [srcs] *)
   let values =
-    (* [eng] consults only source ids, each of which has a slot *)
-    Netlist.Engine.eval b.eng (fun id -> key.[Hashtbl.find b.idx_of_id id] = '1')
+    Netlist.Engine.eval_into ~scratch:b.sc b.eng (fun id ->
+        key.[b.src_idx_of_id.(id)] = '1')
   in
-  List.map (fun (po, d) -> (po, values.(d))) b.outs
+  outs_of_slots b values
 
 let query t q =
   match t.backend with
@@ -164,73 +324,170 @@ let query t q =
       let r = eval_key b key in
       memo_add t key r;
       r)
-  | Fn fn -> (
-    let key = fn_key q in
+  | Fn fb -> (
+    let key = fn_key fb q in
     match memo_find t key with
     | Some r -> r
     | None ->
       charge t 1;
-      let r = fn q in
+      let r = fb.fn q in
       memo_add t key r;
       r)
+
+(* ----- batched path -----
+
+   Distinct memo misses are bit-transposed into multi-word blocks
+   (block_words * 63 lanes per pass over the compiled instruction
+   stream).  When the batch is big enough, every per-lane stage —
+   canonical-key resolution, block evaluation, and response-list
+   construction, which dominates on many-output circuits — is sharded
+   across a bounded domain pool; each shard evaluates with its own
+   engine scratch and allocates responses in its own minor heap, and
+   all memo / stat mutation stays on the calling domain. *)
+
+(* Evaluate miss lanes [lane_lo, lane_hi) in blocks of at most
+   [block_words] words each, writing each lane's response list into
+   [computed].  [scratch] must be private to the caller; [computed]
+   writes are race-free because lane ranges are disjoint. *)
+let process_lanes b scratch (misses : string array) ~lane_lo ~lane_hi computed
+    =
+  let w = Netlist.Engine.word_bits in
+  let n_src = Array.length b.srcs in
+  let n_outs = Array.length b.out_slots in
+  let lanes_per_block = b.block_words * w in
+  let base = ref lane_lo in
+  while !base < lane_hi do
+    let b0 = !base in
+    let lanes = min lanes_per_block (lane_hi - b0) in
+    let nw = (lanes + w - 1) / w in
+    let blk =
+      Netlist.Engine.eval_block ~scratch b.eng ~n_words:nw ~fill:(fun buf ->
+          (* bit-transpose repack, lane-major: each key string is read
+             sequentially once (no per-character re-indexing of the miss
+             array), and bit j of word wi of source si accumulates at
+             buf.(si * nw + wi) *)
+          for wi = 0 to nw - 1 do
+            let j0 = wi * w in
+            let jn = min w (lanes - j0) in
+            for j = 0 to jn - 1 do
+              let key = misses.(b0 + j0 + j) in
+              let bit = 1 lsl j in
+              for si = 0 to n_src - 1 do
+                if String.unsafe_get key si = '1' then
+                  Array.unsafe_set buf
+                    ((si * nw) + wi)
+                    (Array.unsafe_get buf ((si * nw) + wi) lor bit)
+              done
+            done
+          done)
+    in
+    for j = 0 to lanes - 1 do
+      let wi = j / w and bit = j mod w in
+      let r = ref [] in
+      for oi = n_outs - 1 downto 0 do
+        let word =
+          Array.unsafe_get blk ((Array.unsafe_get b.out_slots oi * nw) + wi)
+        in
+        r :=
+          (if (word lsr bit) land 1 = 1 then Array.unsafe_get b.out_t oi
+           else Array.unsafe_get b.out_f oi)
+          :: !r
+      done;
+      computed.(b0 + j) <- !r
+    done;
+    Obs.Metrics.incr m_batch_blocks;
+    Obs.Metrics.add m_batch_words nw;
+    Obs.Metrics.add m_batch_lanes lanes;
+    base := b0 + lanes
+  done
 
 let query_batch t qs =
   match t.backend with
   | Fn _ -> List.map (query t) qs
   | Net b ->
-    let w = Netlist.Engine.word_bits in
-    let n_src = Array.length b.srcs in
-    let keys = Array.of_list (List.map (resolve t b) qs) in
-    let results = Array.make (Array.length keys) None in
-    (* distinct keys not in the memo, preserving first-seen order *)
-    let pending = Hashtbl.create 64 in
-    let order = ref [] in
-    Array.iteri
-      (fun i key ->
-        match memo_find t key with
-        | Some r -> results.(i) <- Some r
-        | None ->
-          if not (Hashtbl.mem pending key) then begin
-            Hashtbl.replace pending key ();
-            order := key :: !order
-          end)
-      keys;
-    let misses = Array.of_list (List.rev !order) in
-    let computed = Hashtbl.create (2 * Array.length misses) in
-    let words = Array.make (Netlist.num_nodes b.net) 0 in
-    let chunk_start = ref 0 in
-    while !chunk_start < Array.length misses do
-      let lanes = min w (Array.length misses - !chunk_start) in
-      charge t lanes;
-      (* Batch fill ratio = batch_lanes / (batch_words * word_bits). *)
-      Obs.Metrics.incr m_batch_words;
-      Obs.Metrics.add m_batch_lanes lanes;
-      for si = 0 to n_src - 1 do
-        let word = ref 0 in
-        for j = 0 to lanes - 1 do
-          if misses.(!chunk_start + j).[si] = '1' then
-            word := !word lor (1 lsl j)
-        done;
-        words.(b.srcs.(si)) <- !word
-      done;
-      let values = Netlist.Engine.eval_words b.eng (Array.get words) in
-      for j = 0 to lanes - 1 do
-        let key = misses.(!chunk_start + j) in
-        let r =
-          List.map
-            (fun (po, d) -> (po, (values.(d) lsr j) land 1 = 1))
-            b.outs
+    let qarr = Array.of_list qs in
+    let nq = Array.length qarr in
+    if nq = 0 then []
+    else begin
+      (* domain pool width for a stage over [n_items] lanes: forced by
+         [~shards] if given, otherwise engaged only when lanes x engine
+         size is big enough to amortize the domain spawns *)
+      let domains_for n_items =
+        let wanted =
+          match b.shards with
+          | Some s -> s
+          | None ->
+            if n_items * Netlist.Engine.n_slots b.eng >= shard_work_min then
+              Parallel.default_domains ()
+            else 1
         in
-        memo_add t key r;
-        Hashtbl.replace computed key r
-      done;
-      chunk_start := !chunk_start + lanes
-    done;
-    Array.iteri
-      (fun i key ->
-        if results.(i) = None then
-          results.(i) <- Some (Hashtbl.find computed key))
-      keys;
-    Array.to_list (Array.map Option.get results)
+        max 1 (min wanted n_items)
+      in
+      (* 1. canonical keys (validation + Bytes packing), sharded *)
+      let keys = Array.make nq "" in
+      let resolve_range (lo, hi) =
+        for i = lo to hi - 1 do
+          keys.(i) <- resolve t b qarr.(i)
+        done
+      in
+      let rd = domains_for nq in
+      if rd <= 1 then resolve_range (0, nq)
+      else
+        ignore
+          (Parallel.map ~domains:rd resolve_range
+             (List.init rd (fun s -> (s * nq / rd, (s + 1) * nq / rd))));
+      (* 2. memo lookup + dedup, on the calling domain only.  Each query
+         records the miss slot it maps to ([miss_of_query]) so the final
+         fill needs no second round of string hashing. *)
+      let hits = Array.make nq None in
+      let miss_of_query = Array.make nq (-1) in
+      let miss_index = Hashtbl.create (2 * nq) in
+      let order = ref [] in
+      let count = ref 0 in
+      Array.iteri
+        (fun i key ->
+          match memo_find t key with
+          | Some r -> hits.(i) <- Some r
+          | None -> (
+            match Hashtbl.find_opt miss_index key with
+            | Some mi -> miss_of_query.(i) <- mi
+            | None ->
+              Hashtbl.replace miss_index key !count;
+              miss_of_query.(i) <- !count;
+              order := key :: !order;
+              incr count))
+        keys;
+      let misses = Array.of_list (List.rev !order) in
+      let n_miss = Array.length misses in
+      let computed = Array.make (max 1 n_miss) [] in
+      if n_miss > 0 then begin
+        (* 3. every real evaluation is charged before any engine work, so
+           a budget cap trips without wasting a partial parallel pass *)
+        charge t n_miss;
+        (* 4. evaluate + build responses, sharded over lane ranges *)
+        let ed = domains_for n_miss in
+        if ed <= 1 then
+          process_lanes b b.sc misses ~lane_lo:0 ~lane_hi:n_miss computed
+        else begin
+          Obs.Metrics.incr m_shard_batches;
+          Obs.Metrics.add m_shard_jobs ed;
+          ignore
+            (Parallel.map ~domains:ed
+               (fun (lo, hi) ->
+                 let scratch = Netlist.Engine.create_scratch b.eng in
+                 process_lanes b scratch misses ~lane_lo:lo ~lane_hi:hi
+                   computed)
+               (List.init ed (fun s ->
+                    (s * n_miss / ed, (s + 1) * n_miss / ed))))
+        end;
+        (* 5. memo writes, on the calling domain only *)
+        if t.memo <> None then
+          Array.iteri (fun mi r -> memo_add t misses.(mi) r) computed
+      end;
+      List.init nq (fun i ->
+          match hits.(i) with
+          | Some r -> r
+          | None -> computed.(miss_of_query.(i)))
+    end
 
 let as_fn t q = query t q

@@ -33,27 +33,57 @@
     so a run that leaned on the default is distinguishable from one that
     pinned every pin.
 
-    Batched queries ({!query_batch}) route through the 63-lane
-    bit-parallel {!Netlist.Engine.eval_words}, evaluating one word of
-    distinct vectors per netlist pass — the fast path for sampling
-    workloads (brute force, AppSAT error estimation, removal-equivalence
-    checks, [verify_key]). *)
+    Batched queries ({!query_batch}) route through the multi-word
+    {!Netlist.Engine.eval_block} path: distinct memo misses are
+    bit-transposed into blocks of [block_words * 63] stimulus lanes, each
+    block evaluated in one pass over the compiled instruction stream, and
+    on large engines pending blocks are sharded across a bounded domain
+    pool ({!Parallel.map} semantics — nested use degrades to sequential).
+    This is the fast path for sampling workloads (brute force, AppSAT
+    error estimation, removal-equivalence checks, [verify_key]). *)
 
 type t
 
-(** [of_netlist ?partial ?budget ?memo net] wraps [net] (combinational,
-    or any netlist whose FF outputs are to be driven directly) as an
-    oracle.  [partial] (default false): read unmentioned sources as
-    false instead of raising.  [memo] (default true): cache query
-    results.  The netlist must not be mutated while wrapped. *)
-val of_netlist : ?partial:bool -> ?budget:Budget.t -> ?memo:bool -> Netlist.t -> t
+(** [of_netlist ?partial ?budget ?memo ?memo_cap ?block_words ?shards
+    net] wraps [net] (combinational, or any netlist whose FF outputs are
+    to be driven directly) as an oracle.
 
-(** [of_fn ?budget ?memo fn] wraps a black-box query function (e.g. a
-    frame-regrouping wrapper around another oracle).  No validation is
-    possible; [fn] must be deterministic if [memo] is on (default). *)
+    [partial] (default false): read unmentioned sources as false instead
+    of raising.  [memo] (default true): cache query results.  [memo_cap]
+    (default unbounded): maximum resident memo entries; when full, the
+    {e oldest inserted} entry is evicted (FIFO) and counted in
+    {!memo_evictions} / the [oracle.memo_evictions] metric.  A capped
+    memo keeps {!queries} monotone but can re-evaluate (and re-charge)
+    a vector whose entry was evicted.
+
+    [block_words] (default 8): words per {!Netlist.Engine.eval_block}
+    pass on the batched path, i.e. [block_words * 63] lanes per
+    instruction-stream walk.  [shards] forces the batch domain-pool
+    width; by default sharding engages only on engines of a few thousand
+    slots and uses [Parallel.default_domains ()].  [~shards:1] disables
+    sharding.
+
+    The netlist must not be mutated while wrapped.
+    @raise Invalid_argument if [memo_cap], [block_words] or [shards]
+    is [< 1]. *)
+val of_netlist :
+  ?partial:bool ->
+  ?budget:Budget.t ->
+  ?memo:bool ->
+  ?memo_cap:int ->
+  ?block_words:int ->
+  ?shards:int ->
+  Netlist.t ->
+  t
+
+(** [of_fn ?budget ?memo ?memo_cap fn] wraps a black-box query function
+    (e.g. a frame-regrouping wrapper around another oracle).  No
+    validation is possible; [fn] must be deterministic if [memo] is on
+    (default).  [memo_cap] bounds the memo as in {!of_netlist}. *)
 val of_fn :
   ?budget:Budget.t ->
   ?memo:bool ->
+  ?memo_cap:int ->
   ((string * bool) list -> (string * bool) list) ->
   t
 
@@ -64,8 +94,11 @@ val of_fn :
 val query : t -> (string * bool) list -> (string * bool) list
 
 (** [query_batch t qs] evaluates all of [qs] — duplicate and memoized
-    vectors cost nothing; distinct misses are packed 63 per engine
-    pass.  Results are in request order. *)
+    vectors cost nothing; distinct misses are packed [block_words * 63]
+    per engine pass and sharded across domains on large engines.
+    Results are in request order.  The whole batch of misses is charged
+    to the budget {e before} evaluation starts, so [Budget.Exhausted]
+    trips without a partial parallel pass. *)
 val query_batch :
   t -> (string * bool) list list -> (string * bool) list list
 
@@ -81,6 +114,9 @@ val queries : t -> int
 
 (** Queries answered from the memo. *)
 val memo_hits : t -> int
+
+(** Memo entries evicted under [~memo_cap] (0 when unbounded). *)
+val memo_evictions : t -> int
 
 (** Source (input + FF) names of a netlist-backed oracle, in declaration
     order; [[]] for black-box oracles. *)

@@ -11,7 +11,13 @@ let estimate ?(samples = 2048) ?seed ?(fixed = []) net =
   let srcs = Netlist.Engine.sources eng in
   let w = Netlist.Engine.word_bits in
   (* One engine pass evaluates a word of independent samples; the trailing
-     partial word is masked off so exactly [samples] lanes are counted. *)
+     partial word is masked off so exactly [samples] lanes are counted.
+     Counting runs over the dense slot buffer and is scattered back to
+     node-id indexing only once at the end. *)
+  let scratch = Netlist.Engine.create_scratch eng in
+  let slot_of = Netlist.Engine.slot_of_id eng in
+  let n_slots = Netlist.Engine.n_slots eng in
+  let slot_ones = Array.make n_slots 0 in
   let words = Array.make n 0 in
   let remaining = ref samples in
   while !remaining > 0 do
@@ -26,12 +32,16 @@ let estimate ?(samples = 2048) ?seed ?(fixed = []) net =
         in
         words.(pi) <- word)
       srcs;
-    let values = Netlist.Engine.eval_words eng (Array.get words) in
+    let values = Netlist.Engine.eval_words_into ~scratch eng (Array.get words) in
     let mask = if lanes = w then -1 else (1 lsl lanes) - 1 in
-    Array.iteri
-      (fun id v -> ones.(id) <- ones.(id) + Netlist.Engine.popcount (v land mask))
-      values;
+    for s = 0 to n_slots - 1 do
+      slot_ones.(s) <-
+        slot_ones.(s) + Netlist.Engine.popcount (values.(s) land mask)
+    done;
     remaining := !remaining - lanes
+  done;
+  for id = 0 to n - 1 do
+    if slot_of.(id) >= 0 then ones.(id) <- slot_ones.(slot_of.(id))
   done;
   Array.map (fun c -> float_of_int c /. float_of_int samples) ones
 

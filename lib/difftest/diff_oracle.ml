@@ -1,16 +1,18 @@
 type oracle =
   | Engine_scalar
   | Engine_lanes
+  | Engine_block
   | Timing
   | Sat_roundtrip
   | Bdd_probe
 
 let all_oracles =
-  [ Engine_scalar; Engine_lanes; Timing; Sat_roundtrip; Bdd_probe ]
+  [ Engine_scalar; Engine_lanes; Engine_block; Timing; Sat_roundtrip; Bdd_probe ]
 
 let oracle_name = function
   | Engine_scalar -> "engine-scalar"
   | Engine_lanes -> "engine-lanes"
+  | Engine_block -> "engine-block"
   | Timing -> "timing"
   | Sat_roundtrip -> "sat-roundtrip"
   | Bdd_probe -> "bdd-probe"
@@ -189,6 +191,99 @@ let check_engine_lanes ~rng (c : Fuzz_case.t) =
     !out
   end
 
+(* ----- oracle 2b: multi-word block evaluation vs words / scalar /
+   reference.  One combinational frame (inputs and FF outputs driven
+   freely), random block geometry with a partial final word, checked
+   three ways: every word against eval_words, and sampled lanes against
+   the scalar engine and the naive reference walk. ----- *)
+
+let check_engine_block ~rng (c : Fuzz_case.t) =
+  let net = c.Fuzz_case.net in
+  let eng = Netlist.Engine.get net in
+  let w = Netlist.Engine.word_bits in
+  let srcs = Netlist.Engine.sources eng in
+  let n_src = Array.length srcs in
+  let n_slots = Netlist.Engine.n_slots eng in
+  let slot_of = Netlist.Engine.slot_of_id eng in
+  let name_of_slot s =
+    let found = ref "<slot>" in
+    Array.iteri (fun id sl -> if sl = s then found := ff_name net id) slot_of;
+    !found
+  in
+  let src_index = Hashtbl.create 16 in
+  Array.iteri (fun i id -> Hashtbl.replace src_index id i) srcs;
+  (* random geometry, biased toward a partial final word; lanes beyond
+     [lanes] are left unfilled and must evaluate as all-false stimulus *)
+  let n_words = 1 + Random.State.int rng 3 in
+  let lanes = 1 + Random.State.int rng (n_words * w) in
+  let stim = Array.make (max 1 (n_src * n_words)) 0 in
+  for si = 0 to n_src - 1 do
+    for wi = 0 to n_words - 1 do
+      let live = max 0 (min w (lanes - (wi * w))) in
+      let mask = if live = w then -1 else (1 lsl live) - 1 in
+      stim.((si * n_words) + wi) <-
+        Netlist.Engine.random_word rng land mask
+    done
+  done;
+  let block_scratch = Netlist.Engine.create_scratch eng in
+  let word_scratch = Netlist.Engine.create_scratch eng in
+  let blk =
+    Netlist.Engine.eval_block ~scratch:block_scratch eng ~n_words
+      ~fill:(fun buf -> Array.blit stim 0 buf 0 (n_src * n_words))
+  in
+  let out = ref [] in
+  (* law 1: each word of the block agrees with a plain eval_words pass *)
+  for wi = 0 to n_words - 1 do
+    if !out = [] then begin
+      let values =
+        Netlist.Engine.eval_words_into ~scratch:word_scratch eng (fun id ->
+            stim.((Hashtbl.find src_index id * n_words) + wi))
+      in
+      for s = 0 to n_slots - 1 do
+        if values.(s) <> blk.((s * n_words) + wi) && !out = [] then
+          out :=
+            [
+              mk Engine_block (name_of_slot s)
+                ~detail:
+                  (Printf.sprintf "word %d: block=%x eval_words=%x" wi
+                     blk.((s * n_words) + wi)
+                     values.(s));
+            ]
+      done
+    end
+  done;
+  (* law 2: sampled lanes agree with the scalar engine and Ref_sim *)
+  let sample_lanes =
+    List.sort_uniq compare
+      (0 :: (lanes - 1) :: List.init 2 (fun _ -> Random.State.int rng lanes))
+  in
+  List.iter
+    (fun l ->
+      if !out = [] then begin
+        let assignment id =
+          let si = Hashtbl.find src_index id in
+          (stim.((si * n_words) + (l / w)) lsr (l mod w)) land 1 = 1
+        in
+        let scalar = Netlist.Engine.eval eng assignment in
+        let reference = Ref_sim.eval_comb net assignment in
+        for id = 0 to Array.length slot_of - 1 do
+          let s = slot_of.(id) in
+          if s >= 0 && !out = [] then begin
+            let bv = (blk.((s * n_words) + (l / w)) lsr (l mod w)) land 1 = 1 in
+            if bv <> scalar.(id) || bv <> reference.(id) then
+              out :=
+                [
+                  mk Engine_block (ff_name net id) ~lane:l
+                    ~detail:
+                      (Printf.sprintf "block=%b scalar=%b reference=%b" bv
+                         scalar.(id) reference.(id));
+                ]
+          end
+        done
+      end)
+    sample_lanes;
+  !out
+
 (* ----- oracle 3: timing simulator vs cycle-accurate sim ----- *)
 
 (* Constant primary inputs (stimulus row 0): no input-induced hazards, so
@@ -318,6 +413,7 @@ let check ?(oracles = all_oracles) ?fault ~seed (c : Fuzz_case.t) =
       match o with
       | Engine_scalar -> check_engine_scalar ?fault c
       | Engine_lanes -> check_engine_lanes ~rng c
+      | Engine_block -> check_engine_block ~rng c
       | Timing -> check_timing c
       | Sat_roundtrip -> check_sat_roundtrip c
       | Bdd_probe -> check_bdd ~rng c)

@@ -17,6 +17,10 @@
 type oracle =
   | Engine_scalar  (** compiled scalar engine vs naive reference walk *)
   | Engine_lanes   (** bit-parallel lanes vs scalar engine, per lane *)
+  | Engine_block
+      (** multi-word [eval_block] vs [eval_words] per word, plus sampled
+          lanes vs scalar engine and reference walk — covers partial
+          final words *)
   | Timing         (** timing simulator's captures vs cycle accurate sim *)
   | Sat_roundtrip  (** SAT miter: netlist ≡ its bench round-trip, unrolled *)
   | Bdd_probe      (** BDD build vs reference walk on sampled vectors *)

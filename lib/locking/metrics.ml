@@ -30,11 +30,15 @@ let bit_error_rate ?(samples = 256) ?(seed = 17) ~reference locked key =
     | Some word -> word
     | None -> Option.value (Hashtbl.find_opt key_word name) ~default:0
   in
+  let ref_slot = Netlist.Engine.slot_of_id ref_eng in
+  let lk_slot = Netlist.Engine.slot_of_id lk_eng in
+  let ref_scratch = Netlist.Engine.create_scratch ref_eng in
+  let lk_scratch = Netlist.Engine.create_scratch lk_eng in
   let po_pairs =
     List.filter_map
       (fun (po, want_d) ->
         Option.map
-          (fun got_d -> (want_d, got_d))
+          (fun got_d -> (ref_slot.(want_d), lk_slot.(got_d)))
           (List.assoc_opt po (Netlist.outputs lnet)))
       (Netlist.outputs reference)
   in
@@ -46,14 +50,19 @@ let bit_error_rate ?(samples = 256) ?(seed = 17) ~reference locked key =
     List.iter
       (fun n -> Hashtbl.replace stim n (Netlist.Engine.random_word rng))
       x_names;
-    let want = Netlist.Engine.eval_words ref_eng (word_of reference) in
-    let got = Netlist.Engine.eval_words lk_eng (word_of lnet) in
+    let want =
+      Netlist.Engine.eval_words_into ~scratch:ref_scratch ref_eng
+        (word_of reference)
+    in
+    let got =
+      Netlist.Engine.eval_words_into ~scratch:lk_scratch lk_eng (word_of lnet)
+    in
     List.iter
-      (fun (want_d, got_d) ->
+      (fun (want_s, got_s) ->
         total := !total + lanes;
         errors :=
           !errors
-          + Netlist.Engine.popcount ((want.(want_d) lxor got.(got_d)) land mask))
+          + Netlist.Engine.popcount ((want.(want_s) lxor got.(got_s)) land mask))
       po_pairs;
     remaining := !remaining - lanes
   done;

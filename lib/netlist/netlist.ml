@@ -21,17 +21,43 @@ type po = { po_name : string; mutable driver : int }
 (* A netlist compiled to a flat instruction stream: one instruction per
    combinational node in topological order, fanins flattened into a single
    array addressed by [offs].  Evaluation then needs no node records, no
-   per-call fanin allocation and no hashing — just int arrays. *)
+   per-call fanin allocation and no hashing — just int arrays.
+
+   Values live in *slots*, not node ids: sources take slots
+   [0 .. n_srcs-1] in declaration order, constants the next few, and each
+   instruction writes slot [n_srcs + n_consts + i] — so the hot loop walks
+   the value array in the same order it walks the instruction stream, and
+   a fanin read is always a lower slot.  Slot [n_slots] is a spare
+   always-zero slot that dead fanins are wired to.  [slot_of_id] /
+   [id_of_slot] translate for consumers that think in node ids. *)
 type engine = {
   eng_gen : int;  (* generation of the netlist this was compiled from *)
   eng_nodes : int;
+  n_srcs : int;  (* sources occupy slots 0..n_srcs-1, declaration order *)
+  n_slots : int;  (* live slots; buffers carry one extra all-zero slot *)
   ops : int array;  (* opcode per instruction, see [opcode_of_fn] *)
-  dst : int array;  (* destination node id per instruction *)
+  dst : int array;  (* destination slot per instruction *)
   offs : int array;  (* length = #instructions + 1; slice of [fan] *)
-  fan : int array;  (* flattened fanin ids *)
+  fan : int array;  (* flattened fanin slots *)
   tabs : bool array array;  (* LUT truth table per instruction, [||] else *)
-  srcs : int array;  (* Input and Ff node ids *)
-  one_ids : int array;  (* Const-true node ids *)
+  srcs : int array;  (* Input and Ff node ids; source i lives in slot i *)
+  one_slots : int array;  (* slots of Const-true nodes *)
+  zero_slots : int array;  (* Const-false slots plus the spare zero slot *)
+  slot_of_id : int array;  (* node id -> slot, -1 for Dead *)
+  id_of_slot : int array;  (* slot -> node id, length n_slots *)
+  mutable eng_scratch : scratch option;  (* lazily created owned scratch *)
+}
+
+(* Reusable evaluation buffers, all indexed by slot.  One scratch belongs
+   to exactly one engine; the engine-owned one makes steady-state
+   evaluation allocation-free, and independent scratches can be created
+   per domain for parallel evaluation of the same engine. *)
+and scratch = {
+  sc_owner : engine;
+  sc_bools : bool array;  (* n_slots + 1 *)
+  sc_words : int array;  (* n_slots + 1 *)
+  mutable sc_block : int array;  (* (n_slots + 1) * block words, grown *)
+  mutable sc_block_words : int;
 }
 
 (* Graph analyses memoized behind the netlist's generation counter: any
@@ -88,6 +114,8 @@ let m_engine_compiles = Obs.Metrics.counter "engine.compiles"
 let m_engine_instructions = Obs.Metrics.counter "engine.instructions_compiled"
 let m_engine_evals = Obs.Metrics.counter "engine.evals"
 let m_engine_word_evals = Obs.Metrics.counter "engine.word_evals"
+let m_engine_block_evals = Obs.Metrics.counter "engine.block_evals"
+let m_engine_block_words = Obs.Metrics.counter "engine.block_words"
 let m_engine_instr_exec = Obs.Metrics.counter "engine.instructions_executed"
 
 let touch t =
@@ -461,6 +489,7 @@ let validate t =
 
 module Engine = struct
   type nonrec engine = engine
+  type nonrec scratch = scratch
 
   let word_bits = Sys.int_size
 
@@ -484,13 +513,49 @@ module Engine = struct
     @@ fun () ->
     let order = comb_topo_array t in
     let n_instr = Array.length order in
+    let n = num_nodes t in
+    (* slot assignment: sources, then constants, then instructions in
+       topological order — value writes are sequential in memory *)
+    let slot_of_id = Array.make (max 1 n) (-1) in
+    let srcs = ref [] and consts = ref [] in
+    Vec.iter
+      (fun nd ->
+        match nd.kind with
+        | Input | Ff -> srcs := nd.id :: !srcs
+        | Const b -> consts := (nd.id, b) :: !consts
+        | Gate _ | Lut _ | Dead -> ())
+      t.nodes;
+    let srcs = Array.of_list (List.rev !srcs) in
+    let n_srcs = Array.length srcs in
+    Array.iteri (fun i id -> slot_of_id.(id) <- i) srcs;
+    let next = ref n_srcs in
+    let one_slots = ref [] and zero_slots = ref [] in
+    List.iter
+      (fun (id, b) ->
+        slot_of_id.(id) <- !next;
+        if b then one_slots := !next :: !one_slots
+        else zero_slots := !next :: !zero_slots;
+        incr next)
+      (List.rev !consts);
+    Array.iter
+      (fun id ->
+        slot_of_id.(id) <- !next;
+        incr next)
+      order;
+    let n_slots = !next in
+    (* spare all-zero slot: anything a killed node still drives reads 0 *)
+    let zero_slot = n_slots in
+    zero_slots := zero_slot :: !zero_slots;
+    let slot_of f = if slot_of_id.(f) < 0 then zero_slot else slot_of_id.(f) in
     let ops = Array.make n_instr 0 in
     let tabs = Array.make n_instr [||] in
     let offs = Array.make (n_instr + 1) 0 in
+    let dst = Array.make (max 1 n_instr) 0 in
     let total = ref 0 in
     Array.iteri
       (fun i id ->
         offs.(i) <- !total;
+        dst.(i) <- slot_of_id.(id);
         let nd = node t id in
         total := !total + Array.length nd.fanins;
         match nd.kind with
@@ -507,26 +572,28 @@ module Engine = struct
     Array.iteri
       (fun i id ->
         let nd = node t id in
-        Array.iteri (fun pin f -> fan.(offs.(i) + pin) <- f) nd.fanins)
+        Array.iteri (fun pin f -> fan.(offs.(i) + pin) <- slot_of f) nd.fanins)
       order;
-    let srcs = ref [] and one_ids = ref [] in
-    Vec.iter
-      (fun n ->
-        match n.kind with
-        | Input | Ff -> srcs := n.id :: !srcs
-        | Const true -> one_ids := n.id :: !one_ids
-        | Const false | Gate _ | Lut _ | Dead -> ())
-      t.nodes;
+    let id_of_slot = Array.make (max 1 n_slots) (-1) in
+    Array.iteri
+      (fun id s -> if s >= 0 then id_of_slot.(s) <- id)
+      slot_of_id;
     {
       eng_gen = t.gen;
-      eng_nodes = num_nodes t;
+      eng_nodes = n;
+      n_srcs;
+      n_slots;
       ops;
-      dst = Array.copy order;
+      dst;
       offs;
       fan;
       tabs;
-      srcs = Array.of_list (List.rev !srcs);
-      one_ids = Array.of_list (List.rev !one_ids);
+      srcs;
+      one_slots = Array.of_list (List.rev !one_slots);
+      zero_slots = Array.of_list (List.rev !zero_slots);
+      slot_of_id;
+      id_of_slot;
+      eng_scratch = None;
     }
 
   let get t =
@@ -541,17 +608,41 @@ module Engine = struct
   let generation e = e.eng_gen
 
   let sources e = e.srcs
+  let n_slots e = e.n_slots
+  let slot_of_id e = e.slot_of_id
 
-  let eval e assignment =
-    if Obs.Probe.active () then begin
-      Obs.Metrics.incr m_engine_evals;
-      Obs.Metrics.add m_engine_instr_exec (Array.length e.dst)
-    end;
-    let values = Array.make e.eng_nodes false in
-    Array.iter (fun id -> values.(id) <- assignment id) e.srcs;
-    Array.iter (fun id -> values.(id) <- true) e.one_ids;
+  let create_scratch e =
+    {
+      sc_owner = e;
+      sc_bools = Array.make (e.n_slots + 1) false;
+      sc_words = Array.make (e.n_slots + 1) 0;
+      sc_block = [||];
+      sc_block_words = 0;
+    }
+
+  let owned_scratch e =
+    match e.eng_scratch with
+    | Some s -> s
+    | None ->
+      let s = create_scratch e in
+      e.eng_scratch <- Some s;
+      s
+
+  let scratch_for e = function
+    | None -> owned_scratch e
+    | Some s ->
+      if s.sc_owner != e then
+        invalid_arg "Netlist.Engine: scratch belongs to a different engine";
+      s
+
+  (* The three interpreter cores run over slot-dense buffers: writes are
+     sequential (instruction i writes slot n_srcs + n_consts + i) and
+     every fanin read is a lower slot, so big circuits stay cache-resident
+     instead of hopping around an id-indexed array. *)
+
+  let run_bools e (values : bool array) =
     let { ops; dst; offs; fan; tabs; _ } = e in
-    for i = 0 to Array.length dst - 1 do
+    for i = 0 to Array.length ops - 1 do
       let lo = offs.(i) and hi = offs.(i + 1) in
       let v =
         match ops.(i) with
@@ -586,19 +677,11 @@ module Engine = struct
           tabs.(i).(!idx)
       in
       values.(dst.(i)) <- v
-    done;
-    values
+    done
 
-  let eval_words e assignment =
-    if Obs.Probe.active () then begin
-      Obs.Metrics.incr m_engine_word_evals;
-      Obs.Metrics.add m_engine_instr_exec (Array.length e.dst)
-    end;
-    let values = Array.make e.eng_nodes 0 in
-    Array.iter (fun id -> values.(id) <- assignment id) e.srcs;
-    Array.iter (fun id -> values.(id) <- -1) e.one_ids;
+  let run_words e (values : int array) =
     let { ops; dst; offs; fan; tabs; _ } = e in
-    for i = 0 to Array.length dst - 1 do
+    for i = 0 to Array.length ops - 1 do
       let lo = offs.(i) and hi = offs.(i + 1) in
       let v =
         match ops.(i) with
@@ -645,16 +728,211 @@ module Engine = struct
           !r
       in
       values.(dst.(i)) <- v
-    done;
+    done
+
+  (* [nw] words per slot, word k of slot s at [blk.(s * nw + k)]: the
+     instruction stream is walked once for nw * word_bits stimulus lanes,
+     with contiguous per-slot word runs so the inner loops stream. *)
+  let run_block e (blk : int array) nw =
+    let { ops; dst; offs; fan; tabs; _ } = e in
+    for i = 0 to Array.length ops - 1 do
+      let lo = offs.(i) and hi = offs.(i + 1) in
+      let db = dst.(i) * nw in
+      match ops.(i) with
+      | 0 ->
+        let fb = fan.(lo) * nw in
+        for k = 0 to nw - 1 do
+          blk.(db + k) <- lnot blk.(fb + k)
+        done
+      | 1 ->
+        let fb = fan.(lo) * nw in
+        for k = 0 to nw - 1 do
+          blk.(db + k) <- blk.(fb + k)
+        done
+      | (2 | 4) as op ->
+        let fb = fan.(lo) * nw in
+        for k = 0 to nw - 1 do
+          blk.(db + k) <- blk.(fb + k)
+        done;
+        for j = lo + 1 to hi - 1 do
+          let fb = fan.(j) * nw in
+          for k = 0 to nw - 1 do
+            blk.(db + k) <- blk.(db + k) land blk.(fb + k)
+          done
+        done;
+        if op = 4 then
+          for k = 0 to nw - 1 do
+            blk.(db + k) <- lnot blk.(db + k)
+          done
+      | (3 | 5) as op ->
+        let fb = fan.(lo) * nw in
+        for k = 0 to nw - 1 do
+          blk.(db + k) <- blk.(fb + k)
+        done;
+        for j = lo + 1 to hi - 1 do
+          let fb = fan.(j) * nw in
+          for k = 0 to nw - 1 do
+            blk.(db + k) <- blk.(db + k) lor blk.(fb + k)
+          done
+        done;
+        if op = 5 then
+          for k = 0 to nw - 1 do
+            blk.(db + k) <- lnot blk.(db + k)
+          done
+      | (6 | 7) as op ->
+        let fb = fan.(lo) * nw in
+        for k = 0 to nw - 1 do
+          blk.(db + k) <- blk.(fb + k)
+        done;
+        for j = lo + 1 to hi - 1 do
+          let fb = fan.(j) * nw in
+          for k = 0 to nw - 1 do
+            blk.(db + k) <- blk.(db + k) lxor blk.(fb + k)
+          done
+        done;
+        if op = 7 then
+          for k = 0 to nw - 1 do
+            blk.(db + k) <- lnot blk.(db + k)
+          done
+      | 8 ->
+        let sb = fan.(lo) * nw
+        and bb = fan.(lo + 1) * nw
+        and cb = fan.(lo + 2) * nw in
+        for k = 0 to nw - 1 do
+          let s = blk.(sb + k) in
+          blk.(db + k) <- s land blk.(cb + k) lor (lnot s land blk.(bb + k))
+        done
+      | _ ->
+        let tab = tabs.(i) in
+        for k = 0 to nw - 1 do
+          let r = ref 0 in
+          for row = 0 to Array.length tab - 1 do
+            if tab.(row) then begin
+              let term = ref (-1) in
+              for j = lo to hi - 1 do
+                let w = blk.((fan.(j) * nw) + k) in
+                term :=
+                  !term land (if row land (1 lsl (j - lo)) <> 0 then w else lnot w)
+              done;
+              r := !r lor !term
+            end
+          done;
+          blk.(db + k) <- !r
+        done
+    done
+
+  let eval_into ?scratch e assignment =
+    if Obs.Probe.active () then begin
+      Obs.Metrics.incr m_engine_evals;
+      Obs.Metrics.add m_engine_instr_exec (Array.length e.ops)
+    end;
+    let s = scratch_for e scratch in
+    let values = s.sc_bools in
+    Array.iteri (fun i id -> values.(i) <- assignment id) e.srcs;
+    Array.iter (fun sl -> values.(sl) <- true) e.one_slots;
+    run_bools e values;
     values
 
-  let popcount w =
+  let eval_words_into ?scratch e assignment =
+    if Obs.Probe.active () then begin
+      Obs.Metrics.incr m_engine_word_evals;
+      Obs.Metrics.add m_engine_instr_exec (Array.length e.ops)
+    end;
+    let s = scratch_for e scratch in
+    let values = s.sc_words in
+    Array.iteri (fun i id -> values.(i) <- assignment id) e.srcs;
+    Array.iter (fun sl -> values.(sl) <- -1) e.one_slots;
+    run_words e values;
+    values
+
+  let eval_block ?scratch e ~n_words ~fill =
+    if n_words < 1 then
+      invalid_arg "Netlist.Engine.eval_block: n_words must be >= 1";
+    if Obs.Probe.active () then begin
+      Obs.Metrics.incr m_engine_block_evals;
+      Obs.Metrics.add m_engine_block_words n_words;
+      Obs.Metrics.add m_engine_instr_exec (Array.length e.ops)
+    end;
+    let s = scratch_for e scratch in
+    if Array.length s.sc_block < (e.n_slots + 1) * n_words then begin
+      s.sc_block <- Array.make ((e.n_slots + 1) * n_words) 0;
+      s.sc_block_words <- n_words
+    end;
+    let blk = s.sc_block in
+    (* source region zeroed so partially-filled blocks read 0, and
+       constant/spare slots re-pinned: a previous call with a different
+       n_words laid slots out at a different stride *)
+    Array.fill blk 0 (e.n_srcs * n_words) 0;
+    Array.iter
+      (fun sl -> Array.fill blk (sl * n_words) n_words 0)
+      e.zero_slots;
+    fill blk;
+    Array.iter
+      (fun sl -> Array.fill blk (sl * n_words) n_words (-1))
+      e.one_slots;
+    run_block e blk n_words;
+    blk
+
+  (* Id-indexed compatibility paths: evaluate slot-dense into a fresh
+     buffer (safe to call concurrently on a shared engine), then scatter
+     to the node-id layout.  Dead nodes read false / 0. *)
+
+  let eval e assignment =
+    if Obs.Probe.active () then begin
+      Obs.Metrics.incr m_engine_evals;
+      Obs.Metrics.add m_engine_instr_exec (Array.length e.ops)
+    end;
+    let values = Array.make (e.n_slots + 1) false in
+    Array.iteri (fun i id -> values.(i) <- assignment id) e.srcs;
+    Array.iter (fun sl -> values.(sl) <- true) e.one_slots;
+    run_bools e values;
+    let out = Array.make e.eng_nodes false in
+    for sl = 0 to e.n_slots - 1 do
+      out.(e.id_of_slot.(sl)) <- values.(sl)
+    done;
+    out
+
+  let eval_words e assignment =
+    if Obs.Probe.active () then begin
+      Obs.Metrics.incr m_engine_word_evals;
+      Obs.Metrics.add m_engine_instr_exec (Array.length e.ops)
+    end;
+    let values = Array.make (e.n_slots + 1) 0 in
+    Array.iteri (fun i id -> values.(i) <- assignment id) e.srcs;
+    Array.iter (fun sl -> values.(sl) <- -1) e.one_slots;
+    run_words e values;
+    let out = Array.make e.eng_nodes 0 in
+    for sl = 0 to e.n_slots - 1 do
+      out.(e.id_of_slot.(sl)) <- values.(sl)
+    done;
+    out
+
+  (* Branch-free SWAR popcount.  The familiar 64-bit masks do not fit in
+     a 63-bit literal, so the wide ones are assembled by shifting; all
+     the arithmetic is exact mod 2^63 because no step ever needs bit 63
+     (byte-wise partial sums stay under 128).  On 32-bit hosts fall back
+     to the loop. *)
+  let m1 = (0x55555555 lsl 32) lor 0x55555555
+  let m2 = (0x33333333 lsl 32) lor 0x33333333
+  let m4 = 0x0F0F0F0F0F0F0F0F
+  let h01 = 0x0101010101010101
+
+  let popcount_loop w =
     let c = ref 0 and w = ref w in
     while !w <> 0 do
       w := !w land (!w - 1);
       incr c
     done;
     !c
+
+  let popcount =
+    if Sys.int_size <> 63 then popcount_loop
+    else
+      fun w ->
+        let w = w - ((w lsr 1) land m1) in
+        let w = (w land m2) + ((w lsr 2) land m2) in
+        let w = (w + (w lsr 4)) land m4 in
+        (w * h01) lsr 56
 
   (* [Random.State.bits] yields 30 bits per call; compose enough calls to
      fill every lane of a word. *)

@@ -184,9 +184,30 @@ val eval_comb : t -> (int -> bool) -> bool array
     stimulus patterns at once ({!Engine.eval_words}), one pattern per bit
     of a native [int].  Compilation is memoized behind the netlist's
     {!generation} counter: {!Engine.get} recompiles only after a
-    mutation. *)
+    mutation.
+
+    {2 Slot-dense layout (engine v2)}
+
+    Values live in dense {e slots} ordered like the instruction stream,
+    not in node-id order: sources take slots [0 .. n_srcs - 1] in
+    declaration order (so source [i] of {!Engine.sources} is slot [i]),
+    constants the next few, and instruction [i] writes the next slot
+    after those — the hot loop writes memory sequentially and every
+    fanin read is a lower slot.  {!Engine.eval} / {!Engine.eval_words}
+    scatter the slots back to a node-id-indexed array for compatibility;
+    the [_into] variants and {!Engine.eval_block} expose the slot-dense
+    buffers directly (translate with {!Engine.slot_of_id}) and reuse
+    {!Engine.scratch} buffers so steady-state evaluation allocates
+    nothing. *)
 module Engine : sig
   type engine
+
+  (** Reusable slot-indexed evaluation buffers tied to one engine.  The
+      engine lazily owns one (used when [?scratch] is omitted); create
+      independent scratches with {!create_scratch} to evaluate the same
+      engine from several domains at once.  Opaque: only the engine
+      writes into it. *)
+  type scratch
 
   (** Lanes per word = [Sys.int_size] (63 on 64-bit platforms). *)
   val word_bits : int
@@ -199,10 +220,27 @@ module Engine : sig
   val generation : engine -> int
 
   (** Ids of the [Input] and [Ff] nodes, in declaration order — exactly the
-      ids the assignment functions below are consulted for. *)
+      ids the assignment functions below are consulted for.  Source [i]
+      occupies slot [i]. *)
   val sources : engine -> int array
 
-  (** [eval e assignment] is {!eval_comb} on the compiled form. *)
+  (** Number of live value slots (sources + constants + instructions).
+      Slot-indexed result buffers have this many meaningful entries. *)
+  val n_slots : engine -> int
+
+  (** [slot_of_id e] maps node id to slot ([-1] for dead nodes).
+      Memoized inside the engine — treat as read-only. *)
+  val slot_of_id : engine -> int array
+
+  (** A fresh scratch for [e] — required when several domains evaluate
+      the same engine concurrently (the engine-owned default scratch is
+      not domain-safe).
+      @raise Invalid_argument when passed to a different engine. *)
+  val create_scratch : engine -> scratch
+
+  (** [eval e assignment] is {!eval_comb} on the compiled form.  The
+      result is node-id-indexed (dead nodes read [false]) and freshly
+      allocated — safe on a shared engine. *)
   val eval : engine -> (int -> bool) -> bool array
 
   (** [eval_words e assignment] evaluates {!word_bits} patterns at once:
@@ -211,7 +249,29 @@ module Engine : sig
       Constants broadcast to every lane; dead nodes are 0. *)
   val eval_words : engine -> (int -> int) -> int array
 
-  (** Number of set bits in a word (lanes at 1). *)
+  (** [eval_into ?scratch e assignment] is {!eval} but into reused
+      buffers: the result is {e slot}-indexed (see {!slot_of_id}) and is
+      the scratch's own buffer — valid until the next evaluation on that
+      scratch. *)
+  val eval_into : ?scratch:scratch -> engine -> (int -> bool) -> bool array
+
+  (** Slot-indexed, allocation-free {!eval_words}; same aliasing rule as
+      {!eval_into}. *)
+  val eval_words_into : ?scratch:scratch -> engine -> (int -> int) -> int array
+
+  (** [eval_block ?scratch e ~n_words ~fill] evaluates
+      [n_words * word_bits] stimulus lanes in one pass over the
+      instruction stream.  The block buffer packs [n_words] consecutive
+      words per slot: word [k] of slot [s] lives at [s * n_words + k].
+      [fill buf] must write the stimulus words for each source [i] of
+      {!sources} at [i * n_words + k]; the source region is pre-zeroed,
+      so unfilled words evaluate with all-false inputs.  Returns the
+      scratch's block buffer (aliasing rule as {!eval_into}). *)
+  val eval_block :
+    ?scratch:scratch -> engine -> n_words:int -> fill:(int array -> unit) ->
+    int array
+
+  (** Number of set bits in a word (lanes at 1).  Branch-free SWAR. *)
   val popcount : int -> int
 
   (** [random_word rng] draws {!word_bits} uniform stimulus bits. *)

@@ -40,20 +40,30 @@ let run ?init net ~cycles ~stimulus =
 
 let run_batch ?(init = fun _ -> 0) net ~cycles ~stimulus =
   let eng = Netlist.Engine.get net in
+  (* private scratch: run_batch may run inside a Parallel.map worker, so
+     it must not share the engine-owned buffers with another domain *)
+  let scratch = Netlist.Engine.create_scratch eng in
+  let slot_of = Netlist.Engine.slot_of_id eng in
   let ff_ids = Array.of_list (Netlist.ffs net) in
   let ff_slot = Array.make (max 1 (Netlist.num_nodes net)) (-1) in
   Array.iteri (fun i ff -> ff_slot.(ff) <- i) ff_ids;
+  (* pre-resolved slot of each flip-flop's D pin and each output driver:
+     the per-cycle loop never touches node records again *)
+  let ff_d_slot =
+    Array.map (fun ff -> slot_of.((Netlist.node net ff).Netlist.fanins.(0))) ff_ids
+  in
+  let out_slots =
+    List.map (fun (po, d) -> (po, slot_of.(d))) (Netlist.outputs net)
+  in
   let state = Array.map init ff_ids in
   Array.init cycles (fun cycle ->
       let values =
-        Netlist.Engine.eval_words eng (fun id ->
+        Netlist.Engine.eval_words_into ~scratch eng (fun id ->
             let s = ff_slot.(id) in
             if s >= 0 then state.(s) else stimulus cycle id)
       in
-      Array.iteri
-        (fun i ff -> state.(i) <- values.((Netlist.node net ff).Netlist.fanins.(0)))
-        ff_ids;
-      List.map (fun (po, d) -> (po, values.(d))) (Netlist.outputs net))
+      Array.iteri (fun i ds -> state.(i) <- values.(ds)) ff_d_slot;
+      List.map (fun (po, s) -> (po, values.(s))) out_slots)
 
 let comb_outputs net ~inputs =
   if Netlist.ffs net <> [] then
@@ -63,5 +73,8 @@ let comb_outputs net ~inputs =
 let comb_outputs_batch net ~inputs =
   if Netlist.ffs net <> [] then
     invalid_arg "Cycle_sim.comb_outputs_batch: netlist has flip-flops";
-  let values = Netlist.Engine.eval_words (Netlist.Engine.get net) inputs in
-  List.map (fun (po, d) -> (po, values.(d))) (Netlist.outputs net)
+  let eng = Netlist.Engine.get net in
+  let scratch = Netlist.Engine.create_scratch eng in
+  let values = Netlist.Engine.eval_words_into ~scratch eng inputs in
+  let slot_of = Netlist.Engine.slot_of_id eng in
+  List.map (fun (po, d) -> (po, values.(slot_of.(d)))) (Netlist.outputs net)

@@ -138,6 +138,139 @@ let engine_agrees_law mk seed =
 let generated_agrees_law = engine_agrees_law generated_circuit
 let adversarial_agrees_law = engine_agrees_law adversarial_circuit
 
+(* Multi-word blocks agree with eval_words per word and with the scalar
+   engine + reference on sampled lanes, including partial final words. *)
+let eval_block_agrees_law mk seed =
+  let net = mk seed in
+  let rng = Random.State.make [| seed; 0xB10C |] in
+  let eng = Netlist.Engine.get net in
+  let w = Netlist.Engine.word_bits in
+  let srcs = Netlist.Engine.sources eng in
+  let n_src = Array.length srcs in
+  let slot_of = Netlist.Engine.slot_of_id eng in
+  let src_idx = Hashtbl.create 16 in
+  Array.iteri (fun i id -> Hashtbl.replace src_idx id i) srcs;
+  let n_words = 1 + Random.State.int rng 3 in
+  let lanes = 1 + Random.State.int rng (n_words * w) in
+  let stim = Array.make (max 1 (n_src * n_words)) 0 in
+  for i = 0 to (n_src * n_words) - 1 do
+    let wi = i mod n_words in
+    let live = max 0 (min w (lanes - (wi * w))) in
+    let mask = if live = w then -1 else (1 lsl live) - 1 in
+    stim.(i) <- Netlist.Engine.random_word rng land mask
+  done;
+  let blk =
+    Netlist.Engine.eval_block eng ~n_words ~fill:(fun buf ->
+        Array.blit stim 0 buf 0 (n_src * n_words))
+  in
+  let ok = ref true in
+  for wi = 0 to n_words - 1 do
+    let words =
+      Netlist.Engine.eval_words eng (fun id ->
+          stim.((Hashtbl.find src_idx id * n_words) + wi))
+    in
+    Array.iteri
+      (fun id s ->
+        if s >= 0 && words.(id) <> blk.((s * n_words) + wi) then ok := false)
+      slot_of
+  done;
+  let check_lane l =
+    let assignment id =
+      let si = Hashtbl.find src_idx id in
+      (stim.((si * n_words) + (l / w)) lsr (l mod w)) land 1 = 1
+    in
+    let scalar = Netlist.Engine.eval eng assignment in
+    let reference = reference_eval net assignment in
+    Array.iteri
+      (fun id s ->
+        if s >= 0 then begin
+          let bv = (blk.((s * n_words) + (l / w)) lsr (l mod w)) land 1 = 1 in
+          if bv <> scalar.(id) || bv <> reference.(id) then ok := false
+        end)
+      slot_of
+  in
+  check_lane 0;
+  check_lane (lanes - 1);
+  check_lane (Random.State.int rng lanes);
+  !ok
+
+let generated_block_law = eval_block_agrees_law generated_circuit
+let adversarial_block_law = eval_block_agrees_law adversarial_circuit
+
+let test_slot_map () =
+  let net = Benchmarks.s27 () in
+  let eng = Netlist.Engine.get net in
+  let srcs = Netlist.Engine.sources eng in
+  let slot_of = Netlist.Engine.slot_of_id eng in
+  Array.iteri
+    (fun i id -> Alcotest.(check int) "source i occupies slot i" i slot_of.(id))
+    srcs;
+  let n_slots = Netlist.Engine.n_slots eng in
+  let seen = Array.make n_slots false in
+  Array.iter
+    (fun s ->
+      if s >= 0 then begin
+        Alcotest.(check bool) "slot in range" true (s < n_slots);
+        Alcotest.(check bool) "slot unique" false seen.(s);
+        seen.(s) <- true
+      end)
+    slot_of;
+  Array.iteri
+    (fun s used ->
+      Alcotest.(check bool) (Printf.sprintf "slot %d populated" s) true used)
+    seen
+
+let test_scratch_reuse () =
+  let net = Benchmarks.s27 () in
+  let eng = Netlist.Engine.get net in
+  let sc = Netlist.Engine.create_scratch eng in
+  let a1 =
+    Array.copy (Netlist.Engine.eval_into ~scratch:sc eng (fun id -> id mod 2 = 0))
+  in
+  ignore (Netlist.Engine.eval_into ~scratch:sc eng (fun _ -> true));
+  let a2 = Netlist.Engine.eval_into ~scratch:sc eng (fun id -> id mod 2 = 0) in
+  Alcotest.(check bool) "same results across scratch reuse" true (a1 = a2);
+  Alcotest.(check bool) "result aliases the scratch buffer" true
+    (a2 == Netlist.Engine.eval_into ~scratch:sc eng (fun _ -> false));
+  (* a scratch is tied to its engine *)
+  let eng2 = Netlist.Engine.get (Benchmarks.s27 ()) in
+  (match Netlist.Engine.eval_into ~scratch:sc eng2 (fun _ -> false) with
+  | _ -> Alcotest.fail "expected Invalid_argument for foreign scratch"
+  | exception Invalid_argument _ -> ());
+  (* word and block paths share the scratch and agree *)
+  let w1 =
+    Array.copy (Netlist.Engine.eval_words_into ~scratch:sc eng (fun _ -> -1))
+  in
+  let n_src = Array.length (Netlist.Engine.sources eng) in
+  let blk =
+    Netlist.Engine.eval_block ~scratch:sc eng ~n_words:2 ~fill:(fun buf ->
+        Array.fill buf 0 (n_src * 2) (-1))
+  in
+  for s = 0 to Netlist.Engine.n_slots eng - 1 do
+    Alcotest.(check int) "block word 0 = eval_words" w1.(s) blk.(s * 2);
+    Alcotest.(check int) "block word 1 = eval_words" w1.(s) blk.((s * 2) + 1)
+  done
+
+let popcount_naive w =
+  let c = ref 0 in
+  for i = 0 to Sys.int_size - 1 do
+    if (w lsr i) land 1 = 1 then incr c
+  done;
+  !c
+
+let popcount_swar_law seed =
+  let rng = Random.State.make [| seed; 0xC0DE |] in
+  List.for_all
+    (fun w -> Netlist.Engine.popcount w = popcount_naive w)
+    (0 :: -1 :: 1 :: max_int :: min_int
+    :: List.init 48 (fun i ->
+           let r = Int64.to_int (Random.State.bits64 rng) in
+           (* mix sparse, dense and shifted patterns *)
+           match i mod 3 with
+           | 0 -> r
+           | 1 -> r land (r lsl 1)
+           | _ -> r lor (r lsr 7)))
+
 let test_engine_memoized () =
   let net = Benchmarks.s27 () in
   let e1 = Netlist.Engine.get net in
@@ -287,7 +420,16 @@ let suites =
           seed_arb generated_agrees_law;
         qcheck ~count:60 "LUT/MUX/const circuits: lanes = scalar = reference"
           seed_arb adversarial_agrees_law;
+        qcheck ~count:40 "generated circuits: block = words = scalar = reference"
+          seed_arb generated_block_law;
+        qcheck ~count:40
+          "LUT/MUX/const circuits: block = words = scalar = reference" seed_arb
+          adversarial_block_law;
+        tc "slot map: dense, unique, sources first" `Quick test_slot_map;
+        tc "scratch reuse + ownership" `Quick test_scratch_reuse;
         tc "popcount + random_word" `Quick test_popcount_random_word;
+        qcheck ~count:50 "SWAR popcount = naive bit loop" seed_arb
+          popcount_swar_law;
       ] );
     ( "engine.caching",
       [

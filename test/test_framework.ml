@@ -115,6 +115,71 @@ let test_oracle_batch_equals_scalar () =
         Alcotest.fail "batched response differs from scalar evaluation")
     dips rs
 
+let test_oracle_memo_cap () =
+  let comb = comb_circuit 64 in
+  let o = Oracle.of_netlist ~memo_cap:3 comb in
+  let names = Oracle.input_names o in
+  let dip i = List.mapi (fun j n -> (n, (i lsr j) land 1 = 1)) names in
+  for i = 0 to 4 do
+    ignore (Oracle.query o (dip i))
+  done;
+  Alcotest.(check int) "five real evals" 5 (Oracle.queries o);
+  Alcotest.(check int) "two FIFO evictions" 2 (Oracle.memo_evictions o);
+  (* the most recent entries are still resident *)
+  ignore (Oracle.query o (dip 4));
+  Alcotest.(check int) "recent entry hits" 1 (Oracle.memo_hits o);
+  Alcotest.(check int) "a hit does not evict" 2 (Oracle.memo_evictions o);
+  (* the oldest entry was evicted: re-querying re-evaluates and recounts *)
+  ignore (Oracle.query o (dip 0));
+  Alcotest.(check int) "evicted entry re-evaluated" 6 (Oracle.queries o);
+  Alcotest.(check int) "re-insertion evicts the next oldest" 3
+    (Oracle.memo_evictions o);
+  Alcotest.check_raises "cap must be positive"
+    (Invalid_argument
+       "Oracle: memo_cap must be >= 1 (use ~memo:false to disable)") (fun () ->
+      ignore (Oracle.of_netlist ~memo_cap:0 comb))
+
+let test_oracle_fn_key_memo () =
+  let calls = ref 0 in
+  let fn q =
+    incr calls;
+    [ ("y", List.for_all snd q) ]
+  in
+  let o = Oracle.of_fn fn in
+  let q1 = [ ("a", true); ("b", false); ("c", true) ] in
+  let q2 = [ ("c", true); ("a", true); ("b", false) ] in
+  let r1 = Oracle.query o q1 in
+  let r2 = Oracle.query o q2 in
+  Alcotest.(check bool) "same response" true (r1 = r2);
+  Alcotest.(check int) "permutation is a memo hit" 1 !calls;
+  Alcotest.(check int) "hit counted" 1 (Oracle.memo_hits o);
+  ignore (Oracle.query o [ ("a", false); ("b", false); ("c", true) ]);
+  Alcotest.(check int) "distinct assignment evaluated" 2 !calls;
+  (* same bit pattern under a different name set must not share an entry *)
+  ignore (Oracle.query o [ ("x", false); ("y", false); ("z", true) ]);
+  Alcotest.(check int) "distinct name set evaluated" 3 !calls;
+  Alcotest.(check int) "real evals counted" 3 (Oracle.queries o)
+
+(* forced shard counts must not change results, counters, or ordering *)
+let test_oracle_sharded_batch () =
+  let comb = comb_circuit 65 in
+  let scalar = Oracle.of_netlist ~memo:false comb in
+  let names = Oracle.input_names scalar in
+  let rng = Random.State.make [| 65; 0x5ad |] in
+  let dips =
+    List.init 300 (fun _ ->
+        List.map (fun n -> (n, Random.State.bool rng)) names)
+  in
+  let expect = List.map (Oracle.query scalar) dips in
+  List.iter
+    (fun shards ->
+      let o = Oracle.of_netlist ~block_words:2 ~shards comb in
+      let rs = Oracle.query_batch o dips in
+      Alcotest.(check bool)
+        (Printf.sprintf "%d shards = scalar" shards)
+        true (rs = expect))
+    [ 1; 2; 4 ]
+
 (* ----- registry ----- *)
 
 let test_registry_names () =
@@ -248,6 +313,11 @@ let suites =
       [
         Alcotest.test_case "memo + counts" `Quick test_oracle_memo_and_counts;
         Alcotest.test_case "budget charging" `Quick test_oracle_budget_charging;
+        Alcotest.test_case "memo cap + evictions" `Quick test_oracle_memo_cap;
+        Alcotest.test_case "fn-backend canonical keys" `Quick
+          test_oracle_fn_key_memo;
+        Alcotest.test_case "sharded batch = scalar" `Quick
+          test_oracle_sharded_batch;
         Alcotest.test_case "batch = scalar" `Quick
           test_oracle_batch_equals_scalar;
       ] );

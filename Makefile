@@ -1,6 +1,6 @@
 # Convenience targets; dune is the real build system.
 
-.PHONY: all build test bench bench-quick bench-eval bench-attacks bench-eval-smoke bench-attacks-smoke bench-smoke campaign-smoke fuzz fuzz-smoke trace-smoke check examples clean
+.PHONY: all build test bench bench-quick bench-eval bench-attacks bench-eval-smoke bench-attacks-smoke bench-smoke campaign-smoke fuzz fuzz-smoke trace-smoke serve-smoke check examples clean
 
 all: build
 
@@ -65,10 +65,17 @@ trace-smoke:
 	dune exec bin/gklock_cli.exe -- trace --out /tmp/gklock_ts.jsonl attack /tmp/gklock_ts_locked.bench --keys xk0,xk1,xk2,xk3 --oracle /tmp/gklock_ts_oracle.bench --method sat --metrics-out /tmp/gklock_ts_metrics.json
 	dune exec bin/gklock_cli.exe -- trace --check /tmp/gklock_ts.jsonl
 
+# Oracle-daemon smoke: spawn the real gklockd binary on an ephemeral
+# unix socket, run the SAT attack through Remote_oracle, check the
+# verdict/key match the in-process run, then verify a clean shutdown
+# (exit 0, socket file removed).
+serve-smoke: build
+	dune exec bench/serve_smoke.exe
+
 # Everything a PR must keep green: full build (libs, CLI, examples,
 # benches) plus the test suite, the campaign smoke, a fuzz smoke, both
-# bench smokes and the tracing smoke.
-check: build test campaign-smoke fuzz-smoke bench-smoke trace-smoke
+# bench smokes, the tracing smoke and the oracle-daemon smoke.
+check: build test campaign-smoke fuzz-smoke bench-smoke trace-smoke serve-smoke
 
 examples:
 	dune exec examples/quickstart.exe

@@ -1,14 +1,15 @@
 (* Attack-framework benchmarks: oracle query throughput (batched
    63-lane engine path vs. scalar engine path vs. the pre-framework
-   assoc-list oracle) plus per-attack wall time for every registry entry
-   on two benchmarks.  Prints human-readable tables and writes
-   machine-readable results to BENCH_attacks.json (or the path given as
-   the last argument):
+   assoc-list oracle, plus both remote paths through an in-process
+   gklockd over a loopback unix socket) and per-attack wall time for
+   every registry entry on two benchmarks.  Prints human-readable tables
+   and writes machine-readable results to BENCH_attacks.json (or the
+   path given as the last argument):
 
      dune exec bench/bench_attacks.exe              # or: make bench-attacks
      dune exec bench/bench_attacks.exe -- --smoke   # CI-sized, seconds
 
-   All three oracle paths are equivalence-checked on the same query set
+   All five oracle paths are equivalence-checked on the same query set
    before being timed, and the run fails unless the batched path beats
    the assoc-list baseline by at least 10x. *)
 
@@ -110,6 +111,8 @@ type oracle_row = {
   o_assoc_qps : float;
   o_scalar_qps : float;
   o_batch_qps : float;
+  o_remote_scalar_qps : float;  (* one Query frame round trip per query *)
+  o_remote_batch_qps : float;  (* whole query set in one Query_batch frame *)
 }
 
 let bench_oracle ~min_time ~n_queries net name cells =
@@ -131,7 +134,39 @@ let bench_oracle ~min_time ~n_queries net name cells =
       if Oracle.query oracle dip <> batched then
         failwith (name ^ ": batched oracle disagrees with scalar query"))
     dips batch_results;
-  Printf.printf "equivalence %-8s OK (%d queries x 3 paths)\n%!" name
+  (* the same query set through an in-process gklockd over a loopback
+     unix socket: memoization off on both ends so every timed query
+     crosses the wire and really evaluates.  flush_lanes = 1 because a
+     single serial client never has lane-mates to coalesce with — with
+     the default word-sized flush the scalar column would time the
+     coalescing delay, not the round trip *)
+  let sock = Filename.temp_file "gklockd_bench" ".sock" in
+  Sys.remove sock;
+  let server =
+    Gkd_server.create
+      ~config:
+        {
+          Gkd_server.default_config with
+          Gkd_server.oracle_memo = false;
+          flush_lanes = 1;
+        }
+      ~listen:(Frame_io.Unix_path sock)
+      [ (name, comb) ]
+  in
+  Gkd_server.start server;
+  let remote_handle =
+    Remote_oracle.connect ~client:"bench" ~memo:false
+      (Frame_io.Unix_path sock)
+  in
+  let remote = Remote_oracle.oracle remote_handle in
+  List.iter2
+    (fun dip batched ->
+      if Oracle.query remote dip <> batched then
+        failwith (name ^ ": remote oracle disagrees with batched eval"))
+    dips batch_results;
+  if Oracle.query_batch remote dips <> batch_results then
+    failwith (name ^ ": remote batched oracle disagrees with batched eval");
+  Printf.printf "equivalence %-8s OK (%d queries x 5 paths)\n%!" name
     n_queries;
   (* on large circuits one engine-path call takes about as long as a
      major-GC slice, so a single rep is a coin flip on whether it pays
@@ -142,23 +177,34 @@ let bench_oracle ~min_time ~n_queries net name cells =
     float_of_int n_queries /. median_rep_s ?min_reps ~min_time f
   in
   let min_reps = 7 in
-  {
-    o_bench = name;
-    o_cells = cells;
-    o_queries = n_queries;
+  let row =
+    {
+      o_bench = name;
+      o_cells = cells;
+      o_queries = n_queries;
     (* all three paths are timed producing the full response set
        ([List.map], not [List.iter]+[ignore]): [query_batch] necessarily
        keeps every response live until it returns, so a scalar loop that
        dropped each response as it went would be measured doing strictly
        less retention work than the batch it is compared against *)
-    o_assoc_qps =
-      qps (fun () -> ignore (List.map (fun d -> assoc_query comb d) dips));
-    o_scalar_qps =
-      qps ~min_reps (fun () ->
-          ignore (List.map (fun d -> Oracle.query oracle d) dips));
-    o_batch_qps =
-      qps ~min_reps (fun () -> ignore (Oracle.query_batch oracle dips));
-  }
+      o_assoc_qps =
+        qps (fun () -> ignore (List.map (fun d -> assoc_query comb d) dips));
+      o_scalar_qps =
+        qps ~min_reps (fun () ->
+            ignore (List.map (fun d -> Oracle.query oracle d) dips));
+      o_batch_qps =
+        qps ~min_reps (fun () -> ignore (Oracle.query_batch oracle dips));
+      o_remote_scalar_qps =
+        qps ~min_reps (fun () ->
+            ignore (List.map (fun d -> Oracle.query remote d) dips));
+      o_remote_batch_qps =
+        qps ~min_reps (fun () -> ignore (Oracle.query_batch remote dips));
+    }
+  in
+  Remote_oracle.close remote_handle;
+  Gkd_server.stop server;
+  if Sys.file_exists sock then Sys.remove sock;
+  row
 
 (* ----- per-attack wall time ----- *)
 
@@ -204,11 +250,15 @@ let json_of_oracle r =
   Printf.sprintf
     "    {\"name\": %S, \"cells\": %d, \"queries\": %d, \
      \"assoc_queries_per_sec\": %.1f, \"scalar_queries_per_sec\": %.1f, \
-     \"batch_queries_per_sec\": %.1f, \"batch_speedup_vs_assoc\": %.2f, \
-     \"batch_speedup_vs_scalar\": %.2f}"
+     \"batch_queries_per_sec\": %.1f, \"remote_scalar_queries_per_sec\": \
+     %.1f, \"remote_batch_queries_per_sec\": %.1f, \
+     \"batch_speedup_vs_assoc\": %.2f, \"batch_speedup_vs_scalar\": %.2f, \
+     \"remote_batch_speedup_vs_remote_scalar\": %.2f}"
     r.o_bench r.o_cells r.o_queries r.o_assoc_qps r.o_scalar_qps r.o_batch_qps
+    r.o_remote_scalar_qps r.o_remote_batch_qps
     (r.o_batch_qps /. r.o_assoc_qps)
     (r.o_batch_qps /. r.o_scalar_qps)
+    (r.o_remote_batch_qps /. r.o_remote_scalar_qps)
 
 let json_of_attack r =
   Printf.sprintf
@@ -242,12 +292,14 @@ let () =
         bench_oracle ~min_time ~n_queries net n (Netlist.num_nodes net))
       oracle_benches
   in
-  Printf.printf "\n%-8s %6s %12s %12s %12s %9s %9s\n" "bench" "cells"
-    "assoc q/s" "scalar q/s" "batch q/s" "vs-assoc" "vs-scalar";
+  Printf.printf "\n%-8s %6s %12s %12s %12s %12s %12s %9s %9s\n" "bench"
+    "cells" "assoc q/s" "scalar q/s" "batch q/s" "rmt-sc q/s" "rmt-bat q/s"
+    "vs-assoc" "vs-scalar";
   List.iter
     (fun r ->
-      Printf.printf "%-8s %6d %12.0f %12.0f %12.0f %8.1fx %8.1fx\n" r.o_bench
-        r.o_cells r.o_assoc_qps r.o_scalar_qps r.o_batch_qps
+      Printf.printf "%-8s %6d %12.0f %12.0f %12.0f %12.0f %12.0f %8.1fx %8.1fx\n"
+        r.o_bench r.o_cells r.o_assoc_qps r.o_scalar_qps r.o_batch_qps
+        r.o_remote_scalar_qps r.o_remote_batch_qps
         (r.o_batch_qps /. r.o_assoc_qps)
         (r.o_batch_qps /. r.o_scalar_qps))
     oracle_rows;
@@ -270,7 +322,14 @@ let () =
         (Printf.sprintf
            "%s: batched oracle regressed below scalar (%.2fx, need >= 1.0x)"
            largest.o_bench
-           (largest.o_batch_qps /. largest.o_scalar_qps))
+           (largest.o_batch_qps /. largest.o_scalar_qps));
+    (* one frame per word must beat one frame per query *)
+    if largest.o_remote_batch_qps < largest.o_remote_scalar_qps then
+      failwith
+        (Printf.sprintf
+           "%s: remote batched path regressed below remote scalar (%.2fx)"
+           largest.o_bench
+           (largest.o_remote_batch_qps /. largest.o_remote_scalar_qps))
   | [] -> ());
   let max_iterations = if smoke then 64 else 256 in
   let deadline_s = if smoke then 5.0 else 30.0 in
@@ -290,7 +349,7 @@ let () =
   let doc =
     Printf.sprintf
       "{\n\
-      \  \"schema\": \"gklock/bench_attacks/v1\",\n\
+      \  \"schema\": \"gklock/bench_attacks/v2\",\n\
       \  \"smoke\": %b,\n\
       \  \"word_bits\": %d,\n\
       \  \"oracle\": [\n\

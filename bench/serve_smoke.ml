@@ -1,0 +1,82 @@
+(* End-to-end smoke test for the oracle daemon, run by `make serve-smoke`
+   and CI.  Unlike test/test_net.ml (which exercises Gkd_server
+   in-process), this spawns the REAL gklockd binary, talks to it over an
+   ephemeral unix socket, runs the SAT attack through Remote_oracle, and
+   checks the verdict and recovered key are byte-identical to the
+   in-process run.  It then asks the daemon to shut down and verifies a
+   clean exit: status 0 and the socket file removed.
+
+     dune exec bench/serve_smoke.exe [-- path/to/gklockd.exe]          *)
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("FAIL: " ^ m); exit 1) fmt
+
+let key_repr (o : Attack.outcome) =
+  match o.Attack.verdict with
+  | Attack.Key_recovered k -> Key.to_string k
+  | v -> fail "sat verdict %s (expected key_recovered)" (Attack.verdict_name v)
+
+let retry_connect path =
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  let rec go () =
+    match
+      Remote_oracle.connect ~client:"serve-smoke" ~design:"s27"
+        (Frame_io.Unix_path path)
+    with
+    | r -> r
+    | exception (Unix.Unix_error _ | Sys_error _) when Unix.gettimeofday () < deadline ->
+      Thread.delay 0.05;
+      go ()
+  in
+  go ()
+
+let () =
+  let exe =
+    if Array.length Sys.argv > 1 then Sys.argv.(1)
+    else Filename.concat "_build/default/bin" "gklockd.exe"
+  in
+  if not (Sys.file_exists exe) then fail "daemon binary %s not built" exe;
+  let sock = Filename.temp_file "gklockd_smoke" ".sock" in
+  let dev_null = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  let pid =
+    Unix.create_process exe
+      [| exe; "s27"; "--listen"; "unix:" ^ sock |]
+      Unix.stdin dev_null Unix.stderr
+  in
+  Unix.close dev_null;
+  let finished = ref false in
+  Fun.protect
+    ~finally:(fun () ->
+      if not !finished then (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+      if Sys.file_exists sock then Sys.remove sock)
+  @@ fun () ->
+  (* the same attack, locally and through the daemon *)
+  let net = Benchmarks.s27 () in
+  let comb = fst (Combinationalize.run net) in
+  let lk = Xor_lock.lock ~seed:11 comb ~n_keys:4 in
+  let go oracle =
+    Attack.run ~seed:3 ~name:"sat" ~locked:lk.Locked.net
+      ~key_inputs:lk.Locked.key_inputs ~oracle ()
+  in
+  let local = go (Oracle.of_netlist comb) in
+  let r = retry_connect sock in
+  let remote = go (Remote_oracle.oracle r) in
+  if key_repr local <> key_repr remote then
+    fail "key mismatch: local %s vs remote %s" (key_repr local) (key_repr remote);
+  if Attack.verdict_name local.Attack.verdict
+     <> Attack.verdict_name remote.Attack.verdict
+  then
+    fail "verdict mismatch: %s vs %s"
+      (Attack.verdict_name local.Attack.verdict)
+      (Attack.verdict_name remote.Attack.verdict);
+  Printf.printf "serve-smoke: sat via %s OK (key %s, %d queries)\n%!"
+    (Remote_oracle.server_name r) (key_repr remote) remote.Attack.queries;
+  Remote_oracle.shutdown_server r;
+  Remote_oracle.close r;
+  (match Unix.waitpid [] pid with
+  | _, Unix.WEXITED 0 -> ()
+  | _, Unix.WEXITED n -> fail "daemon exited with status %d" n
+  | _, Unix.WSIGNALED s -> fail "daemon killed by signal %d" s
+  | _, Unix.WSTOPPED s -> fail "daemon stopped by signal %d" s);
+  finished := true;
+  if Sys.file_exists sock then fail "daemon left socket %s behind" sock;
+  print_endline "serve-smoke: clean shutdown, socket removed"

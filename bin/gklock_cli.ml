@@ -5,6 +5,7 @@
      gen      materialize a built-in benchmark as a .bench file
      encrypt  lock a design (gk / xor / mux / sarlock / antisat / tdk / hybrid)
      attack   run the SAT attack against a locked .bench
+     serve    run the oracle-as-a-service daemon (also built as gklockd)
      sim      timing-simulate a design and report captures/violations
      sta      static timing report
      tables   regenerate the paper's tables
@@ -14,14 +15,7 @@ open Cmdliner
 
 (* ----- shared arguments and helpers ----- *)
 
-let load_design path =
-  match Benchmarks.find_spec path with
-  | Some spec -> Benchmarks.load spec
-  | None ->
-    if path = "s27" then Benchmarks.s27 ()
-    else if path = "tiny" then Benchmarks.tiny ()
-    else if Filename.check_suffix path ".v" then Verilog.parse_file path
-    else Bench_format.parse_file path
+let load_design = Cli_common.load_design
 
 let design_arg =
   let doc =
@@ -158,8 +152,30 @@ let keys_arg =
   Arg.(required & opt (some string) None & info [ "keys" ] ~docv:"K0,K1,.." ~doc)
 
 let oracle_arg =
-  let doc = "Oracle design (.bench or builtin): the functionally correct chip." in
+  let doc =
+    "The functionally correct chip: a design (.bench or builtin), or a \
+     running gklockd daemon as $(b,unix:PATH) / $(b,tcp:HOST:PORT)."
+  in
   Arg.(required & opt (some string) None & info [ "oracle" ] ~docv:"DESIGN" ~doc)
+
+let oracle_design_arg =
+  let doc =
+    "Design name on the remote oracle daemon (default: the only design it \
+     hosts).  Ignored for local oracles."
+  in
+  Arg.(
+    value & opt (some string) None
+    & info [ "oracle-design" ] ~docv:"NAME" ~doc)
+
+let remote_oracle_addr s =
+  let pre p =
+    String.length s > String.length p && String.sub s 0 (String.length p) = p
+  in
+  if pre "unix:" || pre "tcp:" then
+    match Frame_io.parse_addr s with
+    | Ok a -> Some a
+    | Error e -> Cli_common.die "--oracle %s: %s" s e
+  else None
 
 let method_arg =
   let doc =
@@ -195,27 +211,35 @@ let write_metrics = function
     Printf.printf "wrote %s\n" path
 
 let attack_cmd =
-  let run design keys oracle_path name max_iterations max_queries deadline
-      seed metrics_out =
+  let run design keys oracle_path oracle_design name max_iterations max_queries
+      deadline seed metrics_out =
     let locked = load_design design in
     let locked, _ =
       if Netlist.ffs locked = [] then (locked, [])
       else Combinationalize.run locked
     in
-    let oracle_net = load_design oracle_path in
-    let oracle_net, _ =
-      if Netlist.ffs oracle_net = [] then (oracle_net, [])
-      else Combinationalize.run oracle_net
+    let remote, oracle =
+      match remote_oracle_addr oracle_path with
+      | Some addr ->
+        let r = Remote_oracle.connect ?design:oracle_design addr in
+        Printf.printf "oracle: %s design %s via %s\n"
+          (Remote_oracle.server_name r)
+          (Remote_oracle.design r) oracle_path;
+        (Some r, Remote_oracle.oracle r)
+      | None ->
+        let oracle_net = load_design oracle_path in
+        let oracle_net, _ =
+          if Netlist.ffs oracle_net = [] then (oracle_net, [])
+          else Combinationalize.run oracle_net
+        in
+        (None, Oracle.of_netlist oracle_net)
     in
     let key_inputs = String.split_on_char ',' keys in
     let budget =
       Budget.create ~max_iterations ?max_queries ?deadline_s:deadline ()
     in
-    let o =
-      Attack.run ~budget ~seed ~name ~locked ~key_inputs
-        ~oracle:(Oracle.of_netlist oracle_net)
-        ()
-    in
+    let o = Attack.run ~budget ~seed ~name ~locked ~key_inputs ~oracle () in
+    Option.iter Remote_oracle.close remote;
     Printf.printf "%s: %s\n" name (Attack.verdict_name o.Attack.verdict);
     (match o.Attack.verdict with
     | Attack.Key_recovered k ->
@@ -257,9 +281,9 @@ let attack_cmd =
   Cmd.v
     (Cmd.info "attack"
        ~doc:"Run a registered oracle-guided attack against a locked design")
-    Term.(const run $ design_arg $ keys_arg $ oracle_arg $ method_arg
-          $ max_iterations_arg $ max_queries_arg $ deadline_arg $ seed_arg
-          $ metrics_out_arg)
+    Term.(const run $ design_arg $ keys_arg $ oracle_arg $ oracle_design_arg
+          $ method_arg $ max_iterations_arg $ max_queries_arg $ deadline_arg
+          $ seed_arg $ metrics_out_arg)
 
 let attacks_cmd =
   let run markdown =
@@ -278,6 +302,13 @@ let attacks_cmd =
   Cmd.v
     (Cmd.info "attacks" ~doc:"List the attack registry")
     Term.(const run $ markdown_arg)
+
+(* ----- serve (the oracle daemon, also built standalone as gklockd) ----- *)
+
+let serve_cmd =
+  Cmd.v
+    (Cmd.info "serve" ~doc:Cli_common.serve_doc ~man:Cli_common.serve_man)
+    Cli_common.serve_term
 
 (* ----- sim ----- *)
 
@@ -740,9 +771,9 @@ let () =
   let group =
     Cmd.group info
       [
-        info_cmd; gen_cmd; encrypt_cmd; attack_cmd; attacks_cmd; sim_cmd;
-        sta_cmd; flow_cmd; tables_cmd; figs_cmd; campaign_cmd; fuzz_cmd;
-        trace_stub_cmd;
+        info_cmd; gen_cmd; encrypt_cmd; attack_cmd; attacks_cmd; serve_cmd;
+        sim_cmd; sta_cmd; flow_cmd; tables_cmd; figs_cmd; campaign_cmd;
+        fuzz_cmd; trace_stub_cmd;
       ]
   in
   let argv = Sys.argv in

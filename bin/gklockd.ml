@@ -1,0 +1,11 @@
+(* gklockd — the oracle-as-a-service daemon, as a standalone binary.
+   `gklock serve` is the same term mounted as a subcommand. *)
+
+open Cmdliner
+
+let () =
+  let info =
+    Cmd.info "gklockd" ~version:"1.0.0" ~doc:Cli_common.serve_doc
+      ~man:Cli_common.serve_man
+  in
+  exit (Cmd.eval (Cmd.v info Cli_common.serve_term))

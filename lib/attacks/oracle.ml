@@ -55,6 +55,8 @@ type fn_set = {
 
 type fn_backend = {
   fn : (string * bool) list -> (string * bool) list;
+  fn_batch :
+    ((string * bool) list list -> (string * bool) list list) option;
   mutable fn_sets : fn_set list;
   mutable fn_next_id : int;
 }
@@ -140,9 +142,9 @@ let of_netlist ?(partial = false) ?budget ?(memo = true) ?memo_cap
     stats = { evals = 0; hits = 0; evictions = 0 };
   }
 
-let of_fn ?budget ?(memo = true) ?memo_cap fn =
+let of_fn ?budget ?(memo = true) ?memo_cap ?batch fn =
   {
-    backend = Fn { fn; fn_sets = []; fn_next_id = 0 };
+    backend = Fn { fn; fn_batch = batch; fn_sets = []; fn_next_id = 0 };
     partial = true;
     budget;
     memo = mk_memo memo memo_cap;
@@ -401,9 +403,76 @@ let process_lanes b scratch (misses : string array) ~lane_lo ~lane_hi computed
     base := b0 + lanes
   done
 
+(* Batched path for black-box oracles that advertise a bulk transport
+   (e.g. a remote oracle packing a whole word per round trip): dedup
+   memo misses on their canonical keys, ship the distinct queries in one
+   [fn_batch] call, then reassemble in request order. *)
+let fn_query_batch t fb bf qs =
+  match t.memo with
+  | None ->
+    let n = List.length qs in
+    if n = 0 then []
+    else begin
+      charge t n;
+      let rs = bf qs in
+      if List.length rs <> n then
+        invalid_arg "Oracle: batch backend returned a result list of wrong size";
+      rs
+    end
+  | Some _ ->
+    let keyed = List.map (fun q -> (fn_key fb q, q)) qs in
+    let cached =
+      List.map (fun (key, _) -> (key, memo_find t key)) keyed
+    in
+    let miss_tbl = Hashtbl.create 64 in
+    let misses =
+      (* first occurrence of each distinct missing key, in order *)
+      List.filter
+        (fun (key, r) ->
+          r = None
+          && (not (Hashtbl.mem miss_tbl key))
+          && (Hashtbl.replace miss_tbl key ();
+              true))
+        cached
+    in
+    if misses <> [] then begin
+      charge t (List.length misses);
+      let miss_qs =
+        List.map
+          (fun (key, _) -> List.assoc key keyed (* first query for key *))
+          misses
+      in
+      let rs = bf miss_qs in
+      if List.length rs <> List.length misses then
+        invalid_arg "Oracle: batch backend returned a result list of wrong size";
+      List.iter2 (fun (key, _) r -> memo_add t key r) misses rs
+    end;
+    (* all keys are resident now (memo_add just ran with room for each:
+       cap evictions can push *older* entries out, so re-query misses
+       via the memo and fall back to a direct call if one was evicted) *)
+    List.map
+      (fun (key, cached_r) ->
+        match cached_r with
+        | Some r -> r
+        | None -> (
+          match t.memo with
+          | Some m -> (
+            match Hashtbl.find_opt m.tbl key with
+            | Some r -> r
+            | None ->
+              (* evicted within this very batch (tiny cap): recompute *)
+              charge t 1;
+              let q = List.assoc key keyed in
+              let r = fb.fn q in
+              memo_add t key r;
+              r)
+          | None -> assert false))
+      cached
+
 let query_batch t qs =
   match t.backend with
-  | Fn _ -> List.map (query t) qs
+  | Fn ({ fn_batch = Some bf; _ } as fb) -> fn_query_batch t fb bf qs
+  | Fn { fn_batch = None; _ } -> List.map (query t) qs
   | Net b ->
     let qarr = Array.of_list qs in
     let nq = Array.length qarr in

@@ -76,14 +76,23 @@ val of_netlist :
   Netlist.t ->
   t
 
-(** [of_fn ?budget ?memo ?memo_cap fn] wraps a black-box query function
-    (e.g. a frame-regrouping wrapper around another oracle).  No
-    validation is possible; [fn] must be deterministic if [memo] is on
-    (default).  [memo_cap] bounds the memo as in {!of_netlist}. *)
+(** [of_fn ?budget ?memo ?memo_cap ?batch fn] wraps a black-box query
+    function (e.g. a frame-regrouping wrapper around another oracle, or
+    a remote oracle speaking a wire protocol).  No validation is
+    possible; [fn] must be deterministic if [memo] is on (default).
+    [memo_cap] bounds the memo as in {!of_netlist}.
+
+    When [batch] is given, {!query_batch} routes through it instead of
+    falling back to scalar [fn] calls: memo misses are deduplicated on
+    their canonical keys and shipped in one [batch] call (which must
+    return exactly one result per query, in order), so a transport that
+    can pack many queries per round trip — like {!Remote_oracle} — gets
+    word-at-a-time batching end to end. *)
 val of_fn :
   ?budget:Budget.t ->
   ?memo:bool ->
   ?memo_cap:int ->
+  ?batch:((string * bool) list list -> (string * bool) list list) ->
   ((string * bool) list -> (string * bool) list) ->
   t
 

@@ -1,0 +1,102 @@
+(** [gklockd] — the oracle-as-a-service daemon.
+
+    The server owns a fleet of locked-design oracles: each hosted design
+    is combinationalized once, compiled to a {!Netlist.Engine} and
+    wrapped in one shared {!Oracle.t}.  Clients speak the {!Wire}
+    protocol over a Unix-domain or TCP socket; the accept loop hands
+    each connection to a reader thread, and evaluation happens on
+    per-design flusher threads:
+
+    - {b scalar coalescing}: [Query] frames from {e all} clients of a
+      design land in one pending queue.  The flusher drains a word as
+      soon as {!config.flush_lanes} lanes are pending, or after
+      {!config.flush_delay_s} from the oldest entry — so a lone client
+      pays at most the flush delay while a busy server packs full
+      63-lane words into every engine pass.
+    - {b per-client quotas}: every connection gets its own {!Budget.t}
+      ({!config.max_queries_per_client} / {!config.client_deadline_s}).
+      Lanes are charged at {e flush} time: a client whose quota expired
+      while its queries sat in the queue receives structured
+      [over_quota] error frames and its lanes never reach the engine;
+      other clients' lanes in the same word are unaffected.
+    - {b explicit batches}: [Query_batch] bypasses the queue, is charged
+      up front, and runs through {!Oracle.query_batch} in one pass.
+
+    Instrumentation (all via {!Obs}): [gklockd.connections] /
+    [gklockd.queries] / [gklockd.bad_frames] / [gklockd.over_quota]
+    counters, a per-client [gklockd.client_queries.<name>] counter, the
+    [gklockd.queue_depth] gauge, the [gklockd.batch_fill] histogram
+    (observed {e once per flush} with the number of coalesced lanes) and
+    [gklockd.flush] / [gklockd.request] trace spans.  With
+    {!config.metrics_out} set, the whole metrics registry — including
+    the oracle's [oracle.memo_evictions] and batch-fill counters — is
+    dumped periodically and once more on shutdown.
+
+    Shutdown: a [Shutdown] frame (or {!stop}) closes the listener,
+    drains and joins every thread, closes every connection, unlinks the
+    Unix socket file and writes the final metrics dump.  {!wait} returns
+    only after all of that, so "no orphaned threads, no socket file" is
+    testable. *)
+
+type config = {
+  flush_lanes : int;
+      (** coalesced lanes that force a flush (default 63 = one engine
+          word) *)
+  flush_delay_s : float;
+      (** max time a pending scalar query waits for lane-mates (default
+          2 ms) *)
+  max_queries_per_client : int option;  (** per-connection query quota *)
+  client_deadline_s : float option;
+      (** per-connection wall-clock quota, from accept time *)
+  oracle_memo : bool;  (** memoize server-side (default true) *)
+  oracle_memo_cap : int option;
+      (** bound resident memo entries per design (default 65536) *)
+  strict_queries : bool;
+      (** reject assignments naming unknown pins instead of ignoring
+          them (default false: a remote chip reads undriven pins as 0) *)
+  metrics_out : string option;  (** periodic metrics dump target *)
+  metrics_interval_s : float;  (** dump period (default 5 s) *)
+  server_name : string;  (** advertised in [Hello_ack] *)
+}
+
+val default_config : config
+
+type t
+
+(** [create ~config ~listen designs] binds the socket and compiles an
+    oracle per design ([(name, netlist)]; sequential netlists are
+    combinationalized).  No thread runs yet.
+    @raise Invalid_argument on duplicate or empty design names, or a
+    non-positive [flush_lanes]/[flush_delay_s].
+    @raise Unix.Unix_error if the address cannot be bound. *)
+val create :
+  config:config -> listen:Frame_io.addr -> (string * Netlist.t) list -> t
+
+(** The bound address ([Tcp] with the real port when port 0 was asked). *)
+val address : t -> Frame_io.addr
+
+(** Start the accept loop, per-design flushers and the metrics dumper.
+    Returns immediately. *)
+val start : t -> unit
+
+(** Block until the server has fully shut down (via a client [Shutdown]
+    frame or {!stop}): all threads joined, connections closed, socket
+    file removed, final metrics written.  Idempotent. *)
+val wait : t -> unit
+
+(** Initiate shutdown from this process (equivalent to a [Shutdown]
+    frame) and {!wait}. *)
+val stop : t -> unit
+
+(** [run ~config ~listen designs] is [create] + [start] + [wait] — the
+    daemon main loop. *)
+val run :
+  config:config -> listen:Frame_io.addr -> (string * Netlist.t) list -> unit
+
+(** Currently open client connections (0 after {!wait}) — used by tests
+    to prove the malformed-frame fuzz leaks nothing. *)
+val live_connections : t -> int
+
+(** The shared server-side oracle of a hosted design, for tests that
+    assert on real evaluation counts. *)
+val design_oracle : t -> string -> Oracle.t option

@@ -1,0 +1,198 @@
+exception Remote_error of Wire.error_code * string
+
+type t = {
+  r_fd : Unix.file_descr;
+  mutable r_design : string;
+  mutable r_server : string;
+  mutable r_designs : Wire.design_info list;
+  mutable r_oracle : Oracle.t option;  (* Some after connect returns *)
+  mutable r_next_id : int;
+  mutable r_closed : bool;
+}
+
+let transport_error detail = raise (Remote_error (Wire.Server_error, detail))
+
+let fresh_id t =
+  let id = t.r_next_id in
+  (* request ids are a u32 on the wire *)
+  t.r_next_id <- (id + 1) land 0xFFFFFFFF;
+  id
+
+(* One request, one reply.  The stream is strictly request/reply per
+   connection, so a mismatched id means the transport is out of sync —
+   fail loudly rather than guess. *)
+let roundtrip t msg =
+  if t.r_closed then transport_error "connection already closed";
+  let id = fresh_id t in
+  (try Frame_io.write_frame t.r_fd ~id msg
+   with Unix.Unix_error (e, _, _) ->
+     transport_error ("write failed: " ^ Unix.error_message e));
+  match Frame_io.read_frame t.r_fd with
+  | Error e -> transport_error (Frame_io.read_error_message e)
+  | Ok { Wire.id = rid; msg = reply } ->
+    if rid <> id && rid <> 0 then
+      transport_error
+        (Printf.sprintf "reply id %d does not match request id %d" rid id);
+    reply
+
+(* Map structured error frames to the exception the attack layer
+   already understands: over-quota becomes [Budget.Exhausted], so a
+   remote quota trip yields the same [Out_of_budget] verdict as a local
+   budget. *)
+let fail_on_error = function
+  | Wire.Error { code = Wire.Over_quota_queries; _ } ->
+    raise (Budget.Exhausted Budget.Queries)
+  | Wire.Error { code = Wire.Over_quota_deadline; _ } ->
+    raise (Budget.Exhausted Budget.Deadline)
+  | Wire.Error { code; detail } -> raise (Remote_error (code, detail))
+  | m -> m
+
+let query_remote t assignment =
+  match fail_on_error (roundtrip t (Wire.Query { design = t.r_design; assignment })) with
+  | Wire.Result r -> r
+  | m ->
+    transport_error ("expected a result frame, got " ^ Wire.msg_type_name m)
+
+let query_batch_frame t assignments =
+  match
+    fail_on_error
+      (roundtrip t (Wire.Query_batch { design = t.r_design; assignments }))
+  with
+  | Wire.Batch_result rs ->
+    if List.length rs <> List.length assignments then
+      transport_error "batch result size mismatch";
+    rs
+  | m ->
+    transport_error ("expected a batch result frame, got " ^ Wire.msg_type_name m)
+
+(* A [Query_batch] frame must fit [Wire.max_payload], and a wide design
+   can blow past that (1k queries x 1.7k pins on s38417 is ~20 MB), so
+   oversized query sets are split across several frames.  The split is
+   invisible to the attack layer: chunks stay in order and the results
+   are concatenated.  [assignment_bytes] mirrors the wire encoding —
+   u16 pin count, then per pin a u16-length string and a bool byte. *)
+let assignment_bytes q =
+  List.fold_left (fun acc (name, _) -> acc + 3 + String.length name) 2 q
+
+let batch_chunks t assignments =
+  (* Both the request and its single reply must fit a frame, and the
+     reply can be the larger one (a chip reports every output pin).
+     The design listing gives the exact output names, so size the
+     request budget down by the reply/query byte ratio with 2x slack. *)
+  let ratio =
+    match List.find_opt (fun i -> i.Wire.d_name = t.r_design) t.r_designs with
+    | Some { Wire.d_inputs = _ :: _ as ins; d_outputs = outs; _ } ->
+      let bytes pins =
+        List.fold_left (fun acc p -> acc + 3 + String.length p) 2 pins
+      in
+      Float.max 1.0 (float_of_int (bytes outs) /. float_of_int (bytes ins))
+    | _ -> 1.0
+  in
+  let budget =
+    Stdlib.max 4096
+      (int_of_float (float_of_int (Wire.max_payload / 2) /. ratio))
+  in
+  let rec split acc cur cur_bytes = function
+    | [] -> List.rev (List.rev cur :: acc)
+    | q :: rest ->
+      let b = assignment_bytes q in
+      if cur <> [] && cur_bytes + b > budget then
+        split (List.rev cur :: acc) [ q ] b rest
+      else split acc (q :: cur) (cur_bytes + b) rest
+  in
+  split [] [] 0 assignments
+
+let query_batch_remote t assignments =
+  if assignments = [] then []
+  else
+    List.concat_map (fun chunk -> query_batch_frame t chunk)
+      (batch_chunks t assignments)
+
+let connect ?(client = "gklock") ?design ?(memo = true) ?memo_cap addr =
+  let fd = Frame_io.connect addr in
+  let fail detail =
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    transport_error detail
+  in
+  let t =
+    {
+      r_fd = fd;
+      r_design = "";
+      r_server = "";
+      r_designs = [];
+      r_oracle = None;
+      r_next_id = 1;
+      r_closed = false;
+    }
+  in
+  let server =
+    match
+      roundtrip t (Wire.Hello { client; proto = Wire.protocol_version })
+    with
+    | Wire.Hello_ack { server; proto } ->
+      if proto <> Wire.protocol_version then
+        fail (Printf.sprintf "server negotiated unsupported protocol %d" proto)
+      else server
+    | Wire.Error { code; detail } ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise (Remote_error (code, detail))
+    | m -> fail ("expected hello_ack, got " ^ Wire.msg_type_name m)
+  in
+  let designs =
+    match roundtrip t Wire.List_designs with
+    | Wire.Designs ds -> ds
+    | Wire.Error { code; detail } ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise (Remote_error (code, detail))
+    | m -> fail ("expected designs frame, got " ^ Wire.msg_type_name m)
+  in
+  let design =
+    match (design, designs) with
+    | Some d, _ ->
+      if List.exists (fun i -> i.Wire.d_name = d) designs then d
+      else
+        fail
+          (Printf.sprintf "design %S not hosted (server has: %s)" d
+             (String.concat ", "
+                (List.map (fun i -> i.Wire.d_name) designs)))
+    | None, [ only ] -> only.Wire.d_name
+    | None, [] -> fail "server hosts no designs"
+    | None, _ ->
+      fail
+        (Printf.sprintf "server hosts %d designs; pick one with ~design"
+           (List.length designs))
+  in
+  t.r_design <- design;
+  t.r_server <- server;
+  t.r_designs <- designs;
+  t.r_oracle <-
+    Some
+      (Oracle.of_fn ~memo ?memo_cap
+         ~batch:(fun qs -> query_batch_remote t qs)
+         (fun q -> query_remote t q));
+  t
+
+let oracle t =
+  match t.r_oracle with Some o -> o | None -> assert false
+let design t = t.r_design
+let server_name t = t.r_server
+let designs t = t.r_designs
+
+let ping t =
+  let t0 = Unix.gettimeofday () in
+  (match fail_on_error (roundtrip t Wire.Ping) with
+  | Wire.Pong -> ()
+  | m -> transport_error ("expected pong, got " ^ Wire.msg_type_name m));
+  Unix.gettimeofday () -. t0
+
+let close t =
+  if not t.r_closed then begin
+    t.r_closed <- true;
+    try Unix.close t.r_fd with Unix.Unix_error _ -> ()
+  end
+
+let shutdown_server t =
+  (match fail_on_error (roundtrip t Wire.Shutdown) with
+  | Wire.Shutdown_ack -> ()
+  | m -> transport_error ("expected shutdown_ack, got " ^ Wire.msg_type_name m));
+  close t

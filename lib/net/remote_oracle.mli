@@ -1,0 +1,59 @@
+(** Client side of the oracle service: an {!Oracle.t} whose chip lives
+    behind a [gklockd] socket.
+
+    {!connect} performs the [Hello] version handshake, picks a design
+    (explicitly, or the sole hosted one) and returns a handle whose
+    {!oracle} is a black-box {!Oracle.of_fn} — so every attack in
+    {!Attack.registry} runs against the daemon unmodified.  Scalar
+    queries map to [Query] frames; {!Oracle.query_batch} ships memo
+    misses as one [Query_batch] frame, keeping 63-lane words full across
+    the wire.
+
+    Budget semantics survive the network: a structured [over_quota]
+    error frame from the server raises {!Budget.Exhausted} with the
+    corresponding reason, which {!Attack.run} already converts to an
+    [Out_of_budget] verdict.  Every other error frame raises
+    {!Remote_error}.
+
+    The client-side memo (on by default) means a memo hit never crosses
+    the wire; pass [~memo:false] to benchmark raw round trips.
+
+    Handles are not thread-safe: one connection, one in-flight request. *)
+
+(** A structured error frame from the server (or a broken transport,
+    reported as {!Wire.Server_error} with a detail string). *)
+exception Remote_error of Wire.error_code * string
+
+type t
+
+(** [connect ?client ?design ?memo ?memo_cap addr] dials [addr], runs
+    the [Hello] handshake, and binds to [design].  When [design] is
+    omitted the server must host exactly one design.
+    @raise Remote_error on a version mismatch or unknown design.
+    @raise Unix.Unix_error when nothing is listening at [addr]. *)
+val connect :
+  ?client:string -> ?design:string -> ?memo:bool -> ?memo_cap:int ->
+  Frame_io.addr -> t
+
+(** The oracle view of the connection.  Black-box: [input_names] is [[]]
+    and queries are always partial, exactly like any {!Oracle.of_fn}. *)
+val oracle : t -> Oracle.t
+
+(** The design this handle is bound to. *)
+val design : t -> string
+
+(** What the server advertised in [Hello_ack]. *)
+val server_name : t -> string
+
+(** Designs hosted by the server (fetched during {!connect}). *)
+val designs : t -> Wire.design_info list
+
+(** Round-trip a [Ping]; returns the elapsed seconds. *)
+val ping : t -> float
+
+(** Ask the server to shut down ([Shutdown] frame, awaits the ack). *)
+val shutdown_server : t -> unit
+
+(** Close the connection.  Idempotent; the handle is dead afterwards
+    (further queries raise {!Remote_error}). *)
+val close : t -> unit

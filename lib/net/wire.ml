@@ -1,0 +1,412 @@
+let protocol_version = 1
+let header_bytes = 16
+let max_payload = 1 lsl 24
+
+(* ----- CRC-32 (IEEE 802.3), table-driven ----- *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc32 b ~pos ~len =
+  let t = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFFl in
+  for i = pos to pos + len - 1 do
+    let idx =
+      Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code (Bytes.unsafe_get b i)))) 0xFFl)
+    in
+    c := Int32.logxor (Int32.shift_right_logical !c 8) t.(idx)
+  done;
+  Int32.logxor !c 0xFFFFFFFFl
+
+(* ----- error codes ----- *)
+
+type error_code =
+  | Bad_frame
+  | Bad_payload
+  | Unsupported_version
+  | Unknown_type
+  | Unknown_design
+  | Over_quota_queries
+  | Over_quota_deadline
+  | Bad_query
+  | Shutting_down
+  | Server_error
+
+let error_codes =
+  [
+    (Bad_frame, 0x01, "bad_frame");
+    (Bad_payload, 0x02, "bad_payload");
+    (Unsupported_version, 0x03, "unsupported_version");
+    (Unknown_type, 0x04, "unknown_type");
+    (Unknown_design, 0x10, "unknown_design");
+    (Over_quota_queries, 0x11, "over_quota_queries");
+    (Over_quota_deadline, 0x12, "over_quota_deadline");
+    (Bad_query, 0x13, "bad_query");
+    (Shutting_down, 0x20, "shutting_down");
+    (Server_error, 0x21, "server_error");
+  ]
+
+let error_code_byte c =
+  let _, b, _ = List.find (fun (c', _, _) -> c' = c) error_codes in
+  b
+
+let error_code_of_byte b =
+  List.find_map (fun (c, b', _) -> if b = b' then Some c else None) error_codes
+
+let error_code_name c =
+  let _, _, n = List.find (fun (c', _, _) -> c' = c) error_codes in
+  n
+
+(* ----- messages ----- *)
+
+type design_info = {
+  d_name : string;
+  d_inputs : string list;
+  d_outputs : string list;
+  d_cells : int;
+}
+
+type msg =
+  | Hello of { client : string; proto : int }
+  | Hello_ack of { server : string; proto : int }
+  | List_designs
+  | Designs of design_info list
+  | Query of { design : string; assignment : (string * bool) list }
+  | Result of (string * bool) list
+  | Query_batch of {
+      design : string;
+      assignments : (string * bool) list list;
+    }
+  | Batch_result of (string * bool) list list
+  | Ping
+  | Pong
+  | Shutdown
+  | Shutdown_ack
+  | Error of { code : error_code; detail : string }
+
+let msg_type = function
+  | Hello _ -> 0x01
+  | List_designs -> 0x02
+  | Query _ -> 0x03
+  | Query_batch _ -> 0x04
+  | Ping -> 0x05
+  | Shutdown -> 0x06
+  | Hello_ack _ -> 0x81
+  | Designs _ -> 0x82
+  | Result _ -> 0x83
+  | Batch_result _ -> 0x84
+  | Pong -> 0x85
+  | Shutdown_ack -> 0x86
+  | Error _ -> 0xFF
+
+let msg_type_name = function
+  | Hello _ -> "hello"
+  | Hello_ack _ -> "hello_ack"
+  | List_designs -> "list_designs"
+  | Designs _ -> "designs"
+  | Query _ -> "query"
+  | Result _ -> "result"
+  | Query_batch _ -> "query_batch"
+  | Batch_result _ -> "batch_result"
+  | Ping -> "ping"
+  | Pong -> "pong"
+  | Shutdown -> "shutdown"
+  | Shutdown_ack -> "shutdown_ack"
+  | Error _ -> "error"
+
+type frame = { id : int; msg : msg }
+
+type wire_error =
+  | Truncated of { have : int; need : int }
+  | Bad_magic
+  | Bad_version of int
+  | Unknown_msg_type of int
+  | Oversized of int
+  | Crc_mismatch
+  | Malformed of string
+
+let wire_error_message = function
+  | Truncated { have; need } ->
+    Printf.sprintf "truncated frame: have %d bytes, need %d" have need
+  | Bad_magic -> "bad magic (expected \"GK\")"
+  | Bad_version v ->
+    Printf.sprintf "unsupported protocol version %d (speaking %d)" v
+      protocol_version
+  | Unknown_msg_type t -> Printf.sprintf "unknown message type 0x%02x" t
+  | Oversized n ->
+    Printf.sprintf "payload length %d exceeds the %d-byte cap" n max_payload
+  | Crc_mismatch -> "payload CRC mismatch"
+  | Malformed d -> "malformed payload: " ^ d
+
+let error_code_of_wire_error = function
+  | Truncated _ | Bad_magic | Crc_mismatch -> Bad_frame
+  | Bad_version _ -> Unsupported_version
+  | Unknown_msg_type _ -> Unknown_type
+  | Oversized _ | Malformed _ -> Bad_payload
+
+(* ----- encoding ----- *)
+
+let put_u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
+
+let put_u16 b v =
+  if v < 0 || v > 0xffff then invalid_arg "Wire.encode: u16 out of range";
+  put_u8 b (v lsr 8);
+  put_u8 b v
+
+let put_u32 b v =
+  if v < 0 || v > 0xFFFFFFFF then invalid_arg "Wire.encode: u32 out of range";
+  put_u8 b (v lsr 24);
+  put_u8 b (v lsr 16);
+  put_u8 b (v lsr 8);
+  put_u8 b v
+
+let put_str b s =
+  put_u16 b (String.length s);
+  Buffer.add_string b s
+
+let put_assignment b a =
+  put_u16 b (List.length a);
+  List.iter
+    (fun (name, v) ->
+      put_str b name;
+      put_u8 b (if v then 1 else 0))
+    a
+
+let encode_payload msg =
+  let b = Buffer.create 64 in
+  (match msg with
+  | Hello { client; proto } ->
+    put_str b client;
+    put_u8 b proto
+  | Hello_ack { server; proto } ->
+    put_str b server;
+    put_u8 b proto
+  | List_designs | Ping | Pong | Shutdown | Shutdown_ack -> ()
+  | Designs ds ->
+    put_u16 b (List.length ds);
+    List.iter
+      (fun d ->
+        put_str b d.d_name;
+        put_u32 b d.d_cells;
+        put_u16 b (List.length d.d_inputs);
+        List.iter (put_str b) d.d_inputs;
+        put_u16 b (List.length d.d_outputs);
+        List.iter (put_str b) d.d_outputs)
+      ds
+  | Query { design; assignment } ->
+    put_str b design;
+    put_assignment b assignment
+  | Result a -> put_assignment b a
+  | Query_batch { design; assignments } ->
+    put_str b design;
+    put_u32 b (List.length assignments);
+    List.iter (put_assignment b) assignments
+  | Batch_result rs ->
+    put_u32 b (List.length rs);
+    List.iter (put_assignment b) rs
+  | Error { code; detail } ->
+    put_u8 b (error_code_byte code);
+    put_str b detail);
+  Buffer.to_bytes b
+
+let encode ~id msg =
+  if id < 0 || id > 0xFFFFFFFF then
+    invalid_arg "Wire.encode: request id out of u32 range";
+  let payload = encode_payload msg in
+  let len = Bytes.length payload in
+  if len > max_payload then
+    invalid_arg
+      (Printf.sprintf "Wire.encode: payload %d exceeds max_payload" len);
+  let crc = crc32 payload ~pos:0 ~len in
+  let f = Bytes.create (header_bytes + len) in
+  Bytes.set f 0 'G';
+  Bytes.set f 1 'K';
+  Bytes.set f 2 (Char.chr protocol_version);
+  Bytes.set f 3 (Char.chr (msg_type msg));
+  Bytes.set_int32_be f 4 (Int32.of_int id);
+  Bytes.set_int32_be f 8 (Int32.of_int len);
+  Bytes.set_int32_be f 12 crc;
+  Bytes.blit payload 0 f header_bytes len;
+  f
+
+(* ----- decoding -----
+
+   Payload parsing runs inside a cursor whose reads raise a local
+   [Bad] exception on any bounds or structure violation; the single
+   [catch] in [decode_payload] converts that to [Malformed] so no
+   exception ever escapes to the read loop. *)
+
+type header = {
+  h_version : int;
+  h_type : int;
+  h_id : int;
+  h_len : int;
+  h_crc : int32;
+}
+
+let u32_be b pos = Int32.to_int (Bytes.get_int32_be b pos) land 0xFFFFFFFF
+
+let decode_header b =
+  let have = Bytes.length b in
+  if have < header_bytes then
+    Stdlib.Error (Truncated { have; need = header_bytes })
+  else if not (Bytes.get b 0 = 'G' && Bytes.get b 1 = 'K') then
+    Stdlib.Error Bad_magic
+  else
+    let v = Char.code (Bytes.get b 2) in
+    if v <> protocol_version then Stdlib.Error (Bad_version v)
+    else
+      let len = u32_be b 8 in
+      if len > max_payload then Stdlib.Error (Oversized len)
+      else
+        Stdlib.Ok
+          {
+            h_version = v;
+            h_type = Char.code (Bytes.get b 3);
+            h_id = u32_be b 4;
+            h_len = len;
+            h_crc = Bytes.get_int32_be b 12;
+          }
+
+exception Bad of string
+
+type cursor = { buf : Bytes.t; mutable pos : int; stop : int }
+
+let need c n =
+  if c.stop - c.pos < n then
+    raise (Bad (Printf.sprintf "need %d bytes at offset %d" n c.pos))
+
+let get_u8 c =
+  need c 1;
+  let v = Char.code (Bytes.get c.buf c.pos) in
+  c.pos <- c.pos + 1;
+  v
+
+let get_u16 c =
+  need c 2;
+  let v = (Char.code (Bytes.get c.buf c.pos) lsl 8) lor Char.code (Bytes.get c.buf (c.pos + 1)) in
+  c.pos <- c.pos + 2;
+  v
+
+let get_u32 c =
+  need c 4;
+  let v = u32_be c.buf c.pos in
+  c.pos <- c.pos + 4;
+  v
+
+let get_str c =
+  let n = get_u16 c in
+  need c n;
+  let s = Bytes.sub_string c.buf c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let get_bool c =
+  match get_u8 c with
+  | 0 -> false
+  | 1 -> true
+  | v -> raise (Bad (Printf.sprintf "pin value byte 0x%02x (want 0/1)" v))
+
+(* [List.init]'s argument-evaluation order is unspecified; cursor reads
+   must happen left-to-right, so build lists with an explicit loop. *)
+let read_list n f =
+  let rec go acc i = if i = 0 then List.rev acc else go (f () :: acc) (i - 1) in
+  go [] n
+
+let get_assignment c =
+  let n = get_u16 c in
+  read_list n (fun () ->
+      let name = get_str c in
+      let v = get_bool c in
+      (name, v))
+
+let decode_msg mtype c =
+  match mtype with
+  | 0x01 ->
+    let client = get_str c in
+    let proto = get_u8 c in
+    Hello { client; proto }
+  | 0x81 ->
+    let server = get_str c in
+    let proto = get_u8 c in
+    Hello_ack { server; proto }
+  | 0x02 -> List_designs
+  | 0x82 ->
+    let n = get_u16 c in
+    Designs
+      (read_list n (fun () ->
+           let d_name = get_str c in
+           let d_cells = get_u32 c in
+           let ni = get_u16 c in
+           let d_inputs = read_list ni (fun () -> get_str c) in
+           let no = get_u16 c in
+           let d_outputs = read_list no (fun () -> get_str c) in
+           { d_name; d_inputs; d_outputs; d_cells }))
+  | 0x03 ->
+    let design = get_str c in
+    let assignment = get_assignment c in
+    Query { design; assignment }
+  | 0x83 -> Result (get_assignment c)
+  | 0x04 ->
+    let design = get_str c in
+    let n = get_u32 c in
+    (* the count field is attacker-controlled: bound it by what the
+       payload could possibly hold before allocating the list *)
+    if n > c.stop - c.pos then raise (Bad "batch count exceeds payload");
+    Query_batch { design; assignments = read_list n (fun () -> get_assignment c) }
+  | 0x84 ->
+    let n = get_u32 c in
+    if n > c.stop - c.pos then raise (Bad "batch count exceeds payload");
+    Batch_result (read_list n (fun () -> get_assignment c))
+  | 0x05 -> Ping
+  | 0x85 -> Pong
+  | 0x06 -> Shutdown
+  | 0x86 -> Shutdown_ack
+  | 0xFF ->
+    let cb = get_u8 c in
+    let code =
+      match error_code_of_byte cb with
+      | Some code -> code
+      | None -> raise (Bad (Printf.sprintf "unknown error code 0x%02x" cb))
+    in
+    let detail = get_str c in
+    Error { code; detail }
+  | t -> raise (Bad (Printf.sprintf "type 0x%02x" t))
+
+let known_type t =
+  List.mem t [ 0x01; 0x02; 0x03; 0x04; 0x05; 0x06; 0x81; 0x82; 0x83; 0x84; 0x85; 0x86; 0xFF ]
+
+let decode_payload h payload =
+  let have = Bytes.length payload in
+  if have < h.h_len then
+    Stdlib.Error (Truncated { have = header_bytes + have; need = header_bytes + h.h_len })
+  else if have > h.h_len then
+    Stdlib.Error (Malformed "trailing bytes after payload")
+  else if not (known_type h.h_type) then Stdlib.Error (Unknown_msg_type h.h_type)
+  else if crc32 payload ~pos:0 ~len:h.h_len <> h.h_crc then
+    Stdlib.Error Crc_mismatch
+  else
+    let c = { buf = payload; pos = 0; stop = h.h_len } in
+    match decode_msg h.h_type c with
+    | msg ->
+      if c.pos <> c.stop then Stdlib.Error (Malformed "trailing bytes in payload")
+      else Stdlib.Ok { id = h.h_id; msg }
+    | exception Bad d -> Stdlib.Error (Malformed d)
+
+let decode b =
+  match decode_header b with
+  | Stdlib.Error e -> Stdlib.Error e
+  | Ok h ->
+    let have = Bytes.length b - header_bytes in
+    if have < h.h_len then
+      Stdlib.Error (Truncated { have = Bytes.length b; need = header_bytes + h.h_len })
+    else decode_payload h (Bytes.sub b header_bytes (Bytes.length b - header_bytes))

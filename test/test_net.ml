@@ -1,0 +1,504 @@
+(* The oracle service: wire codec properties, the Oracle.of_fn batch
+   transport, and end-to-end tests against an in-process gklockd —
+   registry-wide verdict parity, per-client quota exhaustion inside a
+   coalesced word, malformed-frame robustness and clean shutdown. *)
+
+let tc = Alcotest.test_case
+
+(* ----- wire codec generators ----- *)
+
+let gen_name =
+  (* arbitrary bytes, not just identifiers: the codec must not care *)
+  QCheck.Gen.(string_size ~gen:(map Char.chr (0 -- 255)) (0 -- 12))
+
+let gen_assignment = QCheck.Gen.(list_size (0 -- 8) (pair gen_name bool))
+
+let gen_design_info =
+  QCheck.Gen.(
+    map
+      (fun (d_name, d_inputs, d_outputs, d_cells) ->
+        { Wire.d_name; d_inputs; d_outputs; d_cells })
+      (quad gen_name
+         (list_size (0 -- 6) gen_name)
+         (list_size (0 -- 6) gen_name)
+         (int_bound 1_000_000)))
+
+let gen_error_code =
+  QCheck.Gen.oneofl
+    [
+      Wire.Bad_frame; Wire.Bad_payload; Wire.Unsupported_version;
+      Wire.Unknown_type; Wire.Unknown_design; Wire.Over_quota_queries;
+      Wire.Over_quota_deadline; Wire.Bad_query; Wire.Shutting_down;
+      Wire.Server_error;
+    ]
+
+let gen_msg =
+  QCheck.Gen.(
+    oneof
+      [
+        map2
+          (fun client proto -> Wire.Hello { client; proto })
+          gen_name (int_bound 255);
+        map2
+          (fun server proto -> Wire.Hello_ack { server; proto })
+          gen_name (int_bound 255);
+        return Wire.List_designs;
+        map (fun ds -> Wire.Designs ds) (list_size (0 -- 4) gen_design_info);
+        map2
+          (fun design assignment -> Wire.Query { design; assignment })
+          gen_name gen_assignment;
+        map (fun a -> Wire.Result a) gen_assignment;
+        map2
+          (fun design assignments -> Wire.Query_batch { design; assignments })
+          gen_name
+          (list_size (0 -- 5) gen_assignment);
+        map (fun rs -> Wire.Batch_result rs) (list_size (0 -- 5) gen_assignment);
+        return Wire.Ping;
+        return Wire.Pong;
+        return Wire.Shutdown;
+        return Wire.Shutdown_ack;
+        map2
+          (fun code detail -> Wire.Error { code; detail })
+          gen_error_code gen_name;
+      ])
+
+let print_frame (id, msg) = Printf.sprintf "#%d %s" id (Wire.msg_type_name msg)
+
+let arb_frame =
+  QCheck.make ~print:print_frame
+    QCheck.Gen.(pair (int_bound 0xFFFFFFF) gen_msg)
+
+let qc_roundtrip =
+  Qc.qcheck ~count:500 "wire frame round-trip" arb_frame (fun (id, msg) ->
+      match Wire.decode (Wire.encode ~id msg) with
+      | Ok { Wire.id = id'; msg = msg' } -> id' = id && msg' = msg
+      | Error e -> QCheck.Test.fail_report (Wire.wire_error_message e))
+
+let qc_truncated =
+  (* every strict prefix of a valid frame is rejected, never mis-parsed *)
+  Qc.qcheck ~count:300 "truncated frames are structured errors"
+    (QCheck.make
+       ~print:(fun (f, cut) -> print_frame f ^ Printf.sprintf " cut@%f" cut)
+       QCheck.Gen.(pair (pair (int_bound 0xFFFFFFF) gen_msg) (float_bound_inclusive 1.0)))
+    (fun ((id, msg), cut) ->
+      let b = Wire.encode ~id msg in
+      let n = Bytes.length b in
+      let keep = min (n - 1) (int_of_float (cut *. float_of_int n)) in
+      match Wire.decode (Bytes.sub b 0 keep) with
+      | Ok _ -> QCheck.Test.fail_report "prefix decoded as a whole frame"
+      | Error _ -> true)
+
+let qc_mutated =
+  (* flipping any byte never raises: worst case is a *different* valid
+     frame (e.g. a type byte landing on another empty-payload type) *)
+  Qc.qcheck ~count:500 "mutated frames never raise"
+    (QCheck.make
+       ~print:(fun ((f, _), _) -> print_frame f)
+       QCheck.Gen.(
+         pair
+           (pair (pair (int_bound 0xFFFFFFF) gen_msg) (int_bound 10_000))
+           (int_bound 255)))
+    (fun (((id, msg), pos), v) ->
+      let b = Wire.encode ~id msg in
+      let pos = pos mod Bytes.length b in
+      Bytes.set b pos (Char.chr ((Char.code (Bytes.get b pos) + 1 + v) land 0xff));
+      match Wire.decode b with _ -> true)
+
+let qc_garbage =
+  Qc.qcheck ~count:500 "garbage bytes never raise"
+    (QCheck.make
+       ~print:(fun s -> Printf.sprintf "%d bytes" (String.length s))
+       QCheck.Gen.(string_size ~gen:(map Char.chr (0 -- 255)) (0 -- 80)))
+    (fun s ->
+      match Wire.decode (Bytes.of_string s) with _ -> true)
+
+let test_oversized () =
+  let b = Wire.encode ~id:7 Wire.Ping in
+  Bytes.set_int32_be b 8 (Int32.of_int (Wire.max_payload + 1));
+  match Wire.decode b with
+  | Error (Wire.Oversized n) ->
+    Alcotest.(check int) "announced length" (Wire.max_payload + 1) n
+  | Ok _ | Error _ -> Alcotest.fail "oversized frame not rejected as such"
+
+let test_crc_mismatch () =
+  let b =
+    Wire.encode ~id:9
+      (Wire.Query { design = "d"; assignment = [ ("a", true) ] })
+  in
+  let pos = Wire.header_bytes in
+  Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x40));
+  match Wire.decode b with
+  | Error Wire.Crc_mismatch -> ()
+  | Ok _ | Error _ -> Alcotest.fail "corrupt payload not caught by the CRC"
+
+let test_unknown_type () =
+  let b = Wire.encode ~id:1 Wire.Ping in
+  Bytes.set b 3 '\x42';
+  match Wire.decode b with
+  | Error (Wire.Unknown_msg_type 0x42) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "unknown type byte not rejected as such"
+
+let test_bad_magic () =
+  let b = Wire.encode ~id:1 Wire.Ping in
+  Bytes.set b 0 'X';
+  match Wire.decode b with
+  | Error Wire.Bad_magic -> ()
+  | Ok _ | Error _ -> Alcotest.fail "bad magic not rejected as such"
+
+(* ----- Oracle.of_fn ~batch (no sockets) ----- *)
+
+let test_fn_batch_dedup () =
+  let scalar_calls = ref 0 and batch_calls = ref 0 and batch_qs = ref [] in
+  let eval q = [ ("y", List.exists snd q) ] in
+  let o =
+    Oracle.of_fn
+      ~batch:(fun qs ->
+        incr batch_calls;
+        batch_qs := qs;
+        List.map eval qs)
+      (fun q ->
+        incr scalar_calls;
+        eval q)
+  in
+  let q1 = [ ("a", true); ("b", false) ] in
+  let q2 = [ ("a", false); ("b", false) ] in
+  let q1' = [ ("b", false); ("a", true) ] (* same effective assignment *) in
+  let rs = Oracle.query_batch o [ q1; q2; q1'; q1 ] in
+  Alcotest.(check int) "one wire batch" 1 !batch_calls;
+  Alcotest.(check int) "no scalar fallback" 0 !scalar_calls;
+  Alcotest.(check int) "misses deduplicated" 2 (List.length !batch_qs);
+  Alcotest.(check int) "charged distinct queries only" 2 (Oracle.queries o);
+  Alcotest.(check (list (list (pair string bool))))
+    "responses in request order"
+    [ [ ("y", true) ]; [ ("y", false) ]; [ ("y", true) ]; [ ("y", true) ] ]
+    rs;
+  (* everything is memoized now: a second batch costs nothing *)
+  let _ = Oracle.query_batch o [ q1; q2 ] in
+  Alcotest.(check int) "memo hit batch is free" 1 !batch_calls;
+  Alcotest.(check int) "no extra charges" 2 (Oracle.queries o)
+
+let test_fn_batch_no_memo () =
+  let batch_calls = ref 0 in
+  let o =
+    Oracle.of_fn ~memo:false
+      ~batch:(fun qs ->
+        incr batch_calls;
+        List.map (fun _ -> [ ("y", true) ]) qs)
+      (fun _ -> [ ("y", true) ])
+  in
+  let q i = [ ("a", i land 1 = 1); ("b", i land 2 = 2) ] in
+  let _ = Oracle.query_batch o [ q 0; q 0; q 1 ] in
+  let _ = Oracle.query_batch o [ q 0 ] in
+  Alcotest.(check int) "every batch hits the wire" 2 !batch_calls;
+  Alcotest.(check int) "all queries charged" 4 (Oracle.queries o)
+
+(* ----- in-process daemon harness ----- *)
+
+let socket_path () =
+  let p = Filename.temp_file "gklockd_test" ".sock" in
+  Sys.remove p;
+  p
+
+let with_server ?(config = Gkd_server.default_config) designs f =
+  let path = socket_path () in
+  let t =
+    Gkd_server.create ~config ~listen:(Frame_io.Unix_path path) designs
+  in
+  Gkd_server.start t;
+  Fun.protect
+    ~finally:(fun () ->
+      Gkd_server.stop t;
+      if Sys.file_exists path then Sys.remove path)
+    (fun () -> f t path)
+
+let send fd ~id msg = Frame_io.write_frame fd ~id msg
+
+let recv fd =
+  match Frame_io.read_frame fd with
+  | Ok f -> f
+  | Error e -> Alcotest.fail ("read_frame: " ^ Frame_io.read_error_message e)
+
+let hello fd ~id name =
+  send fd ~id (Wire.Hello { client = name; proto = Wire.protocol_version });
+  match recv fd with
+  | { Wire.id = id'; msg = Wire.Hello_ack _ } when id' = id -> ()
+  | _ -> Alcotest.fail "handshake failed"
+
+(* ----- registry-wide verdict parity ----- *)
+
+let verdict_repr (o : Attack.outcome) =
+  match o.Attack.verdict with
+  | Attack.Key_recovered k -> "key_recovered: " ^ Key.to_string k
+  | Attack.Wrong_key { key; mismatches } ->
+    Printf.sprintf "wrong_key: %s (%d)" (Key.to_string key) mismatches
+  | Attack.No_dip { key; mismatches } ->
+    Printf.sprintf "no_dip: %s (%d)" (Key.to_string key) mismatches
+  | Attack.Approx_key { key; error_rate } ->
+    Printf.sprintf "approx_key: %s (%.6f)" (Key.to_string key) error_rate
+  | Attack.Partial_key { recovered; unresolved } ->
+    Printf.sprintf "partial_key: %s (%d unresolved)" (Key.to_string recovered)
+      unresolved
+  | Attack.Recovered_netlist net -> "netlist:\n" ^ Bench_format.print net
+  | Attack.Gave_up -> "gave_up"
+  | Attack.Skipped -> "skipped"
+  | Attack.Out_of_budget r -> "out_of_budget: " ^ Budget.reason_name r
+
+let test_registry_parity () =
+  List.iter
+    (fun (dname, net) ->
+      let comb = fst (Combinationalize.run net) in
+      let lk = Xor_lock.lock ~seed:11 comb ~n_keys:4 in
+      with_server [ (dname, net) ] (fun _t path ->
+          let r =
+            Remote_oracle.connect ~client:"parity" ~design:dname
+              (Frame_io.Unix_path path)
+          in
+          Fun.protect ~finally:(fun () -> Remote_oracle.close r) @@ fun () ->
+          let remote = Remote_oracle.oracle r in
+          List.iter
+            (fun (e : Attack.entry) ->
+              let go oracle =
+                Attack.run ~seed:3 ~name:e.Attack.name ~locked:lk.Locked.net
+                  ~key_inputs:lk.Locked.key_inputs ~oracle ()
+              in
+              let local = go (Oracle.of_netlist comb) in
+              let viawire = go remote in
+              Alcotest.(check string)
+                (Printf.sprintf "%s on %s" e.Attack.name dname)
+                (verdict_repr local) (verdict_repr viawire))
+            Attack.registry))
+    [ ("tiny", Benchmarks.tiny ()); ("s27", Benchmarks.s27 ()) ]
+
+(* ----- per-client quota exhaustion inside a coalesced word ----- *)
+
+let histogram_stats name =
+  match Obs.Metrics.snapshot () with
+  | Cjson.Obj kvs -> (
+    match List.assoc_opt name kvs with
+    | Some (Cjson.Obj h) -> (
+      match (List.assoc_opt "count" h, List.assoc_opt "sum" h) with
+      | Some (Cjson.Int c), Some (Cjson.Float s) -> (c, s)
+      | _ -> Alcotest.fail (name ^ ": not a histogram"))
+    | _ -> Alcotest.fail (name ^ ": not in the registry"))
+  | _ -> Alcotest.fail "snapshot is not an object"
+
+let test_quota_mid_word () =
+  Obs.Metrics.reset ();
+  let config =
+    {
+      Gkd_server.default_config with
+      Gkd_server.flush_lanes = 63;
+      (* long enough that all 8 pipelined queries coalesce into ONE word *)
+      flush_delay_s = 0.4;
+      max_queries_per_client = Some 3;
+    }
+  in
+  with_server ~config [ ("s27", Benchmarks.s27 ()) ] (fun t path ->
+      let oracle = Option.get (Gkd_server.design_oracle t "s27") in
+      let pins = Oracle.input_names oracle in
+      let asg i = List.mapi (fun b p -> (p, (i lsr b) land 1 = 1)) pins in
+      let a = Frame_io.connect (Frame_io.Unix_path path) in
+      let b = Frame_io.connect (Frame_io.Unix_path path) in
+      Fun.protect
+        ~finally:(fun () ->
+          (try Unix.close a with Unix.Unix_error _ -> ());
+          try Unix.close b with Unix.Unix_error _ -> ())
+      @@ fun () ->
+      hello a ~id:900 "alice";
+      hello b ~id:901 "bob";
+      (* pipeline scalar queries while the flusher sits on its delay:
+         alice is 2 over her quota, bob exactly at his *)
+      for i = 1 to 5 do
+        send a ~id:i (Wire.Query { design = "s27"; assignment = asg i })
+      done;
+      for i = 1 to 3 do
+        send b ~id:(10 + i)
+          (Wire.Query { design = "s27"; assignment = asg (5 + i) })
+      done;
+      let collect fd n =
+        List.init n (fun _ ->
+            let { Wire.id; msg } = recv fd in
+            (id, msg))
+      in
+      let ra = collect a 5 in
+      let rb = collect b 3 in
+      List.iter
+        (fun (id, msg) ->
+          match msg with
+          | Wire.Result _ when id <= 3 -> ()
+          | Wire.Error { code = Wire.Over_quota_queries; _ } when id > 3 -> ()
+          | m ->
+            Alcotest.failf "alice #%d: unexpected %s" id (Wire.msg_type_name m))
+        ra;
+      List.iter
+        (fun (id, msg) ->
+          match msg with
+          | Wire.Result _ -> ()
+          | m ->
+            Alcotest.failf "bob #%d: unexpected %s (same-word lanes must be \
+                            unaffected)" id (Wire.msg_type_name m))
+        rb;
+      (* alice's dropped lanes never reached the engine *)
+      Alcotest.(check int) "engine evaluated only in-quota lanes" 6
+        (Oracle.queries oracle);
+      (* batch fill is observed once per flush, not once per query *)
+      let count, sum = histogram_stats "gklockd.batch_fill" in
+      Alcotest.(check int) "one flush" 1 count;
+      Alcotest.(check (float 0.001)) "eight coalesced lanes" 8.0 sum)
+
+(* ----- structured errors for unknown designs ----- *)
+
+let test_unknown_design () =
+  with_server [ ("s27", Benchmarks.s27 ()) ] (fun _t path ->
+      (match
+         Remote_oracle.connect ~design:"nope" (Frame_io.Unix_path path)
+       with
+      | exception Remote_oracle.Remote_error _ -> ()
+      | _ -> Alcotest.fail "connect to a design the server does not host");
+      let fd = Frame_io.connect (Frame_io.Unix_path path) in
+      Fun.protect ~finally:(fun () -> Unix.close fd) @@ fun () ->
+      hello fd ~id:1 "probe";
+      send fd ~id:2 (Wire.Query { design = "ghost"; assignment = [] });
+      match recv fd with
+      | { Wire.id = 2; msg = Wire.Error { code = Wire.Unknown_design; _ } } ->
+        ()
+      | _ -> Alcotest.fail "expected a structured unknown_design error")
+
+(* ----- malformed-frame fuzz: no crash, no leaked connections ----- *)
+
+let test_malformed_fuzz () =
+  with_server [ ("s27", Benchmarks.s27 ()) ] (fun t path ->
+      let rng = Fuzz_seed.derive 0x6e6574 in
+      for _ = 1 to 1000 do
+        let fd = Frame_io.connect (Frame_io.Unix_path path) in
+        let n = 1 + Random.State.int rng 64 in
+        let garbage =
+          Bytes.init n (fun _ -> Char.chr (Random.State.int rng 256))
+        in
+        (try ignore (Unix.write fd garbage 0 n)
+         with Unix.Unix_error _ -> ());
+        (* half-close so the server always sees EOF and can answer with
+           its error frame; drain whatever it says until it hangs up *)
+        (try Unix.shutdown fd Unix.SHUTDOWN_SEND
+         with Unix.Unix_error _ -> ());
+        let rec drain () =
+          match Frame_io.read_frame fd with
+          | Ok _ -> drain ()
+          | Error _ -> ()
+        in
+        drain ();
+        try Unix.close fd with Unix.Unix_error _ -> ()
+      done;
+      (* the daemon must still be fully alive for honest clients *)
+      let r = Remote_oracle.connect (Frame_io.Unix_path path) in
+      let rtt = Remote_oracle.ping r in
+      Alcotest.(check bool) "daemon answers after the storm" true (rtt >= 0.0);
+      let o = Remote_oracle.oracle r in
+      let pins =
+        match Remote_oracle.designs r with
+        | [ d ] -> d.Wire.d_inputs
+        | _ -> Alcotest.fail "expected one hosted design"
+      in
+      let out = Oracle.query o (List.map (fun p -> (p, true)) pins) in
+      Alcotest.(check bool) "and still evaluates" true (out <> []);
+      Remote_oracle.close r;
+      let rec settle n =
+        if Gkd_server.live_connections t > 0 && n > 0 then (
+          Unix.sleepf 0.01;
+          settle (n - 1))
+      in
+      settle 300;
+      Alcotest.(check int) "no leaked connections" 0
+        (Gkd_server.live_connections t))
+
+(* ----- metrics dump + clean shutdown ----- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let test_metrics_dump_and_shutdown () =
+  let mfile = Filename.temp_file "gklockd_metrics" ".json" in
+  let config =
+    {
+      Gkd_server.default_config with
+      Gkd_server.flush_delay_s = 0.005;
+      metrics_out = Some mfile;
+      (* longer than the test: proves the final dump happens on shutdown *)
+      metrics_interval_s = 3600.0;
+    }
+  in
+  let path = socket_path () in
+  let t =
+    Gkd_server.create ~config
+      ~listen:(Frame_io.Unix_path path)
+      [ ("s27", Benchmarks.s27 ()) ]
+  in
+  Gkd_server.start t;
+  let r = Remote_oracle.connect ~client:"dumper" (Frame_io.Unix_path path) in
+  let o = Remote_oracle.oracle r in
+  let pins =
+    match Remote_oracle.designs r with
+    | [ d ] -> d.Wire.d_inputs
+    | _ -> Alcotest.fail "expected one hosted design"
+  in
+  let asg i = List.mapi (fun b p -> (p, (i lsr b) land 1 = 1)) pins in
+  ignore (Oracle.query o (asg 1));
+  ignore (Oracle.query_batch o [ asg 2; asg 3; asg 4 ]);
+  (* shutdown via the wire, exactly like an external client would *)
+  Remote_oracle.shutdown_server r;
+  Gkd_server.wait t;
+  Alcotest.(check int) "all connections closed" 0 (Gkd_server.live_connections t);
+  Alcotest.(check bool) "socket file removed" false (Sys.file_exists path);
+  (match Frame_io.connect (Frame_io.Unix_path path) with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+    Unix.close fd;
+    Alcotest.fail "connect succeeded after shutdown");
+  let dump = read_file mfile in
+  Sys.remove mfile;
+  (match Cjson.of_string dump with
+  | Ok (Cjson.Obj kvs) ->
+    List.iter
+      (fun key ->
+        Alcotest.(check bool)
+          (key ^ " in the shutdown dump")
+          true
+          (List.mem_assoc key kvs))
+      [
+        "gklockd.batch_fill"; "gklockd.queries"; "gklockd.queue_depth";
+        "gklockd.connections"; "oracle.memo_evictions"; "oracle.memo_hits";
+      ]
+  | Ok _ -> Alcotest.fail "metrics dump is not a JSON object"
+  | Error e -> Alcotest.fail ("metrics dump is not valid JSON: " ^ e))
+
+let suites =
+  [
+    ( "net-wire",
+      [
+        qc_roundtrip; qc_truncated; qc_mutated; qc_garbage;
+        tc "oversized length rejected" `Quick test_oversized;
+        tc "payload CRC checked" `Quick test_crc_mismatch;
+        tc "unknown type byte rejected" `Quick test_unknown_type;
+        tc "bad magic rejected" `Quick test_bad_magic;
+      ] );
+    ( "net-oracle",
+      [
+        tc "of_fn batch dedups and memoizes" `Quick test_fn_batch_dedup;
+        tc "of_fn batch without memo" `Quick test_fn_batch_no_memo;
+      ] );
+    ( "net-daemon",
+      [
+        tc "registry verdict parity over the wire" `Slow test_registry_parity;
+        tc "quota exhaustion inside a coalesced word" `Slow
+          test_quota_mid_word;
+        tc "unknown design is a structured error" `Quick test_unknown_design;
+        tc "1k malformed frames: alive, nothing leaked" `Slow
+          test_malformed_fuzz;
+        tc "metrics dump and clean shutdown" `Quick
+          test_metrics_dump_and_shutdown;
+      ] );
+  ]

@@ -96,6 +96,12 @@ let serve_term =
                undriven pins as 0." in
     Arg.(value & flag & info [ "strict" ] ~doc)
   in
+  let tcp_shutdown_arg =
+    let doc = "Honor shutdown frames on a TCP listener (off by default: \
+               any host that can reach the port could kill the daemon; \
+               unix-socket listeners always honor them)." in
+    Arg.(value & flag & info [ "allow-tcp-shutdown" ] ~doc)
+  in
   let metrics_out_arg =
     let doc = "Dump the metrics registry (queue depth, batch fill, per-client \
                queries, oracle memo stats) to $(docv) periodically and on \
@@ -112,7 +118,7 @@ let serve_term =
       & info [ "metrics-interval" ] ~docv:"S" ~doc)
   in
   let run listen designs max_queries deadline flush_lanes flush_delay no_memo
-      strict metrics_out metrics_interval =
+      strict tcp_shutdown metrics_out metrics_interval =
     let addr = parse_listen listen in
     let designs =
       List.map
@@ -130,6 +136,7 @@ let serve_term =
         client_deadline_s = deadline;
         oracle_memo = not no_memo;
         strict_queries = strict;
+        allow_tcp_shutdown = tcp_shutdown;
         metrics_out;
         metrics_interval_s = metrics_interval;
       }
@@ -151,4 +158,4 @@ let serve_term =
   Term.(
     const run $ listen_arg $ designs_arg $ max_queries_arg $ deadline_arg
     $ flush_lanes_arg $ flush_delay_arg $ no_memo_arg $ strict_arg
-    $ metrics_out_arg $ metrics_interval_arg)
+    $ tcp_shutdown_arg $ metrics_out_arg $ metrics_interval_arg)

@@ -420,15 +420,22 @@ let fn_query_batch t fb bf qs =
       rs
     end
   | Some _ ->
-    let keyed = List.map (fun q -> (fn_key fb q, q)) qs in
+    (* each entry keeps its query alongside its key so the miss list and
+       the eviction fallback never have to search for it again (remote
+       chunks run to thousands of queries, so an assoc scan per miss
+       would be quadratic in batch size) *)
     let cached =
-      List.map (fun (key, _) -> (key, memo_find t key)) keyed
+      List.map
+        (fun q ->
+          let key = fn_key fb q in
+          (key, q, memo_find t key))
+        qs
     in
     let miss_tbl = Hashtbl.create 64 in
     let misses =
       (* first occurrence of each distinct missing key, in order *)
       List.filter
-        (fun (key, r) ->
+        (fun (key, _, r) ->
           r = None
           && (not (Hashtbl.mem miss_tbl key))
           && (Hashtbl.replace miss_tbl key ();
@@ -437,21 +444,16 @@ let fn_query_batch t fb bf qs =
     in
     if misses <> [] then begin
       charge t (List.length misses);
-      let miss_qs =
-        List.map
-          (fun (key, _) -> List.assoc key keyed (* first query for key *))
-          misses
-      in
-      let rs = bf miss_qs in
+      let rs = bf (List.map (fun (_, q, _) -> q) misses) in
       if List.length rs <> List.length misses then
         invalid_arg "Oracle: batch backend returned a result list of wrong size";
-      List.iter2 (fun (key, _) r -> memo_add t key r) misses rs
+      List.iter2 (fun (key, _, _) r -> memo_add t key r) misses rs
     end;
     (* all keys are resident now (memo_add just ran with room for each:
        cap evictions can push *older* entries out, so re-query misses
        via the memo and fall back to a direct call if one was evicted) *)
     List.map
-      (fun (key, cached_r) ->
+      (fun (key, q, cached_r) ->
         match cached_r with
         | Some r -> r
         | None -> (
@@ -462,7 +464,6 @@ let fn_query_batch t fb bf qs =
             | None ->
               (* evicted within this very batch (tiny cap): recompute *)
               charge t 1;
-              let q = List.assoc key keyed in
               let r = fb.fn q in
               memo_add t key r;
               r)

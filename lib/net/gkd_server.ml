@@ -7,6 +7,13 @@ let g_queue_depth = Obs.Metrics.gauge "gklockd.queue_depth"
 let h_batch_fill = Obs.Metrics.histogram "gklockd.batch_fill"
 let h_queue_wait = Obs.Metrics.histogram "gklockd.queue_wait_s"
 
+(* Per-client query counters are keyed by the client-chosen [Hello]
+   name, which is attacker-controlled: cap how many distinct counters a
+   long-running daemon will ever register, and fold the rest (and
+   clients that never send a [Hello]) into one shared counter. *)
+let max_client_counters = 256
+let m_other_queries = Obs.Metrics.counter "gklockd.client_queries.other"
+
 type config = {
   flush_lanes : int;
   flush_delay_s : float;
@@ -15,6 +22,7 @@ type config = {
   oracle_memo : bool;
   oracle_memo_cap : int option;
   strict_queries : bool;
+  allow_tcp_shutdown : bool;
   metrics_out : string option;
   metrics_interval_s : float;
   server_name : string;
@@ -29,6 +37,7 @@ let default_config =
     oracle_memo = true;
     oracle_memo_cap = Some 65536;
     strict_queries = false;
+    allow_tcp_shutdown = false;
     metrics_out = None;
     metrics_interval_s = 5.0;
     server_name = "gklockd/1";
@@ -53,6 +62,11 @@ type pending = {
 type design = {
   ds_name : string;
   ds_oracle : Oracle.t;
+  ds_omu : Mutex.t;
+      (* serializes every [Oracle.query_batch] on [ds_oracle]: the
+         oracle's engine scratch and memo table are shared mutable
+         state, and evaluations run both on reader threads (explicit
+         [Query_batch] frames) and on the design's flusher thread *)
   ds_info : Wire.design_info;
   ds_mu : Mutex.t;
   ds_nonempty : Condition.t;
@@ -65,6 +79,8 @@ type t = {
   bound : Frame_io.addr;
   designs : design list;
   by_name : (string, design) Hashtbl.t;
+  client_counters : (string, Obs.Metrics.counter) Hashtbl.t;
+      (* client-name -> counter, bounded by [max_client_counters] *)
   mu : Mutex.t;  (* conns / readers / lifecycle state *)
   stop_cond : Condition.t;
   mutable conns : conn list;
@@ -93,6 +109,7 @@ let mk_design cfg (name, net) =
   {
     ds_name = name;
     ds_oracle = oracle;
+    ds_omu = Mutex.create ();
     ds_info =
       {
         Wire.d_name = name;
@@ -137,6 +154,7 @@ let create ~config ~listen designs =
     bound;
     designs;
     by_name;
+    client_counters = Hashtbl.create 16;
     mu = Mutex.create ();
     stop_cond = Condition.create ();
     conns = [];
@@ -167,12 +185,37 @@ let design_oracle t name =
    threads, so they serialize on [c_wmu]; the same mutex guards
    [c_closed], which the close path sets before releasing the fd, so a
    late reply to a dead client is a silent no-op instead of a write to a
-   recycled descriptor. *)
+   recycled descriptor.
+
+   [reply] must never raise: it runs on flusher threads, where an
+   escaping exception would kill the flusher and permanently hang every
+   scalar client of the design.  Beyond socket errors, [Wire.encode]
+   raises [Invalid_argument] when the reply itself cannot be framed — a
+   [Batch_result] can exceed [Wire.max_payload] even though the request
+   fit (designs with more/longer output names than inputs) — so that
+   case degrades to a structured [Server_error] frame telling the
+   client to split its batch. *)
 
 let reply conn ~id msg =
   Mutex.lock conn.c_wmu;
-  (try if not conn.c_closed then Frame_io.write_frame conn.c_fd ~id msg
-   with Unix.Unix_error _ -> ());
+  (try
+     if not conn.c_closed then
+       try Frame_io.write_frame conn.c_fd ~id msg
+       with Invalid_argument _ -> (
+         match msg with
+         | Wire.Error _ -> ()  (* unencodable error frame: give up *)
+         | _ ->
+           Frame_io.write_frame conn.c_fd ~id
+             (Wire.Error
+                {
+                  code = Wire.Server_error;
+                  detail =
+                    Printf.sprintf
+                      "reply (%s) exceeds the %d-byte frame cap; split the \
+                       batch into smaller chunks"
+                      (Wire.msg_type_name msg) Wire.max_payload;
+                }))
+   with Unix.Unix_error _ | Sys_error _ -> ());
   Mutex.unlock conn.c_wmu
 
 let reply_error conn ~id code detail =
@@ -246,6 +289,37 @@ let sanitize_name s =
 
 let find_design t name = Hashtbl.find_opt t.by_name name
 
+(* All engine work on a design funnels through here: reader threads
+   (explicit batches) and the design's flusher contend on [ds_omu], so
+   the oracle's scratch buffers and memo are only ever touched by one
+   thread at a time. *)
+let oracle_batch ds qs =
+  Mutex.lock ds.ds_omu;
+  match Oracle.query_batch ds.ds_oracle qs with
+  | rs ->
+    Mutex.unlock ds.ds_omu;
+    rs
+  | exception e ->
+    Mutex.unlock ds.ds_omu;
+    raise e
+
+let client_counter t name =
+  Mutex.lock t.mu;
+  let c =
+    match Hashtbl.find_opt t.client_counters name with
+    | Some c -> c
+    | None ->
+      if Hashtbl.length t.client_counters >= max_client_counters then
+        m_other_queries
+      else begin
+        let c = Obs.Metrics.counter ("gklockd.client_queries." ^ name) in
+        Hashtbl.replace t.client_counters name c;
+        c
+      end
+  in
+  Mutex.unlock t.mu;
+  c
+
 (* Returns [false] when the reader loop should stop. *)
 let handle t conn ~id msg =
   Obs.Trace.with_span
@@ -266,8 +340,7 @@ let handle t conn ~id msg =
         end
         else begin
           conn.c_name <- sanitize_name client;
-          conn.c_counter <-
-            Obs.Metrics.counter ("gklockd.client_queries." ^ conn.c_name);
+          conn.c_counter <- client_counter t conn.c_name;
           reply conn ~id
             (Wire.Hello_ack
                { server = t.cfg.server_name; proto = Wire.protocol_version });
@@ -279,10 +352,20 @@ let handle t conn ~id msg =
       | Wire.Ping ->
         reply conn ~id Wire.Pong;
         true
-      | Wire.Shutdown ->
-        reply conn ~id Wire.Shutdown_ack;
-        initiate_stop t;
-        false
+      | Wire.Shutdown -> (
+        (* on a unix: socket, anyone who can open the path may stop the
+           daemon (same trust domain as the process); on tcp: any
+           reachable host could, so remote shutdown is opt-in there *)
+        match t.bound with
+        | Frame_io.Tcp _ when not t.cfg.allow_tcp_shutdown ->
+          reply_error conn ~id Wire.Not_permitted
+            "shutdown over tcp is disabled (start the server with \
+             allow_tcp_shutdown / --allow-tcp-shutdown to enable it)";
+          true
+        | Frame_io.Unix_path _ | Frame_io.Tcp _ ->
+          reply conn ~id Wire.Shutdown_ack;
+          initiate_stop t;
+          false)
       | Wire.Query { design; assignment } -> (
         match find_design t design with
         | None ->
@@ -324,7 +407,7 @@ let handle t conn ~id msg =
           | () -> (
             Obs.Metrics.add m_queries n;
             Obs.Metrics.add conn.c_counter n;
-            match Oracle.query_batch ds.ds_oracle assignments with
+            match oracle_batch ds assignments with
             | rs ->
               reply conn ~id (Wire.Batch_result rs);
               true
@@ -394,7 +477,7 @@ let flush ds lanes =
         List.iter
           (fun p -> Obs.Metrics.incr p.p_conn.c_counter)
           survivors;
-        match Oracle.query_batch ds.ds_oracle (List.map (fun p -> p.p_q) survivors) with
+        match oracle_batch ds (List.map (fun p -> p.p_q) survivors) with
         | rs ->
           List.iter2
             (fun p r -> reply p.p_conn ~id:p.p_id (Wire.Result r))
@@ -446,7 +529,17 @@ let flusher t ds () =
       let depth = Queue.length ds.ds_q in
       Mutex.unlock ds.ds_mu;
       Obs.Metrics.set g_queue_depth (float_of_int depth);
-      flush ds (List.rev !lanes);
+      let lanes = List.rev !lanes in
+      (* the flusher must outlive any single bad word: [flush] handles
+         engine and reply errors itself, so anything escaping is a bug —
+         answer the word's lanes with a structured error rather than
+         dying and hanging every future scalar query on this design *)
+      (try flush ds lanes
+       with e ->
+         let m = Printexc.to_string e in
+         List.iter
+           (fun p -> reply_error p.p_conn ~id:p.p_id Wire.Server_error m)
+           lanes);
       loop ()
     end
   in
@@ -477,7 +570,9 @@ let acceptor t () =
                 ?deadline_s:t.cfg.client_deadline_s ();
             c_wmu = Mutex.create ();
             c_closed = false;
-            c_counter = Obs.Metrics.counter ("gklockd.client_queries." ^ name);
+            (* shared until a [Hello] names the client: a fresh counter
+               per connection would grow the registry without bound *)
+            c_counter = m_other_queries;
           }
         in
         t.conns <- conn :: t.conns;

@@ -22,9 +22,16 @@
     - {b explicit batches}: [Query_batch] bypasses the queue, is charged
       up front, and runs through {!Oracle.query_batch} in one pass.
 
+    Evaluation is serialized per design: explicit [Query_batch] frames
+    (reader threads) and coalesced words (the flusher) take the same
+    per-design oracle mutex, because the shared {!Oracle.t}'s engine
+    scratch and memo are not safe under concurrent use.
+
     Instrumentation (all via {!Obs}): [gklockd.connections] /
     [gklockd.queries] / [gklockd.bad_frames] / [gklockd.over_quota]
-    counters, a per-client [gklockd.client_queries.<name>] counter, the
+    counters, a per-client [gklockd.client_queries.<name>] counter
+    (capped at 256 distinct names; further names — and clients that
+    never send a [Hello] — share [gklockd.client_queries.other]), the
     [gklockd.queue_depth] gauge, the [gklockd.batch_fill] histogram
     (observed {e once per flush} with the number of coalesced lanes) and
     [gklockd.flush] / [gklockd.request] trace spans.  With
@@ -32,7 +39,9 @@
     the oracle's [oracle.memo_evictions] and batch-fill counters — is
     dumped periodically and once more on shutdown.
 
-    Shutdown: a [Shutdown] frame (or {!stop}) closes the listener,
+    Shutdown: a [Shutdown] frame (honored on Unix-socket listeners
+    always, on TCP only with {!config.allow_tcp_shutdown}) or {!stop}
+    closes the listener,
     drains and joins every thread, closes every connection, unlinks the
     Unix socket file and writes the final metrics dump.  {!wait} returns
     only after all of that, so "no orphaned threads, no socket file" is
@@ -54,6 +63,12 @@ type config = {
   strict_queries : bool;
       (** reject assignments naming unknown pins instead of ignoring
           them (default false: a remote chip reads undriven pins as 0) *)
+  allow_tcp_shutdown : bool;
+      (** honor [Shutdown] frames on a TCP listener (default false:
+          anyone who can reach the port could otherwise kill the
+          daemon; a denied request gets a structured [not_permitted]
+          error).  Unix-socket listeners always honor [Shutdown] — the
+          socket path is in the process's own trust domain. *)
   metrics_out : string option;  (** periodic metrics dump target *)
   metrics_interval_s : float;  (** dump period (default 5 s) *)
   server_name : string;  (** advertised in [Hello_ack] *)

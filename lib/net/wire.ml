@@ -38,6 +38,7 @@ type error_code =
   | Over_quota_queries
   | Over_quota_deadline
   | Bad_query
+  | Not_permitted
   | Shutting_down
   | Server_error
 
@@ -51,6 +52,7 @@ let error_codes =
     (Over_quota_queries, 0x11, "over_quota_queries");
     (Over_quota_deadline, 0x12, "over_quota_deadline");
     (Bad_query, 0x13, "bad_query");
+    (Not_permitted, 0x14, "not_permitted");
     (Shutting_down, 0x20, "shutting_down");
     (Server_error, 0x21, "server_error");
   ]

@@ -51,6 +51,10 @@ type error_code =
   | Over_quota_queries  (** per-client query quota exhausted *)
   | Over_quota_deadline  (** per-client deadline passed *)
   | Bad_query  (** the design rejected the assignment (strict mode) *)
+  | Not_permitted
+      (** the request is valid but this server refuses it (e.g. a
+          [Shutdown] frame on a TCP listener without
+          [allow_tcp_shutdown]) *)
   | Shutting_down
   | Server_error
 

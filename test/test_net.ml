@@ -28,8 +28,8 @@ let gen_error_code =
     [
       Wire.Bad_frame; Wire.Bad_payload; Wire.Unsupported_version;
       Wire.Unknown_type; Wire.Unknown_design; Wire.Over_quota_queries;
-      Wire.Over_quota_deadline; Wire.Bad_query; Wire.Shutting_down;
-      Wire.Server_error;
+      Wire.Over_quota_deadline; Wire.Bad_query; Wire.Not_permitted;
+      Wire.Shutting_down; Wire.Server_error;
     ]
 
 let gen_msg =
@@ -411,6 +411,226 @@ let test_malformed_fuzz () =
       Alcotest.(check int) "no leaked connections" 0
         (Gkd_server.live_connections t))
 
+(* ----- concurrent explicit batches on one shared oracle ----- *)
+
+(* Query_batch frames evaluate on reader threads while the flusher
+   evaluates coalesced scalar words on the *same* Oracle.t: without the
+   per-design oracle mutex this races on the engine scratch and the
+   memo table, corrupting answers (or crashing).  Three batch clients
+   plus one scalar client hammer s27 and every reply is checked against
+   a local oracle. *)
+let test_concurrent_batches () =
+  let net = Benchmarks.s27 () in
+  let comb = fst (Combinationalize.run net) in
+  let local = Oracle.of_netlist comb in
+  let pins = Oracle.input_names local in
+  let asg i = List.mapi (fun b p -> (p, (i lsr b) land 1 = 1)) pins in
+  let expected = Array.init 128 (fun i -> Oracle.query local (asg i)) in
+  with_server [ ("s27", net) ] (fun _t path ->
+      let errors = ref [] in
+      let emu = Mutex.create () in
+      let report e =
+        Mutex.lock emu;
+        errors := Printexc.to_string e :: !errors;
+        Mutex.unlock emu
+      in
+      let with_conn name f =
+        try
+          let fd = Frame_io.connect (Frame_io.Unix_path path) in
+          Fun.protect
+            ~finally:(fun () ->
+              try Unix.close fd with Unix.Unix_error _ -> ())
+            (fun () ->
+              hello fd ~id:0 name;
+              f fd)
+        with e -> report e
+      in
+      let batcher k () =
+        with_conn (Printf.sprintf "batch%d" k) @@ fun fd ->
+        for round = 1 to 20 do
+          let idxs =
+            List.init 16 (fun j -> ((k * 37) + (round * 11) + (j * 5)) mod 128)
+          in
+          send fd ~id:round
+            (Wire.Query_batch
+               { design = "s27"; assignments = List.map asg idxs });
+          match recv fd with
+          | { Wire.id; msg = Wire.Batch_result rs } when id = round ->
+            List.iter2
+              (fun i r ->
+                if r <> expected.(i) then
+                  failwith
+                    (Printf.sprintf "batcher %d: wrong result for input %d" k
+                       i))
+              idxs rs
+          | { Wire.msg; _ } ->
+            failwith
+              (Printf.sprintf "batcher %d: unexpected %s" k
+                 (Wire.msg_type_name msg))
+        done
+      in
+      let scalars () =
+        with_conn "scalar" @@ fun fd ->
+        for round = 1 to 40 do
+          let i = (round * 29) mod 128 in
+          send fd ~id:round (Wire.Query { design = "s27"; assignment = asg i });
+          match recv fd with
+          | { Wire.id; msg = Wire.Result r } when id = round ->
+            if r <> expected.(i) then
+              failwith (Printf.sprintf "scalar: wrong result for input %d" i)
+          | { Wire.msg; _ } ->
+            failwith ("scalar: unexpected " ^ Wire.msg_type_name msg)
+        done
+      in
+      let ths =
+        Thread.create scalars ()
+        :: List.init 3 (fun k -> Thread.create (batcher k) ())
+      in
+      List.iter Thread.join ths;
+      match !errors with
+      | [] -> ()
+      | es -> Alcotest.fail (String.concat "; " es))
+
+(* ----- oversized replies degrade to structured errors ----- *)
+
+let fat_netlist n_outs =
+  let n = Netlist.create "fat" in
+  let a = Netlist.add_input n "a" in
+  for i = 0 to n_outs - 1 do
+    let g = Netlist.add_gate n Cell.Buf [| a |] in
+    Netlist.add_output n (Printf.sprintf "out_%04d_%s" i (String.make 58 'o')) g
+  done;
+  n
+
+let contains hay needle =
+  let n = String.length hay and m = String.length needle in
+  let rec go i = i + m <= n && (String.sub hay i m = needle || go (i + 1)) in
+  go 0
+
+let test_oversized_reply () =
+  (* 2000 outputs x ~70 wire bytes each ≈ 140 kB per result: a 130-query
+     batch fits the request cap easily while its single Batch_result
+     would be ~18 MB > max_payload.  The reader thread must answer with
+     a structured error and keep serving, not die mid-write. *)
+  with_server [ ("fat", fat_netlist 2000) ] (fun _t path ->
+      let fd = Frame_io.connect (Frame_io.Unix_path path) in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      @@ fun () ->
+      hello fd ~id:1 "blob";
+      let assignments = List.init 130 (fun i -> [ ("a", i land 1 = 1) ]) in
+      send fd ~id:2 (Wire.Query_batch { design = "fat"; assignments });
+      (match recv fd with
+      | { Wire.id = 2; msg = Wire.Error { code = Wire.Server_error; detail } }
+        ->
+        Alcotest.(check bool)
+          "detail says to split the batch" true
+          (contains detail "frame cap")
+      | { Wire.msg; _ } ->
+        Alcotest.failf "expected a structured error, got %s"
+          (Wire.msg_type_name msg));
+      (* a smaller batch still fits and works *)
+      let small = List.init 4 (fun i -> [ ("a", i land 1 = 1) ]) in
+      send fd ~id:3 (Wire.Query_batch { design = "fat"; assignments = small });
+      (match recv fd with
+      | { Wire.id = 3; msg = Wire.Batch_result rs } ->
+        Alcotest.(check int) "batch answered" 4 (List.length rs)
+      | { Wire.msg; _ } ->
+        Alcotest.failf "connection unusable after an oversized reply: %s"
+          (Wire.msg_type_name msg));
+      send fd ~id:4 Wire.Ping;
+      match recv fd with
+      | { Wire.id = 4; msg = Wire.Pong } -> ()
+      | _ -> Alcotest.fail "no pong after an oversized reply")
+
+(* ----- tcp shutdown gating ----- *)
+
+let test_tcp_shutdown_gating () =
+  (* default config: a shutdown frame over tcp is refused with a
+     structured error and the daemon keeps serving *)
+  let t =
+    Gkd_server.create ~config:Gkd_server.default_config
+      ~listen:(Frame_io.Tcp ("127.0.0.1", 0))
+      [ ("s27", Benchmarks.s27 ()) ]
+  in
+  Gkd_server.start t;
+  Fun.protect ~finally:(fun () -> Gkd_server.stop t) (fun () ->
+      let fd = Frame_io.connect (Gkd_server.address t) in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      @@ fun () ->
+      hello fd ~id:1 "anyone";
+      send fd ~id:2 Wire.Shutdown;
+      (match recv fd with
+      | { Wire.id = 2; msg = Wire.Error { code = Wire.Not_permitted; _ } } ->
+        ()
+      | { Wire.msg; _ } ->
+        Alcotest.failf "expected not_permitted over tcp, got %s"
+          (Wire.msg_type_name msg));
+      send fd ~id:3 Wire.Ping;
+      match recv fd with
+      | { Wire.id = 3; msg = Wire.Pong } -> ()
+      | _ -> Alcotest.fail "daemon died after refusing a tcp shutdown");
+  (* opted in: the same frame shuts the daemon down cleanly *)
+  let config =
+    { Gkd_server.default_config with Gkd_server.allow_tcp_shutdown = true }
+  in
+  let t2 =
+    Gkd_server.create ~config
+      ~listen:(Frame_io.Tcp ("127.0.0.1", 0))
+      [ ("s27", Benchmarks.s27 ()) ]
+  in
+  Gkd_server.start t2;
+  let fd2 = Frame_io.connect (Gkd_server.address t2) in
+  hello fd2 ~id:1 "admin";
+  send fd2 ~id:2 Wire.Shutdown;
+  (match recv fd2 with
+  | { Wire.id = 2; msg = Wire.Shutdown_ack } -> ()
+  | { Wire.msg; _ } ->
+    Alcotest.failf "expected shutdown_ack with allow_tcp_shutdown, got %s"
+      (Wire.msg_type_name msg));
+  (try Unix.close fd2 with Unix.Unix_error _ -> ());
+  Gkd_server.wait t2;
+  Alcotest.(check int) "all connections closed" 0
+    (Gkd_server.live_connections t2)
+
+(* ----- per-client metrics counters are capped ----- *)
+
+let test_client_counter_cap () =
+  with_server [ ("s27", Benchmarks.s27 ()) ] (fun t path ->
+      let fd = Frame_io.connect (Frame_io.Unix_path path) in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      @@ fun () ->
+      (* 300 re-Hellos under distinct client-chosen names: only the
+         server's cap (256) may land in the process-global registry, the
+         rest share gklockd.client_queries.other *)
+      for i = 1 to 300 do
+        hello fd ~id:i (Printf.sprintf "cap%03d" i)
+      done;
+      let prefixed =
+        match Obs.Metrics.snapshot () with
+        | Cjson.Obj kvs ->
+          List.length
+            (List.filter
+               (fun (k, _) ->
+                 String.starts_with ~prefix:"gklockd.client_queries.cap" k)
+               kvs)
+        | _ -> Alcotest.fail "snapshot is not an object"
+      in
+      Alcotest.(check int) "distinct per-client counters capped" 256 prefixed;
+      (* an over-cap client is still served, just counted as "other" *)
+      let oracle = Option.get (Gkd_server.design_oracle t "s27") in
+      let pins = Oracle.input_names oracle in
+      send fd ~id:1000
+        (Wire.Query
+           { design = "s27"; assignment = List.map (fun p -> (p, true)) pins });
+      match recv fd with
+      | { Wire.id = 1000; msg = Wire.Result _ } -> ()
+      | { Wire.msg; _ } ->
+        Alcotest.failf "over-cap client not served: %s"
+          (Wire.msg_type_name msg))
+
 (* ----- metrics dump + clean shutdown ----- *)
 
 let read_file path =
@@ -496,6 +716,11 @@ let suites =
         tc "quota exhaustion inside a coalesced word" `Slow
           test_quota_mid_word;
         tc "unknown design is a structured error" `Quick test_unknown_design;
+        tc "concurrent batches share one oracle safely" `Slow
+          test_concurrent_batches;
+        tc "oversized reply is a structured error" `Slow test_oversized_reply;
+        tc "tcp shutdown is gated" `Quick test_tcp_shutdown_gating;
+        tc "per-client counters are capped" `Quick test_client_counter_cap;
         tc "1k malformed frames: alive, nothing leaked" `Slow
           test_malformed_fuzz;
         tc "metrics dump and clean shutdown" `Quick

@@ -1,6 +1,6 @@
 # Convenience targets; dune is the real build system.
 
-.PHONY: all build test bench bench-quick bench-eval bench-attacks bench-eval-smoke bench-attacks-smoke bench-smoke campaign-smoke fuzz fuzz-smoke trace-smoke serve-smoke check examples clean
+.PHONY: all build test bench bench-quick bench-eval bench-attacks bench-eval-smoke bench-attacks-smoke bench-smoke bench-load fuzz fuzz-smoke systest load-smoke gate check examples clean
 
 all: build
 
@@ -41,10 +41,10 @@ bench-attacks-smoke:
 
 bench-smoke: bench-eval-smoke bench-attacks-smoke
 
-# Tiny campaign matrix end-to-end with the real executor: run, resume,
-# verify the resume skips everything.  Seconds, suitable for CI.
-campaign-smoke:
-	dune exec bench/campaign_smoke.exe
+# Refresh the committed sustained-load baseline (full 5 s windows per
+# transport x mode row; run on the reference machine only).
+bench-load: build
+	dune exec bin/systest_main.exe -- load --out BENCH_load.json
 
 # Differential fuzzing: engine vs reference vs timing sim vs SAT/BDD,
 # plus locking-scheme metamorphic properties.  Failures shrink to
@@ -56,26 +56,38 @@ fuzz:
 fuzz-smoke:
 	dune exec bin/gklock_cli.exe -- fuzz --cases 100000 --time 10 --quiet
 
-# Observability smoke: lock a benchmark, run the SAT attack under
-# `gklock trace`, and validate the JSONL it wrote — every span closed,
-# timestamps monotone (`gklock trace` exits non-zero otherwise).
-trace-smoke:
-	dune exec bin/gklock_cli.exe -- gen tiny -o /tmp/gklock_ts_oracle.bench
-	dune exec bin/gklock_cli.exe -- encrypt tiny --scheme xor -n 4 -o /tmp/gklock_ts_locked.bench
-	dune exec bin/gklock_cli.exe -- trace --out /tmp/gklock_ts.jsonl attack /tmp/gklock_ts_locked.bench --keys xk0,xk1,xk2,xk3 --oracle /tmp/gklock_ts_oracle.bench --method sat --metrics-out /tmp/gklock_ts_metrics.json
-	dune exec bin/gklock_cli.exe -- trace --check /tmp/gklock_ts.jsonl
+# End-to-end system tests: the full scenario catalogue (CLI round
+# trips, campaign run/interrupt/resume, daemon parity, quota and
+# shutdown gating, gate self-check) against the real binaries.  The
+# old campaign-smoke / trace-smoke / serve-smoke drivers live on as
+# scenarios here.
+systest: build
+	dune exec bin/systest_main.exe -- run --profile smoke
 
-# Oracle-daemon smoke: spawn the real gklockd binary on an ephemeral
-# unix socket, run the SAT attack through Remote_oracle, check the
-# verdict/key match the in-process run, then verify a clean shutdown
-# (exit 0, socket file removed).
-serve-smoke: build
-	dune exec bench/serve_smoke.exe
+# Short sustained-load measurement (1 s windows; does not touch the
+# committed BENCH_load.json).
+load-smoke: build
+	dune exec bin/systest_main.exe -- load --smoke --out /tmp/BENCH_load_smoke.json
+
+# Perf regression gate: re-measure smoke-profile numbers and compare
+# against the committed BENCH_*.json trajectory.  GATE_FLAGS widens
+# the tolerances for noisy machines (CI uses --max-slowdown 4
+# --ratio-tolerance 3); the committed baselines come from `make
+# bench-eval`, `make bench-attacks` and `make bench-load` on the
+# reference machine.
+gate: build
+	dune exec bench/bench_eval.exe -- --smoke /tmp/BENCH_eval_fresh.json
+	dune exec bench/bench_attacks.exe -- --smoke /tmp/BENCH_attacks_fresh.json
+	dune exec bin/systest_main.exe -- load --smoke --out /tmp/BENCH_load_fresh.json
+	dune exec bin/systest_main.exe -- gate --baseline-dir . \
+	  --fresh-eval /tmp/BENCH_eval_fresh.json \
+	  --fresh-attacks /tmp/BENCH_attacks_fresh.json \
+	  --fresh-load /tmp/BENCH_load_fresh.json $(GATE_FLAGS)
 
 # Everything a PR must keep green: full build (libs, CLI, examples,
-# benches) plus the test suite, the campaign smoke, a fuzz smoke, both
-# bench smokes, the tracing smoke and the oracle-daemon smoke.
-check: build test campaign-smoke fuzz-smoke bench-smoke trace-smoke serve-smoke
+# benches), the test suite, a fuzz smoke, the system-test catalogue
+# and the perf regression gate.
+check: build test fuzz-smoke systest gate
 
 examples:
 	dune exec examples/quickstart.exe

@@ -579,12 +579,36 @@ let campaign_dir dir (m : Campaign_job.matrix) =
   | Some d -> d
   | None -> Campaign.dir_for m.Campaign_job.m_name
 
+(* SIGINT stops a campaign gracefully: the handler only flips a flag,
+   the scheduler drains in-flight jobs, checkpoints them and writes the
+   report, and the process exits 3 — so a resumed run converges on the
+   byte-identical report an uninterrupted run produces.  A second ^C
+   while draining kills immediately. *)
+let interrupted = Atomic.make false
+
+let install_sigint_abort () =
+  match
+    Sys.signal Sys.sigint
+      (Sys.Signal_handle
+         (fun _ ->
+           if Atomic.get interrupted then exit 130;
+           Atomic.set interrupted true;
+           prerr_endline
+             "gklock: SIGINT — draining in-flight jobs, checkpointing (^C \
+              again to kill)"))
+  with
+  | _ -> ()
+  | exception Invalid_argument _ -> ()
+
 let campaign_run_cmd =
   let run name spec dir workers timeout retries metrics_out =
     let m = campaign_matrix name spec dir in
     let dir = campaign_dir dir m in
+    install_sigint_abort ();
     let stats =
-      Campaign.run ?workers ?timeout_s:timeout ?retries ~dir m
+      Campaign.run ?workers ?timeout_s:timeout ?retries
+        ~should_abort:(fun () -> Atomic.get interrupted)
+        ~dir m
     in
     Printf.printf
       "campaign %s in %s: %d ran (%d ok, %d failed, %d timed out), %d \

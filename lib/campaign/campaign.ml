@@ -274,7 +274,7 @@ let table2_view ?(profile = "standard") dir =
 
 (* ----- run ----- *)
 
-let run ?workers ?timeout_s ?retries ?exec ~dir matrix =
+let run ?workers ?timeout_s ?retries ?exec ?should_abort ~dir matrix =
   Job_store.mkdir_p dir;
   Job_store.write_atomic
     ~path:(Filename.concat dir matrix_file)
@@ -308,4 +308,5 @@ let run ?workers ?timeout_s ?retries ?exec ~dir matrix =
       Job_store.write_atomic
         ~path:(Filename.concat dir report_file)
         (report ~dir matrix))
-    (fun () -> Campaign_runner.run ~store ~telemetry config ~jobs ~exec)
+    (fun () ->
+      Campaign_runner.run ~store ~telemetry ?should_abort config ~jobs ~exec)

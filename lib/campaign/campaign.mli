@@ -25,13 +25,18 @@ val dir_for : ?root:string -> string -> string
 (** [run ?workers ?timeout_s ?retries ?exec ~dir matrix] executes (or
     resumes) the campaign in [dir].  [exec] defaults to
     {!Campaign_exec.run} on the job's spec; tests inject their own.
-    Writes [matrix.json] before and [summary.json] / [report.txt] after
-    (also on {!Campaign_runner.Abort}). *)
+    [should_abort] is the cooperative stop hook (see
+    {!Campaign_runner.run}) — the report and summary are still written
+    on an aborted run, so interrupt → resume converges on the same
+    bytes as an uninterrupted run.  Writes [matrix.json] before and
+    [summary.json] / [report.txt] after (also on
+    {!Campaign_runner.Abort}). *)
 val run :
   ?workers:int ->
   ?timeout_s:float ->
   ?retries:int ->
   ?exec:(Campaign_job.t -> Cjson.t) ->
+  ?should_abort:(unit -> bool) ->
   dir:string ->
   Campaign_job.matrix ->
   Campaign_runner.stats

@@ -51,7 +51,8 @@ let lift_metrics payload =
       | None -> None)
     [ "iterations"; "dips"; "mismatches"; "conflicts" ]
 
-let run ~store ?(telemetry = Telemetry.null ()) config ~jobs ~exec =
+let run ~store ?(telemetry = Telemetry.null ()) ?(should_abort = fun () -> false)
+    config ~jobs ~exec =
   if config.workers < 1 then
     invalid_arg "Campaign_runner.run: workers must be >= 1";
   if config.max_retries < 0 then
@@ -174,6 +175,15 @@ let run ~store ?(telemetry = Telemetry.null ()) config ~jobs ~exec =
         ~event:"aborted" []
   in
   while (not (Queue.is_empty pending)) || !in_flight <> [] do
+    (* the cooperative abort (a SIGINT handler's flag): stop dispatching,
+       let in-flight jobs drain and checkpoint, report aborted — same
+       semantics as an executor raising Abort, but checked here on the
+       scheduler so it is safe from an asynchronous signal context *)
+    if (not !aborted) && should_abort () then begin
+      aborted := true;
+      Obs.Trace.instant "campaign.abort_requested";
+      Telemetry.emit telemetry ~job:"-" ~event:"abort_requested" []
+    end;
     if !aborted then Queue.clear pending;
     while
       (not !aborted)

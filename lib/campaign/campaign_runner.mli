@@ -50,12 +50,19 @@ type stats = {
   abandoned : int;  (** domains left running past their timeout *)
 }
 
-(** [run ~store ?telemetry config ~jobs ~exec] drives the pool until
-    every job has an outcome (or {!Abort}).  @raise Invalid_argument on
-    [workers < 1] or [max_retries < 0]. *)
+(** [run ~store ?telemetry ?should_abort config ~jobs ~exec] drives the
+    pool until every job has an outcome (or {!Abort}).  [should_abort]
+    is polled by the scheduler between dispatches; once it returns true
+    the run behaves as if an executor raised {!Abort} — no new jobs
+    start, in-flight jobs drain and checkpoint normally, and the stats
+    report [aborted = true].  This is how `gklock campaign run` turns a
+    SIGINT into a graceful, resumable stop: the handler only flips a
+    flag, the scheduler does the shutdown at a safe point.
+    @raise Invalid_argument on [workers < 1] or [max_retries < 0]. *)
 val run :
   store:Job_store.t ->
   ?telemetry:Telemetry.t ->
+  ?should_abort:(unit -> bool) ->
   config ->
   jobs:Campaign_job.t list ->
   exec:(Campaign_job.t -> Cjson.t) ->

@@ -33,6 +33,21 @@ let splice_all_fanouts net ~target ~build =
       (fun (po, d) -> if d = target then Some po else None)
       (Netlist.outputs net)
   in
+  (* When the target node carries a primary-output name, the splice
+     would leave OUTPUT(po) driven by the new gate while a node named
+     [po] still exists — two definitions of the same wire once printed
+     as .bench.  Move the target to a fresh internal name first. *)
+  let tname = (Netlist.node net target).Netlist.name in
+  if List.mem tname pos then begin
+    let rec fresh i =
+      let n = Printf.sprintf "%s_pre%s" tname
+          (if i = 0 then "" else string_of_int i) in
+      match Netlist.rename net target n with
+      | () -> ()
+      | exception Invalid_argument _ -> fresh (i + 1)
+    in
+    fresh 0
+  end;
   let g = build () in
   List.iter
     (fun (consumer, pin) ->

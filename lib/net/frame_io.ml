@@ -11,8 +11,11 @@ let parse_addr s =
       let hp = after "tcp:" in
       let host = String.sub hp 0 i in
       let port = String.sub hp (i + 1) (String.length hp - i - 1) in
+      (* port 0 is legal on the listen side: the kernel assigns an
+         ephemeral port, which Gkd_server.address reads back — the only
+         race-free way for tests and scripts to share a TCP daemon *)
       (match int_of_string_opt port with
-      | Some p when p > 0 && p < 65536 -> Ok (Tcp (host, p))
+      | Some p when p >= 0 && p < 65536 -> Ok (Tcp (host, p))
       | _ -> Error (Printf.sprintf "%S: bad port %S" s port))
   else if String.length s > 0 then Ok (Unix_path s)
   else Error "empty oracle address"

@@ -13,7 +13,10 @@ type addr =
   | Tcp of string * int  (** host, port *)
 
 (** [parse_addr s] accepts ["unix:PATH"], ["tcp:HOST:PORT"], and a bare
-    path (treated as a Unix socket). *)
+    path (treated as a Unix socket).  Port 0 is accepted for the listen
+    side: the kernel picks an ephemeral port and {!Gkd_server.address}
+    reports the real one (the daemon prints it in its "listening on"
+    line) — bind-then-read-back, never pick-and-hope. *)
 val parse_addr : string -> (addr, string) result
 
 val addr_to_string : addr -> string

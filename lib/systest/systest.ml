@@ -1,0 +1,216 @@
+type profile = Smoke | Full
+
+let profile_name = function Smoke -> "smoke" | Full -> "full"
+
+let profile_of_string = function
+  | "smoke" -> Ok Smoke
+  | "full" -> Ok Full
+  | s -> Error (Printf.sprintf "unknown profile %S (smoke, full)" s)
+
+type ctx = {
+  dir : string;
+  logs_dir : string;
+  gklock : string;
+  gklockd : string;
+  systest : string;
+  repo_root : string;
+  profile : profile;
+}
+
+exception Failed of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Failed m)) fmt
+let check cond msg = if not cond then fail "%s" msg
+
+type scenario = {
+  s_name : string;
+  s_tags : string list;
+  s_full_only : bool;
+  s_run : ctx -> unit;
+}
+
+let registry : scenario list ref = ref []
+
+let register ?(tags = []) ?(full_only = false) ~name run =
+  if List.exists (fun s -> s.s_name = name) !registry then
+    invalid_arg (Printf.sprintf "Systest.register: duplicate scenario %S" name);
+  registry :=
+    !registry @ [ { s_name = name; s_tags = tags; s_full_only = full_only; s_run = run } ]
+
+let scenarios () =
+  List.map (fun s -> (s.s_name, s.s_tags, s.s_full_only)) !registry
+
+type result = {
+  r_name : string;
+  r_ok : bool;
+  r_skipped : bool;
+  r_time_s : float;
+  r_error : string option;
+  r_dir : string;
+}
+
+let mkdir_p dir =
+  let rec go d =
+    if d <> "/" && d <> "." && not (Sys.file_exists d) then begin
+      go (Filename.dirname d);
+      try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  go dir
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | _ -> ( try Sys.remove path with Sys_error _ -> ())
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let contains_sub line sub =
+  let ll = String.length line and ls = String.length sub in
+  ls = 0
+  || (ll >= ls
+      &&
+      let found = ref false in
+      for i = 0 to ll - ls do
+        if (not !found) && String.sub line i ls = sub then found := true
+      done;
+      !found)
+
+(* Per-scenario watchdog: a scenario runs arbitrary in-process code we
+   cannot interrupt, so the only safe enforcement is a monitor thread
+   that aborts the whole run when the generation counter stalls.  Every
+   wait primitive a scenario uses has its own (shorter) timeout; the
+   watchdog is the backstop that keeps CI from hanging. *)
+let watchdog_gen = Atomic.make 0
+
+let start_watchdog ~timeout_s ~name_of =
+  let my_gen = Atomic.get watchdog_gen in
+  ignore
+    (Thread.create
+       (fun () ->
+         Thread.delay timeout_s;
+         if Atomic.get watchdog_gen = my_gen then begin
+           Printf.eprintf
+             "systest: WATCHDOG — scenario %s exceeded %.0fs; aborting run\n%!"
+             (name_of ()) timeout_s;
+           exit 124
+         end)
+       ())
+
+let print_process_logs logs_dir =
+  if Sys.file_exists logs_dir then
+    Array.iter
+      (fun entry ->
+        let path = Filename.concat logs_dir entry in
+        let t = Systest_proc.tail path in
+        if String.trim t <> "" then
+          Printf.printf "    --- %s (tail) ---\n    %s\n" entry
+            (String.concat "\n    " (String.split_on_char '\n' (String.trim t))))
+      (let es = Sys.readdir logs_dir in
+       Array.sort compare es;
+       es)
+
+let run_one ~root ~keep ~timeout_s ctx0 s =
+  let dir = Filename.concat root s.s_name in
+  rm_rf dir;
+  let logs_dir = Filename.concat dir "logs" in
+  mkdir_p logs_dir;
+  let ctx = { ctx0 with dir; logs_dir } in
+  let t0 = Unix.gettimeofday () in
+  Printf.printf "systest: %-32s " s.s_name;
+  flush Stdlib.stdout;
+  Atomic.incr watchdog_gen;
+  start_watchdog ~timeout_s ~name_of:(fun () -> s.s_name);
+  let error =
+    match s.s_run ctx with
+    | () -> None
+    | exception Failed m -> Some m
+    | exception Systest_proc.Timeout m -> Some ("timeout: " ^ m)
+    | exception e ->
+      Some
+        (Printf.sprintf "%s\n%s" (Printexc.to_string e)
+           (Printexc.get_backtrace ()))
+  in
+  Atomic.incr watchdog_gen;
+  let stray = Systest_proc.kill_stragglers () in
+  let time_s = Unix.gettimeofday () -. t0 in
+  (match error with
+  | None ->
+    Printf.printf "ok      (%.2fs)%s\n" time_s
+      (if stray > 0 then Printf.sprintf "  [%d straggler(s) killed]" stray
+       else "");
+    if not keep then rm_rf dir
+  | Some m ->
+    Printf.printf "FAILED  (%.2fs)\n" time_s;
+    Printf.printf "  %s\n" (String.concat "\n  " (String.split_on_char '\n' m));
+    Printf.printf "  sandbox kept: %s\n" dir;
+    print_process_logs logs_dir);
+  flush Stdlib.stdout;
+  {
+    r_name = s.s_name;
+    r_ok = error = None;
+    r_skipped = false;
+    r_time_s = time_s;
+    r_error = error;
+    r_dir = dir;
+  }
+
+let run_all ?(filter = []) ?root ?(keep = false) ?(timeout_s = 120.0) ~gklock
+    ~gklockd ~systest ~repo_root ~profile () =
+  Printexc.record_backtrace true;
+  let root =
+    match root with
+    | Some r -> r
+    | None ->
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "gklock_systest_%d" (Unix.getpid ()))
+  in
+  mkdir_p root;
+  let ctx0 =
+    {
+      dir = root;
+      logs_dir = root;
+      gklock;
+      gklockd;
+      systest;
+      repo_root;
+      profile;
+    }
+  in
+  let selected s =
+    filter = [] || List.exists (fun f -> contains_sub s.s_name f) filter
+  in
+  let t0 = Unix.gettimeofday () in
+  let results =
+    List.map
+      (fun s ->
+        if not (selected s) then None
+        else if s.s_full_only && profile = Smoke then begin
+          Printf.printf "systest: %-32s skipped (full profile only)\n" s.s_name;
+          Some
+            {
+              r_name = s.s_name;
+              r_ok = true;
+              r_skipped = true;
+              r_time_s = 0.0;
+              r_error = None;
+              r_dir = "";
+            }
+        end
+        else Some (run_one ~root ~keep ~timeout_s ctx0 s))
+      !registry
+    |> List.filter_map Fun.id
+  in
+  let ran = List.filter (fun r -> not r.r_skipped) results in
+  let failed = List.filter (fun r -> not r.r_ok) ran in
+  let all_ok = failed = [] in
+  Printf.printf "systest: %d/%d scenarios passed (profile %s) in %.1fs\n"
+    (List.length ran - List.length failed)
+    (List.length ran) (profile_name profile)
+    (Unix.gettimeofday () -. t0);
+  List.iter (fun r -> Printf.printf "systest: FAILED %s\n" r.r_name) failed;
+  if all_ok && not keep then rm_rf root;
+  flush Stdlib.stdout;
+  (results, all_ok)

@@ -1,0 +1,89 @@
+(** The system-test harness: named scenarios against the real binaries.
+
+    A {e scenario} is a named function from a {!ctx} — a fresh sandbox
+    directory plus the paths of the built [gklock] / [gklockd] /
+    [systest] executables — to unit; it fails by raising ({!fail},
+    {!check}, or any exception).  Scenarios {!register} themselves at
+    module-initialization time; the runner ({!run_all}, i.e. [systest
+    run]) executes a filtered set sequentially, each in its own sandbox
+    with its own [logs/] directory, under a hard wall-clock watchdog.
+
+    Conventions scenarios follow:
+    - every spawned process goes through {!Systest_proc} (captured
+      logs, timeouts, log-pattern waits — never bare sleeps);
+    - everything they write lives under [ctx.dir];
+    - on success the sandbox is deleted, on failure it is kept and the
+      runner prints the log tails of every process the scenario spawned.
+
+    See DESIGN.md §6i for the architecture and README "System tests &
+    load" for the testing taxonomy. *)
+
+type profile = Smoke | Full
+
+val profile_name : profile -> string
+val profile_of_string : string -> (profile, string) result
+
+type ctx = {
+  dir : string;  (** this scenario's sandbox (absolute, empty at start) *)
+  logs_dir : string;  (** [dir/logs] — give this to {!Systest_proc.spawn} *)
+  gklock : string;  (** absolute path of the gklock CLI binary *)
+  gklockd : string;  (** absolute path of the daemon binary *)
+  systest : string;  (** absolute path of the systest binary itself *)
+  repo_root : string;  (** where the committed BENCH_*.json live *)
+  profile : profile;
+}
+
+exception Failed of string
+
+(** [fail fmt ...] aborts the scenario. *)
+val fail : ('a, unit, string, 'b) format4 -> 'a
+
+(** [check cond msg] is [if not cond then fail "%s" msg]. *)
+val check : bool -> string -> unit
+
+(** [register ~name run] adds a scenario.  [full_only] scenarios are
+    skipped under the [Smoke] profile.  Names must be unique.
+    [tags] are informational ([systest list]). *)
+val register :
+  ?tags:string list -> ?full_only:bool -> name:string -> (ctx -> unit) -> unit
+
+(** Registered scenarios in registration order: name, tags, full_only. *)
+val scenarios : unit -> (string * string list * bool) list
+
+type result = {
+  r_name : string;
+  r_ok : bool;
+  r_skipped : bool;  (** filtered out by profile *)
+  r_time_s : float;
+  r_error : string option;
+  r_dir : string;
+}
+
+(** [run_all ~binaries ~profile ()] executes every registered scenario
+    whose name contains one of [filter] (all when [filter] is []),
+    sequentially.  [root] is the sandbox root (default: a fresh
+    directory under the system temp dir); [keep] keeps sandboxes of
+    passing scenarios too.  [timeout_s] is the per-scenario watchdog
+    (default 120): a scenario that exceeds it aborts the whole run with
+    exit code 124 — a stuck system test must never hang CI.
+
+    Returns the per-scenario results and [true] iff none failed. *)
+val run_all :
+  ?filter:string list ->
+  ?root:string ->
+  ?keep:bool ->
+  ?timeout_s:float ->
+  gklock:string ->
+  gklockd:string ->
+  systest:string ->
+  repo_root:string ->
+  profile:profile ->
+  unit ->
+  result list * bool
+
+(** Recursively delete a directory tree (used by the runner; exposed
+    for scenarios that want mid-scenario cleanup). *)
+val rm_rf : string -> unit
+
+(** [mkdir_p dir] creates [dir] and parents. *)
+val mkdir_p : string -> unit

@@ -1,0 +1,205 @@
+type t = {
+  p_name : string;
+  p_pid : int;
+  p_stdout : string;
+  p_stderr : string;
+  mutable p_status : Unix.process_status option;
+}
+
+exception Timeout of string
+
+(* Registry of everything spawned, so the runner can reap stragglers
+   after a scenario — whatever state the scenario left them in. *)
+let registry : t list ref = ref []
+let registry_mu = Mutex.create ()
+
+let track p =
+  Mutex.lock registry_mu;
+  registry := p :: !registry;
+  Mutex.unlock registry_mu
+
+let read_file path =
+  if not (Sys.file_exists path) then ""
+  else begin
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  end
+
+let tail ?(lines = 15) path =
+  let s = read_file path in
+  let all = String.split_on_char '\n' s in
+  let n = List.length all in
+  if n <= lines then s
+  else String.concat "\n" (List.filteri (fun i _ -> i >= n - lines) all)
+
+let spawn ?env ?cwd ~logs_dir ~name prog args =
+  if not (Sys.file_exists prog) then
+    invalid_arg (Printf.sprintf "Systest_proc.spawn: no such binary %s" prog);
+  let stdout_path = Filename.concat logs_dir (name ^ ".stdout") in
+  let stderr_path = Filename.concat logs_dir (name ^ ".stderr") in
+  (* Flush our own buffers: the child inherits them across fork and
+     would otherwise replay pending output into its log files. *)
+  flush Stdlib.stdout;
+  flush Stdlib.stderr;
+  let argv = Array.of_list (prog :: args) in
+  match Unix.fork () with
+  | 0 ->
+    (* child: no OCaml work beyond redirect + exec *)
+    (try
+       Option.iter Unix.chdir cwd;
+       let devnull = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
+       let out =
+         Unix.openfile stdout_path
+           [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ]
+           0o644
+       in
+       let err =
+         Unix.openfile stderr_path
+           [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ]
+           0o644
+       in
+       Unix.dup2 devnull Unix.stdin;
+       Unix.dup2 out Unix.stdout;
+       Unix.dup2 err Unix.stderr;
+       match env with
+       | Some e -> Unix.execve prog argv e
+       | None -> Unix.execv prog argv
+     with _ -> ());
+    exit 127
+  | pid ->
+    let p =
+      {
+        p_name = name;
+        p_pid = pid;
+        p_stdout = stdout_path;
+        p_stderr = stderr_path;
+        p_status = None;
+      }
+    in
+    track p;
+    p
+
+let pid t = t.p_pid
+let name t = t.p_name
+let stdout_path t = t.p_stdout
+let stderr_path t = t.p_stderr
+let stdout t = read_file t.p_stdout
+let stderr t = read_file t.p_stderr
+
+let poll t =
+  match t.p_status with
+  | Some _ as s -> s
+  | None -> (
+    match Unix.waitpid [ Unix.WNOHANG ] t.p_pid with
+    | 0, _ -> None
+    | _, st ->
+      t.p_status <- Some st;
+      Some st
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> None)
+
+let alive t = poll t = None
+
+let wait ?(timeout_s = 60.0) t =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec go () =
+    match poll t with
+    | Some st -> st
+    | None ->
+      if Unix.gettimeofday () > deadline then
+        raise
+          (Timeout
+             (Printf.sprintf "process %s (pid %d) still running after %.1fs"
+                t.p_name t.p_pid timeout_s));
+      Thread.delay 0.01;
+      go ()
+  in
+  go ()
+
+let signal t s =
+  if t.p_status = None then
+    try Unix.kill t.p_pid s with Unix.Unix_error _ -> ()
+
+let kill t =
+  if poll t = None then begin
+    signal t Sys.sigkill;
+    (* a SIGKILLed child reaps promptly; no timeout needed *)
+    match Unix.waitpid [] t.p_pid with
+    | _, st -> t.p_status <- Some st
+    | exception Unix.Unix_error _ -> ()
+  end
+
+let kill_stragglers () =
+  Mutex.lock registry_mu;
+  let ps = !registry in
+  registry := [];
+  Mutex.unlock registry_mu;
+  List.fold_left
+    (fun n p ->
+      if alive p then begin
+        kill p;
+        n + 1
+      end
+      else n)
+    0 ps
+
+(* Line-oriented substring search over a captured stream.  Re-reading
+   the whole file each poll is fine at system-test sizes, and keeps the
+   semantics trivial: a match is a complete line containing [sub]. *)
+let find_line contents sub =
+  List.find_opt
+    (fun line ->
+      let ll = String.length line and ls = String.length sub in
+      ll >= ls
+      && (let found = ref false in
+          for i = 0 to ll - ls do
+            if (not !found) && String.sub line i ls = sub then found := true
+          done;
+          !found))
+    (String.split_on_char '\n' contents)
+
+let wait_for_log ?(timeout_s = 30.0) ?(stream = `Stdout) t sub =
+  let path = match stream with `Stdout -> t.p_stdout | `Stderr -> t.p_stderr in
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let diag why =
+    raise
+      (Timeout
+         (Printf.sprintf "%s waiting for %S in %s logs of %s:\n%s" why sub
+            (match stream with `Stdout -> "stdout" | `Stderr -> "stderr")
+            t.p_name (tail path)))
+  in
+  let rec go () =
+    match find_line (read_file path) sub with
+    | Some line -> line
+    | None ->
+      let exited = poll t <> None in
+      (* one more read after exit: the pattern may have landed between
+         the last read and the process going away *)
+      if exited then (
+        match find_line (read_file path) sub with
+        | Some line -> line
+        | None -> diag "process exited")
+      else if Unix.gettimeofday () > deadline then diag "timed out"
+      else begin
+        Thread.delay 0.02;
+        go ()
+      end
+  in
+  go ()
+
+let wait_for_file ?(timeout_s = 30.0) path pred =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec go () =
+    let contents = read_file path in
+    if Sys.file_exists path && pred contents then contents
+    else if Unix.gettimeofday () > deadline then
+      raise
+        (Timeout (Printf.sprintf "timed out waiting for file %s" path))
+    else begin
+      Thread.delay 0.02;
+      go ()
+    end
+  in
+  go ()

@@ -1,0 +1,88 @@
+(** Supervised child processes for the system-test harness.
+
+    Every binary a scenario spawns goes through this module: stdout and
+    stderr are captured to files under the scenario's log directory,
+    waits carry timeouts, and readiness is expressed as {e log-pattern
+    waits} ({!wait_for_log}) instead of sleeps — a scenario never races
+    a daemon's startup, it waits for the daemon to say it is ready.
+
+    Spawned processes are tracked in a process-global registry so the
+    runner can {!kill_stragglers} after a scenario ends, whatever state
+    the scenario left them in.  All paths should be absolute: children
+    may be started with a different working directory ([~cwd]).
+
+    {!spawn} uses [Unix.fork], which OCaml 5 forbids once any other
+    domain has been created.  The systest binary never creates domains
+    itself; a host that does (e.g. the tier-1 test runner, whose
+    campaign suites abandon timed-out domains) must run its
+    process-spawning tests before its domain-creating ones. *)
+
+type t
+
+exception Timeout of string
+(** A wait outlived its [timeout_s]; the payload names the process and
+    what was being waited for. *)
+
+(** [spawn ~logs_dir ~name prog args] forks and execs [prog args]
+    (argv.(0) is set to [prog]), with stdin from [/dev/null] and
+    stdout/stderr captured to [logs_dir/name.stdout] /
+    [logs_dir/name.stderr].  [cwd] sets the child's working directory.
+    [env] replaces the environment (default: inherit). *)
+val spawn :
+  ?env:string array ->
+  ?cwd:string ->
+  logs_dir:string ->
+  name:string ->
+  string ->
+  string list ->
+  t
+
+val pid : t -> int
+val name : t -> string
+val stdout_path : t -> string
+val stderr_path : t -> string
+
+(** Current contents of the captured streams (the child may still be
+    writing). *)
+val stdout : t -> string
+
+val stderr : t -> string
+
+(** [poll t] reaps the child if it has exited; [None] while running. *)
+val poll : t -> Unix.process_status option
+
+(** [wait ?timeout_s t] blocks (polling) until the child exits.
+    @raise Timeout after [timeout_s] (default 60 s) — the child is
+    still running and untouched. *)
+val wait : ?timeout_s:float -> t -> Unix.process_status
+
+val alive : t -> bool
+
+(** [signal t s] sends signal [s]; no-op once the child was reaped. *)
+val signal : t -> int -> unit
+
+(** SIGKILL then reap.  Idempotent. *)
+val kill : t -> unit
+
+(** [wait_for_log ?timeout_s ?stream t sub] polls the captured stream
+    (default stdout) until a line containing substring [sub] appears and
+    returns that line.  If the child exits first and the pattern never
+    shows up, raises {!Timeout} immediately with the log tail.
+    @raise Timeout after [timeout_s] (default 30 s). *)
+val wait_for_log :
+  ?timeout_s:float -> ?stream:[ `Stdout | `Stderr ] -> t -> string -> string
+
+(** [wait_for_file ?timeout_s path pred] polls [path] until it exists
+    and [pred contents] is true; returns the contents.  Used e.g. to
+    wait for a campaign's first checkpointed result.
+    @raise Timeout after [timeout_s] (default 30 s). *)
+val wait_for_file : ?timeout_s:float -> string -> (string -> bool) -> string
+
+(** Kill (SIGKILL) and reap every process spawned through this module
+    that is still alive; returns how many were killed.  The runner calls
+    this between scenarios. *)
+val kill_stragglers : unit -> int
+
+(** Last [n] lines of a file, for failure diagnostics ([""] if the file
+    does not exist). *)
+val tail : ?lines:int -> string -> string

@@ -1,6 +1,6 @@
 # Convenience targets; dune is the real build system.
 
-.PHONY: all build test bench bench-quick bench-eval bench-attacks bench-eval-smoke bench-attacks-smoke bench-smoke bench-load fuzz fuzz-smoke systest load-smoke gate check examples clean
+.PHONY: all build test bench bench-quick bench-eval bench-attacks bench-eval-smoke bench-attacks-smoke bench-smoke bench-load fuzz fuzz-smoke systest store-smoke load-smoke gate check examples clean
 
 all: build
 
@@ -64,6 +64,12 @@ fuzz-smoke:
 systest: build
 	dune exec bin/systest_main.exe -- run --profile smoke
 
+# Content-addressed store end to end: seed a campaign, migrate a legacy
+# results.jsonl with byte-identical report, widen the matrix and prove
+# only the delta executes, then gc + fsck the store clean.
+store-smoke: build
+	dune exec bin/systest_main.exe -- run --only campaign_store,campaign_run
+
 # Short sustained-load measurement (1 s windows; does not touch the
 # committed BENCH_load.json).
 load-smoke: build
@@ -87,7 +93,7 @@ gate: build
 # Everything a PR must keep green: full build (libs, CLI, examples,
 # benches), the test suite, a fuzz smoke, the system-test catalogue
 # and the perf regression gate.
-check: build test fuzz-smoke systest gate
+check: build test fuzz-smoke systest store-smoke gate
 
 examples:
 	dune exec examples/quickstart.exe

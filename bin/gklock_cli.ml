@@ -649,14 +649,135 @@ let campaign_report_cmd =
        ~doc:"Deterministic report of the stored results (tables + matrix)")
     Term.(const run $ campaign_name_arg $ campaign_spec_arg $ campaign_dir_arg)
 
+(* ----- campaign store maintenance ----- *)
+
+let store_arg =
+  let doc =
+    "Content-addressed store root (default: campaigns/store, the store \
+     shared by every campaign under campaigns/; GKLOCK_STORE overrides the \
+     default)."
+  in
+  Arg.(value & opt (some string) None & info [ "store" ] ~docv:"DIR" ~doc)
+
+let resolve_store store =
+  match store with
+  | Some s -> s
+  | None -> (
+    match Sys.getenv_opt "GKLOCK_STORE" with
+    | Some s when s <> "" -> s
+    | _ -> Filename.concat Campaign.default_root "store")
+
+let bytes_human n =
+  if n >= 1 lsl 20 then Printf.sprintf "%.1f MiB" (float_of_int n /. 1048576.0)
+  else if n >= 1 lsl 10 then
+    Printf.sprintf "%.1f KiB" (float_of_int n /. 1024.0)
+  else Printf.sprintf "%d B" n
+
+let open_store store =
+  let root = resolve_store store in
+  if not (Sys.file_exists root) then die "no store at %s" root;
+  Cas.open_ root
+
+let campaign_gc_cmd =
+  let run store =
+    let cas = open_store store in
+    let g = Cas.gc cas in
+    Cas.close cas;
+    print_string
+      (Report.kv_table
+         ~title:(Printf.sprintf "store gc — %s" (resolve_store store))
+         ([
+            ("live objects", string_of_int g.Cas.gc_live_objects);
+            ("swept objects", string_of_int g.Cas.gc_swept_objects);
+            ("swept bytes", bytes_human g.Cas.gc_swept_bytes);
+            ("index entries", string_of_int g.Cas.gc_index_entries);
+          ]
+         @ List.map
+             (fun m -> ("dropped manifest", m))
+             g.Cas.gc_dropped_manifests))
+  in
+  Cmd.v
+    (Cmd.info "gc"
+       ~doc:
+         "Sweep store objects unreachable from any live campaign manifest \
+          (manifests of deleted campaign directories are dropped first)")
+    Term.(const run $ store_arg)
+
+let campaign_fsck_cmd =
+  let run store =
+    let cas = open_store store in
+    let f = Cas.fsck cas in
+    Cas.close cas;
+    print_string
+      (Report.kv_table
+         ~title:(Printf.sprintf "store fsck — %s" (resolve_store store))
+         ([
+            ("objects scanned", string_of_int f.Cas.f_objects);
+            ("corrupt (quarantined)", string_of_int (List.length f.Cas.f_corrupt));
+            ("index entries dropped", string_of_int f.Cas.f_index_dropped);
+            ("index torn bytes", string_of_int f.Cas.f_index_torn_bytes);
+            ("verdict", if f.Cas.f_ok then "clean" else "repaired");
+          ]
+         @ List.map (fun (p, why) -> ("quarantined", p ^ ": " ^ why))
+             f.Cas.f_corrupt
+         @ List.map
+             (fun (m, n) -> ("manifest " ^ m, Printf.sprintf "%d dropped" n))
+             f.Cas.f_manifest_dropped));
+    if not f.Cas.f_ok then exit 1
+  in
+  Cmd.v
+    (Cmd.info "fsck"
+       ~doc:
+         "Verify every store object against its digest (corrupt objects are \
+          quarantined), repair a torn index and drop dangling entries; exits \
+          1 when anything needed repair")
+    Term.(const run $ store_arg)
+
+let campaign_dedup_cmd =
+  let run store =
+    let cas = open_store store in
+    let s = Cas.stats cas in
+    Cas.close cas;
+    print_string
+      (Report.kv_table
+         ~title:(Printf.sprintf "store — %s" (resolve_store store))
+         ([
+            ("objects", string_of_int s.Cas.st_objects);
+            ("bytes", bytes_human s.Cas.st_bytes);
+            ("index entries", string_of_int s.Cas.st_index_entries);
+            ("blobs", string_of_int s.Cas.st_blobs);
+            ("blob refs", string_of_int s.Cas.st_blob_refs);
+            ("shared blobs", string_of_int s.Cas.st_shared_blobs);
+            ("bytes saved by sharing", bytes_human s.Cas.st_saved_bytes);
+          ]
+         @ List.map
+             (fun (name, n) ->
+               ("manifest " ^ name, Printf.sprintf "%d results" n))
+             s.Cas.st_manifests))
+  in
+  Cmd.v
+    (Cmd.info "dedup"
+       ~doc:
+         "Structural-sharing view of the store: object counts, per-campaign \
+          manifests, and the bytes blob sharing avoided writing")
+    Term.(const run $ store_arg)
+
 let campaign_cmd =
   Cmd.group
     (Cmd.info "campaign"
        ~doc:
          "Resumable experiment campaigns: a declarative job matrix executed \
-          by a worker pool with per-job timeouts, checkpointed to an on-disk \
-          job store with a telemetry trace")
-    [ campaign_run_cmd; campaign_status_cmd; campaign_report_cmd ]
+          by a worker pool with per-job timeouts, checkpointed to a \
+          content-addressed result store shared across campaigns, with a \
+          telemetry trace")
+    [
+      campaign_run_cmd;
+      campaign_status_cmd;
+      campaign_report_cmd;
+      campaign_gc_cmd;
+      campaign_fsck_cmd;
+      campaign_dedup_cmd;
+    ]
 
 (* ----- tables / figs ----- *)
 

@@ -206,6 +206,9 @@ let () =
       output_string oc
         (Cjson.to_string (Campaign_job.matrix_to_json interrupt_matrix));
       close_out oc;
+      (* the two runs live under separate parents so each gets its own
+         sibling store — with a shared store the second run would adopt
+         the first run's results and the interrupt would never land *)
       let args dir =
         [
           "campaign"; "run"; "--spec"; "spec.json"; "--dir"; dir; "--workers";
@@ -213,16 +216,21 @@ let () =
         ]
       in
       (* reference: one uninterrupted run *)
-      let _ = gklock_ok ~timeout_s:180.0 ctx "full" (args "a") in
-      let report_a = read_file (in_dir ctx "a/report.txt") in
-      (* interrupted run: SIGINT once a few results are checkpointed *)
+      let _ = gklock_ok ~timeout_s:180.0 ctx "full" (args "runA/c") in
+      let report_a = read_file (in_dir ctx "runA/c/report.txt") in
+      (* interrupted run: SIGINT once a few results are checkpointed (the
+         store index grows one 32-byte entry per checkpointed job) *)
+      let index_entries c =
+        if String.length c < 8 then 0 else (String.length c - 8) / 32
+      in
       let p =
         Systest_proc.spawn ~cwd:ctx.dir ~logs_dir:ctx.logs_dir ~name:"interrupted"
-          ctx.gklock (args "b")
+          ctx.gklock (args "runB/c")
       in
       let _ =
         Systest_proc.wait_for_file ~timeout_s:60.0
-          (in_dir ctx "b/results.jsonl") (fun c -> count_lines c >= 3)
+          (in_dir ctx "runB/store/index.bin")
+          (fun c -> index_entries c >= 3)
       in
       Systest_proc.signal p Sys.sigint;
       (match Systest_proc.wait ~timeout_s:60.0 p with
@@ -234,25 +242,120 @@ let () =
       check
         (contains (Systest_proc.stdout p) "[aborted]")
         "no [aborted] marker in the stats line";
-      let done_b = count_lines (read_file (in_dir ctx "b/results.jsonl")) in
+      let done_b =
+        index_entries (read_file (in_dir ctx "runB/store/index.bin"))
+      in
       if done_b >= total then
         fail "campaign finished (%d/%d jobs) before the interrupt landed"
           done_b total;
       (* the abort still wrote a (partial) report *)
       check
-        (Sys.file_exists (in_dir ctx "b/report.txt"))
+        (Sys.file_exists (in_dir ctx "runB/c/report.txt"))
         "aborted run wrote no report.txt";
       check
-        (contains (read_file (in_dir ctx "b/report.txt")) "pending")
+        (contains (read_file (in_dir ctx "runB/c/report.txt")) "pending")
         "partial report lists no pending jobs";
       (* resume: the skipped count proves the checkpoints were honoured *)
-      let out = gklock_ok ~timeout_s:180.0 ctx "resume" (args "b") in
+      let out = gklock_ok ~timeout_s:180.0 ctx "resume" (args "runB/c") in
       let expect = Printf.sprintf "%d skipped" done_b in
       check (contains out expect)
         (Printf.sprintf "resume: expected %S in stats line:\n%s" expect out);
-      let report_b = read_file (in_dir ctx "b/report.txt") in
+      let report_b = read_file (in_dir ctx "runB/c/report.txt") in
       check (report_a = report_b)
         "interrupt→resume report.txt differs from the uninterrupted run")
+
+(* ----- 5b. campaign_store_delta ----- *)
+
+(* The content-addressed store end to end: a legacy results.jsonl
+   migrates without changing report bytes, a widened matrix re-run
+   executes only the unseen jobs (adopting the rest from the shared
+   store), and gc + fsck leave the store clean. *)
+let () =
+  register ~name:"campaign_store_delta" ~tags:[ "campaign"; "store" ]
+    (fun ctx ->
+      let run ?(timeout_s = 180.0) name extra =
+        gklock_ok ~timeout_s ctx name ([ "campaign"; "run" ] @ extra)
+      in
+      (* 1. a smoke campaign, store shared under mig/ *)
+      let out1 =
+        run "seed_run" [ "--name"; "smoke"; "--dir"; "mig/c"; "--workers"; "2" ]
+      in
+      check (contains out1 " 0 skipped") "seed run skipped jobs";
+      let report1 = read_file (in_dir ctx "mig/c/report.txt") in
+      (* 2. rebuild the same results as a legacy pre-CAS store *)
+      let records = Job_store.load ~dir:(in_dir ctx "mig/c") in
+      check (records <> []) "no records load from the seeded store";
+      mkdir_p (in_dir ctx "leg/c");
+      let oc = open_out_bin (in_dir ctx "leg/c/results.jsonl") in
+      List.iter
+        (fun r ->
+          output_string oc
+            (Cjson.to_string (Job_store.record_to_json r) ^ "\n"))
+        records;
+      close_out oc;
+      (* a run over the legacy dir migrates in place: nothing executes,
+         the report stays byte-identical, the JSONL is moved aside *)
+      let out =
+        run "migrate" [ "--name"; "smoke"; "--dir"; "leg/c"; "--workers"; "2" ]
+      in
+      check
+        (contains out "0 ran (0 ok, 0 failed, 0 timed out)")
+        "migration re-ran jobs";
+      check
+        (read_file (in_dir ctx "leg/c/report.txt") = report1)
+        "report bytes changed across the legacy migration";
+      check
+        (not (Sys.file_exists (in_dir ctx "leg/c/results.jsonl")))
+        "results.jsonl still present after migration";
+      check
+        (Sys.file_exists (in_dir ctx "leg/c/results.jsonl.migrated"))
+        "migrated results.jsonl not kept";
+      (* 3. widen the matrix by one seed: a sibling campaign re-runs only
+         the delta and adopts the rest from the shared store *)
+      let smoke =
+        match Campaign_job.builtin "smoke" with
+        | Some m -> m
+        | None -> fail "no smoke builtin"
+      in
+      let old_jobs = List.length (Campaign_job.expand smoke) in
+      let wide =
+        { smoke with Campaign_job.m_seeds = smoke.Campaign_job.m_seeds @ [ 99 ] }
+      in
+      let new_jobs = List.length (Campaign_job.expand wide) - old_jobs in
+      let oc = open_out_bin (in_dir ctx "wide.json") in
+      output_string oc (Cjson.to_string (Campaign_job.matrix_to_json wide));
+      close_out oc;
+      let out =
+        run "widened"
+          [ "--spec"; "wide.json"; "--dir"; "mig/c2"; "--workers"; "2" ]
+      in
+      let expect =
+        Printf.sprintf "%d ran (%d ok, 0 failed, 0 timed out), %d skipped"
+          new_jobs new_jobs old_jobs
+      in
+      check (contains out expect)
+        (Printf.sprintf "widened run: expected %S in:\n%s" expect out);
+      (* 4. maintenance: gc sweeps nothing live, fsck is clean *)
+      let gc_out =
+        gklock_ok ctx "gc" [ "campaign"; "gc"; "--store"; "mig/store" ]
+      in
+      check (contains gc_out "swept") "gc printed no summary";
+      let fsck_out =
+        gklock_ok ctx "fsck" [ "campaign"; "fsck"; "--store"; "mig/store" ]
+      in
+      check (contains fsck_out "clean") "fsck not clean";
+      (* the store survived gc: a re-run still executes nothing *)
+      let out =
+        run "rerun_after_gc"
+          [ "--spec"; "wide.json"; "--dir"; "mig/c2"; "--workers"; "2" ]
+      in
+      check
+        (contains out "0 ran (0 ok, 0 failed, 0 timed out)")
+        "gc broke the store: jobs re-ran";
+      let dedup_out =
+        gklock_ok ctx "dedup" [ "campaign"; "dedup"; "--store"; "mig/store" ]
+      in
+      check (contains dedup_out "objects") "dedup printed no object counts")
 
 (* ----- 6. serve_unix_parity ----- *)
 

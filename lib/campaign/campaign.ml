@@ -92,6 +92,16 @@ let status ~dir matrix =
     close_in ic;
     Buffer.add_string buf ("telemetry: " ^ String.trim contents ^ "\n")
   end;
+  (* where this campaign's results live in the shared store *)
+  let pointer = Filename.concat dir "store.json" in
+  (if Sys.file_exists pointer then
+     match Cjson.of_string (String.trim (Fs.read_file pointer)) with
+     | Ok j ->
+       let field name = Option.value ~default:"?" (Cjson.mem_str name j) in
+       Buffer.add_string buf
+         (Printf.sprintf "store: %s (manifest %s)\n" (field "store")
+            (field "manifest"))
+     | Error _ -> ());
   Buffer.contents buf
 
 (* ----- report ----- *)
@@ -275,8 +285,8 @@ let table2_view ?(profile = "standard") dir =
 (* ----- run ----- *)
 
 let run ?workers ?timeout_s ?retries ?exec ?should_abort ~dir matrix =
-  Job_store.mkdir_p dir;
-  Job_store.write_atomic
+  Fs.mkdir_p dir;
+  Fs.write_atomic
     ~path:(Filename.concat dir matrix_file)
     (Cjson.to_string (Campaign_job.matrix_to_json matrix) ^ "\n");
   let config =
@@ -297,7 +307,7 @@ let run ?workers ?timeout_s ?retries ?exec ?should_abort ~dir matrix =
     | Some f -> f
     | None -> fun (j : Campaign_job.t) -> Campaign_exec.run j.Campaign_job.spec
   in
-  let store = Job_store.open_ ~dir in
+  let store = Job_store.open_ dir in
   let telemetry = Telemetry.create ~dir in
   let jobs = Campaign_job.expand matrix in
   Fun.protect
@@ -305,7 +315,7 @@ let run ?workers ?timeout_s ?retries ?exec ?should_abort ~dir matrix =
       Telemetry.write_summary telemetry;
       Job_store.close store;
       Telemetry.close telemetry;
-      Job_store.write_atomic
+      Fs.write_atomic
         ~path:(Filename.concat dir report_file)
         (report ~dir matrix))
     (fun () ->

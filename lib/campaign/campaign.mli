@@ -5,7 +5,10 @@
 
     {v
     <dir>/matrix.json     the declarative job matrix (written by run)
-    <dir>/results.jsonl   the job store — one record per finished job
+    <dir>/store.json      pointer to the shared content-addressed store
+                          and this campaign's manifest (see {!Cas};
+                          records live in <parent>/store, shared by all
+                          sibling campaigns)
     <dir>/trace.jsonl     telemetry events (timestamps, wall times)
     <dir>/summary.json    aggregate telemetry checkpoint
     <dir>/report.txt      the deterministic report (same bytes whether
@@ -14,7 +17,8 @@
     v}
 
     {!run} is idempotent: it expands the matrix, skips every job already
-    in the store, executes the rest, and rewrites the report. *)
+    recorded (adopting results any sibling campaign computed), executes
+    the rest, and rewrites the report. *)
 
 (** Default campaign root directory, ["campaigns"] (gitignored). *)
 val default_root : string

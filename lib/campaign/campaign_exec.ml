@@ -175,6 +175,10 @@ let run_attack ~bench ~scheme ~width ~attack ~seed =
   in
   let fields =
     [
+      (* the full locked netlist, for artifact extraction; identical
+         across attacks on the same (bench, scheme, width, seed), so the
+         store's blob sharing keeps one copy on disk *)
+      ("locked_bench", Cjson.Str (Bench_format.print locked));
       ("keys", Cjson.Int (List.length key_inputs));
       ("verdict", Cjson.Str (Attack.verdict_name o.Attack.verdict));
       ("broken", Cjson.Bool (Attack.broken o.Attack.verdict));

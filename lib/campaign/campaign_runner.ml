@@ -39,6 +39,7 @@ let m_jobs_failed = Obs.Metrics.counter "campaign.jobs_failed"
 let m_jobs_timed_out = Obs.Metrics.counter "campaign.jobs_timed_out"
 let m_jobs_retried = Obs.Metrics.counter "campaign.jobs_retried"
 let m_jobs_skipped = Obs.Metrics.counter "campaign.jobs_skipped"
+let m_jobs_adopted = Obs.Metrics.counter "campaign.jobs_adopted"
 let h_job_wall = Obs.Metrics.histogram "campaign.job_wall_s"
 
 (* Integer metrics worth surfacing in the telemetry trace alongside the
@@ -61,11 +62,17 @@ let run ~store ?(telemetry = Telemetry.null ()) ?(should_abort = fun () -> false
   let skipped = ref 0 in
   List.iter
     (fun (j : Campaign_job.t) ->
-      match Job_store.lookup store j.Campaign_job.id with
-      | Some _ ->
+      (* consult the whole store, not just this campaign: a result
+         computed by any sibling campaign is adopted instead of re-run *)
+      match Job_store.find store j.Campaign_job.id with
+      | Some (_, `Own) ->
         incr skipped;
         Obs.Metrics.incr m_jobs_skipped;
         Telemetry.emit telemetry ~job:j.Campaign_job.id ~event:"skipped" []
+      | Some (_, `Adopted) ->
+        incr skipped;
+        Obs.Metrics.incr m_jobs_adopted;
+        Telemetry.emit telemetry ~job:j.Campaign_job.id ~event:"adopted" []
       | None ->
         Telemetry.emit telemetry ~job:j.Campaign_job.id ~event:"queued"
           [ ("spec", Campaign_job.spec_to_json j.Campaign_job.spec) ];

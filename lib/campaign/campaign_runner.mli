@@ -1,6 +1,8 @@
 (** The campaign worker pool: domains, timeouts, retries, checkpointing.
 
-    Jobs already present in the store are skipped (resume); the rest are
+    Jobs already present in the campaign manifest are skipped (resume),
+    results computed by a sibling campaign in the shared store are
+    adopted; the rest are
     dispatched to up to [workers] concurrent OCaml 5 domains, one domain
     per job execution.  The scheduler polls the in-flight slots:
 
@@ -44,7 +46,7 @@ type stats = {
   ok : int;
   failed : int;     (** recorded exception failures *)
   timed_out : int;  (** recorded timeouts *)
-  skipped : int;    (** already in the store *)
+  skipped : int;    (** already in the store (own records + adopted) *)
   retries : int;    (** re-queued transient attempts *)
   aborted : bool;   (** an executor raised {!Abort} *)
   abandoned : int;  (** domains left running past their timeout *)

@@ -1,0 +1,142 @@
+(** Content-addressed result store shared by every campaign under one
+    root (in the spirit of Tezos [lib_context]).
+
+    {v
+    <root>/objects/ab/cdef…      immutable objects, named by the MD5 of
+                                 their bytes (tmp + fsync + rename)
+    <root>/index.bin             binary id→object index: 8-byte magic,
+                                 then fixed 32-byte entries
+                                 (16-byte raw job id MD5 ‖ 16-byte raw
+                                 object MD5); append-only, last wins
+    <root>/manifests/<name>.idx  one campaign's result roots, same
+                                 binary entry format
+    <root>/manifests/<name>.json sidecar naming the campaign directory
+                                 (GC drops manifests whose directory is
+                                 gone)
+    <root>/quarantine/…          objects fsck moved aside
+    v}
+
+    Objects are immutable and idempotent to write: storing the same
+    bytes twice stores them once.  Records are canonical {!Cjson}
+    values whose large string fields (locked netlists, stimuli, …) are
+    externalized as [{"$blob": digest}] references, so a blob shared by
+    many jobs lives on disk exactly once.  The binary index makes
+    id→object lookup O(1) after an O(entries) binary load — no JSON is
+    parsed until a specific record is read.
+
+    A torn index tail (crash mid-append) is ignored on load and
+    repaired by {!fsck}; a corrupt object is detected by digest
+    verification on read and quarantined by {!fsck}.  Readers never
+    crash on a corrupt store — they see the affected records as
+    absent. *)
+
+type t
+
+(** [open_ ?sync root] opens (creating if needed) the store rooted at
+    [root].  [sync] (default [true]) controls whether object and index
+    writes are fsynced; tests building huge throwaway stores turn it
+    off. *)
+val open_ : ?sync:bool -> string -> t
+
+val root : t -> string
+val close : t -> unit
+
+(** {1 Objects} *)
+
+(** [put t bytes] stores [bytes] (if new) and returns its digest. *)
+val put : t -> string -> string
+
+(** [get t digest] is the object's bytes, verified against [digest];
+    missing or corrupt objects are [None]. *)
+val get : t -> string -> string option
+
+val mem : t -> string -> bool
+
+(** Strings at or above this many bytes are externalized as blob
+    references by {!put_record}. *)
+val blob_threshold : int
+
+(** [put_record t json] externalizes large strings as blobs, stores the
+    canonical rendering as an object and returns its digest. *)
+val put_record : t -> Cjson.t -> string
+
+(** [get_record t digest] reads an object written by {!put_record} and
+    resolves its blob references back to inline strings.  Digests are
+    verified; a missing/corrupt record or blob is an [Error]. *)
+val get_record : t -> string -> (Cjson.t, string) result
+
+(** {1 Index} *)
+
+val index_lookup : t -> string -> string option
+val index_add : t -> id:string -> digest:string -> unit
+val index_size : t -> int
+
+(** {1 Manifests} *)
+
+type manifest
+
+(** [manifest t ~name ~dir] opens (creating if needed) the manifest
+    [name] for the campaign living in directory [dir], for appending. *)
+val manifest : t -> name:string -> dir:string -> manifest
+
+(** Read-only open of an existing manifest; [None] if absent. *)
+val manifest_ro : t -> name:string -> manifest option
+
+val manifest_lookup : manifest -> string -> string option
+val manifest_add : manifest -> id:string -> digest:string -> unit
+
+(** Entries as [(id, digest)], first-added order, last digest wins. *)
+val manifest_entries : manifest -> (string * string) list
+
+val manifest_size : manifest -> int
+val manifest_close : manifest -> unit
+val manifest_names : t -> string list
+
+(** {1 Maintenance} *)
+
+type gc_stats = {
+  gc_live_objects : int;
+  gc_swept_objects : int;
+  gc_swept_bytes : int;
+  gc_dropped_manifests : string list;
+      (** manifests whose campaign directory no longer exists *)
+  gc_index_entries : int;  (** index entries after the rebuild *)
+}
+
+(** [gc t] drops manifests whose campaign directory is gone, rebuilds
+    the index from the surviving manifests, and sweeps every object not
+    reachable from a surviving manifest (records and the blobs they
+    reference).  Must not run concurrently with a campaign writing to
+    the same store. *)
+val gc : t -> gc_stats
+
+type fsck_report = {
+  f_objects : int;          (** objects scanned *)
+  f_corrupt : (string * string) list;  (** (path, reason) quarantined *)
+  f_index_dropped : int;    (** index entries whose object is gone *)
+  f_index_torn_bytes : int; (** trailing bytes from a torn append *)
+  f_manifest_dropped : (string * int) list;
+      (** per-manifest entries whose object is gone *)
+  f_ok : bool;              (** nothing was wrong *)
+}
+
+(** [fsck t] verifies every object against its digest (corrupt ones are
+    moved to [quarantine/]), repairs a torn or headerless index, and
+    drops index/manifest entries pointing at missing objects.  The
+    store is valid after fsck; affected jobs simply become pending
+    again. *)
+val fsck : t -> fsck_report
+
+type stats = {
+  st_objects : int;
+  st_bytes : int;
+  st_index_entries : int;
+  st_manifests : (string * int) list;  (** (name, entries) *)
+  st_blobs : int;        (** distinct blobs referenced by records *)
+  st_blob_refs : int;    (** total references to blobs *)
+  st_shared_blobs : int; (** blobs referenced by more than one record *)
+  st_saved_bytes : int;
+      (** bytes structural sharing avoided writing: Σ (refs−1)·size *)
+}
+
+val stats : t -> stats

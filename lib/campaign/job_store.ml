@@ -12,6 +12,8 @@ type record = {
 }
 
 let results_file = "results.jsonl"
+let migrated_file = results_file ^ ".migrated"
+let pointer_file = "store.json"
 
 let record_to_json r =
   let outcome =
@@ -76,22 +78,6 @@ let record_of_json j =
   let r_wall_s = Option.value ~default:0.0 (Cjson.mem_float "wall_s" j) in
   Ok { r_id; r_spec; r_outcome; r_wall_s }
 
-(* ----- loading ----- *)
-
-let fold_lines path f init =
-  if not (Sys.file_exists path) then init
-  else begin
-    let ic = open_in_bin path in
-    let rec go acc =
-      match input_line ic with
-      | line -> go (f acc line)
-      | exception End_of_file -> acc
-    in
-    let r = go init in
-    close_in ic;
-    r
-  end
-
 let parse_record line =
   if String.trim line = "" then None
   else
@@ -99,80 +85,180 @@ let parse_record line =
     | Ok j -> ( match record_of_json j with Ok r -> Some r | Error _ -> None)
     | Error _ -> None (* torn/corrupt line (e.g. a crash mid-write): skip *)
 
-let load ~dir =
-  let path = Filename.concat dir results_file in
-  let tbl = Hashtbl.create 64 in
-  let order =
-    fold_lines path
-      (fun order line ->
-        match parse_record line with
-        | None -> order
-        | Some r ->
-          let fresh = not (Hashtbl.mem tbl r.r_id) in
-          Hashtbl.replace tbl r.r_id r;
-          if fresh then r.r_id :: order else order)
-      []
+(* ----- store location ----- *)
+
+let absolutize p =
+  if Filename.is_relative p then Filename.concat (Sys.getcwd ()) p else p
+
+let store_root ~dir =
+  match Sys.getenv_opt "GKLOCK_STORE" with
+  | Some s when s <> "" -> s
+  | _ -> Filename.concat (Filename.dirname (absolutize dir)) "store"
+
+let manifest_name ~dir =
+  let base =
+    String.map
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '_' | '-' -> c
+        | _ -> '_')
+      (Filename.basename (absolutize dir))
   in
-  List.rev_map (fun id -> Hashtbl.find tbl id) order
+  let short = String.sub (Digest.to_hex (Digest.string (absolutize dir))) 0 8 in
+  base ^ "-" ^ short
 
 (* ----- open store ----- *)
 
 type t = {
   s_dir : string;
-  s_oc : out_channel;
+  s_cas : Cas.t;
+  s_manifest : Cas.manifest;
   s_mutex : Mutex.t;
-  s_tbl : (string, record) Hashtbl.t;
+  s_cache : (string, record) Hashtbl.t;  (* parsed-record read cache *)
 }
 
-let rec mkdir_p path =
-  if path = "" || path = "." || path = "/" || Sys.file_exists path then ()
-  else begin
-    mkdir_p (Filename.dirname path);
-    try Unix.mkdir path 0o755
-    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+let read_record cas digest =
+  match Cas.get_record cas digest with
+  | Error _ -> None (* corrupt/missing: absent, the job goes pending again *)
+  | Ok json -> (
+    match record_of_json json with Ok r -> Some r | Error _ -> None)
+
+(* Import a pre-CAS results.jsonl into the store, then move it aside so
+   reports (and a second open) do not double-count it. *)
+let import_legacy cas manifest dir =
+  let path = Filename.concat dir results_file in
+  if Sys.file_exists path then begin
+    Fs.fold_lines path
+      (fun () line ->
+        match parse_record line with
+        | None -> ()
+        | Some r ->
+          let digest = Cas.put_record cas (record_to_json r) in
+          Cas.manifest_add manifest ~id:r.r_id ~digest;
+          Cas.index_add cas ~id:r.r_id ~digest)
+      ();
+    let migrated = Filename.concat dir migrated_file in
+    (try Sys.remove migrated with Sys_error _ -> ());
+    Sys.rename path migrated
   end
 
-let open_ ~dir =
-  mkdir_p dir;
-  let tbl = Hashtbl.create 64 in
-  List.iter (fun r -> Hashtbl.replace tbl r.r_id r) (load ~dir);
-  let fd =
-    Unix.openfile
-      (Filename.concat dir results_file)
-      [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ]
-      0o644
-  in
+let open_ ?(sync = true) dir =
+  Fs.mkdir_p dir;
+  let root = store_root ~dir in
+  let name = manifest_name ~dir in
+  let cas = Cas.open_ ~sync root in
+  let manifest = Cas.manifest cas ~name ~dir:(absolutize dir) in
+  import_legacy cas manifest dir;
+  (* breadcrumb for read-only tooling: which store + manifest is ours *)
+  Fs.write_atomic ~sync
+    ~path:(Filename.concat dir pointer_file)
+    (Cjson.to_string
+       (Cjson.Obj [ ("store", Cjson.Str root); ("manifest", Cjson.Str name) ])
+    ^ "\n");
   {
     s_dir = dir;
-    s_oc = Unix.out_channel_of_descr fd;
+    s_cas = cas;
+    s_manifest = manifest;
     s_mutex = Mutex.create ();
-    s_tbl = tbl;
+    s_cache = Hashtbl.create 64;
   }
 
 let dir t = t.s_dir
-let lookup t id = Hashtbl.find_opt t.s_tbl id
-let size t = Hashtbl.length t.s_tbl
+let cas t = t.s_cas
+
+let locked t f =
+  Mutex.lock t.s_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.s_mutex) f
+
+let lookup t id =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.s_cache id with
+      | Some r -> Some r
+      | None -> (
+        match Cas.manifest_lookup t.s_manifest id with
+        | None -> None
+        | Some digest -> (
+          match read_record t.s_cas digest with
+          | None -> None
+          | Some r ->
+            Hashtbl.replace t.s_cache id r;
+            Some r)))
+
+let find t id =
+  match lookup t id with
+  | Some r -> Some (r, `Own)
+  | None ->
+    locked t (fun () ->
+        match Cas.index_lookup t.s_cas id with
+        | None -> None
+        | Some digest -> (
+          match read_record t.s_cas digest with
+          | None -> None
+          | Some r ->
+            (* adopt the sibling campaign's result as one of our roots *)
+            Cas.manifest_add t.s_manifest ~id ~digest;
+            Hashtbl.replace t.s_cache id r;
+            Some (r, `Adopted)))
+
+let size t = Cas.manifest_size t.s_manifest
 
 let append t r =
-  let line = Cjson.to_string (record_to_json r) ^ "\n" in
-  Mutex.lock t.s_mutex;
-  Fun.protect
-    ~finally:(fun () -> Mutex.unlock t.s_mutex)
-    (fun () ->
-      output_string t.s_oc line;
-      flush t.s_oc;
-      Hashtbl.replace t.s_tbl r.r_id r)
+  locked t (fun () ->
+      let digest = Cas.put_record t.s_cas (record_to_json r) in
+      Cas.manifest_add t.s_manifest ~id:r.r_id ~digest;
+      Cas.index_add t.s_cas ~id:r.r_id ~digest;
+      Hashtbl.replace t.s_cache r.r_id r)
 
 let close t =
-  Mutex.lock t.s_mutex;
-  Fun.protect
-    ~finally:(fun () -> Mutex.unlock t.s_mutex)
-    (fun () -> close_out t.s_oc)
+  locked t (fun () ->
+      Cas.manifest_close t.s_manifest;
+      Cas.close t.s_cas)
 
-let write_atomic ~path contents =
-  mkdir_p (Filename.dirname path);
-  let tmp = path ^ ".tmp" in
-  let oc = open_out_bin tmp in
-  output_string oc contents;
-  close_out oc;
-  Sys.rename tmp path
+(* ----- read-only load ----- *)
+
+let load ~dir =
+  let tbl = Hashtbl.create 64 in
+  let rev_order = ref [] in
+  let pointer = Filename.concat dir pointer_file in
+  (if Sys.file_exists pointer then begin
+     let name, root =
+       match Cjson.of_string (String.trim (Fs.read_file pointer)) with
+       | Ok j -> (Cjson.mem_str "manifest" j, Cjson.mem_str "store" j)
+       | Error _ -> (None, None)
+     in
+     let name = Option.value ~default:(manifest_name ~dir) name in
+     let root = Option.value ~default:(store_root ~dir) root in
+     if Sys.file_exists root then begin
+       let cas = Cas.open_ root in
+       Fun.protect
+         ~finally:(fun () -> Cas.close cas)
+         (fun () ->
+           match Cas.manifest_ro cas ~name with
+           | None -> ()
+           | Some m ->
+             List.iter
+               (fun (id, digest) ->
+                 match read_record cas digest with
+                 | None -> ()
+                 | Some r ->
+                   if not (Hashtbl.mem tbl id) then rev_order := id :: !rev_order;
+                   Hashtbl.replace tbl id r)
+               (Cas.manifest_entries m))
+     end
+   end);
+  (* any legacy lines not yet imported (manifest wins for duplicate ids) *)
+  let legacy = Filename.concat dir results_file in
+  let rev_order =
+    Fs.fold_lines legacy
+      (fun order line ->
+        match parse_record line with
+        | None -> order
+        | Some r ->
+          if Hashtbl.mem tbl r.r_id then order
+          else begin
+            Hashtbl.replace tbl r.r_id r;
+            r.r_id :: order
+          end)
+      !rev_order
+  in
+  List.rev_map (fun id -> Hashtbl.find tbl id) rev_order

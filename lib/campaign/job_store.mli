@@ -1,12 +1,26 @@
-(** On-disk campaign result store: append-only JSONL, keyed by job ID.
+(** Campaign result store, backed by the content-addressed {!Cas}.
 
-    One line per finished job attempt chain — either [Done] with the
-    executor's payload or [Failed] with a structured failure.  Lines are
-    appended with a single [O_APPEND] write and flushed, so concurrent
-    readers never see a torn record and a crash loses at most the line
-    being written; {!load} skips corrupt or truncated lines, which is
-    what makes interrupt/resume safe.  For duplicate IDs the last line
-    wins (a forced re-run supersedes the old record). *)
+    Each finished job attempt chain is one record — either [Done] with
+    the executor's payload or [Failed] with a structured failure.  A
+    record is stored once as an immutable CAS object (large payload
+    strings are shared between jobs as blobs) and referenced from two
+    places: the campaign's own manifest (its GC roots, in append order)
+    and the store-wide index (id→object, O(1) lookup).  Sibling
+    campaigns under one root share a store, so a job already computed by
+    {e any} campaign is found by {!find} and adopted instead of re-run.
+
+    Durability: appends go object-first (tmp + fsync + rename), then
+    manifest, then index, so a crash can lose at most the entry being
+    written and never leaves a reader-visible torn record; a corrupt
+    object reads as absent ({!Cas.fsck} quarantines it) and the job
+    simply becomes pending again.  For duplicate IDs the last entry wins
+    (a forced re-run supersedes the old record).
+
+    Legacy migration: a store directory holding a pre-CAS
+    [results.jsonl] is imported on {!open_} (the file is renamed
+    [results.jsonl.migrated]); {!load} also merges any un-imported
+    legacy lines, so reports stay byte-identical across the
+    migration. *)
 
 type failure_kind = Timeout | Exception
 
@@ -24,34 +38,50 @@ type record = {
 
 type t
 
-(** [open_ ~dir] creates [dir] if needed and loads [dir/results.jsonl]
-    (if any) for appending. *)
-val open_ : dir:string -> t
+(** [store_root ~dir] is the CAS root campaign directory [dir] uses:
+    [$GKLOCK_STORE] when set, else a [store/] sibling of [dir] — so
+    every campaign under one parent (e.g. [campaigns/]) shares one
+    store. *)
+val store_root : dir:string -> string
+
+(** Stable manifest name for campaign directory [dir]: its sanitized
+    basename plus a short digest of the absolute path, so same-named
+    campaigns under different parents do not collide. *)
+val manifest_name : dir:string -> string
+
+(** [open_ ?sync dir] creates campaign directory [dir] if needed, opens
+    (creating if needed) its shared store and manifest for appending,
+    and imports a legacy [dir/results.jsonl] if one is present.  [sync]
+    (default [true]) is passed to {!Cas.open_}. *)
+val open_ : ?sync:bool -> string -> t
 
 val dir : t -> string
 
-(** [lookup t id] is the stored record for [id], if any. *)
+(** The underlying store (for maintenance and tests). *)
+val cas : t -> Cas.t
+
+(** [lookup t id] is this campaign's record for [id], if any. *)
 val lookup : t -> string -> record option
 
-(** Number of distinct job IDs with a record. *)
+(** [find t id] also consults the store-wide index: a record computed by
+    a sibling campaign is adopted into this campaign's manifest (so
+    reports include it and GC keeps it) and returned as [`Adopted]. *)
+val find : t -> string -> (record * [ `Own | `Adopted ]) option
+
+(** Number of distinct job IDs with a record in this campaign. *)
 val size : t -> int
 
-(** [append t r] records [r] durably (single-line append + flush) and in
-    memory. *)
+(** [append t r] records [r] durably (object, then manifest, then
+    index) and in memory. *)
 val append : t -> record -> unit
 
 val close : t -> unit
 
-(** Read-only load of a store directory; missing file = empty list.
-    Distinct IDs only, last record per ID, in first-seen file order. *)
+(** Read-only load of a campaign directory; missing stores and files
+    yield [[]].  Distinct IDs only, last record per ID, in first-seen
+    append order; corrupt entries are skipped.  Works on both CAS-backed
+    and legacy (pure [results.jsonl]) directories. *)
 val load : dir:string -> record list
 
 val record_to_json : record -> Cjson.t
 val record_of_json : Cjson.t -> (record, string) result
-
-(** [write_atomic ~path contents] writes via a temp file + rename, so
-    readers see either the old or the new file, never a partial one. *)
-val write_atomic : path:string -> string -> unit
-
-(** [mkdir_p dir] creates [dir] and its parents (idempotent). *)
-val mkdir_p : string -> unit

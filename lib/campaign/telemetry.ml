@@ -20,7 +20,7 @@ let make dir oc =
   }
 
 let create ~dir =
-  Job_store.mkdir_p dir;
+  Fs.mkdir_p dir;
   let fd =
     Unix.openfile
       (Filename.concat dir "trace.jsonl")
@@ -88,7 +88,7 @@ let write_summary t =
   match t.t_dir with
   | None -> ()
   | Some dir ->
-    Job_store.write_atomic
+    Fs.write_atomic
       ~path:(Filename.concat dir "summary.json")
       (Cjson.to_string (summary t) ^ "\n")
 

@@ -1,7 +1,8 @@
 (** Campaign telemetry: a JSONL event trace plus aggregate counters.
 
     Every job emits lifecycle events — [queued], [started], [retried],
-    [finished], [failed], [timeout], [skipped] — to [dir/trace.jsonl],
+    [finished], [failed], [timeout], [skipped], [adopted] — to
+    [dir/trace.jsonl],
     each stamped with a wall-clock timestamp and free-form metric fields
     (wall seconds, attack iterations, DIP counts, ...).  The sink also
     keeps per-event counters and total/maximum job wall time; {!summary}

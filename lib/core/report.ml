@@ -213,3 +213,11 @@ let corruptibility rows =
         ])
     rows;
   Ascii_table.render t
+
+let kv_table ~title rows =
+  let t =
+    Ascii_table.create ~title
+      ~columns:[ ("", Ascii_table.Left); ("", Ascii_table.Right) ]
+  in
+  List.iter (fun (k, v) -> Ascii_table.add_row t [ k; v ]) rows;
+  Ascii_table.render t

@@ -7,3 +7,8 @@ val comparison : Experiments.comparison_row list -> string
 val ablation_glitch : Experiments.ablation_glitch_row list -> string
 val ablation_profile : Experiments.ablation_profile_row list -> string
 val corruptibility : Experiments.corruption_row list -> string
+
+(** [kv_table ~title rows] renders labelled values two columns wide —
+    used by maintenance views (store status, dedup) rather than paper
+    tables. *)
+val kv_table : title:string -> (string * string) list -> string

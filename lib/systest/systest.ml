@@ -49,22 +49,8 @@ type result = {
   r_dir : string;
 }
 
-let mkdir_p dir =
-  let rec go d =
-    if d <> "/" && d <> "." && not (Sys.file_exists d) then begin
-      go (Filename.dirname d);
-      try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
-    end
-  in
-  go dir
-
-let rec rm_rf path =
-  match Unix.lstat path with
-  | { Unix.st_kind = Unix.S_DIR; _ } ->
-    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
-    (try Unix.rmdir path with Unix.Unix_error _ -> ())
-  | _ -> ( try Sys.remove path with Sys_error _ -> ())
-  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+let mkdir_p = Fs.mkdir_p
+let rm_rf = Fs.rm_rf
 
 let contains_sub line sub =
   let ll = String.length line and ls = String.length sub in

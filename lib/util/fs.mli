@@ -1,0 +1,37 @@
+(** Shared filesystem helpers.
+
+    One home for the idioms the subsystems used to each reimplement:
+    recursive mkdir, whole-file reads, leak-safe line folds, recursive
+    removal, and crash-safe atomic writes.
+
+    Durability contract of {!write_atomic}: the temp file is fsynced
+    before the rename and the parent directory is fsynced after it, so
+    after a crash readers see either the old contents or the complete
+    new contents — never a truncated file, and never a rename that the
+    directory forgot. *)
+
+(** [mkdir_p dir] creates [dir] and its parents (idempotent). *)
+val mkdir_p : string -> unit
+
+(** [read_file path] is the whole contents of [path]. *)
+val read_file : string -> string
+
+(** [fold_lines path f init] folds [f] over the lines of [path] in
+    order; a missing file yields [init].  The channel is closed even
+    when [f] raises. *)
+val fold_lines : string -> ('a -> string -> 'a) -> 'a -> 'a
+
+(** [rm_rf path] removes [path] recursively; missing paths are fine. *)
+val rm_rf : string -> unit
+
+(** [fsync_dir dir] flushes [dir]'s directory entry metadata (best
+    effort: errors from filesystems that cannot fsync directories are
+    swallowed). *)
+val fsync_dir : string -> unit
+
+(** [write_atomic ?sync ~path contents] writes [contents] to a unique
+    temp file in [path]'s directory, fsyncs it (unless [sync] is
+    [false]), renames it over [path] and fsyncs the directory.  Readers
+    see the old or the new file, never a partial one; with [sync] (the
+    default) the new contents also survive a crash. *)
+val write_atomic : ?sync:bool -> path:string -> string -> unit

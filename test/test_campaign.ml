@@ -1,18 +1,24 @@
-(* Tests for the campaign subsystem: Cjson codec, job IDs, the JSONL
-   store, the domain pool (timeouts, retries, structured failures) and
-   the interrupt/resume guarantee. *)
+(* Tests for the campaign subsystem: Cjson codec, job IDs, the
+   content-addressed store (objects, index, manifests, gc/fsck, legacy
+   migration), the domain pool (timeouts, retries, structured failures),
+   cross-campaign adoption and the interrupt/resume guarantee. *)
 
 let tc = Alcotest.test_case
 
-(* Fresh scratch directory per test; campaign stores are plain files so
-   cleanup is best-effort (the temp dir is reaped by the OS anyway). *)
+(* Fresh scratch campaign directory per test; campaign stores are plain
+   files so cleanup is best-effort (the temp dir is reaped by the OS
+   anyway).  The campaign dir is nested one level down so each test gets
+   its own sibling store/ root — sibling campaigns deliberately share a
+   store, which would otherwise let job IDs leak between tests. *)
 let dir_counter = ref 0
 
-let fresh_dir () =
+let fresh_parent () =
   incr dir_counter;
   Filename.concat
     (Filename.get_temp_dir_name ())
     (Printf.sprintf "gklock_campaign_test_%d_%d" (Unix.getpid ()) !dir_counter)
+
+let fresh_dir () = Filename.concat (fresh_parent ()) "c"
 
 let read_file path =
   let ic = open_in_bin path in
@@ -253,7 +259,7 @@ let mk_record ?(seed = 1) outcome =
 
 let test_store_basic () =
   let dir = fresh_dir () in
-  let store = Job_store.open_ ~dir in
+  let store = Job_store.open_ dir in
   Alcotest.(check int) "empty" 0 (Job_store.size store);
   let r1 = mk_record (Job_store.Done (Cjson.Obj [ ("keys", Cjson.Int 4) ])) in
   let r2 =
@@ -274,25 +280,196 @@ let test_store_basic () =
     Alcotest.(check (option int)) "last wins" (Some 8) (Cjson.mem_int "keys" p)
   | _ -> Alcotest.fail "expected Done");
   (* a reopened store sees the same records *)
-  let store = Job_store.open_ ~dir in
+  let store = Job_store.open_ dir in
   Alcotest.(check int) "reopen" 2 (Job_store.size store);
   Job_store.close store
 
 let test_store_corrupt_line () =
   let dir = fresh_dir () in
-  let store = Job_store.open_ ~dir in
+  let store = Job_store.open_ dir in
   Job_store.append store
     (mk_record (Job_store.Done (Cjson.Obj [ ("keys", Cjson.Int 4) ])));
   Job_store.close store;
-  (* simulate a crash mid-append: a torn line at the end of the file *)
+  (* simulate a crash mid-write of a legacy-format line: load must skip
+     it while still returning the store-backed record *)
   let oc =
-    open_out_gen [ Open_append; Open_binary ]
+    open_out_gen
+      [ Open_append; Open_creat; Open_binary ]
       0o644
       (Filename.concat dir "results.jsonl")
   in
   output_string oc "{\"id\": \"deadbeef\", \"outcome\": {\"st";
   close_out oc;
   Alcotest.(check int) "torn line skipped" 1 (List.length (Job_store.load ~dir))
+
+(* ----- content-addressed store ----- *)
+
+let object_file root digest =
+  Filename.concat root
+    (Filename.concat "objects"
+       (Filename.concat (String.sub digest 0 2) (String.sub digest 2 30)))
+
+let test_cas_objects () =
+  let root = Filename.concat (fresh_parent ()) "store" in
+  let cas = Cas.open_ root in
+  let d1 = Cas.put cas "hello" in
+  Alcotest.(check string) "idempotent put" d1 (Cas.put cas "hello");
+  Alcotest.(check (option string)) "get" (Some "hello") (Cas.get cas d1);
+  Alcotest.(check bool) "mem" true (Cas.mem cas d1);
+  Alcotest.(check (option string))
+    "absent digest" None
+    (Cas.get cas (String.make 32 '0'));
+  (* large strings leave the record as $blob references and come back *)
+  let big = String.make 4096 'x' in
+  let rd =
+    Cas.put_record cas
+      (Cjson.Obj [ ("small", Cjson.Str "s"); ("big", Cjson.Str big) ])
+  in
+  (match Cas.get_record cas rd with
+  | Ok j -> Alcotest.(check (option string)) "blob resolved" (Some big)
+              (Cjson.mem_str "big" j)
+  | Error e -> Alcotest.failf "get_record: %s" e);
+  let raw = Option.get (Cas.get cas rd) in
+  Alcotest.(check bool) "record object holds a reference, not the bytes" false
+    (contains ~needle:"xxxx" raw);
+  (* a second record with the same blob shares the object *)
+  let _rd2 =
+    Cas.put_record cas
+      (Cjson.Obj [ ("other", Cjson.Int 2); ("big", Cjson.Str big) ])
+  in
+  let s = Cas.stats cas in
+  Alcotest.(check int) "hello + blob + 2 records" 4 s.Cas.st_objects;
+  Cas.close cas
+
+let test_cas_torn_index () =
+  let root = Filename.concat (fresh_parent ()) "store" in
+  let cas = Cas.open_ root in
+  let id = Campaign_job.id (attack_spec ()) in
+  let digest = Cas.put cas "payload" in
+  Cas.index_add cas ~id ~digest;
+  Cas.close cas;
+  (* crash mid-append: a partial trailing entry *)
+  let oc =
+    open_out_gen
+      [ Open_append; Open_binary ]
+      0o644
+      (Filename.concat root "index.bin")
+  in
+  output_string oc "torn!!!";
+  close_out oc;
+  let cas = Cas.open_ root in
+  Alcotest.(check (option string))
+    "torn tail ignored on load" (Some digest) (Cas.index_lookup cas id);
+  let f = Cas.fsck cas in
+  Alcotest.(check int) "torn bytes detected" 7 f.Cas.f_index_torn_bytes;
+  Alcotest.(check bool) "repair reported" false f.Cas.f_ok;
+  let f2 = Cas.fsck cas in
+  Alcotest.(check bool) "second fsck clean" true f2.Cas.f_ok;
+  Alcotest.(check (option string))
+    "entry survives the repair" (Some digest) (Cas.index_lookup cas id);
+  Cas.close cas
+
+let test_cas_fsck_corruption () =
+  let parent = fresh_parent () in
+  Fs.mkdir_p parent;
+  let root = Filename.concat parent "store" in
+  let cas = Cas.open_ root in
+  let m = Cas.manifest cas ~name:"m" ~dir:parent in
+  let add id_seed json =
+    let id = Campaign_job.id (attack_spec ~seed:id_seed ()) in
+    let digest = Cas.put_record cas json in
+    Cas.manifest_add m ~id ~digest;
+    Cas.index_add cas ~id ~digest;
+    (id, digest)
+  in
+  let id_bad, d_bad = add 1 (Cjson.Obj [ ("v", Cjson.Int 1) ]) in
+  let id_good, _ = add 2 (Cjson.Obj [ ("v", Cjson.Int 2) ]) in
+  (* flip bytes in one object in place — a digest mismatch, not a torn
+     write *)
+  let oc = open_out_bin (object_file root d_bad) in
+  output_string oc "garbage";
+  close_out oc;
+  Alcotest.(check (option string))
+    "corrupt object reads as absent" None (Cas.get cas d_bad);
+  let f = Cas.fsck cas in
+  Alcotest.(check int) "one object quarantined" 1 (List.length f.Cas.f_corrupt);
+  Alcotest.(check int) "its index entry dropped" 1 f.Cas.f_index_dropped;
+  Alcotest.(check bool) "manifest entry dropped" true
+    (f.Cas.f_manifest_dropped = [ ("m", 1) ]);
+  Alcotest.(check bool) "quarantine holds the bytes" true
+    (Sys.file_exists (Filename.concat root (Filename.concat "quarantine" d_bad)));
+  Alcotest.(check bool) "object gone from the tree" false
+    (Sys.file_exists (object_file root d_bad));
+  Alcotest.(check (option string)) "dropped from the index" None
+    (Cas.index_lookup cas id_bad);
+  Alcotest.(check bool) "good entry intact" true
+    (Cas.index_lookup cas id_good <> None);
+  Alcotest.(check bool) "second fsck clean" true (Cas.fsck cas).Cas.f_ok;
+  Cas.manifest_close m;
+  Cas.close cas
+
+let test_store_legacy_migration () =
+  let dir = fresh_dir () in
+  Fs.mkdir_p dir;
+  (* a pre-CAS store: plain JSONL lines *)
+  let records =
+    [
+      mk_record (Job_store.Done (Cjson.Obj [ ("keys", Cjson.Int 4) ]));
+      mk_record ~seed:2
+        (Job_store.Failed
+           { kind = Job_store.Exception; message = "boom"; attempts = 1 });
+    ]
+  in
+  let oc = open_out_bin (Filename.concat dir "results.jsonl") in
+  List.iter
+    (fun r ->
+      output_string oc (Cjson.to_string (Job_store.record_to_json r) ^ "\n"))
+    records;
+  close_out oc;
+  let render rs =
+    String.concat "\n"
+      (List.map (fun r -> Cjson.to_string (Job_store.record_to_json r)) rs)
+  in
+  let before = render (Job_store.load ~dir) in
+  (* open_ imports the file into the store and moves it aside *)
+  let store = Job_store.open_ dir in
+  Alcotest.(check int) "both records imported" 2 (Job_store.size store);
+  Job_store.close store;
+  Alcotest.(check bool) "results.jsonl renamed" false
+    (Sys.file_exists (Filename.concat dir "results.jsonl"));
+  Alcotest.(check bool) "migrated file kept" true
+    (Sys.file_exists (Filename.concat dir "results.jsonl.migrated"));
+  Alcotest.(check string) "load is byte-identical across the migration" before
+    (render (Job_store.load ~dir))
+
+(* ----- scale: gc and fsck over a 10k-object store ----- *)
+
+let test_store_gc_fsck_scale () =
+  let parent = fresh_parent () in
+  Fs.mkdir_p parent;
+  let root = Filename.concat parent "store" in
+  let cas = Cas.open_ ~sync:false root in
+  (* 10k unreferenced objects... *)
+  for i = 1 to 10_000 do
+    ignore (Cas.put cas (Printf.sprintf "dead object %d" i))
+  done;
+  (* ...plus 100 live records under a manifest whose campaign exists *)
+  let m = Cas.manifest cas ~name:"live" ~dir:parent in
+  for i = 1 to 100 do
+    let id = Campaign_job.id (attack_spec ~seed:i ()) in
+    let digest = Cas.put_record cas (Cjson.Obj [ ("seed", Cjson.Int i) ]) in
+    Cas.manifest_add m ~id ~digest;
+    Cas.index_add cas ~id ~digest
+  done;
+  let g = Cas.gc cas in
+  Alcotest.(check int) "all dead objects swept" 10_000 g.Cas.gc_swept_objects;
+  Alcotest.(check int) "live records kept" 100 g.Cas.gc_live_objects;
+  Alcotest.(check int) "index rebuilt" 100 g.Cas.gc_index_entries;
+  let f = Cas.fsck cas in
+  Alcotest.(check bool) "store clean after gc" true f.Cas.f_ok;
+  Alcotest.(check int) "fsck scanned the survivors" 100 f.Cas.f_objects;
+  Cas.manifest_close m;
+  Cas.close cas
 
 (* ----- runner: fake executors over a tiny matrix ----- *)
 
@@ -357,7 +534,7 @@ let test_runner_completes () =
     (fun f ->
       Alcotest.(check bool) (f ^ " written") true
         (Sys.file_exists (Filename.concat dir f)))
-    [ "matrix.json"; "results.jsonl"; "trace.jsonl"; "summary.json"; "report.txt" ];
+    [ "matrix.json"; "store.json"; "trace.jsonl"; "summary.json"; "report.txt" ];
   (* second run is a pure resume: everything skipped, nothing re-run *)
   let stats2 =
     Campaign.run ~workers:2 ~timeout_s:30.0 ~exec:(counted_exec counts) ~dir m
@@ -367,6 +544,40 @@ let test_runner_completes () =
   Hashtbl.iter
     (fun _ n -> Alcotest.(check int) "still executed once" 1 n)
     counts
+
+(* Sibling campaigns share a store: a second campaign over the same
+   specs adopts every result instead of re-running, and a widened matrix
+   executes only the delta. *)
+let test_store_adoption () =
+  let parent = fresh_parent () in
+  let counts = Hashtbl.create 8 in
+  let m = small_matrix () in
+  let stats_a =
+    Campaign.run ~workers:2 ~timeout_s:30.0 ~exec:(counted_exec counts)
+      ~dir:(Filename.concat parent "a") m
+  in
+  Alcotest.(check int) "first campaign runs everything" 4
+    stats_a.Campaign_runner.ran;
+  (* same matrix, different campaign dir, same sibling store *)
+  let stats_b =
+    Campaign.run ~workers:2 ~timeout_s:30.0 ~exec:(counted_exec counts)
+      ~dir:(Filename.concat parent "b") m
+  in
+  Alcotest.(check int) "sibling re-runs nothing" 0 stats_b.Campaign_runner.ran;
+  Alcotest.(check int) "everything adopted" 4 stats_b.Campaign_runner.skipped;
+  Hashtbl.iter (fun _ n -> Alcotest.(check int) "executed once" 1 n) counts;
+  Alcotest.(check string) "adopted results render identically"
+    (read_file (Filename.concat (Filename.concat parent "a") "report.txt"))
+    (read_file (Filename.concat (Filename.concat parent "b") "report.txt"));
+  (* widened matrix: only the unseen cells execute *)
+  let wide = { m with Campaign_job.m_seeds = [ 1; 2; 3 ] } in
+  let stats_c =
+    Campaign.run ~workers:2 ~timeout_s:30.0 ~exec:(counted_exec counts)
+      ~dir:(Filename.concat parent "c") wide
+  in
+  Alcotest.(check int) "only the delta ran" 2 stats_c.Campaign_runner.ran;
+  Alcotest.(check int) "the rest adopted" 4 stats_c.Campaign_runner.skipped;
+  Hashtbl.iter (fun _ n -> Alcotest.(check int) "still once" 1 n) counts
 
 (* ISSUE: kill a campaign after N of M jobs, resume, assert the final
    report is byte-identical to an uninterrupted run and completed jobs
@@ -481,7 +692,7 @@ let test_timeout_and_crash_isolated () =
 
 let test_transient_retry () =
   let dir = fresh_dir () in
-  let store = Job_store.open_ ~dir in
+  let store = Job_store.open_ dir in
   let job = Campaign_job.make (attack_spec ()) in
   let attempts = Atomic.make 0 in
   let exec (j : Campaign_job.t) =
@@ -500,7 +711,7 @@ let test_transient_retry () =
 
 let test_transient_exhausted () =
   let dir = fresh_dir () in
-  let store = Job_store.open_ ~dir in
+  let store = Job_store.open_ dir in
   let job = Campaign_job.make (attack_spec ()) in
   let exec _ = raise (Campaign_runner.Transient "still flaky") in
   let config =
@@ -519,7 +730,7 @@ let test_transient_exhausted () =
 
 let test_runner_validation () =
   let dir = fresh_dir () in
-  let store = Job_store.open_ ~dir in
+  let store = Job_store.open_ dir in
   let config =
     { Campaign_runner.workers = 0; timeout_s = 0.0; max_retries = 0 }
   in
@@ -586,10 +797,19 @@ let suites =
       [
         tc "append/load/last-wins" `Quick test_store_basic;
         tc "torn line skipped" `Quick test_store_corrupt_line;
+        tc "legacy migration round-trip" `Quick test_store_legacy_migration;
+      ] );
+    ( "campaign.cas",
+      [
+        tc "objects and blob sharing" `Quick test_cas_objects;
+        tc "torn index tolerated and repaired" `Quick test_cas_torn_index;
+        tc "corruption quarantined" `Quick test_cas_fsck_corruption;
+        tc "gc and fsck at 10k objects" `Slow test_store_gc_fsck_scale;
       ] );
     ( "campaign.runner",
       [
         tc "completes and resumes" `Quick test_runner_completes;
+        tc "cross-campaign adoption" `Quick test_store_adoption;
         tc "interrupt/resume byte-identical" `Quick test_interrupt_resume;
         tc "timeout and crash isolated" `Slow test_timeout_and_crash_isolated;
         tc "transient retry" `Quick test_transient_retry;

@@ -1,6 +1,6 @@
 # Convenience targets; dune is the real build system.
 
-.PHONY: all build test bench bench-quick bench-eval bench-attacks bench-eval-smoke bench-attacks-smoke bench-smoke bench-load fuzz fuzz-smoke systest store-smoke load-smoke gate check examples clean
+.PHONY: all build test bench bench-quick bench-eval bench-attacks bench-eval-smoke bench-attacks-smoke bench-smoke bench-load fuzz fuzz-smoke opt-smoke systest store-smoke load-smoke gate check examples clean
 
 all: build
 
@@ -56,6 +56,12 @@ fuzz:
 fuzz-smoke:
 	dune exec bin/gklock_cli.exe -- fuzz --cases 100000 --time 10 --quiet
 
+# The opt front-end end to end through the CLI: optimize two built-in
+# benchmarks and SAT-verify each optimized netlist against its original.
+opt-smoke: build
+	dune exec bin/gklock_cli.exe -- opt s1238 --check -o /tmp/s1238_opt.bench
+	dune exec bin/gklock_cli.exe -- opt s5378 --check -o /tmp/s5378_opt.bench
+
 # End-to-end system tests: the full scenario catalogue (CLI round
 # trips, campaign run/interrupt/resume, daemon parity, quota and
 # shutdown gating, gate self-check) against the real binaries.  The
@@ -93,7 +99,7 @@ gate: build
 # Everything a PR must keep green: full build (libs, CLI, examples,
 # benches), the test suite, a fuzz smoke, the system-test catalogue
 # and the perf regression gate.
-check: build test fuzz-smoke systest store-smoke gate
+check: build test fuzz-smoke opt-smoke systest store-smoke gate
 
 examples:
 	dune exec examples/quickstart.exe

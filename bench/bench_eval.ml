@@ -82,6 +82,29 @@ let micros ?min_time f =
   let reps, elapsed = time_reps ?min_time f in
   1e6 *. elapsed /. float_of_int reps
 
+(* Interleaved best-of-N windows: single-vCPU CI boxes show wall-clock
+   noise of tens of percent, so when two paths are compared head to head
+   they are timed in alternating windows and each reports its best one —
+   steady-state throughput rather than scheduler luck. *)
+let throughput_pair ?(windows = 6) ~reps ~patterns_per_call f g =
+  f ();
+  g ();
+  Gc.compact ();
+  let best = [| 0.0; 0.0 |] in
+  for _w = 1 to windows do
+    List.iteri
+      (fun i fn ->
+        let t0 = Unix.gettimeofday () in
+        for _r = 1 to reps do
+          fn ()
+        done;
+        let dt = Unix.gettimeofday () -. t0 in
+        let pps = float_of_int (reps * patterns_per_call) /. dt in
+        if pps > best.(i) then best.(i) <- pps)
+      [ f; g ]
+  done;
+  (best.(0), best.(1))
+
 (* words per block on the throughput row — the oracle's default *)
 let block_words = 8
 
@@ -92,6 +115,8 @@ type row = {
   r_scalar_pps : float;
   r_word_pps : float;
   r_block_pps : float;
+  r_sharded_pps : float;
+  r_strash_reduction : float;
   r_topo_uncached_us : float;
   r_topo_cached_us : float;
 }
@@ -123,16 +148,26 @@ let bench_spec ?min_time spec =
     throughput ?min_time ~patterns_per_call:Netlist.Engine.word_bits (fun () ->
         ignore (Netlist.Engine.eval_words_into ~scratch eng (Array.get stim_words)))
   in
-  (* the multi-word engine path as the oracle drives it: reused scratch,
-     sources filled straight into the slot-dense block buffer *)
-  let block_pps =
-    throughput ?min_time
-      ~patterns_per_call:(block_words * Netlist.Engine.word_bits) (fun () ->
-        ignore
-          (Netlist.Engine.eval_block ~scratch eng ~n_words:block_words
-             ~fill:(fun buf ->
-               Array.blit block_stim 0 buf 0 (n_srcs * block_words))))
+  (* the multi-word engine path as the oracle drives it (reused scratch,
+     sources filled straight into the slot-dense block buffer), measured
+     head to head against the sharded plan over the same stimulus *)
+  let fill buf = Array.blit block_stim 0 buf 0 (n_srcs * block_words) in
+  let pln = Netlist.Engine.plan net in
+  let reps =
+    match min_time with
+    | Some t when t < 0.1 -> Stdlib.max 10 (500 / block_words)
+    | _ -> Stdlib.max 20 (2000 / block_words)
   in
+  let block_pps, sharded_pps =
+    throughput_pair ~reps
+      ~patterns_per_call:(block_words * Netlist.Engine.word_bits)
+      (fun () ->
+        ignore
+          (Netlist.Engine.eval_block ~scratch eng ~n_words:block_words ~fill))
+      (fun () ->
+        Netlist.Engine.eval_block_sharded pln ~n_words:block_words ~fill)
+  in
+  let strash_reduction = Opt.reduction (snd (Opt.run net)) in
   let topo_uncached_us = micros ?min_time (fun () -> ignore (legacy_topo net)) in
   let topo_cached_us =
     micros ?min_time (fun () -> ignore (Netlist.comb_topo_order net))
@@ -144,6 +179,8 @@ let bench_spec ?min_time spec =
     r_scalar_pps = scalar_pps;
     r_word_pps = word_pps;
     r_block_pps = block_pps;
+    r_sharded_pps = sharded_pps;
+    r_strash_reduction = strash_reduction;
     r_topo_uncached_us = topo_uncached_us;
     r_topo_cached_us = topo_cached_us;
   }
@@ -194,15 +231,18 @@ let json_of_row r =
   Printf.sprintf
     "    {\"name\": %S, \"cells\": %d, \"legacy_patterns_per_sec\": %.1f, \
      \"scalar_patterns_per_sec\": %.1f, \"word_patterns_per_sec\": %.1f, \
-     \"block_patterns_per_sec\": %.1f, \"word_speedup_vs_legacy\": %.2f, \
-     \"scalar_speedup_vs_legacy\": %.2f, \"block_speedup_vs_word\": %.2f, \
-     \"topo_uncached_us\": %.2f, \"topo_cached_us\": %.2f}"
+     \"block_patterns_per_sec\": %.1f, \"sharded_patterns_per_sec\": %.1f, \
+     \"word_speedup_vs_legacy\": %.2f, \"scalar_speedup_vs_legacy\": %.2f, \
+     \"block_speedup_vs_word\": %.2f, \"sharded_speedup_vs_block\": %.2f, \
+     \"strash_reduction\": %.4f, \"topo_uncached_us\": %.2f, \
+     \"topo_cached_us\": %.2f}"
     r.r_name r.r_cells r.r_legacy_pps r.r_scalar_pps r.r_word_pps
-    r.r_block_pps
+    r.r_block_pps r.r_sharded_pps
     (r.r_word_pps /. r.r_legacy_pps)
     (r.r_scalar_pps /. r.r_legacy_pps)
     (r.r_block_pps /. r.r_word_pps)
-    r.r_topo_uncached_us r.r_topo_cached_us
+    (r.r_sharded_pps /. r.r_block_pps)
+    r.r_strash_reduction r.r_topo_uncached_us r.r_topo_cached_us
 
 let () =
   let smoke = Array.exists (( = ) "--smoke") Sys.argv in
@@ -218,17 +258,17 @@ let () =
   let specs = List.filter_map Benchmarks.find_spec names in
   check_equivalence (if smoke then specs else Benchmarks.specs);
   let rows = List.map (bench_spec ~min_time) specs in
-  Printf.printf "\n%-8s %6s %14s %14s %14s %14s %8s %11s %10s\n" "bench"
-    "cells" "legacy p/s" "scalar p/s" "word p/s" "block p/s" "speedup"
-    "topo-raw us" "topo-c us";
+  Printf.printf "\n%-8s %6s %13s %13s %13s %13s %13s %8s %7s\n" "bench"
+    "cells" "legacy p/s" "scalar p/s" "word p/s" "block p/s" "shard p/s"
+    "sh/blk" "strash";
   List.iter
     (fun r ->
       Printf.printf
-        "%-8s %6d %14.0f %14.0f %14.0f %14.0f %7.1fx %11.2f %10.2f\n"
+        "%-8s %6d %13.0f %13.0f %13.0f %13.0f %13.0f %7.2fx %6.1f%%\n"
         r.r_name r.r_cells r.r_legacy_pps r.r_scalar_pps r.r_word_pps
-        r.r_block_pps
-        (r.r_word_pps /. r.r_legacy_pps)
-        r.r_topo_uncached_us r.r_topo_cached_us)
+        r.r_block_pps r.r_sharded_pps
+        (r.r_sharded_pps /. r.r_block_pps)
+        (100. *. r.r_strash_reduction))
     rows;
   (* the block path exists to amortize per-pass overhead; it must not
      lose to the single-word path it generalizes *)
@@ -241,6 +281,18 @@ let () =
              r.r_name
              (r.r_block_pps /. r.r_word_pps)))
     rows;
+  (* the sharded plan's fused kernels exist to beat the multi-pass block
+     interpreter; on the largest circuit in a full run they must win by
+     at least 2x (the tentpole claim committed in BENCH_eval.json) *)
+  (match List.rev rows with
+  | largest :: _ when not smoke ->
+    if largest.r_sharded_pps < 2.0 *. largest.r_block_pps then
+      failwith
+        (Printf.sprintf
+           "%s: sharded plan only %.2fx over the block path (need >= 2x)"
+           largest.r_name
+           (largest.r_sharded_pps /. largest.r_block_pps))
+  | _ -> ());
   let doc =
     Printf.sprintf
       "{\n\

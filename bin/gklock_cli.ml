@@ -3,6 +3,7 @@
    Subcommands:
      info     print netlist statistics
      gen      materialize a built-in benchmark as a .bench file
+     opt      strash/rewrite optimization pass (pin interface preserved)
      encrypt  lock a design (gk / xor / mux / sarlock / antisat / tdk / hybrid)
      attack   run the SAT attack against a locked .bench
      serve    run the oracle-as-a-service daemon (also built as gklockd)
@@ -77,6 +78,42 @@ let gen_cmd =
   Cmd.v
     (Cmd.info "gen" ~doc:"Materialize a built-in benchmark as .bench text")
     Term.(const run $ design_arg $ output_arg)
+
+(* ----- opt ----- *)
+
+let opt_cmd =
+  let check_arg =
+    let doc =
+      "Verify the optimized netlist against the original with a SAT miter \
+       (combinational designs only; sequential designs are compared on \
+       their combinationalized view)."
+    in
+    Arg.(value & flag & info [ "check" ] ~doc)
+  in
+  let run design check output =
+    let net = load_design design in
+    let opt, stats = Opt.run net in
+    Format.printf "%a@." Opt.pp_stats stats;
+    Printf.printf "reduction: %.1f%% of combinational nodes removed\n"
+      (100. *. Opt.reduction stats);
+    if check then begin
+      let comb n = if Netlist.ffs n = [] then n else fst (Combinationalize.run n) in
+      match Equiv.check (comb net) (comb opt) with
+      | Equiv.Equivalent -> print_endline "check: SAT miter equivalent"
+      | Equiv.Different w ->
+        Printf.eprintf "check FAILED: functions differ at %s\n"
+          (String.concat ","
+             (List.map (fun (n, v) -> Printf.sprintf "%s=%b" n v) w));
+        exit 1
+    end;
+    emit output opt
+  in
+  Cmd.v
+    (Cmd.info "opt"
+       ~doc:
+         "Optimize a netlist (strash, constant folding, rewrites, dead \
+          sweep); the pin interface is preserved")
+    Term.(const run $ design_arg $ check_arg $ output_arg)
 
 (* ----- encrypt ----- *)
 
@@ -266,7 +303,8 @@ let attack_cmd =
     | Attack.Recovered_netlist net ->
       Printf.printf "recovered a key-free netlist (%d nodes)\n"
         (Netlist.num_nodes net)
-    | Attack.Gave_up -> print_endline "the attack gave up"
+    | Attack.Gave_up r ->
+      Printf.printf "the attack gave up (%s)\n" (Attack.gave_up_reason_name r)
     | Attack.Skipped -> ()
     | Attack.Out_of_budget r ->
       Printf.printf "budget exhausted (%s) after %d iterations\n"
@@ -916,7 +954,8 @@ let () =
   let group =
     Cmd.group info
       [
-        info_cmd; gen_cmd; encrypt_cmd; attack_cmd; attacks_cmd; serve_cmd;
+        info_cmd; gen_cmd; opt_cmd; encrypt_cmd; attack_cmd; attacks_cmd;
+        serve_cmd;
         sim_cmd; sta_cmd; flow_cmd; tables_cmd; figs_cmd; campaign_cmd;
         fuzz_cmd; trace_stub_cmd;
       ]

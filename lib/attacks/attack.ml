@@ -6,6 +6,11 @@ type ctx = {
   seed : int;
 }
 
+type gave_up_reason =
+  | No_key_found
+  | Not_applicable
+  | Verification_failed
+
 type verdict =
   | Skipped
   | Key_recovered of Key.assignment
@@ -14,8 +19,13 @@ type verdict =
   | Approx_key of { key : Key.assignment; error_rate : float }
   | Partial_key of { recovered : Key.assignment; unresolved : int }
   | Recovered_netlist of Netlist.t
-  | Gave_up
+  | Gave_up of gave_up_reason
   | Out_of_budget of Budget.reason
+
+let gave_up_reason_name = function
+  | No_key_found -> "no_key_found"
+  | Not_applicable -> "not_applicable"
+  | Verification_failed -> "verification_failed"
 
 type outcome = {
   verdict : verdict;
@@ -33,12 +43,17 @@ let verdict_name = function
   | Approx_key _ -> "approx_key"
   | Partial_key _ -> "partial_key"
   | Recovered_netlist _ -> "recovered_netlist"
-  | Gave_up -> "gave_up"
+  | Gave_up _ -> "gave_up"
   | Out_of_budget r -> "out_of_budget_" ^ Budget.reason_name r
+
+let gave_up_reason_of_verdict = function
+  | Gave_up r -> Some (gave_up_reason_name r)
+  | Skipped | Key_recovered _ | Wrong_key _ | No_dip _ | Approx_key _
+  | Partial_key _ | Recovered_netlist _ | Out_of_budget _ -> None
 
 let broken = function
   | Key_recovered _ | Approx_key _ | Recovered_netlist _ -> true
-  | Skipped | Wrong_key _ | No_dip _ | Partial_key _ | Gave_up
+  | Skipped | Wrong_key _ | No_dip _ | Partial_key _ | Gave_up _
   | Out_of_budget _ -> false
 
 let key_of_verdict = function
@@ -47,12 +62,12 @@ let key_of_verdict = function
   | No_dip { key = k; _ }
   | Approx_key { key = k; _ }
   | Partial_key { recovered = k; _ } -> Some k
-  | Skipped | Recovered_netlist _ | Gave_up | Out_of_budget _ -> None
+  | Skipped | Recovered_netlist _ | Gave_up _ | Out_of_budget _ -> None
 
 let mismatches_of_verdict = function
   | Key_recovered _ -> Some 0
   | Wrong_key { mismatches; _ } | No_dip { mismatches; _ } -> Some mismatches
-  | Skipped | Approx_key _ | Partial_key _ | Recovered_netlist _ | Gave_up
+  | Skipped | Approx_key _ | Partial_key _ | Recovered_netlist _ | Gave_up _
   | Out_of_budget _ -> None
 
 type entry = {
@@ -121,7 +136,7 @@ let run_brute ctx =
   in
   ( (match o.Brute_force.found with
     | Some key -> Key_recovered key
-    | None -> Gave_up),
+    | None -> Gave_up No_key_found),
     0 )
 
 let run_sensitization ctx =
@@ -143,7 +158,8 @@ let run_removal ctx =
   in
   ( (match o.Removal_attack.restored with
     | Some net when o.Removal_attack.success -> Recovered_netlist net
-    | Some _ | None -> Gave_up),
+    | Some _ -> Gave_up Verification_failed
+    | None -> Gave_up Not_applicable),
     0 )
 
 let run_enhanced_removal ctx =
@@ -168,11 +184,11 @@ let run_scan ctx =
     Scan_attack.exec ~seed:ctx.seed ~unknown:ctx.key_inputs ~budget:ctx.budget
       ~stripped_comb:ctx.locked ~oracle:ctx.oracle ()
   in
-  ( (if verdicts = [] then Gave_up
+  ( (if verdicts = [] then Gave_up Not_applicable
      else
        match Scan_attack.decrypt ~stripped_comb:ctx.locked verdicts with
        | Some net -> Recovered_netlist net
-       | None -> Gave_up),
+       | None -> Gave_up Verification_failed),
     0 )
 
 let registry =
@@ -247,7 +263,8 @@ let find_exn name =
 let m_runs = Obs.Metrics.counter "attack.runs"
 let h_elapsed = Obs.Metrics.histogram "attack.elapsed_s"
 
-let run ?budget ?seed ~name ~locked ~key_inputs ~oracle () =
+let run ?budget ?seed ?(optimize = false) ~name ~locked ~key_inputs ~oracle ()
+    =
   let e = find_exn name in
   let budget =
     match budget with
@@ -255,6 +272,12 @@ let run ?budget ?seed ~name ~locked ~key_inputs ~oracle () =
     | None -> Budget.create ~max_iterations:4096 ()
   in
   let seed = match seed with Some s -> s | None -> Fuzz_seed.value () in
+  (* The strash/rewrite front-end preserves primary-input names (key
+     inputs included), flip-flops and output names, so the attack sees
+     the same pin interface over a smaller instruction stream.  It must
+     never change a verdict — asserted registry-wide in the tier-1
+     suite. *)
+  let locked = if optimize then fst (Opt.run locked) else locked in
   let ctx = { locked; key_inputs; oracle; budget; seed } in
   Obs.Metrics.incr m_runs;
   let sp =
@@ -265,6 +288,7 @@ let run ?budget ?seed ~name ~locked ~key_inputs ~oracle () =
           ("netlist", Cjson.Str (Netlist.name locked));
           ("key_inputs", Cjson.Int (List.length key_inputs));
           ("seed", Cjson.Int seed);
+          ("optimize", Cjson.Bool optimize);
         ]
       "attack.run"
   in
@@ -278,7 +302,11 @@ let run ?budget ?seed ~name ~locked ~key_inputs ~oracle () =
         iterations = Budget.iterations budget;
         queries = Oracle.queries oracle - q0;
         conflicts;
-        elapsed_s = Unix.gettimeofday () -. t0;
+        (* clamped so an attack that bails before its first iteration
+           (e.g. scan on a lock without glitch key-gates) still records
+           a positive wall-clock instead of a 0.0 that reads like a
+           missing measurement *)
+        elapsed_s = Float.max 1e-6 (Unix.gettimeofday () -. t0);
       }
     in
     Obs.Metrics.observe h_elapsed outcome.elapsed_s;

@@ -26,6 +26,18 @@ type ctx = {
   seed : int;          (** replay seed for all randomized sampling *)
 }
 
+(** Why an attack stopped without a result or a budget trip — recorded
+    so a [gave_up] row in a bench table or campaign report says which of
+    the structurally different bail-outs happened. *)
+type gave_up_reason =
+  | No_key_found  (** the search space was exhausted (brute force) *)
+  | Not_applicable
+      (** the attack's structural precondition is absent — e.g. the scan
+          or removal attack found no glitch key-gates to excise *)
+  | Verification_failed
+      (** a candidate reconstruction was found but refuted against the
+          chip *)
+
 type verdict =
   | Skipped  (** the ["none"] baseline entry *)
   | Key_recovered of Key.assignment
@@ -39,7 +51,7 @@ type verdict =
   | Partial_key of { recovered : Key.assignment; unresolved : int }
   | Recovered_netlist of Netlist.t
       (** structural attacks that rebuild the design without a key *)
-  | Gave_up
+  | Gave_up of gave_up_reason
   | Out_of_budget of Budget.reason
 
 type outcome = {
@@ -48,9 +60,16 @@ type outcome = {
   queries : int;     (** chip queries charged during this run *)
   conflicts : int;   (** CDCL conflicts (0 for non-SAT attacks) *)
   elapsed_s : float;
+      (** wall clock, clamped to a minimum of [1e-6] so an attack that
+          bails before its first iteration still records a positive
+          duration *)
 }
 
 val verdict_name : verdict -> string
+val gave_up_reason_name : gave_up_reason -> string
+
+(** [Some reason] for [Gave_up], [None] otherwise. *)
+val gave_up_reason_of_verdict : verdict -> string option
 
 (** Did the attacker win?  True for [Key_recovered], [Approx_key] and
     [Recovered_netlist]. *)
@@ -76,16 +95,21 @@ val find : string -> entry option
 (** @raise Invalid_argument listing the known names. *)
 val find_exn : string -> entry
 
-(** [run ?budget ?seed ~name ~locked ~key_inputs ~oracle ()] — the one
-    entry point.  [budget] defaults to 4096 iterations (no query or
-    deadline limit); [seed] defaults to {!Fuzz_seed.value}.
-    {!Budget.Exhausted} raised anywhere inside the attack (including
-    key verification) is caught and reported as [Out_of_budget];
-    [queries] counts only this run's charges even when [oracle] is
-    shared. *)
+(** [run ?budget ?seed ?optimize ~name ~locked ~key_inputs ~oracle ()] —
+    the one entry point.  [budget] defaults to 4096 iterations (no query
+    or deadline limit); [seed] defaults to {!Fuzz_seed.value}.
+    [optimize] (default false) runs the {!Opt} strash/rewrite front-end
+    on [locked] first — the pin interface (key inputs included) is
+    preserved, only the instruction stream the attack reasons over
+    shrinks; it must never change a verdict (asserted registry-wide in
+    the tier-1 suite).  {!Budget.Exhausted} raised anywhere inside the
+    attack (including key verification) is caught and reported as
+    [Out_of_budget]; [queries] counts only this run's charges even when
+    [oracle] is shared. *)
 val run :
   ?budget:Budget.t ->
   ?seed:int ->
+  ?optimize:bool ->
   name:string ->
   locked:Netlist.t ->
   key_inputs:string list ->

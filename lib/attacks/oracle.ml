@@ -41,6 +41,9 @@ type net_backend = {
   out_f : (string * bool) array;
   block_words : int;  (* words per eval_block pass *)
   shards : int option;  (* forced shard count; None = size-gated auto *)
+  pln : Netlist.Engine.plan option;
+      (* fused shard plan, built under ~optimize; used on the
+         single-domain batch path (plan buffers are not domain-safe) *)
 }
 
 (* Canonical-key state for black-box oracles: the distinct sorted name
@@ -97,12 +100,16 @@ let mk_memo memo memo_cap =
       }
 
 let of_netlist ?(partial = false) ?budget ?(memo = true) ?memo_cap
-    ?(block_words = default_block_words) ?shards net =
+    ?(block_words = default_block_words) ?shards ?(optimize = false) net =
   if block_words < 1 then
     invalid_arg "Oracle.of_netlist: block_words must be >= 1";
   (match shards with
   | Some s when s < 1 -> invalid_arg "Oracle.of_netlist: shards must be >= 1"
   | _ -> ());
+  (* The optimized twin preserves source names and declaration order, so
+     swapping it in is invisible to callers: same pins, same outputs,
+     same semantics, fewer instructions. *)
+  let net = if optimize then fst (Opt.run net) else net in
   let eng = Netlist.Engine.get net in
   let srcs = Netlist.Engine.sources eng in
   let src_names =
@@ -135,6 +142,7 @@ let of_netlist ?(partial = false) ?budget ?(memo = true) ?memo_cap
           out_f = Array.map (fun n -> (n, false)) out_names;
           block_words;
           shards;
+          pln = (if optimize then Some (Netlist.Engine.plan net) else None);
         };
     partial;
     budget;
@@ -351,6 +359,26 @@ let query t q =
    [block_words] words each, writing each lane's response list into
    [computed].  [scratch] must be private to the caller; [computed]
    writes are race-free because lane ranges are disjoint. *)
+(* Bit-transpose repack, lane-major: each key string is read
+   sequentially once (no per-character re-indexing of the miss array),
+   and bit j of word wi of source si accumulates at buf.(si * nw + wi). *)
+let transpose_fill (misses : string array) ~b0 ~lanes ~nw ~n_src buf =
+  let w = Netlist.Engine.word_bits in
+  for wi = 0 to nw - 1 do
+    let j0 = wi * w in
+    let jn = min w (lanes - j0) in
+    for j = 0 to jn - 1 do
+      let key = misses.(b0 + j0 + j) in
+      let bit = 1 lsl j in
+      for si = 0 to n_src - 1 do
+        if String.unsafe_get key si = '1' then
+          Array.unsafe_set buf
+            ((si * nw) + wi)
+            (Array.unsafe_get buf ((si * nw) + wi) lor bit)
+      done
+    done
+  done
+
 let process_lanes b scratch (misses : string array) ~lane_lo ~lane_hi computed
     =
   let w = Netlist.Engine.word_bits in
@@ -363,25 +391,8 @@ let process_lanes b scratch (misses : string array) ~lane_lo ~lane_hi computed
     let lanes = min lanes_per_block (lane_hi - b0) in
     let nw = (lanes + w - 1) / w in
     let blk =
-      Netlist.Engine.eval_block ~scratch b.eng ~n_words:nw ~fill:(fun buf ->
-          (* bit-transpose repack, lane-major: each key string is read
-             sequentially once (no per-character re-indexing of the miss
-             array), and bit j of word wi of source si accumulates at
-             buf.(si * nw + wi) *)
-          for wi = 0 to nw - 1 do
-            let j0 = wi * w in
-            let jn = min w (lanes - j0) in
-            for j = 0 to jn - 1 do
-              let key = misses.(b0 + j0 + j) in
-              let bit = 1 lsl j in
-              for si = 0 to n_src - 1 do
-                if String.unsafe_get key si = '1' then
-                  Array.unsafe_set buf
-                    ((si * nw) + wi)
-                    (Array.unsafe_get buf ((si * nw) + wi) lor bit)
-              done
-            done
-          done)
+      Netlist.Engine.eval_block ~scratch b.eng ~n_words:nw
+        ~fill:(transpose_fill misses ~b0 ~lanes ~nw ~n_src)
     in
     for j = 0 to lanes - 1 do
       let wi = j / w and bit = j mod w in
@@ -389,6 +400,44 @@ let process_lanes b scratch (misses : string array) ~lane_lo ~lane_hi computed
       for oi = n_outs - 1 downto 0 do
         let word =
           Array.unsafe_get blk ((Array.unsafe_get b.out_slots oi * nw) + wi)
+        in
+        r :=
+          (if (word lsr bit) land 1 = 1 then Array.unsafe_get b.out_t oi
+           else Array.unsafe_get b.out_f oi)
+          :: !r
+      done;
+      computed.(b0 + j) <- !r
+    done;
+    Obs.Metrics.incr m_batch_blocks;
+    Obs.Metrics.add m_batch_words nw;
+    Obs.Metrics.add m_batch_lanes lanes;
+    base := b0 + lanes
+  done
+
+(* Same as {!process_lanes} but through a fused shard plan (built under
+   [~optimize]): single-pass kernels over the optimized instruction
+   stream.  Only the single-domain batch path uses this — plan buffers
+   are owned by the plan and not domain-safe. *)
+let process_lanes_plan b p (misses : string array) ~lane_lo ~lane_hi computed
+    =
+  let w = Netlist.Engine.word_bits in
+  let n_src = Array.length b.srcs in
+  let n_outs = Array.length b.out_slots in
+  let lanes_per_block = b.block_words * w in
+  let base = ref lane_lo in
+  while !base < lane_hi do
+    let b0 = !base in
+    let lanes = min lanes_per_block (lane_hi - b0) in
+    let nw = (lanes + w - 1) / w in
+    Netlist.Engine.eval_block_sharded p ~n_words:nw
+      ~fill:(transpose_fill misses ~b0 ~lanes ~nw ~n_src);
+    for j = 0 to lanes - 1 do
+      let wi = j / w and bit = j mod w in
+      let r = ref [] in
+      for oi = n_outs - 1 downto 0 do
+        let word =
+          Netlist.Engine.plan_read p ~slot:(Array.unsafe_get b.out_slots oi)
+            ~word:wi
         in
         r :=
           (if (word lsr bit) land 1 = 1 then Array.unsafe_get b.out_t oi
@@ -536,8 +585,12 @@ let query_batch t qs =
         charge t n_miss;
         (* 4. evaluate + build responses, sharded over lane ranges *)
         let ed = domains_for n_miss in
-        if ed <= 1 then
-          process_lanes b b.sc misses ~lane_lo:0 ~lane_hi:n_miss computed
+        if ed <= 1 then (
+          match b.pln with
+          | Some p ->
+            process_lanes_plan b p misses ~lane_lo:0 ~lane_hi:n_miss computed
+          | None ->
+            process_lanes b b.sc misses ~lane_lo:0 ~lane_hi:n_miss computed)
         else begin
           Obs.Metrics.incr m_shard_batches;
           Obs.Metrics.add m_shard_jobs ed;

@@ -63,6 +63,13 @@ type t
     slots and uses [Parallel.default_domains ()].  [~shards:1] disables
     sharding.
 
+    [optimize] (default false): run the {!Opt} strash/rewrite front-end
+    on [net] and simulate the optimized twin instead.  The twin keeps
+    source names, source order and output names, so queries and
+    responses are byte-identical — only the instruction stream shrinks.
+    Batched queries additionally route through a fused
+    {!Netlist.Engine.plan} on the single-domain path.
+
     The netlist must not be mutated while wrapped.
     @raise Invalid_argument if [memo_cap], [block_words] or [shards]
     is [< 1]. *)
@@ -73,6 +80,7 @@ val of_netlist :
   ?memo_cap:int ->
   ?block_words:int ->
   ?shards:int ->
+  ?optimize:bool ->
   Netlist.t ->
   t
 

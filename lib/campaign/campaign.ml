@@ -111,7 +111,11 @@ let status ~dir matrix =
    pre-registry (v1) payload shape so old result stores still render. *)
 let attack_outcome payload =
   match Cjson.mem_str "verdict" payload with
-  | Some s -> s
+  | Some s -> (
+    (* a gave_up row carries its structural reason since payload v2 *)
+    match Cjson.mem_str "gave_up_reason" payload with
+    | Some r -> s ^ "(" ^ r ^ ")"
+    | None -> s)
   | None -> (
     match Cjson.mem_str "status" payload with
     | Some s -> s

@@ -189,6 +189,12 @@ let run_attack ~bench ~scheme ~width ~attack ~seed =
     @ (match Attack.mismatches_of_verdict o.Attack.verdict with
       | Some m -> [ ("mismatches", Cjson.Int m) ]
       | None -> [])
+    (* deterministic, unlike elapsed_s: says WHICH structural bail-out a
+       gave_up row was, so campaign reports can distinguish "no GKs to
+       excise" from "reconstruction refuted" without re-running *)
+    @ (match Attack.gave_up_reason_of_verdict o.Attack.verdict with
+      | Some r -> [ ("gave_up_reason", Cjson.Str r) ]
+      | None -> [])
   in
   Cjson.Obj (fields @ extra)
 

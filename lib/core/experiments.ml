@@ -166,7 +166,7 @@ let attack_comparison ?(seed = 5) () =
     | Attack.No_dip _ -> ("UNSAT at first DIP search: attack invalid", false)
     | Attack.Out_of_budget _ -> ("DIP budget exhausted", false)
     | Attack.Skipped | Attack.Approx_key _ | Attack.Partial_key _
-    | Attack.Recovered_netlist _ | Attack.Gave_up ->
+    | Attack.Recovered_netlist _ | Attack.Gave_up _ ->
       ("unexpected outcome", false)
   in
   let xor_row =

@@ -5,9 +5,13 @@ type oracle =
   | Timing
   | Sat_roundtrip
   | Bdd_probe
+  | Opt_equiv
 
 let all_oracles =
-  [ Engine_scalar; Engine_lanes; Engine_block; Timing; Sat_roundtrip; Bdd_probe ]
+  [
+    Engine_scalar; Engine_lanes; Engine_block; Timing; Sat_roundtrip;
+    Bdd_probe; Opt_equiv;
+  ]
 
 let oracle_name = function
   | Engine_scalar -> "engine-scalar"
@@ -16,6 +20,7 @@ let oracle_name = function
   | Timing -> "timing"
   | Sat_roundtrip -> "sat-roundtrip"
   | Bdd_probe -> "bdd-probe"
+  | Opt_equiv -> "opt-equiv"
 
 let oracle_of_name s =
   List.find_opt (fun o -> oracle_name o = s) all_oracles
@@ -406,6 +411,79 @@ let check_bdd ~rng (c : Fuzz_case.t) =
       !out
   end
 
+(* ----- oracle 6: the Opt front-end's twin is the same function ----- *)
+
+(* [Opt.run] promises a fresh netlist with the identical pin interface
+   (input / FF / output names and order) computing the same function.
+   Both halves are checked: the interface syntactically, the function by
+   a SAT miter over the 2-frame unrolling plus a few concrete vectors
+   through the reference walk (matched by input name — catching an
+   interface bug a name-matching miter would mask). *)
+let check_opt_equiv ~rng (c : Fuzz_case.t) =
+  let net = c.Fuzz_case.net in
+  match Opt.run net with
+  | exception e -> [ mk Opt_equiv "<run>" ~detail:(Printexc.to_string e) ]
+  | opt, _stats ->
+    let names f n = List.map (ff_name n) (f n) in
+    if names Netlist.inputs opt <> names Netlist.inputs net then
+      [ mk Opt_equiv "<inputs>" ~detail:"primary inputs renamed or reordered" ]
+    else if names Netlist.ffs opt <> names Netlist.ffs net then
+      [ mk Opt_equiv "<ffs>" ~detail:"flip-flops renamed or reordered" ]
+    else if
+      List.map fst (Netlist.outputs opt) <> List.map fst (Netlist.outputs net)
+    then
+      [
+        mk Opt_equiv "<outputs>" ~detail:"primary outputs renamed or reordered";
+      ]
+    else begin
+      let a = unrolled net and b = unrolled opt in
+      match Equiv.check a b with
+      | Equiv.Different witness ->
+        [
+          mk Opt_equiv "<miter>"
+            ~detail:
+              ("opt changed the function at "
+              ^ String.concat ","
+                  (List.map
+                     (fun (n, v) -> Printf.sprintf "%s=%b" n v)
+                     witness));
+        ]
+      | exception Invalid_argument msg -> [ mk Opt_equiv "<miter>" ~detail:msg ]
+      | Equiv.Equivalent ->
+        let vals = Hashtbl.create 16 in
+        let assignment n id =
+          let name = ff_name n id in
+          match Hashtbl.find_opt vals name with
+          | Some v -> v
+          | None ->
+            let v = Random.State.bool rng in
+            Hashtbl.replace vals name v;
+            v
+        in
+        let out = ref [] in
+        for _probe = 1 to 8 do
+          if !out = [] then begin
+            Hashtbl.reset vals;
+            let ra = Ref_sim.eval_comb a (assignment a) in
+            let rb = Ref_sim.eval_comb b (assignment b) in
+            List.iter
+              (fun (po, drv_b) ->
+                if !out = [] then
+                  let va = ra.(List.assoc po (Netlist.outputs a)) in
+                  let vb = rb.(drv_b) in
+                  if va <> vb then
+                    out :=
+                      [
+                        mk Opt_equiv po
+                          ~detail:
+                            (Printf.sprintf "original=%b optimized=%b" va vb);
+                      ])
+              (Netlist.outputs b)
+          end
+        done;
+        !out
+    end
+
 let check ?(oracles = all_oracles) ?fault ~seed (c : Fuzz_case.t) =
   let rng = Random.State.make [| seed; 0x0_5ac1e |] in
   List.concat_map
@@ -416,5 +494,6 @@ let check ?(oracles = all_oracles) ?fault ~seed (c : Fuzz_case.t) =
       | Engine_block -> check_engine_block ~rng c
       | Timing -> check_timing c
       | Sat_roundtrip -> check_sat_roundtrip c
-      | Bdd_probe -> check_bdd ~rng c)
+      | Bdd_probe -> check_bdd ~rng c
+      | Opt_equiv -> check_opt_equiv ~rng c)
     oracles

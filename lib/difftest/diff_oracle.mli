@@ -24,6 +24,10 @@ type oracle =
   | Timing         (** timing simulator's captures vs cycle accurate sim *)
   | Sat_roundtrip  (** SAT miter: netlist ≡ its bench round-trip, unrolled *)
   | Bdd_probe      (** BDD build vs reference walk on sampled vectors *)
+  | Opt_equiv
+      (** the {!Opt} strash/rewrite twin keeps the pin interface and the
+          function: interface checked syntactically, function by a SAT
+          miter over the unrolling plus name-matched concrete vectors *)
 
 val all_oracles : oracle list
 val oracle_name : oracle -> string

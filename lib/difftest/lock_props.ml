@@ -324,6 +324,86 @@ let check_hybrid ~seed =
            "correct key: %d PO sample mismatches, %d capture violations" mism
            (List.length locked.Timing_sim.violations))
 
+(* ----- opt transparency, per scheme ----- *)
+
+(* The strash/rewrite front-end must be invisible to every locking
+   scheme: the optimized locked netlist keeps every key input as a
+   symbolic primary input (an unknown key is never folded away) and is
+   SAT-equivalent to the original over all inputs, keys included.
+   Sequential schemes are checked on the combinationalized view the
+   attacks actually consume. *)
+let locked_for_opt scheme ~seed =
+  match scheme with
+  | Xor | Mux | Fault | Sarlock | Antisat ->
+    let comb = comb_circuit seed in
+    let lk =
+      match scheme with
+      | Xor -> Xor_lock.lock ~seed comb ~n_keys:5
+      | Mux -> Mux_lock.lock ~seed comb ~n_keys:5
+      | Fault -> Fault_lock.lock ~seed ~samples:64 comb ~n_keys:5
+      | Sarlock -> Sarlock.lock ~seed comb ~n_keys:4
+      | _ -> Antisat.lock ~seed comb ~n:4
+    in
+    Some (lk.Locked.net, lk.Locked.key_inputs)
+  | Tdk -> (
+    let net = seq_circuit seed in
+    let clock_ps = max (Sta.clock_for net ~margin:1.3) 2000 in
+    match Tdk.lock ~seed net ~clock_ps ~n_sites:2 with
+    | exception Invalid_argument _ -> None (* no feasible site: skip *)
+    | t ->
+      let lk = t.Tdk.locked in
+      Some (fst (Combinationalize.run lk.Locked.net), lk.Locked.key_inputs))
+  | Gk -> (
+    let net = gk_circuit seed in
+    let clock_ps = max (Sta.clock_for net ~margin:1.2) 2600 in
+    match Insertion.lock ~seed net ~clock_ps ~n_gks:2 with
+    | exception Invalid_argument _ -> None
+    | d ->
+      let stripped, keys = Insertion.strip_keygens d in
+      Some (fst (Combinationalize.run stripped), keys))
+  | Hybrid -> (
+    let net = gk_circuit (seed + 5000) in
+    let clock_ps = max (Sta.clock_for net ~margin:1.2) 2600 in
+    match Hybrid.lock ~seed net ~clock_ps ~n_gks:1 ~n_xors:2 with
+    | exception Invalid_argument _ -> None
+    | h ->
+      let stripped, _ = Insertion.strip_keygens h.Hybrid.design in
+      let comb = fst (Combinationalize.run stripped) in
+      let pis =
+        List.map (fun id -> (Netlist.node comb id).Netlist.name)
+          (Netlist.inputs comb)
+      in
+      (* GK keys surface as PIs only after the strip; take every key of
+         the combined assignment that is a PI of the stripped view *)
+      let keys =
+        List.filter (fun k -> List.mem k pis)
+          (List.map fst h.Hybrid.all_correct_key)
+      in
+      Some (comb, keys))
+
+let check_opt scheme ~seed =
+  match locked_for_opt scheme ~seed with
+  | None -> []
+  | Some (locked, key_inputs) -> (
+    let opt, _stats = Opt.run locked in
+    let pis =
+      List.map (fun id -> (Netlist.node opt id).Netlist.name)
+        (Netlist.inputs opt)
+    in
+    match List.filter (fun k -> not (List.mem k pis)) key_inputs with
+    | _ :: _ as missing ->
+      fail scheme "<opt>"
+        ("opt folded away key inputs: " ^ String.concat "," missing)
+    | [] -> (
+      match Equiv.check locked opt with
+      | Equiv.Equivalent -> []
+      | Equiv.Different w ->
+        fail scheme "<opt>"
+          (Printf.sprintf "opt changed the locked function (witness %s)"
+             (String.concat ","
+                (List.map (fun (n, v) -> Printf.sprintf "%s=%b" n v) w)))
+      | exception Invalid_argument msg -> fail scheme "<opt>" msg))
+
 (* ----- attack resistance through the registry ----- *)
 
 (* The attack side of each scheme's contract, driven through the one
@@ -381,7 +461,7 @@ let check_attack scheme ~seed =
 
 let check ~seed = function
   | (Xor | Mux | Fault | Sarlock | Antisat) as s ->
-    check_comb s ~seed @ check_attack s ~seed
-  | Tdk -> check_tdk ~seed
-  | Gk -> check_gk ~seed @ check_attack Gk ~seed
-  | Hybrid -> check_hybrid ~seed
+    check_comb s ~seed @ check_attack s ~seed @ check_opt s ~seed
+  | Tdk -> check_tdk ~seed @ check_opt Tdk ~seed
+  | Gk -> check_gk ~seed @ check_attack Gk ~seed @ check_opt Gk ~seed
+  | Hybrid -> check_hybrid ~seed @ check_opt Hybrid ~seed

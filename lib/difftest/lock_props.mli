@@ -16,7 +16,11 @@
     - {e GK timing}: a glitch key-gate's measured pulse width under
       {!Timing_sim} equals Eq. 2's [D_path + D_mux] for both transition
       directions, and a wrong constant key inverts the very first
-      captured value of the locked flip-flop.
+      captured value of the locked flip-flop;
+    - {e opt transparency}: the {!Opt} strash/rewrite front-end keeps
+      every key input a symbolic primary input and leaves the locked
+      function SAT-identical (checked per scheme on the combinational
+      view the attacks consume).
 
     Each check builds a fresh seeded circuit, locks it, and reports
     violations as {!Diff_oracle.mismatch} records (oracle field

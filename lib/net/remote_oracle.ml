@@ -88,8 +88,13 @@ let batch_chunks t assignments =
       Float.max 1.0 (float_of_int (bytes outs) /. float_of_int (bytes ins))
     | _ -> 1.0
   in
+  (* No floor beyond 1: flooring the budget at a few KiB re-creates the
+     overflow it exists to prevent when the reply/query ratio is huge
+     (few inputs, thousands of long-named outputs).  A single oversized
+     query still ships alone — the server rejects it with a clean error
+     rather than the client mis-framing. *)
   let budget =
-    Stdlib.max 4096
+    Stdlib.max 1
       (int_of_float (float_of_int (Wire.max_payload / 2) /. ratio))
   in
   let rec split acc cur cur_bytes = function

@@ -271,6 +271,60 @@ module Engine : sig
     ?scratch:scratch -> engine -> n_words:int -> fill:(int array -> unit) ->
     int array
 
+  (** {2 Domain-sharded block evaluation}
+
+      A {!plan} recompiles the instruction stream into K {e shards} —
+      one per partition of the sinks (primary-output drivers and
+      flip-flop D pins) into fanout cones — with fused single-pass
+      kernels (a NAND2 is one combined read-read-write loop instead of
+      copy + combine + invert) over dense per-shard slot spaces.
+      Shards evaluate independently: across the {!Parallel} domain pool
+      when more than one domain is available, and faster than
+      {!eval_block} even on one domain because of the fused kernels and
+      because instructions unreachable from any sink are skipped. *)
+  type plan
+
+  (** [plan ?shards ?dup_budget t] compiles a shard plan for [t]'s
+      engine.  [shards] forces the shard count (clamped to the number of
+      sinks); by default it starts at {!Parallel.default_domains} and is
+      halved while the cone-duplication factor (total shard instructions
+      / live instructions) exceeds [dup_budget] (default [1.25]) —
+      overlapping cones re-evaluate shared logic in every shard, so a
+      dense circuit degenerates to one shard rather than pay for
+      duplicated work.  @raise Invalid_argument if [shards < 1]. *)
+  val plan : ?shards:int -> ?dup_budget:float -> t -> plan
+
+  val plan_shard_count : plan -> int
+
+  (** Total shard instructions / live instructions, >= 1. *)
+  val plan_duplication : plan -> float
+
+  (** Instructions reachable from at least one sink. *)
+  val plan_live_instructions : plan -> int
+
+  (** The netlist generation the underlying engine was compiled at. *)
+  val plan_generation : plan -> int
+
+  (** [eval_block_sharded p ~n_words ~fill] evaluates
+      [n_words * word_bits] lanes across the plan's shards.  [fill]
+      writes the stimulus exactly as for {!eval_block} (source [i]'s
+      word [k] at [i * n_words + k]; the region is pre-zeroed).  Read
+      results back with {!plan_read}.  Buffers are owned by the plan
+      and reused across calls — a plan must not be evaluated from two
+      domains at once (shard-internal parallelism is the plan's own
+      job). *)
+  val eval_block_sharded :
+    plan -> n_words:int -> fill:(int array -> unit) -> unit
+
+  (** [plan_read p ~slot ~word] is word [word] of slot [slot] (the
+      engine slot space, see {!slot_of_id}) after the last
+      {!eval_block_sharded}.  Sources, constants and sink slots
+      (primary-output drivers and flip-flop D pins) are readable.
+      @raise Invalid_argument for an interior combinational slot —
+      shards recycle interior slots as values die, so only sinks
+      survive a run. *)
+  val plan_read : plan -> slot:int -> word:int -> int
+
   (** Number of set bits in a word (lanes at 1).  Branch-free SWAR. *)
   val popcount : int -> int
 

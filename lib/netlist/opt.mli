@@ -1,0 +1,54 @@
+(** Netlist optimization front-end: structural hashing, constant
+    propagation, rewrite rules and a dead-node sweep.
+
+    {!run} rebuilds a netlist bottom-up in topological order, applying
+    AIG-strash-style local simplifications as each node is re-created:
+
+    - {b constant folding} — And/Or/Nand/Nor absorb constant fanins,
+      Xor/Xnor fold constants into an output inversion, Mux selectors
+      and branches collapse, LUT truth tables shrink over constant or
+      duplicated inputs.  Key inputs are primary inputs, so an unknown
+      key stays fully symbolic: nothing keyed is ever folded away.
+    - {b rewrite rules} — [Buf] forwarding, double-negation
+      cancellation, duplicate/complement fanin absorption
+      ([x ∧ ¬x → 0], [x ⊕ x → 0]), Mux-with-constant-branch to And/Or
+      forms, Mux selector-polarity normalization, LUT constant /
+      identity / complement detection.
+    - {b structural hashing} — commutative gates are canonicalized
+      (sorted fanins, inversion kept inside Nand/Nor/Xnor) and every
+      (function, fanins) pair is built at most once, so equivalent
+      subexpressions share one node.
+    - {b dead sweep} — only logic reachable from a primary output or a
+      flip-flop D pin is rebuilt.
+
+    The result is a fresh netlist that computes the same function:
+    primary inputs, flip-flops (names {e and} declaration order — so
+    {!Netlist.Engine.sources} of the optimized netlist aligns
+    source-for-source with the original) and primary-output names are
+    all preserved.  Gate names are kept where the node survives 1:1.
+
+    Semantics preservation is law-checked from the differential fuzzer
+    ({!Diff_oracle}), per-scheme in {!Lock_props}, and by SAT miters in
+    the tier-1 suite. *)
+
+type stats = {
+  st_iters : int;  (** rebuild passes executed (last one is a fixpoint) *)
+  st_nodes_before : int;  (** non-dead nodes in the input *)
+  st_nodes_after : int;
+  st_gates_before : int;  (** combinational (Gate/Lut) nodes in the input *)
+  st_gates_after : int;
+  st_merged : int;  (** strash hits: nodes shared instead of duplicated *)
+  st_folded : int;  (** constant-propagation simplifications *)
+  st_rewritten : int;  (** local rewrite-rule applications *)
+  st_swept : int;  (** unreachable combinational nodes dropped *)
+}
+
+(** Fraction of combinational nodes removed, in [0, 1] — the
+    [strash_reduction] column of BENCH_eval.json. *)
+val reduction : stats -> float
+
+val pp_stats : Format.formatter -> stats -> unit
+
+(** [run ?max_iters net] optimizes [net] (default [max_iters = 4];
+    passes stop early at a fixpoint).  The input is not modified. *)
+val run : ?max_iters:int -> Netlist.t -> Netlist.t * stats

@@ -369,6 +369,59 @@ let test_enhanced_blinded_by_withholding () =
   Alcotest.(check bool) "search space" true
     (Enhanced_removal.withheld_search_space_log2 ~n_gks:8 ~lut_inputs:4 = 128.0)
 
+(* ----- opt front-end verdict parity across the whole registry -----
+
+   [Attack.run ~optimize] and [Oracle.of_netlist ~optimize] must never
+   change an attack's verdict: the strash/rewrite front-end preserves
+   the pin interface and the function, so only the run's cost may
+   differ.  Incidental payloads that depend on the exact CNF (the
+   arbitrary model attached to [No_dip], mismatch sample counts) are
+   allowed to differ; a verified key is not. *)
+
+let opt_verdict_repr (o : Attack.outcome) =
+  match o.Attack.verdict with
+  | Attack.Key_recovered k -> "key_recovered: " ^ Key.to_string k
+  | Attack.Gave_up r -> "gave_up: " ^ Attack.gave_up_reason_name r
+  | v -> Attack.verdict_name v
+
+let test_opt_verdict_parity () =
+  let xor_ctx seed =
+    let comb = comb_circuit seed in
+    let lk = Xor_lock.lock ~seed comb ~n_keys:5 in
+    ( "xor" ^ string_of_int seed,
+      lk.Locked.net,
+      lk.Locked.key_inputs,
+      comb,
+      false )
+  in
+  let gk_ctx =
+    let net = Benchmarks.tiny () in
+    let clock = Sta.clock_for net ~margin:4.5 in
+    let d = Insertion.lock ~seed:3 net ~clock_ps:clock ~n_gks:2 in
+    let stripped, keys = Insertion.strip_keygens d in
+    let locked_comb, _ = Combinationalize.run stripped in
+    let oracle_comb, _ = Combinationalize.run net in
+    (* permissive: enhanced-removal re-keys with fresh gkkey* names *)
+    ("gk-tiny", locked_comb, keys, oracle_comb, true)
+  in
+  List.iter
+    (fun (cname, locked, key_inputs, chip, partial) ->
+      List.iter
+        (fun (e : Attack.entry) ->
+          let go optimize =
+            Attack.run ~seed:3 ~optimize ~name:e.Attack.name ~locked
+              ~key_inputs
+              ~oracle:(Oracle.of_netlist ~partial ~optimize chip)
+              ()
+          in
+          let plain = go false in
+          let opted = go true in
+          Alcotest.(check string)
+            (Printf.sprintf "%s on %s" e.Attack.name cname)
+            (opt_verdict_repr plain) (opt_verdict_repr opted))
+        Attack.registry)
+    [ xor_ctx 50; gk_ctx ]
+
 let suites =
   [
     ("attacks.oracle", [ tc "basics" `Quick test_oracle ]);
@@ -407,4 +460,7 @@ let suites =
         tc "locate + remodel + SAT" `Quick test_enhanced_locate_and_attack;
         tc "blinded by withholding" `Quick test_enhanced_blinded_by_withholding;
       ] );
+    ( "attacks.opt_parity",
+      [ tc "registry verdict parity under opt" `Slow test_opt_verdict_parity ]
+    );
   ]

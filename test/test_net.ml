@@ -112,6 +112,47 @@ let qc_garbage =
     (fun s ->
       match Wire.decode (Bytes.of_string s) with _ -> true)
 
+(* ----- the exact max_payload boundary ----- *)
+
+(* A [Batch_result] with one assignment whose pin names are tuned so the
+   encoded payload is exactly [bytes]: 4 (result count) + 2 (pin count)
+   + per pin a 2-byte name length, the name, and a bool byte.  Pin names
+   are u16-length on the wire, so the bulk is made of 997-byte names
+   (1000 wire bytes each) and one final name absorbs the remainder. *)
+let batch_result_of_bytes bytes =
+  let body = bytes - 6 in
+  assert (body >= 2003);
+  let full = (body / 1000) - 1 in
+  let rem = body - (full * 1000) in
+  let pins =
+    List.init full (fun i ->
+        (Printf.sprintf "%06d%s" i (String.make 991 'p'), i land 1 = 1))
+  in
+  Wire.Batch_result [ pins @ [ (String.make (rem - 3) 'q', true) ] ]
+
+let qc_payload_boundary =
+  (* the cap is exact on both sides of the codec: a payload of
+     max_payload - k (k >= 0) encodes and round-trips, max_payload + k
+     (k > 0) raises — no off-by-one between encode and decode_header *)
+  Qc.qcheck ~count:24 "payload cap is exact at max_payload"
+    (QCheck.make ~print:string_of_int QCheck.Gen.(int_range (-16) 16))
+    (fun delta ->
+      let target = Wire.max_payload + delta in
+      let msg = batch_result_of_bytes target in
+      if delta <= 0 then (
+        let b = Wire.encode ~id:5 msg in
+        if Bytes.length b <> Wire.header_bytes + target then
+          QCheck.Test.fail_report "encoded payload size is not as constructed"
+        else
+          match Wire.decode b with
+          | Ok { Wire.id = 5; msg = msg' } -> msg' = msg
+          | Ok _ -> QCheck.Test.fail_report "round-trip changed the id"
+          | Error e -> QCheck.Test.fail_report (Wire.wire_error_message e))
+      else
+        match Wire.encode ~id:5 msg with
+        | _ -> QCheck.Test.fail_report "payload above the cap encoded"
+        | exception Invalid_argument _ -> true)
+
 let test_oversized () =
   let b = Wire.encode ~id:7 Wire.Ping in
   Bytes.set_int32_be b 8 (Int32.of_int (Wire.max_payload + 1));
@@ -239,7 +280,7 @@ let verdict_repr (o : Attack.outcome) =
     Printf.sprintf "partial_key: %s (%d unresolved)" (Key.to_string recovered)
       unresolved
   | Attack.Recovered_netlist net -> "netlist:\n" ^ Bench_format.print net
-  | Attack.Gave_up -> "gave_up"
+  | Attack.Gave_up r -> "gave_up:" ^ Attack.gave_up_reason_name r
   | Attack.Skipped -> "skipped"
   | Attack.Out_of_budget r -> "out_of_budget: " ^ Budget.reason_name r
 
@@ -543,6 +584,51 @@ let test_oversized_reply () =
       | { Wire.id = 4; msg = Wire.Pong } -> ()
       | _ -> Alcotest.fail "no pong after an oversized reply")
 
+(* ----- client-side chunk sizing under an extreme reply/query ratio ----- *)
+
+let wide_reply_netlist () =
+  (* 8 two-char inputs, 1024 outputs with 200-char names: each reply is
+     ~203 bytes per output pin, so the reply/query byte ratio is ~5000. *)
+  let n = Netlist.create "wide" in
+  let ins =
+    Array.init 8 (fun i -> Netlist.add_input n (Printf.sprintf "i%d" i))
+  in
+  for o = 0 to 1023 do
+    let g = Netlist.add_gate n Cell.Buf [| ins.(o mod 8) |] in
+    Netlist.add_output n
+      (Printf.sprintf "o_%04d_%s" o (String.make 193 'w'))
+      g
+  done;
+  n
+
+let test_chunk_sizing_wide_reply () =
+  (* Regression for the chunk-budget floor: [Remote_oracle.batch_chunks]
+     used to floor its per-chunk request budget at 4096 bytes, which on
+     this design packs ~97 queries per chunk and provokes a ~20 MB
+     Batch_result — past [Wire.max_payload], so the server answered with
+     a structured error and the whole batch died.  With the floor at 1
+     the ratio-derived budget holds (~40 queries per chunk, ~8 MB
+     replies) and the batch round-trips. *)
+  let net = wide_reply_netlist () in
+  let local = Oracle.of_netlist net in
+  let pins = Oracle.input_names local in
+  let asg i = List.mapi (fun b p -> (p, (i lsr b) land 1 = 1)) pins in
+  let queries = List.init 128 asg in
+  let expected = List.map (Oracle.query local) queries in
+  with_server [ ("wide", net) ] (fun _t path ->
+      let r =
+        Remote_oracle.connect ~client:"wide" ~design:"wide"
+          (Frame_io.Unix_path path)
+      in
+      Fun.protect ~finally:(fun () -> Remote_oracle.close r) @@ fun () ->
+      let got = Oracle.query_batch (Remote_oracle.oracle r) queries in
+      Alcotest.(check int) "every query answered" 128 (List.length got);
+      List.iteri
+        (fun i (want, have) ->
+          if want <> have then
+            Alcotest.failf "query %d: remote result differs from local" i)
+        (List.combine expected got))
+
 (* ----- tcp shutdown gating ----- *)
 
 let test_tcp_shutdown_gating () =
@@ -700,6 +786,7 @@ let suites =
     ( "net-wire",
       [
         qc_roundtrip; qc_truncated; qc_mutated; qc_garbage;
+        qc_payload_boundary;
         tc "oversized length rejected" `Quick test_oversized;
         tc "payload CRC checked" `Quick test_crc_mismatch;
         tc "unknown type byte rejected" `Quick test_unknown_type;
@@ -719,6 +806,8 @@ let suites =
         tc "concurrent batches share one oracle safely" `Slow
           test_concurrent_batches;
         tc "oversized reply is a structured error" `Slow test_oversized_reply;
+        tc "chunk sizing survives a wide-reply design" `Slow
+          test_chunk_sizing_wide_reply;
         tc "tcp shutdown is gated" `Quick test_tcp_shutdown_gating;
         tc "per-client counters are capped" `Quick test_client_counter_cap;
         tc "1k malformed frames: alive, nothing leaked" `Slow
